@@ -1,0 +1,117 @@
+// Ablation A1: what the consistency anchor buys (DESIGN.md).
+//
+// Two designs over the same eventually-consistent cloud:
+//   naive     one mutable object per file, read with plain GET — what you get
+//             without SCFS's composite construction;
+//   anchored  Figure 3: immutable id|hash versions + the hash anchored in the
+//             coordination service, reads loop until visible.
+//
+// We measure the stale-read rate immediately after an overwrite, and the
+// read latency each design pays, across consistency-window sizes.
+
+#include "bench/harness.h"
+#include "src/cloud/simulated_cloud.h"
+#include "src/coord/local_coordination.h"
+#include "src/scfs/consistency_anchor.h"
+
+namespace scfs {
+namespace {
+
+constexpr int kTrials = 40;
+
+struct AblationResult {
+  double naive_stale_pct = 0;
+  double anchored_stale_pct = 0;
+  double naive_read_ms = 0;
+  double anchored_read_ms = 0;
+};
+
+AblationResult RunWindow(Environment* env, VirtualDuration window) {
+  CloudProfile profile;
+  profile.name = "ec-cloud";
+  profile.read_latency = LatencyModel::Fixed(FromMillis(30));
+  profile.write_latency = LatencyModel::Fixed(FromMillis(40));
+  profile.consistency_window_base = window;
+  profile.consistency_window_jitter = window / 2;
+  SimulatedCloud cloud(profile, env, static_cast<uint64_t>(window) + 5);
+  CloudCredentials creds{"u"};
+
+  LocalCoordination coord(env, LatencyModel::Fixed(FromMillis(5)));
+  SingleCloudBackend backend(&cloud, creds);
+  AnchorOptions anchor_options;
+  anchor_options.retry_delay = FromMillis(25);
+  AnchoredStorage anchored(env, &coord, "u", &backend, anchor_options);
+
+  AblationResult result;
+  Rng rng(static_cast<uint64_t>(window));
+  int naive_stale = 0;
+  int anchored_stale = 0;
+  double naive_ms = 0;
+  double anchored_ms = 0;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Bytes old_value = rng.RandomBytes(512);
+    Bytes new_value = rng.RandomBytes(512);
+    const std::string naive_key = "naive-" + std::to_string(trial);
+    const std::string anchored_id = "anch-" + std::to_string(trial);
+
+    // Naive design: overwrite, then read back immediately (the race every
+    // sharing workload hits).
+    (void)cloud.Put(creds, naive_key, old_value);
+    env->Sleep(2 * window + kSecond);
+    (void)cloud.Put(creds, naive_key, new_value);
+    Environment::ResetThreadCharged();
+    auto naive_read = cloud.Get(creds, naive_key);
+    naive_ms += ToSeconds(Environment::ThreadCharged()) * 1000;
+    if (!naive_read.ok() || *naive_read != new_value) {
+      ++naive_stale;
+    }
+
+    // Anchored design (Figure 3), same race.
+    (void)anchored.Write(anchored_id, old_value);
+    env->Sleep(2 * window + kSecond);
+    (void)anchored.Write(anchored_id, new_value);
+    Environment::ResetThreadCharged();
+    auto anchored_read = anchored.Read(anchored_id);
+    anchored_ms += ToSeconds(Environment::ThreadCharged()) * 1000;
+    if (!anchored_read.ok() || *anchored_read != new_value) {
+      ++anchored_stale;
+    }
+  }
+  result.naive_stale_pct = 100.0 * naive_stale / kTrials;
+  result.anchored_stale_pct = 100.0 * anchored_stale / kTrials;
+  result.naive_read_ms = naive_ms / kTrials;
+  result.anchored_read_ms = anchored_ms / kTrials;
+  return result;
+}
+
+void Run() {
+  auto env = Environment::Scaled(BenchTimeScale());
+  PrintHeader("Ablation A1: consistency anchor vs plain eventual reads");
+  std::vector<int> widths = {14, 14, 16, 16, 18};
+  PrintRow({"window(ms)", "naive stale%", "anchored stale%", "naive read(ms)",
+            "anchored read(ms)"},
+           widths);
+  for (VirtualDuration window :
+       {FromMillis(250), FromMillis(1000), FromMillis(4000)}) {
+    auto result = RunWindow(env.get(), window);
+    char c1[16], c2[16], c3[16], c4[16];
+    std::snprintf(c1, sizeof(c1), "%.0f", result.naive_stale_pct);
+    std::snprintf(c2, sizeof(c2), "%.0f", result.anchored_stale_pct);
+    std::snprintf(c3, sizeof(c3), "%.1f", result.naive_read_ms);
+    std::snprintf(c4, sizeof(c4), "%.1f", result.anchored_read_ms);
+    PrintRow({std::to_string(window / kMillisecond), c1, c2, c3, c4}, widths);
+  }
+  std::printf(
+      "\nExpected: the naive design returns stale data at a high rate that\n"
+      "grows with the window; the anchored design never does, paying one\n"
+      "coordination access plus (only when racing) bounded retries.\n");
+}
+
+}  // namespace
+}  // namespace scfs
+
+int main() {
+  scfs::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablations A2/A3: DepSky design choices (DESIGN.md).
+//
+//   A2: erasure coding + secret sharing (DepSky-CA) vs full replication
+//       (DepSky-A) — storage blow-up and write latency.
+//   A3: preferred quorums on/off — how many clouds a write touches and what
+//       the version costs to store.
+
+#include "bench/harness.h"
+#include "src/cloud/providers.h"
+#include "src/crypto/sha1.h"
+#include "src/depsky/depsky.h"
+
+namespace scfs {
+namespace {
+
+constexpr size_t kFileSize = 4 * 1024 * 1024;
+
+struct Variant {
+  std::string name;
+  DepSkyMode mode;
+  bool preferred;
+};
+
+void Run() {
+  auto env = Environment::Scaled(BenchTimeScale());
+
+  PrintHeader("Ablation A2/A3: DepSky modes on a 4 MB write (f=1, 4 clouds)");
+  std::vector<int> widths = {26, 14, 14, 14, 14};
+  PrintRow({"variant", "stored(xF)", "clouds used", "write(s)", "$/GB-day(u$)"},
+           widths);
+
+  const std::vector<Variant> variants = {
+      {"CA + preferred quorums", DepSkyMode::kSecretSharing, true},
+      {"CA, all clouds", DepSkyMode::kSecretSharing, false},
+      {"replication + preferred", DepSkyMode::kReplication, true},
+      {"replication, all clouds", DepSkyMode::kReplication, false},
+  };
+
+  for (const auto& variant : variants) {
+    // Fresh clouds per variant so footprints do not mix.
+    auto profiles = CocStorageProfiles();
+    std::vector<std::unique_ptr<SimulatedCloud>> clouds;
+    std::vector<DepSkyCloud> set;
+    for (unsigned i = 0; i < profiles.size(); ++i) {
+      clouds.push_back(
+          std::make_unique<SimulatedCloud>(profiles[i], env.get(), 600 + i));
+      set.push_back(DepSkyCloud{clouds.back().get(),
+                                {profiles[i].name + ":u"}});
+    }
+    DepSkyConfig config;
+    config.mode = variant.mode;
+    config.preferred_quorums = variant.preferred;
+    config.auth_key = ToBytes("ablation");
+    DepSkyClient client(env.get(), std::move(set), config, 99);
+
+    Bytes data(kFileSize, 3);
+    const std::string hash = HexEncode(Sha1::Hash(data));
+    Environment::ResetThreadCharged();
+    auto write = client.WriteVersion("f", hash, data);
+    double write_s = ToSeconds(Environment::ThreadCharged());
+    if (!write.ok()) {
+      PrintRow({variant.name, "FAIL", "", "", ""}, widths);
+      continue;
+    }
+
+    uint64_t stored = 0;
+    unsigned clouds_used = 0;
+    double storage_cost_day = 0;
+    for (auto& cloud : clouds) {
+      uint64_t bytes =
+          cloud->costs().StoredBytes(cloud->provider_name() + ":u");
+      stored += bytes;
+      // Count clouds holding a value object (not just metadata).
+      auto listed = cloud->List({cloud->provider_name() + ":u"}, "du/f/v");
+      if (listed.ok() && !listed->empty()) {
+        ++clouds_used;
+      }
+      storage_cost_day +=
+          cloud->costs().StorageCostPerDay(cloud->provider_name() + ":u");
+    }
+    char c1[16], c2[16], c3[16], c4[16];
+    std::snprintf(c1, sizeof(c1), "%.2f",
+                  static_cast<double>(stored) / kFileSize);
+    std::snprintf(c2, sizeof(c2), "%u/4", clouds_used);
+    std::snprintf(c3, sizeof(c3), "%.2f", write_s);
+    std::snprintf(c4, sizeof(c4), "%.1f", ToMicrodollars(storage_cost_day));
+    PrintRow({variant.name, c1, c2, c3, c4}, widths);
+  }
+  std::printf(
+      "\nExpected: CA+preferred stores ~1.5x the file on 3 clouds (the paper's\n"
+      "configuration); disabling preferred quorums pushes it to ~2x on 4\n"
+      "clouds; replication costs ~3-4x; CA write latency is similar to\n"
+      "replication (shards are half-size, uploads run in parallel).\n");
+}
+
+}  // namespace
+}  // namespace scfs
+
+int main() {
+  scfs::Run();
+  return 0;
+}

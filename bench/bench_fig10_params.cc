@@ -1,0 +1,138 @@
+// Figure 10 reproduction: the effect of (a) the short-term metadata cache
+// expiration time and (b) Private Name Spaces under different file-sharing
+// percentages, on the two metadata-intensive micro-benchmarks (create 200 /
+// copy 100 files of 16 KB), with SCFS-CoC-NB.
+
+#include "bench/harness.h"
+#include "src/scfs/deployment.h"
+
+namespace scfs {
+namespace {
+
+constexpr int kCreateCount = 200;
+constexpr int kCopyCount = 100;
+constexpr size_t kFileSize = 16 * 1024;
+
+struct Timing {
+  double create_s = 0;
+  double copy_s = 0;
+};
+
+Timing RunWithTtl(Environment* env, VirtualDuration ttl) {
+  DeploymentOptions options;
+  options.backend = ScfsBackendKind::kCoc;
+  auto deployment = Deployment::Create(env, options);
+  ScfsOptions fs_options;
+  fs_options.mode = ScfsMode::kNonBlocking;
+  fs_options.metadata_cache_ttl = ttl;
+  auto fs = deployment->Mount("u", fs_options);
+  Timing timing;
+  if (!fs.ok()) {
+    return timing;
+  }
+  FuseSim fuse(env, fs->get());
+  timing.create_s =
+      MicroCreateFiles(env, &fuse, kCreateCount, kFileSize).seconds;
+  timing.copy_s = MicroCopyFiles(env, &fuse, kCopyCount, kFileSize).seconds;
+  (*fs)->DrainBackground();
+  (void)(*fs)->Unmount();
+  return timing;
+}
+
+Timing RunWithSharing(Environment* env, int shared_percent) {
+  DeploymentOptions options;
+  options.backend = ScfsBackendKind::kCoc;
+  auto deployment = Deployment::Create(env, options);
+  // A peer user must exist (and be registered) to share with.
+  auto peer = deployment->Mount("peer", ScfsOptions{});
+  ScfsOptions fs_options;
+  fs_options.mode = ScfsMode::kNonBlocking;
+  fs_options.use_pns = true;
+  auto fs = deployment->Mount("u", fs_options);
+  Timing timing;
+  if (!fs.ok() || !peer.ok()) {
+    return timing;
+  }
+  FuseSim fuse(env, fs->get());
+  Bytes payload(kFileSize, 1);
+
+  // Create phase: every shared file costs coordination-service accesses
+  // (tuple creation via promotion); private files stay in the local PNS.
+  (void)fuse.Mkdir("/cr");
+  Environment::ResetThreadCharged();
+  for (int i = 0; i < kCreateCount; ++i) {
+    std::string path = "/cr/f" + std::to_string(i);
+    if (!fuse.WriteFile(path, payload).ok()) {
+      return timing;
+    }
+    if (i * 100 < shared_percent * kCreateCount) {
+      (void)(*fs)->SetFacl(path, "peer", true, false);
+    }
+  }
+  timing.create_s = ToSeconds(Environment::ThreadCharged());
+
+  // Copy phase over a pre-shared population.
+  (void)fuse.Mkdir("/cpsrc");
+  (void)fuse.Mkdir("/cpdst");
+  for (int i = 0; i < kCopyCount; ++i) {
+    std::string path = "/cpsrc/f" + std::to_string(i);
+    if (!fuse.WriteFile(path, payload).ok()) {
+      return timing;
+    }
+    if (i * 100 < shared_percent * kCopyCount) {
+      (void)(*fs)->SetFacl(path, "peer", true, false);
+    }
+  }
+  Environment::ResetThreadCharged();
+  for (int i = 0; i < kCopyCount; ++i) {
+    auto data = fuse.ReadFile("/cpsrc/f" + std::to_string(i));
+    std::string dst = "/cpdst/f" + std::to_string(i);
+    if (!data.ok() || !fuse.WriteFile(dst, *data).ok()) {
+      return timing;
+    }
+    if (i * 100 < shared_percent * kCopyCount) {
+      (void)(*fs)->SetFacl(dst, "peer", true, false);
+    }
+  }
+  timing.copy_s = ToSeconds(Environment::ThreadCharged());
+  (*fs)->DrainBackground();
+  (void)(*fs)->Unmount();
+  (void)(*peer)->Unmount();
+  return timing;
+}
+
+void Run() {
+  auto env = Environment::Scaled(BenchTimeScale());
+
+  PrintHeader("Figure 10(a): metadata cache expiration time (SCFS-CoC-NB)");
+  std::vector<int> widths = {18, 14, 14};
+  PrintRow({"expiration(ms)", "create(s)", "copy(s)"}, widths);
+  for (VirtualDuration ttl : {VirtualDuration{0}, FromMillis(250),
+                              FromMillis(500)}) {
+    Timing timing = RunWithTtl(env.get(), ttl);
+    PrintRow({std::to_string(ttl / kMillisecond),
+              FormatSeconds(timing.create_s), FormatSeconds(timing.copy_s)},
+             widths);
+  }
+
+  PrintHeader("Figure 10(b): private name spaces vs sharing % (SCFS-CoC-NB)");
+  PrintRow({"shared(%)", "create(s)", "copy(s)"}, widths);
+  for (int percent : {0, 25, 50, 75, 100}) {
+    Timing timing = RunWithSharing(env.get(), percent);
+    PrintRow({std::to_string(percent), FormatSeconds(timing.create_s),
+              FormatSeconds(timing.copy_s)},
+             widths);
+  }
+  std::printf(
+      "\nPaper shape check: expiration 0 severely degrades both workloads,\n"
+      "with little gain beyond 250-500ms; with PNSs, latency falls steadily\n"
+      "as the shared fraction drops (~2.5-3.5x faster at 25%% sharing).\n");
+}
+
+}  // namespace
+}  // namespace scfs
+
+int main() {
+  scfs::Run();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Figure 8 reproduction: the file-synchronization benchmark (the OpenOffice
+// open/save/close trace of Figure 7) on a 1.2 MB document.
+//
+//   (a) non-blocking class: SCFS-AWS-NB, SCFS-CoC-NB, SCFS-CoC-NS, S3QL
+//   (b) blocking class:     SCFS-AWS-B, SCFS-CoC-B, S3FS
+//
+// Each system also runs an "(L)" variant where the application's lock files
+// live on the local file system instead of the cloud-backed one.
+
+#include "bench/harness.h"
+#include "src/baselines/local_fs.h"
+#include "src/baselines/s3_baselines.h"
+#include "src/scfs/deployment.h"
+
+namespace scfs {
+namespace {
+
+constexpr size_t kDocumentSize = 1228800;  // 1.2 MB
+constexpr int kIterations = 3;
+
+struct Entry {
+  std::string name;
+  FileSyncResult plain;
+  FileSyncResult local_locks;
+};
+
+Entry RunScfs(Environment* env, const std::string& name,
+              ScfsBackendKind backend, ScfsMode mode) {
+  Entry entry;
+  entry.name = name;
+  for (bool local_locks : {false, true}) {
+    DeploymentOptions options;
+    options.backend = backend;
+    auto deployment = Deployment::Create(env, options);
+    ScfsOptions fs_options;
+    fs_options.mode = mode;
+    auto fs = deployment->Mount("u", fs_options);
+    if (!fs.ok()) {
+      continue;
+    }
+    FuseSim fuse(env, fs->get());
+    LocalFs local(env);
+    FuseSim local_fuse(env, &local);
+    auto result = RunFileSyncBenchmark(env, &fuse,
+                                       local_locks
+                                           ? static_cast<FileSystem*>(&local_fuse)
+                                           : static_cast<FileSystem*>(&fuse),
+                                       kDocumentSize, kIterations);
+    (local_locks ? entry.local_locks : entry.plain) = result;
+    (*fs)->DrainBackground();
+    (void)(*fs)->Unmount();
+  }
+  return entry;
+}
+
+template <typename MakeFs>
+Entry RunBaseline(Environment* env, const std::string& name, MakeFs make_fs) {
+  Entry entry;
+  entry.name = name;
+  for (bool local_locks : {false, true}) {
+    auto fs_holder = make_fs();
+    FuseSim fuse(env, fs_holder.get());
+    LocalFs local(env);
+    FuseSim local_fuse(env, &local);
+    auto result = RunFileSyncBenchmark(env, &fuse,
+                                       local_locks
+                                           ? static_cast<FileSystem*>(&local_fuse)
+                                           : static_cast<FileSystem*>(&fuse),
+                                       kDocumentSize, kIterations);
+    (local_locks ? entry.local_locks : entry.plain) = result;
+  }
+  return entry;
+}
+
+void PrintEntries(const std::string& title, const std::vector<Entry>& entries) {
+  PrintHeader(title);
+  std::vector<int> widths = {16, 10, 10, 10};
+  PrintRow({"system", "open(s)", "save(s)", "close(s)"}, widths);
+  for (const auto& entry : entries) {
+    PrintRow({entry.name, FormatSeconds(entry.plain.open_s),
+              FormatSeconds(entry.plain.save_s),
+              FormatSeconds(entry.plain.close_s)},
+             widths);
+    PrintRow({entry.name + "(L)", FormatSeconds(entry.local_locks.open_s),
+              FormatSeconds(entry.local_locks.save_s),
+              FormatSeconds(entry.local_locks.close_s)},
+             widths);
+  }
+}
+
+void Run() {
+  auto env = Environment::Scaled(BenchTimeScale());
+
+  std::vector<Entry> non_blocking;
+  non_blocking.push_back(RunScfs(env.get(), "AWS-NB", ScfsBackendKind::kAws,
+                                 ScfsMode::kNonBlocking));
+  non_blocking.push_back(RunScfs(env.get(), "CoC-NB", ScfsBackendKind::kCoc,
+                                 ScfsMode::kNonBlocking));
+  non_blocking.push_back(RunScfs(env.get(), "CoC-NS", ScfsBackendKind::kCoc,
+                                 ScfsMode::kNonSharing));
+  {
+    auto cloud = MakeCloud(ProviderId::kAmazonS3, env.get(), 71);
+    non_blocking.push_back(RunBaseline(env.get(), "S3QL", [&] {
+      return std::make_unique<S3qlLike>(env.get(), cloud.get(),
+                                        CloudCredentials{"amazon-s3:u"});
+    }));
+  }
+  PrintEntries("Figure 8(a): file synchronization latency, non-blocking class",
+               non_blocking);
+
+  std::vector<Entry> blocking;
+  blocking.push_back(RunScfs(env.get(), "AWS-B", ScfsBackendKind::kAws,
+                             ScfsMode::kBlocking));
+  blocking.push_back(RunScfs(env.get(), "CoC-B", ScfsBackendKind::kCoc,
+                             ScfsMode::kBlocking));
+  {
+    auto cloud = MakeCloud(ProviderId::kAmazonS3, env.get(), 72);
+    blocking.push_back(RunBaseline(env.get(), "S3FS", [&] {
+      return std::make_unique<S3fsLike>(env.get(), cloud.get(),
+                                        CloudCredentials{"amazon-s3:u"});
+    }));
+  }
+  PrintEntries("Figure 8(b): file synchronization latency, blocking class",
+               blocking);
+
+  std::printf(
+      "\nPaper shape check: CoC-NS ~ S3QL ~ local; NB saves ~1s dominated by\n"
+      "coordination accesses for lock files; B saves tens of seconds because\n"
+      "lock-file creation blocks on cloud writes; the (L) variants collapse\n"
+      "most of the blocking cost.\n");
+}
+
+}  // namespace
+}  // namespace scfs
+
+int main() {
+  scfs::Run();
+  return 0;
+}

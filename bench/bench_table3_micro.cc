@@ -1,0 +1,155 @@
+// Table 3 reproduction: six Filebench micro-benchmarks over nine file
+// systems — SCFS {AWS,CoC} x {NS,NB,B}, S3FS, S3QL and LocalFS.
+//
+// IO-intensive rows (sequential/random read/write) exclude open/close and
+// report the modelled FUSE+disk cost charged to the benchmark thread, exactly
+// as Filebench measures only the IO region. Metadata-intensive rows (create,
+// copy) report elapsed virtual time. Random-IO rows run 16k operations and
+// scale to the paper's 256k.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/baselines/local_fs.h"
+#include "src/baselines/s3_baselines.h"
+#include "src/scfs/deployment.h"
+
+namespace scfs {
+namespace {
+
+constexpr size_t kIoFileSize = 4 * 1024 * 1024;  // 4 MB
+constexpr int kRandomOps = 16 * 1024;
+constexpr int kReportOps = 256 * 1024;
+constexpr int kCreateCount = 200;
+constexpr int kCopyCount = 100;
+constexpr size_t kSmallFile = 16 * 1024;
+
+struct SystemUnderTest {
+  std::string name;
+  // Fresh stack per benchmark so caches/costs do not leak across rows.
+  std::function<void(const std::function<void(FileSystem*)>&)> with_fs;
+};
+
+void RunAll() {
+  auto env = Environment::Scaled(BenchTimeScale());
+
+  std::vector<SystemUnderTest> systems;
+
+  auto add_scfs = [&](const std::string& name, ScfsBackendKind backend,
+                      ScfsMode mode) {
+    systems.push_back(SystemUnderTest{
+        name, [&, backend, mode](const std::function<void(FileSystem*)>& fn) {
+          DeploymentOptions options;
+          options.backend = backend;
+          auto deployment = Deployment::Create(env.get(), options);
+          ScfsOptions fs_options;
+          fs_options.mode = mode;
+          auto fs = deployment->Mount("u", fs_options);
+          if (!fs.ok()) {
+            return;
+          }
+          FuseSim fuse(env.get(), fs->get());
+          fn(&fuse);
+          (*fs)->DrainBackground();
+          (void)(*fs)->Unmount();
+        }});
+  };
+
+  add_scfs("SCFS-AWS-NS", ScfsBackendKind::kAws, ScfsMode::kNonSharing);
+  add_scfs("SCFS-AWS-NB", ScfsBackendKind::kAws, ScfsMode::kNonBlocking);
+  add_scfs("SCFS-AWS-B", ScfsBackendKind::kAws, ScfsMode::kBlocking);
+  add_scfs("SCFS-CoC-NS", ScfsBackendKind::kCoc, ScfsMode::kNonSharing);
+  add_scfs("SCFS-CoC-NB", ScfsBackendKind::kCoc, ScfsMode::kNonBlocking);
+  add_scfs("SCFS-CoC-B", ScfsBackendKind::kCoc, ScfsMode::kBlocking);
+
+  systems.push_back(SystemUnderTest{
+      "S3FS", [&](const std::function<void(FileSystem*)>& fn) {
+        auto cloud = MakeCloud(ProviderId::kAmazonS3, env.get(), 91);
+        // s3fs issues several REST calls per create/open/flush; model the
+        // extra round trips it is known for.
+        S3fsLike fs(env.get(), cloud.get(), {"amazon-s3:u"});
+        FuseSim fuse(env.get(), &fs);
+        fn(&fuse);
+      }});
+  systems.push_back(SystemUnderTest{
+      "S3QL", [&](const std::function<void(FileSystem*)>& fn) {
+        auto cloud = MakeCloud(ProviderId::kAmazonS3, env.get(), 92);
+        S3qlLike fs(env.get(), cloud.get(), {"amazon-s3:u"});
+        FuseSim fuse(env.get(), &fs);
+        fn(&fuse);
+        fs.DrainBackground();
+      }});
+  systems.push_back(SystemUnderTest{
+      "LocalFS", [&](const std::function<void(FileSystem*)>& fn) {
+        LocalFs fs(env.get());
+        FuseSim fuse(env.get(), &fs);
+        fn(&fuse);
+      }});
+
+  struct Row {
+    std::string label;
+    std::function<MicroResult(FileSystem*)> run;
+  };
+  std::vector<Row> rows = {
+      {"seq read 4MB",
+       [&](FileSystem* fs) {
+         return MicroSequentialRead(env.get(), fs, kIoFileSize);
+       }},
+      {"seq write 4MB",
+       [&](FileSystem* fs) {
+         return MicroSequentialWrite(env.get(), fs, kIoFileSize);
+       }},
+      {"rand 4KB-read x256k",
+       [&](FileSystem* fs) {
+         return MicroRandomRead(env.get(), fs, kIoFileSize, kRandomOps,
+                                kReportOps);
+       }},
+      {"rand 4KB-write x256k",
+       [&](FileSystem* fs) {
+         return MicroRandomWrite(env.get(), fs, kIoFileSize, kRandomOps,
+                                 kReportOps);
+       }},
+      {"create 200x16KB",
+       [&](FileSystem* fs) {
+         return MicroCreateFiles(env.get(), fs, kCreateCount, kSmallFile);
+       }},
+      {"copy 100x16KB",
+       [&](FileSystem* fs) {
+         return MicroCopyFiles(env.get(), fs, kCopyCount, kSmallFile);
+       }},
+  };
+
+  PrintHeader("Table 3: Filebench micro-benchmark latency (virtual seconds)");
+  std::vector<int> widths = {22};
+  std::vector<std::string> header = {"benchmark"};
+  for (const auto& system : systems) {
+    header.push_back(system.name);
+    widths.push_back(13);
+  }
+  PrintRow(header, widths);
+
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.label};
+    for (const auto& system : systems) {
+      MicroResult result;
+      system.with_fs([&](FileSystem* fs) { result = row.run(fs); });
+      cells.push_back(result.ok ? FormatSeconds(result.seconds) : "FAIL");
+    }
+    PrintRow(cells, widths);
+  }
+  std::printf(
+      "\nPaper shape check: NS/S3QL/LocalFS ~local on all rows; S3QL slow on\n"
+      "random writes (FUSE small-chunk issue); S3FS slow everywhere (no\n"
+      "memory cache, blocking S3 access); create/copy 2-3 orders of magnitude\n"
+      "slower on NB/B/S3FS than on NS/S3QL/LocalFS; B slower than NB.\n");
+}
+
+}  // namespace
+}  // namespace scfs
+
+int main() {
+  scfs::RunAll();
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "src/baselines/dropbox_sim.h"
+
+namespace scfs {
+
+namespace {
+VirtualDuration TransferTime(size_t size, double mb_per_s) {
+  return static_cast<VirtualDuration>(
+      static_cast<double>(size) / (mb_per_s * 1024.0 * 1024.0) * kSecond);
+}
+}  // namespace
+
+VirtualDuration DropboxSim::ShareFile(size_t size) {
+  VirtualTime start = env_->Now();
+  // 1. The monitor notices the change (inotify batching).
+  env_->Sleep(static_cast<VirtualDuration>(
+      rng_.UniformInt(options_.monitor_delay_min, options_.monitor_delay_max)));
+  // 2. Upload through the shaped client link.
+  env_->Sleep(TransferTime(size, options_.upload_mb_per_s));
+  // 3. Server-side processing/commit.
+  env_->Sleep(options_.server_processing);
+  // 4. The peer's next poll discovers the change...
+  env_->Sleep(static_cast<VirtualDuration>(
+      rng_.UniformInt(options_.poll_period_min, options_.poll_period_max)));
+  // 5. ...and downloads the file.
+  env_->Sleep(TransferTime(size, options_.download_mb_per_s));
+  return env_->Now() - start;
+}
+
+}  // namespace scfs

@@ -1,0 +1,50 @@
+// DropboxSim: a personal file-synchronization service model for the sharing
+// experiment (paper Figure 9, compared against SCFS-*-{NB,B}).
+//
+// The structural reasons Dropbox-style sharing is slow are modelled, not its
+// implementation: an inotify-style monitor that batches local changes, a
+// client-capped upload, server-side processing, and the peer discovering the
+// update only on its next polling cycle. (Deduplication is not modelled —
+// the paper's experiment defeats it with random file contents.)
+
+#ifndef SCFS_BASELINES_DROPBOX_SIM_H_
+#define SCFS_BASELINES_DROPBOX_SIM_H_
+
+#include "src/common/rng.h"
+#include "src/sim/environment.h"
+
+namespace scfs {
+
+struct DropboxOptions {
+  // Delay before the monitoring client notices and batches the new file.
+  VirtualDuration monitor_delay_min = FromSecondsD(1.0);
+  VirtualDuration monitor_delay_max = FromSecondsD(6.0);
+  // Client upload bandwidth (shaped well below the raw link).
+  double upload_mb_per_s = 0.9;
+  // Server-side commit/processing.
+  VirtualDuration server_processing = FromSecondsD(1.5);
+  // Peer polling cycle: the reader learns about changes on its next poll.
+  VirtualDuration poll_period_min = FromSecondsD(4.0);
+  VirtualDuration poll_period_max = FromSecondsD(18.0);
+  // Peer download bandwidth.
+  double download_mb_per_s = 2.0;
+};
+
+class DropboxSim {
+ public:
+  DropboxSim(Environment* env, DropboxOptions options = {}, uint64_t seed = 3)
+      : env_(env), options_(options), rng_(seed) {}
+
+  // Simulates: writer saves `size` bytes into a shared folder; returns the
+  // virtual latency until the peer has the file (the Figure 9 measurement).
+  VirtualDuration ShareFile(size_t size);
+
+ private:
+  Environment* env_;
+  DropboxOptions options_;
+  Rng rng_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_BASELINES_DROPBOX_SIM_H_

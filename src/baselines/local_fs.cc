@@ -1,0 +1,233 @@
+#include "src/baselines/local_fs.h"
+
+#include <algorithm>
+
+#include "src/common/path.h"
+
+namespace scfs {
+
+Result<FileHandle> LocalFs::Open(const std::string& path, uint32_t flags) {
+  const std::string normalized = NormalizePath(path);
+  if (normalized.empty() || normalized == "/") {
+    return InvalidArgumentError("bad path");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(normalized);
+  if (it == nodes_.end()) {
+    if ((flags & kOpenCreate) == 0) {
+      return NotFoundError(normalized);
+    }
+    const std::string parent = ParentPath(normalized);
+    if (parent != "/" && (nodes_.count(parent) == 0 ||
+                          nodes_[parent].type != FileType::kDirectory)) {
+      return NotFoundError(parent);
+    }
+    env_->Sleep(options_.create_latency);
+    Node node;
+    node.ctime = env_->Now();
+    node.mtime = node.ctime;
+    it = nodes_.emplace(normalized, std::move(node)).first;
+  }
+  if (it->second.type == FileType::kDirectory) {
+    return IsDirectoryError(normalized);
+  }
+  if ((flags & kOpenTruncate) != 0) {
+    it->second.data.clear();
+  }
+  FileHandle handle = next_handle_++;
+  handles_[handle] = Handle{normalized, (flags & kOpenWrite) != 0, false};
+  return handle;
+}
+
+Result<Bytes> LocalFs::Read(FileHandle handle, uint64_t offset, size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  const Bytes& data = nodes_[it->second.path].data;
+  if (offset >= data.size()) {
+    return Bytes{};
+  }
+  size_t n = std::min<size_t>(size, data.size() - offset);
+  return Bytes(data.begin() + static_cast<ptrdiff_t>(offset),
+               data.begin() + static_cast<ptrdiff_t>(offset + n));
+}
+
+Status LocalFs::Write(FileHandle handle, uint64_t offset, const Bytes& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  if (!it->second.write_mode) {
+    return PermissionDeniedError("not open for writing");
+  }
+  Node& node = nodes_[it->second.path];
+  if (offset + data.size() > node.data.size()) {
+    node.data.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(),
+            node.data.begin() + static_cast<ptrdiff_t>(offset));
+  node.mtime = env_->Now();
+  it->second.dirty = true;
+  return OkStatus();
+}
+
+Status LocalFs::Truncate(FileHandle handle, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  nodes_[it->second.path].data.resize(size, 0);
+  it->second.dirty = true;
+  return OkStatus();
+}
+
+Status LocalFs::Fsync(FileHandle handle) {
+  bool dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+      return InvalidArgumentError("bad handle");
+    }
+    dirty = it->second.dirty;
+  }
+  if (dirty) {
+    env_->Sleep(options_.disk_flush_latency);
+  }
+  return OkStatus();
+}
+
+Status LocalFs::Close(FileHandle handle) {
+  bool dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+      return InvalidArgumentError("bad handle");
+    }
+    dirty = it->second.dirty;
+    handles_.erase(it);
+  }
+  if (dirty) {
+    env_->Sleep(options_.disk_flush_latency);
+  }
+  return OkStatus();
+}
+
+Status LocalFs::Mkdir(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.count(normalized) > 0) {
+    return AlreadyExistsError(normalized);
+  }
+  Node node;
+  node.type = FileType::kDirectory;
+  node.ctime = env_->Now();
+  nodes_[normalized] = std::move(node);
+  return OkStatus();
+}
+
+Status LocalFs::Rmdir(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(normalized);
+  if (it == nodes_.end()) {
+    return NotFoundError(normalized);
+  }
+  if (it->second.type != FileType::kDirectory) {
+    return NotDirectoryError(normalized);
+  }
+  for (const auto& [node_path, node] : nodes_) {
+    if (node_path != normalized && PathIsWithin(node_path, normalized)) {
+      return NotEmptyError(normalized);
+    }
+  }
+  nodes_.erase(it);
+  return OkStatus();
+}
+
+Status LocalFs::Unlink(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(normalized);
+  if (it == nodes_.end()) {
+    return NotFoundError(normalized);
+  }
+  if (it->second.type == FileType::kDirectory) {
+    return IsDirectoryError(normalized);
+  }
+  nodes_.erase(it);
+  return OkStatus();
+}
+
+Status LocalFs::Rename(const std::string& from, const std::string& to) {
+  const std::string src = NormalizePath(from);
+  const std::string dst = NormalizePath(to);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.count(src) == 0) {
+    return NotFoundError(src);
+  }
+  if (nodes_.count(dst) > 0) {
+    return AlreadyExistsError(dst);
+  }
+  std::vector<std::pair<std::string, Node>> moved;
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (PathIsWithin(it->first, src)) {
+      moved.emplace_back(dst + it->first.substr(src.size()),
+                         std::move(it->second));
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [path, node] : moved) {
+    nodes_[path] = std::move(node);
+  }
+  return OkStatus();
+}
+
+Result<FileStat> LocalFs::Stat(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (normalized == "/") {
+    FileStat stat;
+    stat.type = FileType::kDirectory;
+    return stat;
+  }
+  auto it = nodes_.find(normalized);
+  if (it == nodes_.end()) {
+    return NotFoundError(normalized);
+  }
+  FileStat stat;
+  stat.type = it->second.type;
+  stat.size = it->second.data.size();
+  stat.mtime = it->second.mtime;
+  stat.ctime = it->second.ctime;
+  return stat;
+}
+
+Result<std::vector<DirEntry>> LocalFs::ReadDir(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DirEntry> out;
+  for (const auto& [node_path, node] : nodes_) {
+    if (ParentPath(node_path) == normalized) {
+      out.push_back(DirEntry{Basename(node_path), node.type});
+    }
+  }
+  return out;
+}
+
+Status LocalFs::SetFacl(const std::string&, const std::string&, bool, bool) {
+  return NotSupportedError("LocalFS has no ACLs");
+}
+
+Result<std::vector<AclEntry>> LocalFs::GetFacl(const std::string&) {
+  return NotSupportedError("LocalFS has no ACLs");
+}
+
+}  // namespace scfs

@@ -1,0 +1,67 @@
+// LocalFs: the LocalFS baseline of Table 3 — a FUSE-J-style local file system
+// with no cloud backend at all. Data lives in memory; closes and fsyncs pay a
+// modelled local-disk flush.
+
+#ifndef SCFS_BASELINES_LOCAL_FS_H_
+#define SCFS_BASELINES_LOCAL_FS_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/fsapi/file_system.h"
+#include "src/sim/environment.h"
+
+namespace scfs {
+
+struct LocalFsOptions {
+  // 15K RPM SCSI-ish flush cost for a dirty close/fsync.
+  VirtualDuration disk_flush_latency = FromMillis(3);
+  VirtualDuration create_latency = FromMillis(2);
+};
+
+class LocalFs : public FileSystem {
+ public:
+  explicit LocalFs(Environment* env, LocalFsOptions options = {})
+      : env_(env), options_(options) {}
+
+  Result<FileHandle> Open(const std::string& path, uint32_t flags) override;
+  Result<Bytes> Read(FileHandle handle, uint64_t offset, size_t size) override;
+  Status Write(FileHandle handle, uint64_t offset, const Bytes& data) override;
+  Status Truncate(FileHandle handle, uint64_t size) override;
+  Status Fsync(FileHandle handle) override;
+  Status Close(FileHandle handle) override;
+  Status Mkdir(const std::string& path) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<FileStat> Stat(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Status SetFacl(const std::string& path, const std::string& user, bool read,
+                 bool write) override;
+  Result<std::vector<AclEntry>> GetFacl(const std::string& path) override;
+
+ private:
+  struct Node {
+    FileType type = FileType::kFile;
+    Bytes data;
+    VirtualTime mtime = 0;
+    VirtualTime ctime = 0;
+  };
+  struct Handle {
+    std::string path;
+    bool write_mode = false;
+    bool dirty = false;
+  };
+
+  Environment* env_;
+  LocalFsOptions options_;
+  std::mutex mu_;
+  std::map<std::string, Node> nodes_;
+  std::map<FileHandle, Handle> handles_;
+  FileHandle next_handle_ = 1;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_BASELINES_LOCAL_FS_H_

@@ -1,0 +1,367 @@
+#include "src/baselines/s3_baselines.h"
+
+#include <algorithm>
+
+#include "src/common/path.h"
+
+namespace scfs {
+
+// ---------------------------------------------------------------------------
+// S3fsLike
+// ---------------------------------------------------------------------------
+
+Result<FileHandle> S3fsLike::Open(const std::string& path, uint32_t flags) {
+  const std::string normalized = NormalizePath(path);
+  if (normalized.empty() || normalized == "/") {
+    return InvalidArgumentError("bad path");
+  }
+  Handle handle_state;
+  handle_state.path = normalized;
+  handle_state.write_mode = (flags & kOpenWrite) != 0;
+
+  // Every open fetches the object from S3 (no cache, no validation shortcut).
+  auto data = store_->Get(creds_, Key(normalized));
+  if (!data.ok()) {
+    if (data.status().code() != ErrorCode::kNotFound ||
+        (flags & kOpenCreate) == 0) {
+      return data.status();
+    }
+    // Create: S3FS eagerly creates the empty object.
+    RETURN_IF_ERROR(store_->Put(creds_, Key(normalized), {}));
+  } else if ((flags & kOpenTruncate) == 0) {
+    handle_state.data = std::move(*data);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  FileHandle handle = next_handle_++;
+  handles_[handle] = std::move(handle_state);
+  return handle;
+}
+
+Result<Bytes> S3fsLike::Read(FileHandle handle, uint64_t offset, size_t size) {
+  env_->Sleep(options_.per_read_penalty);  // reads go through the disk file
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  const Bytes& data = it->second.data;
+  if (offset >= data.size()) {
+    return Bytes{};
+  }
+  size_t n = std::min<size_t>(size, data.size() - offset);
+  return Bytes(data.begin() + static_cast<ptrdiff_t>(offset),
+               data.begin() + static_cast<ptrdiff_t>(offset + n));
+}
+
+Status S3fsLike::Write(FileHandle handle, uint64_t offset, const Bytes& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  if (!it->second.write_mode) {
+    return PermissionDeniedError("not open for writing");
+  }
+  Bytes& file = it->second.data;
+  if (offset + data.size() > file.size()) {
+    file.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(),
+            file.begin() + static_cast<ptrdiff_t>(offset));
+  it->second.dirty = true;
+  return OkStatus();
+}
+
+Status S3fsLike::Truncate(FileHandle handle, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  it->second.data.resize(size, 0);
+  it->second.dirty = true;
+  return OkStatus();
+}
+
+Status S3fsLike::Fsync(FileHandle handle) {
+  env_->Sleep(options_.disk_latency);
+  std::lock_guard<std::mutex> lock(mu_);
+  return handles_.count(handle) > 0 ? OkStatus()
+                                    : InvalidArgumentError("bad handle");
+}
+
+Status S3fsLike::Close(FileHandle handle) {
+  Handle state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+      return InvalidArgumentError("bad handle");
+    }
+    state = std::move(it->second);
+    handles_.erase(it);
+  }
+  if (state.dirty) {
+    // Blocking: the update only returns once the file is written to S3 —
+    // followed by s3fs's attribute read-back (it refreshes its stat cache
+    // with an extra request after every flush).
+    RETURN_IF_ERROR(store_->Put(creds_, Key(state.path), std::move(state.data)));
+    (void)store_->List(creds_, Key(state.path));
+    return OkStatus();
+  }
+  return OkStatus();
+}
+
+Status S3fsLike::Mkdir(const std::string& path) {
+  return store_->Put(creds_, Key(NormalizePath(path)) + "/.dir", {});
+}
+
+Status S3fsLike::Rmdir(const std::string& path) {
+  return store_->Delete(creds_, Key(NormalizePath(path)) + "/.dir");
+}
+
+Status S3fsLike::Unlink(const std::string& path) {
+  return store_->Delete(creds_, Key(NormalizePath(path)));
+}
+
+Status S3fsLike::Rename(const std::string& from, const std::string& to) {
+  // S3 has no rename: copy + delete.
+  ASSIGN_OR_RETURN(Bytes data, store_->Get(creds_, Key(NormalizePath(from))));
+  RETURN_IF_ERROR(store_->Put(creds_, Key(NormalizePath(to)), std::move(data)));
+  return store_->Delete(creds_, Key(NormalizePath(from)));
+}
+
+Result<FileStat> S3fsLike::Stat(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  if (normalized == "/") {
+    FileStat stat;
+    stat.type = FileType::kDirectory;
+    return stat;
+  }
+  ASSIGN_OR_RETURN(Bytes data, store_->Get(creds_, Key(normalized)));
+  FileStat stat;
+  stat.size = data.size();
+  return stat;
+}
+
+Result<std::vector<DirEntry>> S3fsLike::ReadDir(const std::string& path) {
+  ASSIGN_OR_RETURN(std::vector<ObjectInfo> objects,
+                   store_->List(creds_, Key(NormalizePath(path))));
+  std::vector<DirEntry> out;
+  for (const auto& object : objects) {
+    out.push_back(DirEntry{Basename(object.key), FileType::kFile});
+  }
+  return out;
+}
+
+Status S3fsLike::SetFacl(const std::string&, const std::string&, bool, bool) {
+  return NotSupportedError("S3FS has no ACL sharing");
+}
+
+Result<std::vector<AclEntry>> S3fsLike::GetFacl(const std::string&) {
+  return NotSupportedError("S3FS has no ACL sharing");
+}
+
+// ---------------------------------------------------------------------------
+// S3qlLike
+// ---------------------------------------------------------------------------
+
+S3qlLike::S3qlLike(Environment* env, ObjectStore* store,
+                   CloudCredentials creds, S3qlOptions options)
+    : env_(env), store_(store), creds_(std::move(creds)), options_(options) {}
+
+S3qlLike::~S3qlLike() { uploader_.Drain(); }
+
+Result<FileHandle> S3qlLike::Open(const std::string& path, uint32_t flags) {
+  const std::string normalized = NormalizePath(path);
+  if (normalized.empty() || normalized == "/") {
+    return InvalidArgumentError("bad path");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(normalized);
+  if (it == nodes_.end()) {
+    if ((flags & kOpenCreate) == 0) {
+      return NotFoundError(normalized);
+    }
+    env_->Sleep(options_.create_latency);
+    Node node;
+    node.ctime = env_->Now();
+    it = nodes_.emplace(normalized, std::move(node)).first;
+  }
+  if (it->second.type == FileType::kDirectory) {
+    return IsDirectoryError(normalized);
+  }
+  if ((flags & kOpenTruncate) != 0) {
+    it->second.data.clear();
+  }
+  FileHandle handle = next_handle_++;
+  handles_[handle] = Handle{normalized, (flags & kOpenWrite) != 0, false};
+  return handle;
+}
+
+Result<Bytes> S3qlLike::Read(FileHandle handle, uint64_t offset, size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  const Bytes& data = nodes_[it->second.path].data;
+  if (offset >= data.size()) {
+    return Bytes{};
+  }
+  size_t n = std::min<size_t>(size, data.size() - offset);
+  return Bytes(data.begin() + static_cast<ptrdiff_t>(offset),
+               data.begin() + static_cast<ptrdiff_t>(offset + n));
+}
+
+Status S3qlLike::Write(FileHandle handle, uint64_t offset, const Bytes& data) {
+  env_->Sleep(options_.per_write_penalty);  // the known small-write issue
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  if (!it->second.write_mode) {
+    return PermissionDeniedError("not open for writing");
+  }
+  Node& node = nodes_[it->second.path];
+  if (offset + data.size() > node.data.size()) {
+    node.data.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(),
+            node.data.begin() + static_cast<ptrdiff_t>(offset));
+  node.mtime = env_->Now();
+  it->second.dirty = true;
+  return OkStatus();
+}
+
+Status S3qlLike::Truncate(FileHandle handle, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  nodes_[it->second.path].data.resize(size, 0);
+  it->second.dirty = true;
+  return OkStatus();
+}
+
+Status S3qlLike::Fsync(FileHandle handle) {
+  env_->Sleep(options_.disk_flush_latency);
+  std::lock_guard<std::mutex> lock(mu_);
+  return handles_.count(handle) > 0 ? OkStatus()
+                                    : InvalidArgumentError("bad handle");
+}
+
+Status S3qlLike::Close(FileHandle handle) {
+  std::string path;
+  Bytes data;
+  bool dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+      return InvalidArgumentError("bad handle");
+    }
+    path = it->second.path;
+    dirty = it->second.dirty;
+    if (dirty) {
+      data = nodes_[path].data;
+    }
+    handles_.erase(it);
+  }
+  if (!dirty) {
+    return OkStatus();
+  }
+  env_->Sleep(options_.disk_flush_latency);
+  // Write-back: the data is pushed to the cloud later, in background.
+  uploader_.Enqueue([this, path, data = std::move(data)] {
+    (void)store_->Put(creds_, Key(path), data);
+  });
+  return OkStatus();
+}
+
+Status S3qlLike::Mkdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string normalized = NormalizePath(path);
+  if (nodes_.count(normalized) > 0) {
+    return AlreadyExistsError(normalized);
+  }
+  Node node;
+  node.type = FileType::kDirectory;
+  nodes_[normalized] = std::move(node);
+  return OkStatus();
+}
+
+Status S3qlLike::Rmdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.erase(NormalizePath(path)) > 0 ? OkStatus()
+                                               : NotFoundError(path);
+}
+
+Status S3qlLike::Unlink(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (nodes_.erase(normalized) == 0) {
+      return NotFoundError(normalized);
+    }
+  }
+  uploader_.Enqueue([this, normalized] {
+    (void)store_->Delete(creds_, Key(normalized));
+  });
+  return OkStatus();
+}
+
+Status S3qlLike::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(NormalizePath(from));
+  if (it == nodes_.end()) {
+    return NotFoundError(from);
+  }
+  nodes_[NormalizePath(to)] = std::move(it->second);
+  nodes_.erase(it);
+  return OkStatus();
+}
+
+Result<FileStat> S3qlLike::Stat(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (normalized == "/") {
+    FileStat stat;
+    stat.type = FileType::kDirectory;
+    return stat;
+  }
+  auto it = nodes_.find(normalized);
+  if (it == nodes_.end()) {
+    return NotFoundError(normalized);
+  }
+  FileStat stat;
+  stat.type = it->second.type;
+  stat.size = it->second.data.size();
+  stat.mtime = it->second.mtime;
+  return stat;
+}
+
+Result<std::vector<DirEntry>> S3qlLike::ReadDir(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DirEntry> out;
+  for (const auto& [node_path, node] : nodes_) {
+    if (ParentPath(node_path) == normalized) {
+      out.push_back(DirEntry{Basename(node_path), node.type});
+    }
+  }
+  return out;
+}
+
+Status S3qlLike::SetFacl(const std::string&, const std::string&, bool, bool) {
+  return NotSupportedError("S3QL is single-user");
+}
+
+Result<std::vector<AclEntry>> S3qlLike::GetFacl(const std::string&) {
+  return NotSupportedError("S3QL is single-user");
+}
+
+}  // namespace scfs

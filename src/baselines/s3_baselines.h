@@ -1,0 +1,132 @@
+// The two open-source S3-backed baselines of Table 3 (paper §5):
+//
+//   S3fsLike  — S3FS: blocking, no main-memory cache of opened files. Every
+//               create/open/close talks to S3; reads of open files go through
+//               the local temp copy on disk (its documented weakness).
+//   S3qlLike  — S3QL: full write-back design. Everything is served from the
+//               local cache; dirty data is pushed to a single cloud in the
+//               background. No sharing, no multi-client coordination. Its
+//               documented weakness is slow small chunk writes through FUSE.
+
+#ifndef SCFS_BASELINES_S3_BASELINES_H_
+#define SCFS_BASELINES_S3_BASELINES_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/cloud/object_store.h"
+#include "src/fsapi/file_system.h"
+#include "src/scfs/background.h"
+#include "src/sim/environment.h"
+
+namespace scfs {
+
+struct S3fsOptions {
+  // Extra per-read cost: no memory cache => reads go through the disk file.
+  VirtualDuration per_read_penalty = FromMillis(0.02);
+  VirtualDuration disk_latency = FromMillis(3);
+};
+
+class S3fsLike : public FileSystem {
+ public:
+  S3fsLike(Environment* env, ObjectStore* store, CloudCredentials creds,
+           S3fsOptions options = {})
+      : env_(env), store_(store), creds_(std::move(creds)), options_(options) {}
+
+  Result<FileHandle> Open(const std::string& path, uint32_t flags) override;
+  Result<Bytes> Read(FileHandle handle, uint64_t offset, size_t size) override;
+  Status Write(FileHandle handle, uint64_t offset, const Bytes& data) override;
+  Status Truncate(FileHandle handle, uint64_t size) override;
+  Status Fsync(FileHandle handle) override;
+  Status Close(FileHandle handle) override;
+  Status Mkdir(const std::string& path) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<FileStat> Stat(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Status SetFacl(const std::string& path, const std::string& user, bool read,
+                 bool write) override;
+  Result<std::vector<AclEntry>> GetFacl(const std::string& path) override;
+
+ private:
+  struct Handle {
+    std::string path;
+    Bytes data;  // local temp copy (on disk, hence the read penalty)
+    bool write_mode = false;
+    bool dirty = false;
+  };
+
+  static std::string Key(const std::string& path) { return "s3fs:" + path; }
+
+  Environment* env_;
+  ObjectStore* store_;
+  CloudCredentials creds_;
+  S3fsOptions options_;
+  std::mutex mu_;
+  std::map<FileHandle, Handle> handles_;
+  FileHandle next_handle_ = 1;
+};
+
+struct S3qlOptions {
+  // The known issue (paper [8]): small chunk writes through FUSE are slow.
+  VirtualDuration per_write_penalty = FromMillis(0.45);
+  VirtualDuration disk_flush_latency = FromMillis(3);
+  VirtualDuration create_latency = FromMillis(2);
+};
+
+class S3qlLike : public FileSystem {
+ public:
+  S3qlLike(Environment* env, ObjectStore* store, CloudCredentials creds,
+           S3qlOptions options = {});
+  ~S3qlLike() override;
+
+  Result<FileHandle> Open(const std::string& path, uint32_t flags) override;
+  Result<Bytes> Read(FileHandle handle, uint64_t offset, size_t size) override;
+  Status Write(FileHandle handle, uint64_t offset, const Bytes& data) override;
+  Status Truncate(FileHandle handle, uint64_t size) override;
+  Status Fsync(FileHandle handle) override;
+  Status Close(FileHandle handle) override;
+  Status Mkdir(const std::string& path) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<FileStat> Stat(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Status SetFacl(const std::string& path, const std::string& user, bool read,
+                 bool write) override;
+  Result<std::vector<AclEntry>> GetFacl(const std::string& path) override;
+
+  void DrainBackground() { uploader_.Drain(); }
+
+ private:
+  struct Node {
+    FileType type = FileType::kFile;
+    Bytes data;
+    VirtualTime mtime = 0;
+    VirtualTime ctime = 0;
+  };
+  struct Handle {
+    std::string path;
+    bool write_mode = false;
+    bool dirty = false;
+  };
+
+  static std::string Key(const std::string& path) { return "s3ql:" + path; }
+
+  Environment* env_;
+  ObjectStore* store_;
+  CloudCredentials creds_;
+  S3qlOptions options_;
+  std::mutex mu_;
+  std::map<std::string, Node> nodes_;
+  std::map<FileHandle, Handle> handles_;
+  FileHandle next_handle_ = 1;
+  BackgroundUploader uploader_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_BASELINES_S3_BASELINES_H_

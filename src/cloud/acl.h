@@ -1,0 +1,55 @@
+// Cloud-side access control.
+//
+// Each user has a separate account per provider with a canonical identifier
+// (paper §2.6). Objects carry an owner and per-principal grants; the provider
+// (not the SCFS agent) enforces them — a malicious agent cannot bypass the
+// checks because they run inside the simulated service.
+
+#ifndef SCFS_CLOUD_ACL_H_
+#define SCFS_CLOUD_ACL_H_
+
+#include <map>
+#include <string>
+
+namespace scfs {
+
+// Canonical identifier of an account at one provider ("s3:alice").
+using CanonicalId = std::string;
+
+struct CloudCredentials {
+  CanonicalId canonical_id;
+};
+
+struct ObjectPermissions {
+  bool read = false;
+  bool write = false;
+
+  static ObjectPermissions ReadOnly() { return {true, false}; }
+  static ObjectPermissions ReadWrite() { return {true, true}; }
+  static ObjectPermissions None() { return {false, false}; }
+};
+
+struct ObjectAcl {
+  CanonicalId owner;
+  std::map<CanonicalId, ObjectPermissions> grants;
+
+  bool AllowsRead(const CanonicalId& who) const {
+    if (who == owner) {
+      return true;
+    }
+    auto it = grants.find(who);
+    return it != grants.end() && it->second.read;
+  }
+
+  bool AllowsWrite(const CanonicalId& who) const {
+    if (who == owner) {
+      return true;
+    }
+    auto it = grants.find(who);
+    return it != grants.end() && it->second.write;
+  }
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_CLOUD_ACL_H_

@@ -1,0 +1,56 @@
+// The cloud storage abstraction SCFS is allowed to assume (paper §2.1,
+// service-agnosticism): on-demand object PUT/GET/DELETE/LIST plus basic ACLs.
+// Nothing else — no server-side code, no notifications, no transactions.
+
+#ifndef SCFS_CLOUD_OBJECT_STORE_H_
+#define SCFS_CLOUD_OBJECT_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cloud/acl.h"
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sim/time.h"
+
+namespace scfs {
+
+struct ObjectInfo {
+  std::string key;
+  uint64_t size = 0;
+  CanonicalId owner;
+  VirtualTime created = 0;  // creation time (S3 LIST exposes LastModified)
+};
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  // Creates or overwrites `key`. Overwrites of eventually-consistent stores
+  // become visible to readers only after the provider's consistency window.
+  virtual Status Put(const CloudCredentials& creds, const std::string& key,
+                     Bytes data) = 0;
+
+  // Returns the latest *visible* version, which may lag the latest write.
+  virtual Result<Bytes> Get(const CloudCredentials& creds,
+                            const std::string& key) = 0;
+
+  virtual Status Delete(const CloudCredentials& creds,
+                        const std::string& key) = 0;
+
+  virtual Result<std::vector<ObjectInfo>> List(const CloudCredentials& creds,
+                                               const std::string& prefix) = 0;
+
+  // ACL manipulation; only the object owner may change grants.
+  virtual Status SetAcl(const CloudCredentials& creds, const std::string& key,
+                        const CanonicalId& grantee,
+                        ObjectPermissions permissions) = 0;
+  virtual Result<ObjectAcl> GetAcl(const CloudCredentials& creds,
+                                   const std::string& key) = 0;
+
+  virtual const std::string& provider_name() const = 0;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_CLOUD_OBJECT_STORE_H_

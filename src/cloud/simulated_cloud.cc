@@ -1,0 +1,224 @@
+#include "src/cloud/simulated_cloud.h"
+
+#include <algorithm>
+
+namespace scfs {
+
+SimulatedCloud::SimulatedCloud(CloudProfile profile, Environment* env,
+                               uint64_t seed)
+    : profile_(std::move(profile)),
+      env_(env),
+      rng_(seed),
+      faults_(seed ^ 0x9e3779b9ULL),
+      costs_(profile_.prices) {}
+
+void SimulatedCloud::SleepFor(const LatencyModel& model, size_t bytes) {
+  VirtualDuration d;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    d = model.Sample(rng_, bytes);
+  }
+  env_->Sleep(d);
+}
+
+Status SimulatedCloud::CheckAvailable() {
+  if (faults_.ShouldFailOperation()) {
+    return UnavailableError(profile_.name + " unavailable");
+  }
+  return OkStatus();
+}
+
+const SimulatedCloud::Version* SimulatedCloud::VisibleVersion(
+    const Object& object, VirtualTime now) const {
+  const Version* best = nullptr;
+  for (const auto& version : object.versions) {
+    if (version.visible_at <= now) {
+      best = &version;
+    }
+  }
+  if (faults_.byzantine() && !object.versions.empty()) {
+    // A byzantine provider may serve an arbitrarily old version.
+    return &object.versions.front();
+  }
+  return best;
+}
+
+Status SimulatedCloud::Put(const CloudCredentials& creds,
+                           const std::string& key, Bytes data) {
+  SleepFor(profile_.write_latency, data.size());
+  RETURN_IF_ERROR(CheckAvailable());
+
+  VirtualDuration window = profile_.consistency_window_base;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    if (profile_.consistency_window_jitter > 0) {
+      window += static_cast<VirtualDuration>(rng_.UniformU64(
+          static_cast<uint64_t>(profile_.consistency_window_jitter) + 1));
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    Object object;
+    object.created = static_cast<VirtualTime>(++create_seq_);
+    object.acl.owner = creds.canonical_id;
+    // New objects are immediately visible (matching S3's read-after-write
+    // consistency for new keys); only overwrites are eventually consistent.
+    object.versions.push_back(Version{data, env_->Now()});
+    costs_.RecordPut(creds.canonical_id, data.size());
+    costs_.AddStoredBytes(creds.canonical_id, static_cast<int64_t>(data.size()));
+    objects_.emplace(key, std::move(object));
+    return OkStatus();
+  }
+
+  Object& object = it->second;
+  if (!object.acl.AllowsWrite(creds.canonical_id)) {
+    return PermissionDeniedError("no write permission on " + key);
+  }
+  costs_.RecordPut(creds.canonical_id, data.size());
+  int64_t delta = static_cast<int64_t>(data.size()) -
+                  static_cast<int64_t>(object.versions.back().data.size());
+  costs_.AddStoredBytes(object.acl.owner, delta);
+  object.versions.push_back(Version{std::move(data), env_->Now() + window});
+  // Prune versions that can never be served again: keep everything from the
+  // newest already-visible version onwards.
+  VirtualTime now = env_->Now();
+  while (object.versions.size() > 1 && object.versions[1].visible_at <= now) {
+    object.versions.pop_front();
+  }
+  return OkStatus();
+}
+
+Result<Bytes> SimulatedCloud::Get(const CloudCredentials& creds,
+                                  const std::string& key) {
+  // RTT happens before we know the size; transfer charged on actual bytes.
+  SleepFor(LatencyModel::Fixed(profile_.read_latency.base +
+                               profile_.read_latency.jitter / 2),
+           0);
+  RETURN_IF_ERROR(CheckAvailable());
+
+  Bytes data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      return NotFoundError(key);
+    }
+    if (!it->second.acl.AllowsRead(creds.canonical_id)) {
+      return PermissionDeniedError("no read permission on " + key);
+    }
+    const Version* version = VisibleVersion(it->second, env_->Now());
+    if (version == nullptr) {
+      return NotFoundError(key + " (not yet visible)");
+    }
+    data = version->data;
+    costs_.RecordGet(creds.canonical_id, data.size());
+  }
+  // Transfer time for the payload.
+  LatencyModel transfer;
+  transfer.bytes_per_second = profile_.read_latency.bytes_per_second;
+  SleepFor(transfer, data.size());
+
+  if (faults_.ShouldCorruptRead() && !data.empty()) {
+    data[0] ^= 0xff;
+    data[data.size() / 2] ^= 0xff;
+  }
+  return data;
+}
+
+Status SimulatedCloud::Delete(const CloudCredentials& creds,
+                              const std::string& key) {
+  SleepFor(profile_.control_latency, 0);
+  RETURN_IF_ERROR(CheckAvailable());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError(key);
+  }
+  if (!it->second.acl.AllowsWrite(creds.canonical_id)) {
+    return PermissionDeniedError("no write permission on " + key);
+  }
+  costs_.RecordDelete(creds.canonical_id);
+  costs_.AddStoredBytes(
+      it->second.acl.owner,
+      -static_cast<int64_t>(it->second.versions.back().data.size()));
+  objects_.erase(it);
+  return OkStatus();
+}
+
+Result<std::vector<ObjectInfo>> SimulatedCloud::List(
+    const CloudCredentials& creds, const std::string& prefix) {
+  SleepFor(profile_.control_latency, 0);
+  RETURN_IF_ERROR(CheckAvailable());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  costs_.RecordList(creds.canonical_id);
+  std::vector<ObjectInfo> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    if (!it->second.acl.AllowsRead(creds.canonical_id)) {
+      continue;
+    }
+    ObjectInfo info;
+    info.key = it->first;
+    info.size = it->second.versions.back().data.size();
+    info.owner = it->second.acl.owner;
+    info.created = it->second.created;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Status SimulatedCloud::SetAcl(const CloudCredentials& creds,
+                              const std::string& key,
+                              const CanonicalId& grantee,
+                              ObjectPermissions permissions) {
+  SleepFor(profile_.control_latency, 0);
+  RETURN_IF_ERROR(CheckAvailable());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError(key);
+  }
+  if (creds.canonical_id != it->second.acl.owner) {
+    return PermissionDeniedError("only the owner may change ACLs");
+  }
+  if (!permissions.read && !permissions.write) {
+    it->second.acl.grants.erase(grantee);
+  } else {
+    it->second.acl.grants[grantee] = permissions;
+  }
+  return OkStatus();
+}
+
+Result<ObjectAcl> SimulatedCloud::GetAcl(const CloudCredentials& creds,
+                                         const std::string& key) {
+  SleepFor(profile_.control_latency, 0);
+  RETURN_IF_ERROR(CheckAvailable());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError(key);
+  }
+  if (!it->second.acl.AllowsRead(creds.canonical_id)) {
+    return PermissionDeniedError("no read permission on " + key);
+  }
+  return it->second.acl;
+}
+
+Result<Bytes> SimulatedCloud::PeekLatest(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError(key);
+  }
+  return it->second.versions.back().data;
+}
+
+}  // namespace scfs

@@ -1,0 +1,91 @@
+// SimulatedCloud: an in-process object store that behaves like a 2013-era
+// public storage cloud — wide-area latency, limited transfer bandwidth,
+// *eventual consistency* on overwrites, per-object ACLs, request pricing and
+// injectable faults (outage / corruption / byzantine stale answers).
+
+#ifndef SCFS_CLOUD_SIMULATED_CLOUD_H_
+#define SCFS_CLOUD_SIMULATED_CLOUD_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/cloud/cost_meter.h"
+#include "src/cloud/object_store.h"
+#include "src/common/rng.h"
+#include "src/sim/environment.h"
+#include "src/sim/fault.h"
+#include "src/sim/latency.h"
+
+namespace scfs {
+
+struct CloudProfile {
+  std::string name = "cloud";
+  LatencyModel read_latency;
+  LatencyModel write_latency;
+  LatencyModel control_latency;     // DELETE/LIST/ACL round trips
+  VirtualDuration consistency_window_base = 0;   // visibility delay after PUT
+  VirtualDuration consistency_window_jitter = 0;
+  PriceBook prices;
+  VmPricing vm_prices;
+};
+
+class SimulatedCloud : public ObjectStore {
+ public:
+  SimulatedCloud(CloudProfile profile, Environment* env, uint64_t seed);
+
+  Status Put(const CloudCredentials& creds, const std::string& key,
+             Bytes data) override;
+  Result<Bytes> Get(const CloudCredentials& creds,
+                    const std::string& key) override;
+  Status Delete(const CloudCredentials& creds,
+                const std::string& key) override;
+  Result<std::vector<ObjectInfo>> List(const CloudCredentials& creds,
+                                       const std::string& prefix) override;
+  Status SetAcl(const CloudCredentials& creds, const std::string& key,
+                const CanonicalId& grantee,
+                ObjectPermissions permissions) override;
+  Result<ObjectAcl> GetAcl(const CloudCredentials& creds,
+                           const std::string& key) override;
+
+  const std::string& provider_name() const override { return profile_.name; }
+
+  FaultInjector& faults() { return faults_; }
+  CostMeter& costs() { return costs_; }
+  const CloudProfile& profile() const { return profile_; }
+
+  // Test/inspection hook: the latest stored version regardless of visibility.
+  Result<Bytes> PeekLatest(const std::string& key);
+
+ private:
+  struct Version {
+    Bytes data;
+    VirtualTime visible_at = 0;
+  };
+  struct Object {
+    std::deque<Version> versions;  // oldest first; pruned as they supersede
+    ObjectAcl acl;
+    VirtualTime created = 0;
+  };
+
+  // Returns the newest version visible at `now`, or nullptr.
+  const Version* VisibleVersion(const Object& object, VirtualTime now) const;
+  void SleepFor(const LatencyModel& model, size_t bytes);
+  Status CheckAvailable();
+
+  CloudProfile profile_;
+  Environment* env_;
+  std::mutex mu_;       // protects objects_
+  std::mutex rng_mu_;   // protects rng_
+  Rng rng_;
+  FaultInjector faults_;
+  CostMeter costs_;
+  std::map<std::string, Object> objects_;
+  uint64_t create_seq_ = 0;  // monotonic creation stamp for LIST ordering
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_CLOUD_SIMULATED_CLOUD_H_

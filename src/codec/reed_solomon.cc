@@ -1,0 +1,137 @@
+#include "src/codec/reed_solomon.h"
+
+#include <cassert>
+
+#include "src/math/gf256.h"
+
+namespace scfs {
+
+ReedSolomon::ReedSolomon(unsigned n, unsigned k)
+    : n_(n), k_(k), encode_matrix_(GfMatrix::SystematicVandermonde(n, k)) {
+  assert(k >= 1 && k <= n && n <= 255);
+}
+
+Result<std::vector<Bytes>> ReedSolomon::EncodeShards(
+    const std::vector<Bytes>& data_shards) const {
+  if (data_shards.size() != k_) {
+    return InvalidArgumentError("expected k data shards");
+  }
+  const size_t shard_size = data_shards[0].size();
+  for (const auto& shard : data_shards) {
+    if (shard.size() != shard_size) {
+      return InvalidArgumentError("data shards must be equally sized");
+    }
+  }
+  std::vector<Bytes> out(n_);
+  for (unsigned row = 0; row < n_; ++row) {
+    if (row < k_) {
+      out[row] = data_shards[row];  // systematic
+      continue;
+    }
+    out[row].assign(shard_size, 0);
+    for (unsigned col = 0; col < k_; ++col) {
+      Gf256::MulAddRow(out[row].data(), data_shards[col].data(),
+                       encode_matrix_.At(row, col),
+                       static_cast<unsigned>(shard_size));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Bytes>> ReedSolomon::DecodeShards(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  if (shards.size() != n_) {
+    return InvalidArgumentError("expected n shard slots");
+  }
+  std::vector<unsigned> present;
+  size_t shard_size = 0;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (shards[i].has_value()) {
+      if (present.empty()) {
+        shard_size = shards[i]->size();
+      } else if (shards[i]->size() != shard_size) {
+        return InvalidArgumentError("shard size mismatch");
+      }
+      present.push_back(i);
+      if (present.size() == k_) {
+        break;
+      }
+    }
+  }
+  if (present.size() < k_) {
+    return FailedPreconditionError("not enough shards to decode");
+  }
+
+  // Fast path: all k data shards survive.
+  bool all_data = true;
+  for (unsigned i = 0; i < k_; ++i) {
+    if (present[i] != i) {
+      all_data = false;
+      break;
+    }
+  }
+  std::vector<Bytes> data(k_);
+  if (all_data) {
+    for (unsigned i = 0; i < k_; ++i) {
+      data[i] = *shards[i];
+    }
+    return data;
+  }
+
+  GfMatrix sub = encode_matrix_.SelectRows(present);
+  GfMatrix inverse(k_, k_);
+  if (!sub.Invert(&inverse)) {
+    return InternalError("encode submatrix singular");
+  }
+  for (unsigned row = 0; row < k_; ++row) {
+    data[row].assign(shard_size, 0);
+    for (unsigned col = 0; col < k_; ++col) {
+      Gf256::MulAddRow(data[row].data(), shards[present[col]]->data(),
+                       inverse.At(row, col),
+                       static_cast<unsigned>(shard_size));
+    }
+  }
+  return data;
+}
+
+size_t ErasureCodec::ShardSize(size_t data_size) const {
+  // 8-byte length header, then padded to a multiple of k.
+  size_t padded = data_size + 8;
+  size_t k = rs_.k();
+  size_t per_shard = (padded + k - 1) / k;
+  return per_shard;
+}
+
+Result<std::vector<Bytes>> ErasureCodec::Encode(const Bytes& data) const {
+  const unsigned k = rs_.k();
+  Bytes framed;
+  framed.reserve(data.size() + 8);
+  AppendU64(&framed, data.size());
+  framed.insert(framed.end(), data.begin(), data.end());
+  const size_t per_shard = ShardSize(data.size());
+  framed.resize(per_shard * k, 0);
+
+  std::vector<Bytes> data_shards(k);
+  for (unsigned i = 0; i < k; ++i) {
+    data_shards[i].assign(framed.begin() + i * per_shard,
+                          framed.begin() + (i + 1) * per_shard);
+  }
+  return rs_.EncodeShards(data_shards);
+}
+
+Result<Bytes> ErasureCodec::Decode(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  ASSIGN_OR_RETURN(std::vector<Bytes> data_shards, rs_.DecodeShards(shards));
+  Bytes framed;
+  for (const auto& shard : data_shards) {
+    framed.insert(framed.end(), shard.begin(), shard.end());
+  }
+  ByteReader reader(framed);
+  uint64_t size = 0;
+  if (!reader.ReadU64(&size) || size > framed.size() - 8) {
+    return CorruptionError("bad erasure frame header");
+  }
+  return Bytes(framed.begin() + 8, framed.begin() + 8 + size);
+}
+
+}  // namespace scfs

@@ -1,0 +1,65 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8).
+//
+// RS(n, k): data is split into k shards; n-k parity shards are derived; any k
+// of the n shards reconstruct the data. DepSky uses this with n = 3f+1 clouds
+// and k = f+1, so each cloud stores ~|F|/(f+1) bytes instead of |F|.
+
+#ifndef SCFS_CODEC_REED_SOLOMON_H_
+#define SCFS_CODEC_REED_SOLOMON_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/math/matrix.h"
+
+namespace scfs {
+
+class ReedSolomon {
+ public:
+  // n = total shards, k = data shards; 1 <= k <= n <= 255.
+  ReedSolomon(unsigned n, unsigned k);
+
+  unsigned n() const { return n_; }
+  unsigned k() const { return k_; }
+
+  // Encodes equally-sized data shards into n shards (the first k are the
+  // inputs verbatim; systematic code). All shards share the input size.
+  Result<std::vector<Bytes>> EncodeShards(
+      const std::vector<Bytes>& data_shards) const;
+
+  // Reconstructs the k data shards from any subset of >= k shards. `shards`
+  // has n slots; missing shards are nullopt.
+  Result<std::vector<Bytes>> DecodeShards(
+      const std::vector<std::optional<Bytes>>& shards) const;
+
+ private:
+  unsigned n_;
+  unsigned k_;
+  GfMatrix encode_matrix_;
+};
+
+// File-level convenience API: pads and splits a byte string into k equal
+// shards (with an embedded length header), then erasure-codes to n shards.
+class ErasureCodec {
+ public:
+  ErasureCodec(unsigned n, unsigned k) : rs_(n, k) {}
+
+  Result<std::vector<Bytes>> Encode(const Bytes& data) const;
+  // Any k of the n shards (others nullopt) reproduce the original bytes.
+  Result<Bytes> Decode(const std::vector<std::optional<Bytes>>& shards) const;
+
+  unsigned n() const { return rs_.n(); }
+  unsigned k() const { return rs_.k(); }
+
+  // Size of each shard for a payload of `data_size` bytes.
+  size_t ShardSize(size_t data_size) const;
+
+ private:
+  ReedSolomon rs_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_CODEC_REED_SOLOMON_H_

@@ -1,0 +1,56 @@
+// Byte-buffer vocabulary type and hex/string conversions.
+
+#ifndef SCFS_COMMON_BYTES_H_
+#define SCFS_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scfs {
+
+using Bytes = std::vector<uint8_t>;
+
+// UTF-8/string <-> bytes.
+Bytes ToBytes(std::string_view text);
+std::string ToString(const Bytes& bytes);
+
+// Lower-case hex encoding ("deadbeef"). Decode returns empty on malformed
+// input of odd length or non-hex characters.
+std::string HexEncode(const Bytes& bytes);
+std::string HexEncode(const uint8_t* data, size_t size);
+Bytes HexDecode(std::string_view hex);
+
+// Constant-time comparison (used for authenticator checks).
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
+
+// Append helpers for hand-rolled serialization.
+void AppendU32(Bytes* out, uint32_t v);
+void AppendU64(Bytes* out, uint64_t v);
+void AppendBytes(Bytes* out, const Bytes& data);
+void AppendString(Bytes* out, std::string_view text);
+
+// Cursor-based reader for the serialization above. Returns false on
+// truncation instead of throwing.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadBytes(Bytes* out);     // length-prefixed
+  bool ReadString(std::string* out);
+  bool Skip(size_t n);
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const Bytes& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_COMMON_BYTES_H_

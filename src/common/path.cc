@@ -1,0 +1,104 @@
+#include "src/common/path.h"
+
+namespace scfs {
+
+std::string NormalizePath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return "";
+  }
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i == start) {
+      break;
+    }
+    std::string_view seg = path.substr(start, i - start);
+    if (seg == ".") {
+      continue;
+    }
+    if (seg == "..") {
+      return "";
+    }
+    parts.emplace_back(seg);
+  }
+  if (parts.empty()) {
+    return "/";
+  }
+  std::string out;
+  for (const auto& p : parts) {
+    out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::string ParentPath(std::string_view path) {
+  if (path == "/" || path.empty()) {
+    return "/";
+  }
+  size_t pos = path.rfind('/');
+  if (pos == 0) {
+    return "/";
+  }
+  return std::string(path.substr(0, pos));
+}
+
+std::string Basename(std::string_view path) {
+  if (path == "/" || path.empty()) {
+    return "";
+  }
+  size_t pos = path.rfind('/');
+  return std::string(path.substr(pos + 1));
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') {
+    out += '/';
+  }
+  out += name;
+  return out;
+}
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      parts.emplace_back(path.substr(start, i - start));
+    }
+  }
+  return parts;
+}
+
+bool PathIsWithin(std::string_view path, std::string_view ancestor) {
+  if (ancestor == "/") {
+    return !path.empty() && path[0] == '/';
+  }
+  if (path == ancestor) {
+    return true;
+  }
+  return path.size() > ancestor.size() &&
+         path.substr(0, ancestor.size()) == ancestor &&
+         path[ancestor.size()] == '/';
+}
+
+bool IsValidPath(std::string_view path) {
+  return !path.empty() && NormalizePath(path) == path;
+}
+
+}  // namespace scfs

@@ -1,0 +1,39 @@
+// Hierarchical path manipulation for the file-system namespace.
+//
+// Paths are absolute, '/'-separated, normalized ("/a/b"). The root is "/".
+
+#ifndef SCFS_COMMON_PATH_H_
+#define SCFS_COMMON_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scfs {
+
+// Collapses duplicate separators and trailing slashes; resolves "." segments.
+// ".." segments are rejected (returns empty string) — the VFS layer does not
+// support relative traversal, mirroring FUSE which hands us resolved paths.
+std::string NormalizePath(std::string_view path);
+
+// "/a/b/c" -> "/a/b"; parent of "/" is "/".
+std::string ParentPath(std::string_view path);
+
+// "/a/b/c" -> "c"; basename of "/" is "".
+std::string Basename(std::string_view path);
+
+// Join("/a", "b") -> "/a/b".
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+// Path components: "/a/b" -> {"a", "b"}. Root -> {}.
+std::vector<std::string> SplitPath(std::string_view path);
+
+// True if `path` equals `ancestor` or lives under it.
+bool PathIsWithin(std::string_view path, std::string_view ancestor);
+
+// True for normalized absolute paths.
+bool IsValidPath(std::string_view path);
+
+}  // namespace scfs
+
+#endif  // SCFS_COMMON_PATH_H_

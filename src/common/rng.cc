@@ -1,0 +1,115 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+
+namespace scfs {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformU64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double probability) {
+  if (probability <= 0.0) {
+    return false;
+  }
+  if (probability >= 1.0) {
+    return true;
+  }
+  return UniformDouble() < probability;
+}
+
+Bytes Rng::RandomBytes(size_t size) {
+  Bytes out(size);
+  size_t i = 0;
+  while (i + 8 <= size) {
+    uint64_t v = NextU64();
+    for (int b = 0; b < 8; ++b) {
+      out[i++] = static_cast<uint8_t>(v >> (b * 8));
+    }
+  }
+  if (i < size) {
+    uint64_t v = NextU64();
+    while (i < size) {
+      out[i++] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+std::string Rng::RandomName(size_t size) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    out.push_back(kAlphabet[UniformU64(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+uint64_t SharedRng::NextU64() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.NextU64();
+}
+
+Bytes SharedRng::RandomBytes(size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.RandomBytes(size);
+}
+
+SharedRng& GlobalRng() {
+  static SharedRng* rng = new SharedRng(0x5cf5u);
+  return *rng;
+}
+
+}  // namespace scfs

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation (xoshiro256** seeded via
+// SplitMix64). All randomness in the tree goes through this so tests and
+// benchmarks are reproducible.
+
+#ifndef SCFS_COMMON_RNG_H_
+#define SCFS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/bytes.h"
+
+namespace scfs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5cf5cf5cf5ULL);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t UniformU64(uint64_t bound);
+  // Uniform in [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  // Uniform in [0, 1).
+  double UniformDouble();
+  // Bernoulli trial.
+  bool Chance(double probability);
+  Bytes RandomBytes(size_t size);
+  // Lower-case alphanumeric string, e.g. for file names.
+  std::string RandomName(size_t size);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Process-wide mutex-protected RNG for code paths without a local Rng.
+class SharedRng {
+ public:
+  explicit SharedRng(uint64_t seed) : rng_(seed) {}
+
+  uint64_t NextU64();
+  Bytes RandomBytes(size_t size);
+
+ private:
+  std::mutex mu_;
+  Rng rng_;
+};
+
+SharedRng& GlobalRng();
+
+}  // namespace scfs
+
+#endif  // SCFS_COMMON_RNG_H_

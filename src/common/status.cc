@@ -1,0 +1,103 @@
+#include "src/common/status.h"
+
+namespace scfs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kConflict:
+      return "CONFLICT";
+    case ErrorCode::kCorruption:
+      return "CORRUPTION";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kIsDirectory:
+      return "IS_DIRECTORY";
+    case ErrorCode::kNotDirectory:
+      return "NOT_DIRECTORY";
+    case ErrorCode::kNotEmpty:
+      return "NOT_EMPTY";
+    case ErrorCode::kBusy:
+      return "BUSY";
+    case ErrorCode::kNotSupported:
+      return "NOT_SUPPORTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status PermissionDeniedError(std::string message) {
+  return Status(ErrorCode::kPermissionDenied, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(ErrorCode::kUnavailable, std::move(message));
+}
+Status TimeoutError(std::string message) {
+  return Status(ErrorCode::kTimeout, std::move(message));
+}
+Status ConflictError(std::string message) {
+  return Status(ErrorCode::kConflict, std::move(message));
+}
+Status CorruptionError(std::string message) {
+  return Status(ErrorCode::kCorruption, std::move(message));
+}
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(ErrorCode::kResourceExhausted, std::move(message));
+}
+Status IsDirectoryError(std::string message) {
+  return Status(ErrorCode::kIsDirectory, std::move(message));
+}
+Status NotDirectoryError(std::string message) {
+  return Status(ErrorCode::kNotDirectory, std::move(message));
+}
+Status NotEmptyError(std::string message) {
+  return Status(ErrorCode::kNotEmpty, std::move(message));
+}
+Status BusyError(std::string message) {
+  return Status(ErrorCode::kBusy, std::move(message));
+}
+Status NotSupportedError(std::string message) {
+  return Status(ErrorCode::kNotSupported, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+}  // namespace scfs

@@ -1,0 +1,144 @@
+// Status and Result<T>: error-handling vocabulary used across the whole tree.
+//
+// Every fallible operation in SCFS returns either a Status (no payload) or a
+// Result<T> (payload or error). Error codes mirror the failure classes that a
+// cloud-backed file system actually meets: not-found, permission, conflict,
+// unavailability, corruption, timeouts.
+
+#ifndef SCFS_COMMON_STATUS_H_
+#define SCFS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace scfs {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kUnavailable,       // service/provider temporarily unreachable
+  kTimeout,
+  kConflict,          // lost a compare-and-swap / lock race
+  kCorruption,        // integrity check (hash/authenticator) failed
+  kInvalidArgument,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kIsDirectory,
+  kNotDirectory,
+  kNotEmpty,
+  kBusy,              // file locked by another client
+  kNotSupported,
+  kInternal,
+};
+
+// Human-readable name of an error code ("NOT_FOUND", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+// Convenience constructors, mirroring absl-style factories.
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status UnavailableError(std::string message);
+Status TimeoutError(std::string message);
+Status ConflictError(std::string message);
+Status CorruptionError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status IsDirectoryError(std::string message);
+Status NotDirectoryError(std::string message);
+Status NotEmptyError(std::string message);
+Status BusyError(std::string message);
+Status NotSupportedError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace scfs
+
+// Propagation helpers. SCFS_CONCAT is needed to build unique temp names.
+#define SCFS_CONCAT_INNER(a, b) a##b
+#define SCFS_CONCAT(a, b) SCFS_CONCAT_INNER(a, b)
+
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::scfs::Status scfs_status_ = (expr);      \
+    if (!scfs_status_.ok()) {                  \
+      return scfs_status_;                     \
+    }                                          \
+  } while (0)
+
+#define ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto SCFS_CONCAT(scfs_result_, __LINE__) = (expr);         \
+  if (!SCFS_CONCAT(scfs_result_, __LINE__).ok()) {           \
+    return SCFS_CONCAT(scfs_result_, __LINE__).status();     \
+  }                                                          \
+  lhs = std::move(SCFS_CONCAT(scfs_result_, __LINE__)).value()
+
+#endif  // SCFS_COMMON_STATUS_H_

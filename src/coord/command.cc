@@ -1,0 +1,71 @@
+#include "src/coord/command.h"
+
+namespace scfs {
+
+Bytes CoordCommand::Encode() const {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(op));
+  AppendString(&out, client);
+  AppendString(&out, key);
+  AppendBytes(&out, value);
+  AppendString(&out, aux);
+  AppendU64(&out, a);
+  AppendU64(&out, b);
+  return out;
+}
+
+Result<CoordCommand> CoordCommand::Decode(const Bytes& data) {
+  if (data.empty()) {
+    return CorruptionError("empty command");
+  }
+  CoordCommand cmd;
+  cmd.op = static_cast<CoordOp>(data[0]);
+  Bytes rest(data.begin() + 1, data.end());
+  ByteReader reader(rest);
+  if (!reader.ReadString(&cmd.client) || !reader.ReadString(&cmd.key) ||
+      !reader.ReadBytes(&cmd.value) || !reader.ReadString(&cmd.aux) ||
+      !reader.ReadU64(&cmd.a) || !reader.ReadU64(&cmd.b)) {
+    return CorruptionError("truncated command");
+  }
+  return cmd;
+}
+
+Bytes CoordReply::Encode() const {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(code));
+  AppendBytes(&out, value);
+  AppendU64(&out, a);
+  AppendU32(&out, static_cast<uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    AppendString(&out, entry.key);
+    AppendBytes(&out, entry.value);
+    AppendU64(&out, entry.version);
+  }
+  return out;
+}
+
+Result<CoordReply> CoordReply::Decode(const Bytes& data) {
+  if (data.empty()) {
+    return CorruptionError("empty reply");
+  }
+  CoordReply reply;
+  reply.code = static_cast<ErrorCode>(data[0]);
+  Bytes rest(data.begin() + 1, data.end());
+  ByteReader reader(rest);
+  uint32_t count = 0;
+  if (!reader.ReadBytes(&reply.value) || !reader.ReadU64(&reply.a) ||
+      !reader.ReadU32(&count)) {
+    return CorruptionError("truncated reply");
+  }
+  reply.entries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.ReadString(&reply.entries[i].key) ||
+        !reader.ReadBytes(&reply.entries[i].value) ||
+        !reader.ReadU64(&reply.entries[i].version)) {
+      return CorruptionError("truncated reply entries");
+    }
+  }
+  return reply;
+}
+
+}  // namespace scfs

@@ -1,0 +1,78 @@
+// Wire format for coordination-service commands and replies.
+//
+// Every operation on the coordination service is serialized into a Command,
+// totally ordered by the replication layer and executed deterministically by
+// the TupleSpace state machine on every replica. Replies are serialized back
+// so byzantine-reply voting can compare them bytewise.
+
+#ifndef SCFS_COORD_COMMAND_H_
+#define SCFS_COORD_COMMAND_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace scfs {
+
+enum class CoordOp : uint8_t {
+  kWrite = 1,            // upsert key (creates with caller as owner)
+  kConditionalCreate,    // fails with ALREADY_EXISTS
+  kCompareAndSwap,       // write iff version matches `a`
+  kRead,                 // value + version
+  kReadPrefix,           // all entries with key prefix
+  kRemove,
+  kTryLock,              // key=lock name, a=lease duration (virtual us)
+  kRenewLock,            // a=new lease duration, b=token
+  kUnlock,               // b=token
+  kRenamePrefix,         // key=old prefix, aux=new prefix (trigger extension)
+  kSetEntryAcl,          // aux=grantee, a=permission bits
+  kNoop,                 // used by view changes / heartbeats
+};
+
+struct CoordCommand {
+  CoordOp op = CoordOp::kNoop;
+  std::string client;  // principal for access control
+  std::string key;
+  Bytes value;
+  std::string aux;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  Bytes Encode() const;
+  static Result<CoordCommand> Decode(const Bytes& data);
+};
+
+struct CoordEntryView {
+  std::string key;
+  Bytes value;
+  uint64_t version = 0;
+};
+
+struct CoordReply {
+  ErrorCode code = ErrorCode::kOk;
+  Bytes value;
+  uint64_t a = 0;  // version / lock token
+  std::vector<CoordEntryView> entries;
+
+  bool ok() const { return code == ErrorCode::kOk; }
+  Status ToStatus(const std::string& context) const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return Status(code, context);
+  }
+
+  Bytes Encode() const;
+  static Result<CoordReply> Decode(const Bytes& data);
+};
+
+// Permission bits for kSetEntryAcl.
+constexpr uint64_t kCoordPermRead = 1;
+constexpr uint64_t kCoordPermWrite = 2;
+
+}  // namespace scfs
+
+#endif  // SCFS_COORD_COMMAND_H_

@@ -1,0 +1,137 @@
+#include "src/coord/coordination_service.h"
+
+namespace scfs {
+
+Status CoordinationService::Write(const std::string& client,
+                                  const std::string& key, const Bytes& value) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kWrite;
+  cmd.client = client;
+  cmd.key = key;
+  cmd.value = value;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  return reply.ToStatus("coord write " + key);
+}
+
+Status CoordinationService::ConditionalCreate(const std::string& client,
+                                              const std::string& key,
+                                              const Bytes& value) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kConditionalCreate;
+  cmd.client = client;
+  cmd.key = key;
+  cmd.value = value;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  return reply.ToStatus("coord create " + key);
+}
+
+Result<uint64_t> CoordinationService::CompareAndSwap(
+    const std::string& client, const std::string& key, const Bytes& value,
+    uint64_t expected_version) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kCompareAndSwap;
+  cmd.client = client;
+  cmd.key = key;
+  cmd.value = value;
+  cmd.a = expected_version;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  RETURN_IF_ERROR(reply.ToStatus("coord cas " + key));
+  return reply.a;
+}
+
+Result<CoordEntry> CoordinationService::Read(const std::string& client,
+                                             const std::string& key) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kRead;
+  cmd.client = client;
+  cmd.key = key;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  RETURN_IF_ERROR(reply.ToStatus("coord read " + key));
+  return CoordEntry{reply.value, reply.a};
+}
+
+Result<std::vector<CoordEntryView>> CoordinationService::ReadPrefix(
+    const std::string& client, const std::string& prefix) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kReadPrefix;
+  cmd.client = client;
+  cmd.key = prefix;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  RETURN_IF_ERROR(reply.ToStatus("coord read prefix " + prefix));
+  return reply.entries;
+}
+
+Status CoordinationService::Remove(const std::string& client,
+                                   const std::string& key) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kRemove;
+  cmd.client = client;
+  cmd.key = key;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  return reply.ToStatus("coord remove " + key);
+}
+
+Result<CoordLock> CoordinationService::TryLock(const std::string& client,
+                                               const std::string& name,
+                                               VirtualDuration lease) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kTryLock;
+  cmd.client = client;
+  cmd.key = name;
+  cmd.a = static_cast<uint64_t>(lease);
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  RETURN_IF_ERROR(reply.ToStatus("coord lock " + name));
+  return CoordLock{reply.a};
+}
+
+Status CoordinationService::RenewLock(const std::string& client,
+                                      const std::string& name, uint64_t token,
+                                      VirtualDuration lease) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kRenewLock;
+  cmd.client = client;
+  cmd.key = name;
+  cmd.a = static_cast<uint64_t>(lease);
+  cmd.b = token;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  return reply.ToStatus("coord renew " + name);
+}
+
+Status CoordinationService::Unlock(const std::string& client,
+                                   const std::string& name, uint64_t token) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kUnlock;
+  cmd.client = client;
+  cmd.key = name;
+  cmd.b = token;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  return reply.ToStatus("coord unlock " + name);
+}
+
+Status CoordinationService::RenamePrefix(const std::string& client,
+                                         const std::string& old_prefix,
+                                         const std::string& new_prefix) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kRenamePrefix;
+  cmd.client = client;
+  cmd.key = old_prefix;
+  cmd.aux = new_prefix;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  return reply.ToStatus("coord rename " + old_prefix);
+}
+
+Status CoordinationService::GrantEntryAccess(const std::string& owner,
+                                             const std::string& key,
+                                             const std::string& grantee,
+                                             bool read, bool write) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kSetEntryAcl;
+  cmd.client = owner;
+  cmd.key = key;
+  cmd.aux = grantee;
+  cmd.a = (read ? kCoordPermRead : 0) | (write ? kCoordPermWrite : 0);
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  return reply.ToStatus("coord set acl " + key);
+}
+
+}  // namespace scfs

@@ -1,0 +1,64 @@
+// CoordinationService: the abstraction SCFS's metadata and lock services are
+// written against (paper §2.3 "modular coordination"). Implementations:
+// LocalCoordination (one DepSpace server on a single VM — the AWS backend)
+// and ReplicatedCoordination (DepSpace over BFT-SMaRt-style SMR across four
+// computing clouds — the CoC backend).
+
+#ifndef SCFS_COORD_COORDINATION_SERVICE_H_
+#define SCFS_COORD_COORDINATION_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/coord/command.h"
+#include "src/sim/time.h"
+
+namespace scfs {
+
+struct CoordEntry {
+  Bytes value;
+  uint64_t version = 0;
+};
+
+struct CoordLock {
+  uint64_t token = 0;
+};
+
+class CoordinationService {
+ public:
+  virtual ~CoordinationService() = default;
+
+  // Submits one totally-ordered command and waits for its reply.
+  virtual Result<CoordReply> Submit(const CoordCommand& command) = 0;
+
+  // -- Typed wrappers ------------------------------------------------------
+
+  Status Write(const std::string& client, const std::string& key,
+               const Bytes& value);
+  Status ConditionalCreate(const std::string& client, const std::string& key,
+                           const Bytes& value);
+  // Returns the new version on success; kConflict if `expected_version`
+  // does not match.
+  Result<uint64_t> CompareAndSwap(const std::string& client,
+                                  const std::string& key, const Bytes& value,
+                                  uint64_t expected_version);
+  Result<CoordEntry> Read(const std::string& client, const std::string& key);
+  Result<std::vector<CoordEntryView>> ReadPrefix(const std::string& client,
+                                                 const std::string& prefix);
+  Status Remove(const std::string& client, const std::string& key);
+  // Ephemeral lock with a lease; kBusy if held by another client.
+  Result<CoordLock> TryLock(const std::string& client, const std::string& name,
+                            VirtualDuration lease);
+  Status RenewLock(const std::string& client, const std::string& name,
+                   uint64_t token, VirtualDuration lease);
+  Status Unlock(const std::string& client, const std::string& name,
+                uint64_t token);
+  Status RenamePrefix(const std::string& client, const std::string& old_prefix,
+                      const std::string& new_prefix);
+  Status GrantEntryAccess(const std::string& owner, const std::string& key,
+                          const std::string& grantee, bool read, bool write);
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_COORD_COORDINATION_SERVICE_H_

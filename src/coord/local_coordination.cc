@@ -1,0 +1,24 @@
+#include "src/coord/local_coordination.h"
+
+namespace scfs {
+
+Result<CoordReply> LocalCoordination::Submit(const CoordCommand& command) {
+  Bytes request = command.Encode();
+  VirtualDuration request_delay;
+  VirtualDuration reply_delay;
+  CoordReply reply;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (faults_.ShouldFailOperation()) {
+      return UnavailableError("coordination service unavailable");
+    }
+    request_delay = link_.Sample(rng_, request.size());
+    reply = space_.Apply(env_->Now() + request_delay, command);
+    reply_delay = link_.Sample(rng_, reply.Encode().size());
+    reply_bytes_out_ += reply.Encode().size();
+  }
+  env_->Sleep(request_delay + reply_delay);
+  return reply;
+}
+
+}  // namespace scfs

@@ -1,0 +1,47 @@
+// LocalCoordination: a single coordination server reached over a wide-area
+// link — the SCFS-AWS backend (one EC2 VM in Ireland running DepSpace). Also
+// the fast deterministic implementation used by most unit tests.
+
+#ifndef SCFS_COORD_LOCAL_COORDINATION_H_
+#define SCFS_COORD_LOCAL_COORDINATION_H_
+
+#include <mutex>
+
+#include "src/common/rng.h"
+#include "src/coord/coordination_service.h"
+#include "src/coord/tuple_space.h"
+#include "src/sim/environment.h"
+#include "src/sim/fault.h"
+#include "src/sim/latency.h"
+
+namespace scfs {
+
+class LocalCoordination : public CoordinationService {
+ public:
+  // `link` is the ONE-WAY client<->server delay; an operation costs two
+  // samples (request + reply), matching the paper's 60-100 ms per access.
+  LocalCoordination(Environment* env, LatencyModel link, uint64_t seed = 7)
+      : env_(env), link_(link), rng_(seed) {}
+
+  Result<CoordReply> Submit(const CoordCommand& command) override;
+
+  FaultInjector& faults() { return faults_; }
+  TupleSpace& space() { return space_; }
+
+  // Total bytes shipped from server to clients; drives the coordination
+  // component of the cost model (Figure 11b: getMetadata = 11.32 u$).
+  uint64_t reply_bytes_out() const { return reply_bytes_out_; }
+
+ private:
+  Environment* env_;
+  LatencyModel link_;
+  std::mutex mu_;
+  Rng rng_;
+  TupleSpace space_;
+  FaultInjector faults_;
+  uint64_t reply_bytes_out_ = 0;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_COORD_LOCAL_COORDINATION_H_

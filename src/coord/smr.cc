@@ -1,0 +1,401 @@
+#include "src/coord/smr.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace scfs {
+
+SmrCluster::SmrCluster(Environment* env, SmrConfig config, uint64_t seed)
+    : env_(env), config_(config), client_rng_(seed ^ 0xc11e47ULL) {
+  const unsigned n = config_.replica_count();
+  replicas_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    auto replica = std::make_unique<Replica>(env_);
+    replica->rng = Rng(seed + i * 1299721ULL);
+    replicas_.push_back(std::move(replica));
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    replicas_[i]->thread = std::thread([this, i] { ReplicaLoop(i); });
+  }
+}
+
+SmrCluster::~SmrCluster() { Shutdown(); }
+
+void SmrCluster::Shutdown() {
+  if (shutdown_.exchange(true)) {
+    return;
+  }
+  for (auto& replica : replicas_) {
+    replica->inbox.Close();
+  }
+  for (auto& replica : replicas_) {
+    if (replica->thread.joinable()) {
+      replica->thread.join();
+    }
+  }
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  for (auto& [id, queue] : client_queues_) {
+    queue->Close();
+  }
+}
+
+void SmrCluster::CrashReplica(unsigned index) {
+  replicas_[index]->crashed.store(true);
+}
+
+void SmrCluster::SetReplicaByzantine(unsigned index, bool byzantine) {
+  replicas_[index]->byzantine.store(byzantine);
+}
+
+uint64_t SmrCluster::current_view() const {
+  uint64_t view = 0;
+  for (const auto& replica : replicas_) {
+    std::lock_guard<std::mutex> lock(replica->mu);
+    view = std::max(view, replica->view);
+  }
+  return view;
+}
+
+uint64_t SmrCluster::executed_count(unsigned replica) const {
+  std::lock_guard<std::mutex> lock(replicas_[replica]->mu);
+  return replicas_[replica]->executed_ops;
+}
+
+void SmrCluster::SendToReplica(unsigned from_replica, unsigned to,
+                               SmrMessage msg) {
+  VirtualDuration delay = 0;
+  if (from_replica != to) {
+    std::lock_guard<std::mutex> lock(replicas_[from_replica]->mu);
+    delay = config_.replica_link.Sample(replicas_[from_replica]->rng,
+                                        msg.payload.size());
+  }
+  replicas_[to]->inbox.Push(std::move(msg), env_->Now() + delay);
+}
+
+void SmrCluster::BroadcastFromReplica(unsigned from, const SmrMessage& msg) {
+  for (unsigned i = 0; i < replicas_.size(); ++i) {
+    SendToReplica(from, i, msg);
+  }
+}
+
+void SmrCluster::SendReplyToClient(unsigned from_replica,
+                                   const SmrMessage& reply) {
+  std::shared_ptr<DelayedQueue<SmrMessage>> queue;
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    auto it = client_queues_.find(reply.request_id);
+    if (it == client_queues_.end()) {
+      return;  // client already satisfied and gone
+    }
+    queue = it->second;
+  }
+  const LatencyModel& link =
+      config_.client_links.empty()
+          ? config_.client_link
+          : config_.client_links[from_replica % config_.client_links.size()];
+  VirtualDuration delay;
+  {
+    std::lock_guard<std::mutex> lock(replicas_[from_replica]->mu);
+    delay = link.Sample(replicas_[from_replica]->rng, reply.payload.size());
+  }
+  reply_bytes_out_.fetch_add(reply.payload.size(), std::memory_order_relaxed);
+  queue->Push(reply, env_->Now() + delay);
+}
+
+Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
+  if (shutdown_.load()) {
+    return UnavailableError("smr cluster shut down");
+  }
+  const uint64_t request_id = next_request_id_.fetch_add(1);
+  auto queue = std::make_shared<DelayedQueue<SmrMessage>>(env_);
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    client_queues_[request_id] = queue;
+  }
+
+  SmrMessage request;
+  request.type = SmrMessage::Type::kRequest;
+  request.from = -1;
+  request.request_id = request_id;
+  request.payload = command.Encode();
+
+  auto broadcast_request = [&] {
+    for (unsigned i = 0; i < replicas_.size(); ++i) {
+      const LatencyModel& link =
+          config_.client_links.empty()
+              ? config_.client_link
+              : config_.client_links[i % config_.client_links.size()];
+      VirtualDuration delay;
+      {
+        std::lock_guard<std::mutex> lock(rng_mu_);
+        delay = link.Sample(client_rng_, request.payload.size());
+      }
+      replicas_[i]->inbox.Push(request, env_->Now() + delay);
+    }
+  };
+  broadcast_request();
+
+  std::map<int, Bytes> replies;  // replica -> reply payload
+  int retries = 0;
+  for (;;) {
+    auto msg = queue->PopFor(config_.client_timeout);
+    if (shutdown_.load()) {
+      return UnavailableError("smr cluster shut down");
+    }
+    if (!msg.has_value()) {
+      if (++retries > config_.max_client_retries) {
+        std::lock_guard<std::mutex> lock(clients_mu_);
+        client_queues_.erase(request_id);
+        return UnavailableError("coordination service not responding");
+      }
+      broadcast_request();
+      continue;
+    }
+    if (msg->type != SmrMessage::Type::kReply ||
+        msg->request_id != request_id) {
+      continue;
+    }
+    replies[msg->from] = msg->payload;
+    unsigned votes = 0;
+    for (const auto& [from, payload] : replies) {
+      if (payload == msg->payload) {
+        ++votes;
+      }
+    }
+    if (votes >= config_.reply_quorum()) {
+      {
+        std::lock_guard<std::mutex> lock(clients_mu_);
+        client_queues_.erase(request_id);
+      }
+      queue->Close();
+      // Charge the modelled protocol latency of one coordination access:
+      // request one-way + leader ordering (2 inter-replica one-ways) + reply
+      // one-way. (The client's actual wait happens on the reply queue,
+      // outside Environment::Sleep, so it is not charged automatically.)
+      {
+        std::lock_guard<std::mutex> lock(rng_mu_);
+        const LatencyModel& link = config_.client_links.empty()
+                                       ? config_.client_link
+                                       : config_.client_links[0];
+        VirtualDuration modeled =
+            link.Sample(client_rng_, request.payload.size()) +
+            config_.replica_link.Sample(client_rng_, request.payload.size()) +
+            config_.replica_link.Sample(client_rng_, 64) +
+            link.Sample(client_rng_, msg->payload.size());
+        Environment::AddThreadCharge(modeled);
+      }
+      return CoordReply::Decode(msg->payload);
+    }
+  }
+}
+
+void SmrCluster::ReplicaLoop(unsigned index) {
+  Replica& r = *replicas_[index];
+  for (;;) {
+    auto msg = r.inbox.PopFor(config_.order_timeout);
+    if (shutdown_.load()) {
+      return;
+    }
+    if (r.inbox.closed() && !msg.has_value()) {
+      return;
+    }
+    if (r.crashed.load()) {
+      continue;  // crashed replicas consume and drop everything
+    }
+    if (msg.has_value()) {
+      HandleMessage(index, r, std::move(*msg));
+    }
+    CheckOrderingTimeout(index, r);
+  }
+}
+
+void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
+  std::vector<SmrMessage> to_broadcast;
+  std::vector<SmrMessage> to_client;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    switch (msg.type) {
+      case SmrMessage::Type::kRequest: {
+        auto executed_it = r.executed.find(msg.request_id);
+        if (executed_it != r.executed.end()) {
+          // Retransmission of an executed request: resend the cached reply.
+          SmrMessage reply;
+          reply.type = SmrMessage::Type::kReply;
+          reply.from = static_cast<int>(index);
+          reply.request_id = msg.request_id;
+          reply.payload = executed_it->second;
+          if (r.byzantine.load() && !reply.payload.empty()) {
+            reply.payload[0] ^= 0xff;
+          }
+          to_client.push_back(std::move(reply));
+          break;
+        }
+        r.pending.emplace(msg.request_id,
+                          PendingRequest{msg.payload, env_->Now(), false});
+        LeaderMaybePropose(index, r, &to_broadcast);
+        break;
+      }
+      case SmrMessage::Type::kPropose: {
+        if (msg.view != r.view ||
+            msg.from != static_cast<int>(msg.view % replica_count())) {
+          break;  // stale view or impostor leader
+        }
+        if (r.proposals.count(msg.seq) == 0) {
+          r.proposals.emplace(msg.seq, std::make_pair(msg, false));
+        }
+        auto pending_it = r.pending.find(msg.request_id);
+        if (pending_it != r.pending.end()) {
+          pending_it->second.ordered = true;
+        }
+        SmrMessage accept;
+        accept.type = SmrMessage::Type::kAccept;
+        accept.from = static_cast<int>(index);
+        accept.view = msg.view;
+        accept.seq = msg.seq;
+        accept.request_id = msg.request_id;
+        to_broadcast.push_back(std::move(accept));
+        TryExecute(index, r, &to_client);
+        break;
+      }
+      case SmrMessage::Type::kAccept: {
+        if (msg.view != r.view) {
+          break;
+        }
+        r.accept_votes[msg.seq].insert(msg.from);
+        TryExecute(index, r, &to_client);
+        break;
+      }
+      case SmrMessage::Type::kViewChange: {
+        if (msg.view <= r.view) {
+          break;
+        }
+        r.view_votes[msg.view].insert(msg.from);
+        if (r.view_votes[msg.view].size() >= config_.order_quorum()) {
+          r.view = msg.view;
+          r.proposals.clear();
+          r.accept_votes.clear();
+          r.next_seq = r.next_exec_seq;
+          for (auto& [id, pending] : r.pending) {
+            pending.ordered = false;
+            pending.first_seen = env_->Now();
+          }
+          LeaderMaybePropose(index, r, &to_broadcast);
+        }
+        break;
+      }
+      case SmrMessage::Type::kReply:
+        break;  // replicas never receive replies
+    }
+  }
+  for (const auto& out : to_broadcast) {
+    BroadcastFromReplica(index, out);
+  }
+  for (const auto& out : to_client) {
+    SendReplyToClient(index, out);
+  }
+}
+
+// Leader: order every pending un-ordered request. Caller holds r.mu; the
+// proposals are queued into `out` and broadcast by the caller post-unlock.
+void SmrCluster::LeaderMaybePropose(unsigned index, Replica& r,
+                                    std::vector<SmrMessage>* out) {
+  if (!IsLeader(r, index)) {
+    return;
+  }
+  for (auto& [request_id, pending] : r.pending) {
+    if (pending.ordered || r.executed.count(request_id) > 0) {
+      continue;
+    }
+    pending.ordered = true;
+    SmrMessage propose;
+    propose.type = SmrMessage::Type::kPropose;
+    propose.from = static_cast<int>(index);
+    propose.view = r.view;
+    propose.seq = r.next_seq++;
+    propose.request_id = request_id;
+    propose.order_time = env_->Now();
+    propose.payload = pending.payload;
+    out->push_back(std::move(propose));
+  }
+}
+
+// Executes committed commands in sequence order. Caller holds r.mu; replies
+// are queued into `out`.
+void SmrCluster::TryExecute(unsigned index, Replica& r,
+                            std::vector<SmrMessage>* out) {
+  for (;;) {
+    auto proposal_it = r.proposals.find(r.next_exec_seq);
+    if (proposal_it == r.proposals.end()) {
+      break;
+    }
+    auto votes_it = r.accept_votes.find(r.next_exec_seq);
+    if (votes_it == r.accept_votes.end() ||
+        votes_it->second.size() < config_.order_quorum()) {
+      break;
+    }
+    const SmrMessage& proposal = proposal_it->second.first;
+    Bytes reply_bytes;
+    auto executed_it = r.executed.find(proposal.request_id);
+    if (executed_it != r.executed.end()) {
+      reply_bytes = executed_it->second;  // duplicate ordering; cached reply
+    } else {
+      auto command = CoordCommand::Decode(proposal.payload);
+      CoordReply reply;
+      if (command.ok()) {
+        reply = r.space.Apply(proposal.order_time, *command);
+      } else {
+        reply.code = ErrorCode::kCorruption;
+      }
+      reply_bytes = reply.Encode();
+      r.executed[proposal.request_id] = reply_bytes;
+      r.executed_ops++;
+      r.pending.erase(proposal.request_id);
+    }
+    SmrMessage reply;
+    reply.type = SmrMessage::Type::kReply;
+    reply.from = static_cast<int>(index);
+    reply.request_id = proposal.request_id;
+    reply.payload = reply_bytes;
+    if (r.byzantine.load() && !reply.payload.empty()) {
+      reply.payload[0] ^= 0xff;  // byzantine replica lies to clients
+    }
+    out->push_back(std::move(reply));
+    r.next_exec_seq++;
+  }
+}
+
+// Failure detector: a pending request left unordered past order_timeout makes
+// this replica vote for a view change (BFT-SMaRt's client-triggered
+// synchronization, simplified).
+void SmrCluster::CheckOrderingTimeout(unsigned index, Replica& r) {
+  SmrMessage vote;
+  bool send = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (IsLeader(r, index)) {
+      return;
+    }
+    VirtualTime now = env_->Now();
+    for (const auto& [request_id, pending] : r.pending) {
+      if (!pending.ordered &&
+          now - pending.first_seen > config_.order_timeout) {
+        uint64_t proposed_view = r.view + 1;
+        if (r.view_votes[proposed_view].count(static_cast<int>(index)) > 0) {
+          return;  // already voted
+        }
+        r.view_votes[proposed_view].insert(static_cast<int>(index));
+        vote.type = SmrMessage::Type::kViewChange;
+        vote.from = static_cast<int>(index);
+        vote.view = proposed_view;
+        send = true;
+        break;
+      }
+    }
+  }
+  if (send) {
+    BroadcastFromReplica(index, vote);
+  }
+}
+
+}  // namespace scfs

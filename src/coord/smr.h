@@ -1,0 +1,173 @@
+// SmrCluster: state machine replication in the style of BFT-SMaRt (paper
+// §3.2). Replicas host TupleSpace state machines; a leader totally orders
+// client requests (PROPOSE), replicas vote (ACCEPT) and execute committed
+// commands in sequence, replying directly to the client, which accepts a
+// result once enough matching replies arrive:
+//
+//   - Byzantine mode: n = 3f+1 replicas, ordering quorum 2f+1, client needs
+//     f+1 matching replies (DepSpace's configuration).
+//   - Crash mode:     n = 2f+1 replicas, ordering quorum f+1, client needs 1
+//     reply (Zookeeper-like configuration).
+//
+// Leader failure is handled by a client-timeout-driven view change (as in
+// BFT-SMaRt's synchronization phase, simplified): replicas that see requests
+// lingering unordered vote for view v+1; once a quorum agrees, the new leader
+// (v mod n) re-proposes pending requests. Exactly-once execution is enforced
+// with a per-client last-request table.
+
+#ifndef SCFS_COORD_SMR_H_
+#define SCFS_COORD_SMR_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/coord/coordination_service.h"
+#include "src/coord/tuple_space.h"
+#include "src/sim/environment.h"
+#include "src/sim/latency.h"
+#include "src/sim/queue.h"
+
+namespace scfs {
+
+struct SmrConfig {
+  unsigned f = 1;
+  bool byzantine = true;  // false => crash-only (2f+1)
+  LatencyModel client_link;    // one-way client <-> replica (default for all)
+  std::vector<LatencyModel> client_links;  // optional per-replica override
+  LatencyModel replica_link;   // one-way replica <-> replica
+  VirtualDuration client_timeout = FromMillis(1500);
+  VirtualDuration order_timeout = FromMillis(800);  // failure detector
+  int max_client_retries = 8;
+
+  unsigned replica_count() const { return byzantine ? 3 * f + 1 : 2 * f + 1; }
+  unsigned order_quorum() const { return byzantine ? 2 * f + 1 : f + 1; }
+  unsigned reply_quorum() const { return byzantine ? f + 1 : 1; }
+};
+
+struct SmrMessage {
+  enum class Type : uint8_t {
+    kRequest,
+    kPropose,
+    kAccept,
+    kReply,
+    kViewChange,
+  };
+  Type type = Type::kRequest;
+  int from = -1;  // replica index, or -1 for a client
+  uint64_t request_id = 0;
+  uint64_t view = 0;
+  uint64_t seq = 0;
+  VirtualTime order_time = 0;
+  Bytes payload;  // command bytes (request/propose) or reply bytes (reply)
+};
+
+class SmrCluster {
+ public:
+  SmrCluster(Environment* env, SmrConfig config, uint64_t seed = 29);
+  ~SmrCluster();
+
+  SmrCluster(const SmrCluster&) = delete;
+  SmrCluster& operator=(const SmrCluster&) = delete;
+
+  // Submits a command and blocks until enough matching replies arrive.
+  Result<CoordReply> Execute(const CoordCommand& command);
+
+  unsigned replica_count() const { return config_.replica_count(); }
+
+  // Fault injection.
+  void CrashReplica(unsigned index);
+  void SetReplicaByzantine(unsigned index, bool byzantine);
+
+  // Introspection for tests.
+  uint64_t current_view() const;
+  uint64_t executed_count(unsigned replica) const;
+  uint64_t reply_bytes_out() const {
+    return reply_bytes_out_.load(std::memory_order_relaxed);
+  }
+
+  void Shutdown();
+
+ private:
+  struct PendingRequest {
+    Bytes payload;
+    VirtualTime first_seen = 0;
+    bool ordered = false;
+  };
+
+  struct Replica {
+    explicit Replica(Environment* env) : inbox(env) {}
+
+    DelayedQueue<SmrMessage> inbox;
+    std::thread thread;
+    std::atomic<bool> crashed{false};
+    std::atomic<bool> byzantine{false};
+
+    // Everything below is owned by the replica thread; guarded by `mu` only
+    // for test introspection.
+    mutable std::mutex mu;
+    TupleSpace space;
+    uint64_t view = 0;
+    uint64_t next_seq = 0;       // leader only
+    uint64_t next_exec_seq = 0;  // execution frontier
+    std::map<uint64_t, PendingRequest> pending;  // request_id -> payload
+    std::map<uint64_t, std::pair<SmrMessage, bool>> proposals;  // seq -> (msg, committed)
+    std::map<uint64_t, std::set<int>> accept_votes;             // seq -> voters
+    std::map<uint64_t, Bytes> executed;       // request_id -> reply bytes
+    std::map<uint64_t, std::set<int>> view_votes;  // proposed view -> voters
+    uint64_t executed_ops = 0;
+    Rng rng{0};
+  };
+
+  void ReplicaLoop(unsigned index);
+  void HandleMessage(unsigned index, Replica& r, SmrMessage msg);
+  void LeaderMaybePropose(unsigned index, Replica& r,
+                          std::vector<SmrMessage>* out);
+  void TryExecute(unsigned index, Replica& r, std::vector<SmrMessage>* out);
+  void CheckOrderingTimeout(unsigned index, Replica& r);
+  void BroadcastFromReplica(unsigned from, const SmrMessage& msg);
+  void SendToReplica(unsigned from_replica, unsigned to, SmrMessage msg);
+  void SendReplyToClient(unsigned from_replica, const SmrMessage& reply);
+  bool IsLeader(const Replica& r, unsigned index) const {
+    return r.view % replica_count() == index;
+  }
+
+  Environment* env_;
+  SmrConfig config_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+
+  std::mutex clients_mu_;
+  std::map<uint64_t, std::shared_ptr<DelayedQueue<SmrMessage>>> client_queues_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> reply_bytes_out_{0};
+
+  std::mutex rng_mu_;
+  Rng client_rng_;
+  std::atomic<bool> shutdown_{false};
+};
+
+// CoordinationService adapter over an SmrCluster — the CoC backend's
+// DepSpace-over-BFT-SMaRt deployment.
+class ReplicatedCoordination : public CoordinationService {
+ public:
+  ReplicatedCoordination(Environment* env, SmrConfig config, uint64_t seed = 29)
+      : cluster_(env, config, seed) {}
+
+  Result<CoordReply> Submit(const CoordCommand& command) override {
+    return cluster_.Execute(command);
+  }
+
+  SmrCluster& cluster() { return cluster_; }
+
+ private:
+  SmrCluster cluster_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_COORD_SMR_H_

@@ -1,0 +1,249 @@
+#include "src/coord/tuple_space.h"
+
+#include <vector>
+
+namespace scfs {
+
+namespace {
+CoordReply ErrorReply(ErrorCode code) {
+  CoordReply reply;
+  reply.code = code;
+  return reply;
+}
+}  // namespace
+
+CoordReply TupleSpace::Apply(VirtualTime now, const CoordCommand& command) {
+  ExpireLocks(now);
+  switch (command.op) {
+    case CoordOp::kWrite:
+      return Write(command);
+    case CoordOp::kConditionalCreate:
+      return ConditionalCreate(command);
+    case CoordOp::kCompareAndSwap:
+      return CompareAndSwap(command);
+    case CoordOp::kRead:
+      return Read(command);
+    case CoordOp::kReadPrefix:
+      return ReadPrefix(command);
+    case CoordOp::kRemove:
+      return Remove(command);
+    case CoordOp::kTryLock:
+      return TryLock(now, command);
+    case CoordOp::kRenewLock:
+      return RenewLock(now, command);
+    case CoordOp::kUnlock:
+      return Unlock(command);
+    case CoordOp::kRenamePrefix:
+      return RenamePrefix(command);
+    case CoordOp::kSetEntryAcl:
+      return SetEntryAcl(command);
+    case CoordOp::kNoop:
+      return CoordReply{};
+  }
+  return ErrorReply(ErrorCode::kInvalidArgument);
+}
+
+void TupleSpace::ExpireLocks(VirtualTime now) {
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (it->second.expires_at <= now) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+CoordReply TupleSpace::Write(const CoordCommand& cmd) {
+  auto it = entries_.find(cmd.key);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.value = cmd.value;
+    entry.version = 1;
+    entry.acl.owner = cmd.client;
+    stored_bytes_ += cmd.key.size() + cmd.value.size();
+    entries_.emplace(cmd.key, std::move(entry));
+    CoordReply reply;
+    reply.a = 1;
+    return reply;
+  }
+  Entry& entry = it->second;
+  if (!entry.acl.AllowsWrite(cmd.client)) {
+    return ErrorReply(ErrorCode::kPermissionDenied);
+  }
+  stored_bytes_ += cmd.value.size();
+  stored_bytes_ -= entry.value.size();
+  entry.value = cmd.value;
+  entry.version++;
+  CoordReply reply;
+  reply.a = entry.version;
+  return reply;
+}
+
+CoordReply TupleSpace::ConditionalCreate(const CoordCommand& cmd) {
+  if (entries_.count(cmd.key) > 0) {
+    return ErrorReply(ErrorCode::kAlreadyExists);
+  }
+  return Write(cmd);
+}
+
+CoordReply TupleSpace::CompareAndSwap(const CoordCommand& cmd) {
+  auto it = entries_.find(cmd.key);
+  if (it == entries_.end()) {
+    return ErrorReply(ErrorCode::kNotFound);
+  }
+  Entry& entry = it->second;
+  if (!entry.acl.AllowsWrite(cmd.client)) {
+    return ErrorReply(ErrorCode::kPermissionDenied);
+  }
+  if (entry.version != cmd.a) {
+    return ErrorReply(ErrorCode::kConflict);
+  }
+  stored_bytes_ += cmd.value.size();
+  stored_bytes_ -= entry.value.size();
+  entry.value = cmd.value;
+  entry.version++;
+  CoordReply reply;
+  reply.a = entry.version;
+  return reply;
+}
+
+CoordReply TupleSpace::Read(const CoordCommand& cmd) {
+  auto it = entries_.find(cmd.key);
+  if (it == entries_.end()) {
+    return ErrorReply(ErrorCode::kNotFound);
+  }
+  const Entry& entry = it->second;
+  if (!entry.acl.AllowsRead(cmd.client)) {
+    return ErrorReply(ErrorCode::kPermissionDenied);
+  }
+  CoordReply reply;
+  reply.value = entry.value;
+  reply.a = entry.version;
+  return reply;
+}
+
+CoordReply TupleSpace::ReadPrefix(const CoordCommand& cmd) {
+  CoordReply reply;
+  for (auto it = entries_.lower_bound(cmd.key); it != entries_.end(); ++it) {
+    if (it->first.compare(0, cmd.key.size(), cmd.key) != 0) {
+      break;
+    }
+    if (!it->second.acl.AllowsRead(cmd.client)) {
+      continue;
+    }
+    reply.entries.push_back(
+        CoordEntryView{it->first, it->second.value, it->second.version});
+  }
+  return reply;
+}
+
+CoordReply TupleSpace::Remove(const CoordCommand& cmd) {
+  auto it = entries_.find(cmd.key);
+  if (it == entries_.end()) {
+    return ErrorReply(ErrorCode::kNotFound);
+  }
+  if (!it->second.acl.AllowsWrite(cmd.client)) {
+    return ErrorReply(ErrorCode::kPermissionDenied);
+  }
+  stored_bytes_ -= it->first.size() + it->second.value.size();
+  entries_.erase(it);
+  return CoordReply{};
+}
+
+CoordReply TupleSpace::TryLock(VirtualTime now, const CoordCommand& cmd) {
+  auto it = locks_.find(cmd.key);
+  if (it != locks_.end()) {
+    if (it->second.owner == cmd.client) {
+      // Re-entrant: refresh the lease, return the same token.
+      it->second.expires_at = now + static_cast<VirtualDuration>(cmd.a);
+      CoordReply reply;
+      reply.a = it->second.token;
+      return reply;
+    }
+    return ErrorReply(ErrorCode::kBusy);
+  }
+  Lock lock;
+  lock.owner = cmd.client;
+  lock.token = next_token_++;
+  lock.expires_at = now + static_cast<VirtualDuration>(cmd.a);
+  locks_.emplace(cmd.key, lock);
+  CoordReply reply;
+  reply.a = lock.token;
+  return reply;
+}
+
+CoordReply TupleSpace::RenewLock(VirtualTime now, const CoordCommand& cmd) {
+  auto it = locks_.find(cmd.key);
+  if (it == locks_.end() || it->second.token != cmd.b) {
+    return ErrorReply(ErrorCode::kNotFound);
+  }
+  it->second.expires_at = now + static_cast<VirtualDuration>(cmd.a);
+  return CoordReply{};
+}
+
+CoordReply TupleSpace::Unlock(const CoordCommand& cmd) {
+  auto it = locks_.find(cmd.key);
+  if (it == locks_.end() || it->second.token != cmd.b) {
+    return ErrorReply(ErrorCode::kNotFound);
+  }
+  locks_.erase(it);
+  return CoordReply{};
+}
+
+CoordReply TupleSpace::RenamePrefix(const CoordCommand& cmd) {
+  // DepSpace lacks hierarchical structures; the paper extended it with
+  // triggers so rename is one atomic server-side operation instead of a
+  // client-side read-rewrite of every descendant tuple.
+  const std::string& old_prefix = cmd.key;
+  const std::string& new_prefix = cmd.aux;
+  std::vector<std::pair<std::string, Entry>> moved;
+  auto it = entries_.lower_bound(old_prefix);
+  while (it != entries_.end() &&
+         it->first.compare(0, old_prefix.size(), old_prefix) == 0) {
+    if (!it->second.acl.AllowsWrite(cmd.client)) {
+      return ErrorReply(ErrorCode::kPermissionDenied);
+    }
+    std::string new_key = new_prefix + it->first.substr(old_prefix.size());
+    moved.emplace_back(std::move(new_key), std::move(it->second));
+    it = entries_.erase(it);
+  }
+  if (moved.empty()) {
+    return ErrorReply(ErrorCode::kNotFound);
+  }
+  CoordReply reply;
+  reply.a = moved.size();
+  for (auto& [key, entry] : moved) {
+    stored_bytes_ += key.size();
+    stored_bytes_ -= old_prefix.size() +
+                     (key.size() - new_prefix.size());  // old key size
+    entry.version++;
+    entries_[key] = std::move(entry);
+  }
+  return reply;
+}
+
+CoordReply TupleSpace::SetEntryAcl(const CoordCommand& cmd) {
+  auto it = entries_.find(cmd.key);
+  if (it == entries_.end()) {
+    return ErrorReply(ErrorCode::kNotFound);
+  }
+  Entry& entry = it->second;
+  if (cmd.client != entry.acl.owner) {
+    return ErrorReply(ErrorCode::kPermissionDenied);
+  }
+  const bool read = (cmd.a & kCoordPermRead) != 0;
+  const bool write = (cmd.a & kCoordPermWrite) != 0;
+  if (read) {
+    entry.acl.readers.insert(cmd.aux);
+  } else {
+    entry.acl.readers.erase(cmd.aux);
+  }
+  if (write) {
+    entry.acl.writers.insert(cmd.aux);
+  } else {
+    entry.acl.writers.erase(cmd.aux);
+  }
+  return CoordReply{};
+}
+
+}  // namespace scfs

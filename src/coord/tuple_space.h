@@ -1,0 +1,81 @@
+// TupleSpace: the deterministic state machine at the heart of the
+// coordination service (paper §2.3, §3.2 — DepSpace with the trigger
+// extension for rename).
+//
+// It stores versioned, access-controlled entries (SCFS metadata tuples) and
+// ephemeral locks whose leases expire at command-execution time, so a crashed
+// client's locks vanish automatically (§2.5.1, locking service requirement).
+// All mutation goes through Apply(now, command); replicas that execute the
+// same command sequence with the same timestamps reach identical states.
+
+#ifndef SCFS_COORD_TUPLE_SPACE_H_
+#define SCFS_COORD_TUPLE_SPACE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/coord/command.h"
+#include "src/sim/time.h"
+
+namespace scfs {
+
+class TupleSpace {
+ public:
+  CoordReply Apply(VirtualTime now, const CoordCommand& command);
+
+  // Introspection for tests and capacity accounting (Figure 11a).
+  size_t entry_count() const { return entries_.size(); }
+  size_t lock_count() const { return locks_.size(); }
+  uint64_t stored_bytes() const { return stored_bytes_; }
+
+ private:
+  struct EntryAcl {
+    std::string owner;
+    std::set<std::string> readers;
+    std::set<std::string> writers;
+
+    // "*" grants everyone (used for world-readable registry tuples).
+    bool AllowsRead(const std::string& who) const {
+      return who == owner || readers.count(who) > 0 || readers.count("*") > 0;
+    }
+    bool AllowsWrite(const std::string& who) const {
+      return who == owner || writers.count(who) > 0 || writers.count("*") > 0;
+    }
+  };
+
+  struct Entry {
+    Bytes value;
+    uint64_t version = 0;
+    EntryAcl acl;
+  };
+
+  struct Lock {
+    std::string owner;
+    uint64_t token = 0;
+    VirtualTime expires_at = 0;
+  };
+
+  void ExpireLocks(VirtualTime now);
+
+  CoordReply Write(const CoordCommand& cmd);
+  CoordReply ConditionalCreate(const CoordCommand& cmd);
+  CoordReply CompareAndSwap(const CoordCommand& cmd);
+  CoordReply Read(const CoordCommand& cmd);
+  CoordReply ReadPrefix(const CoordCommand& cmd);
+  CoordReply Remove(const CoordCommand& cmd);
+  CoordReply TryLock(VirtualTime now, const CoordCommand& cmd);
+  CoordReply RenewLock(VirtualTime now, const CoordCommand& cmd);
+  CoordReply Unlock(const CoordCommand& cmd);
+  CoordReply RenamePrefix(const CoordCommand& cmd);
+  CoordReply SetEntryAcl(const CoordCommand& cmd);
+
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, Lock> locks_;
+  uint64_t next_token_ = 1;
+  uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_COORD_TUPLE_SPACE_H_

@@ -1,0 +1,92 @@
+#include "src/crypto/chacha20.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace scfs {
+
+namespace {
+inline uint32_t Rotl32(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void QuarterRound(uint32_t* s, int a, int b, int c, int d) {
+  s[a] += s[b];
+  s[d] = Rotl32(s[d] ^ s[a], 16);
+  s[c] += s[d];
+  s[b] = Rotl32(s[b] ^ s[c], 12);
+  s[a] += s[b];
+  s[d] = Rotl32(s[d] ^ s[a], 8);
+  s[c] += s[d];
+  s[b] = Rotl32(s[b] ^ s[c], 7);
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+std::array<uint8_t, 64> ChaCha20::Block(const Bytes& key, const Bytes& nonce,
+                                        uint32_t counter) {
+  assert(key.size() == kKeySize);
+  assert(nonce.size() == kNonceSize);
+
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = LoadLe32(&key[i * 4]);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = LoadLe32(&nonce[i * 4]);
+  }
+
+  uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(working, 0, 4, 8, 12);
+    QuarterRound(working, 1, 5, 9, 13);
+    QuarterRound(working, 2, 6, 10, 14);
+    QuarterRound(working, 3, 7, 11, 15);
+    QuarterRound(working, 0, 5, 10, 15);
+    QuarterRound(working, 1, 6, 11, 12);
+    QuarterRound(working, 2, 7, 8, 13);
+    QuarterRound(working, 3, 4, 9, 14);
+  }
+
+  std::array<uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = working[i] + state[i];
+    out[i * 4] = static_cast<uint8_t>(v);
+    out[i * 4 + 1] = static_cast<uint8_t>(v >> 8);
+    out[i * 4 + 2] = static_cast<uint8_t>(v >> 16);
+    out[i * 4 + 3] = static_cast<uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+Bytes ChaCha20::Crypt(const Bytes& key, const Bytes& nonce, uint32_t counter,
+                      const Bytes& input) {
+  Bytes out(input.size());
+  size_t offset = 0;
+  uint32_t block_counter = counter;
+  while (offset < input.size()) {
+    auto keystream = Block(key, nonce, block_counter++);
+    size_t n = input.size() - offset;
+    if (n > 64) {
+      n = 64;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out[offset + i] = input[offset + i] ^ keystream[i];
+    }
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace scfs

@@ -1,0 +1,33 @@
+// ChaCha20 stream cipher (RFC 8439). This is the symmetric cipher DepSky-CA
+// uses here to encrypt file contents before erasure coding (the paper used a
+// random AES key; ChaCha20 plays the identical role — a fresh random key per
+// write, protected by secret sharing).
+
+#ifndef SCFS_CRYPTO_CHACHA20_H_
+#define SCFS_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace scfs {
+
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+
+  // Encryption == decryption (XOR stream). counter is the initial 32-bit
+  // block counter (RFC 8439 test vectors use 1 for encryption).
+  static Bytes Crypt(const Bytes& key, const Bytes& nonce, uint32_t counter,
+                     const Bytes& input);
+
+  // One 64-byte keystream block; exposed for test vectors.
+  static std::array<uint8_t, 64> Block(const Bytes& key, const Bytes& nonce,
+                                       uint32_t counter);
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_CRYPTO_CHACHA20_H_

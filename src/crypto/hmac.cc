@@ -1,0 +1,38 @@
+#include "src/crypto/hmac.h"
+
+#include "src/crypto/sha256.h"
+
+namespace scfs {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  Bytes k = key;
+  if (k.size() > Sha256::kBlockSize) {
+    k = Sha256::Hash(k);
+  }
+  k.resize(Sha256::kBlockSize, 0);
+
+  Bytes ipad(Sha256::kBlockSize);
+  Bytes opad(Sha256::kBlockSize);
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  auto inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  auto digest = outer.Finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+bool HmacSha256Verify(const Bytes& key, const Bytes& message,
+                      const Bytes& expected_mac) {
+  return ConstantTimeEquals(HmacSha256(key, message), expected_mac);
+}
+
+}  // namespace scfs

@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104). DepSky metadata in this reproduction carries HMAC
+// authenticators instead of RSA signatures (documented substitution: the
+// simulated deployment has a shared writer key instead of a PKI; the
+// verify-on-read code path is identical).
+
+#ifndef SCFS_CRYPTO_HMAC_H_
+#define SCFS_CRYPTO_HMAC_H_
+
+#include "src/common/bytes.h"
+
+namespace scfs {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+// Constant-time verification.
+bool HmacSha256Verify(const Bytes& key, const Bytes& message,
+                      const Bytes& expected_mac);
+
+}  // namespace scfs
+
+#endif  // SCFS_CRYPTO_HMAC_H_

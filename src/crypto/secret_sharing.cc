@@ -1,0 +1,94 @@
+#include "src/crypto/secret_sharing.h"
+
+#include <set>
+
+#include "src/math/gf256.h"
+
+namespace scfs {
+
+Result<std::vector<SecretShare>> SecretSharing::Split(const Bytes& secret,
+                                                      unsigned share_count,
+                                                      unsigned threshold,
+                                                      Rng& rng) {
+  if (threshold == 0 || threshold > share_count || share_count > 255) {
+    return InvalidArgumentError("bad secret sharing parameters");
+  }
+  // One random polynomial of degree threshold-1 per secret byte; the secret
+  // byte is the constant term.
+  std::vector<SecretShare> shares(share_count);
+  for (unsigned s = 0; s < share_count; ++s) {
+    shares[s].index = static_cast<uint8_t>(s + 1);
+    shares[s].data.resize(secret.size());
+  }
+  std::vector<uint8_t> coefficients(threshold);
+  for (size_t byte = 0; byte < secret.size(); ++byte) {
+    coefficients[0] = secret[byte];
+    for (unsigned c = 1; c < threshold; ++c) {
+      coefficients[c] = static_cast<uint8_t>(rng.NextU64());
+    }
+    for (unsigned s = 0; s < share_count; ++s) {
+      uint8_t x = shares[s].index;
+      // Horner evaluation.
+      uint8_t y = coefficients[threshold - 1];
+      for (int c = static_cast<int>(threshold) - 2; c >= 0; --c) {
+        y = Gf256::Add(Gf256::Mul(y, x), coefficients[c]);
+      }
+      shares[s].data[byte] = y;
+    }
+  }
+  return shares;
+}
+
+Result<Bytes> SecretSharing::Combine(const std::vector<SecretShare>& shares,
+                                     unsigned threshold) {
+  if (shares.size() < threshold || threshold == 0) {
+    return InvalidArgumentError("not enough shares");
+  }
+  std::set<uint8_t> seen;
+  std::vector<const SecretShare*> use;
+  for (const auto& share : shares) {
+    if (share.index == 0) {
+      return InvalidArgumentError("share index 0 is invalid");
+    }
+    if (seen.insert(share.index).second) {
+      use.push_back(&share);
+      if (use.size() == threshold) {
+        break;
+      }
+    }
+  }
+  if (use.size() < threshold) {
+    return InvalidArgumentError("not enough distinct shares");
+  }
+  const size_t secret_size = use[0]->data.size();
+  for (const auto* share : use) {
+    if (share->data.size() != secret_size) {
+      return InvalidArgumentError("share length mismatch");
+    }
+  }
+
+  // Lagrange interpolation at x=0: secret = sum_i y_i * prod_{j!=i} x_j/(x_j-x_i).
+  std::vector<uint8_t> lagrange(threshold);
+  for (unsigned i = 0; i < threshold; ++i) {
+    uint8_t numerator = 1;
+    uint8_t denominator = 1;
+    for (unsigned j = 0; j < threshold; ++j) {
+      if (j == i) {
+        continue;
+      }
+      numerator = Gf256::Mul(numerator, use[j]->index);
+      denominator = Gf256::Mul(
+          denominator, Gf256::Sub(use[j]->index, use[i]->index));
+    }
+    lagrange[i] = Gf256::Div(numerator, denominator);
+  }
+
+  Bytes secret(secret_size, 0);
+  for (unsigned i = 0; i < threshold; ++i) {
+    Gf256::MulAddRow(secret.data(), use[i]->data.data(), lagrange[i],
+                     static_cast<unsigned>(secret_size));
+  }
+  return secret;
+}
+
+}  // namespace scfs

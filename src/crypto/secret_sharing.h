@@ -1,0 +1,37 @@
+// Shamir secret sharing over GF(2^8) (byte-wise), as used by DepSky-CA to
+// protect the file-encryption key: each cloud stores one share; any
+// `threshold` shares recover the key; fewer reveal nothing.
+
+#ifndef SCFS_CRYPTO_SECRET_SHARING_H_
+#define SCFS_CRYPTO_SECRET_SHARING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace scfs {
+
+struct SecretShare {
+  uint8_t index = 0;  // share x-coordinate, 1-based; 0 is invalid
+  Bytes data;         // same length as the secret
+};
+
+class SecretSharing {
+ public:
+  // Splits `secret` into `share_count` shares with reconstruction threshold
+  // `threshold` (1 <= threshold <= share_count <= 255).
+  static Result<std::vector<SecretShare>> Split(const Bytes& secret,
+                                                unsigned share_count,
+                                                unsigned threshold, Rng& rng);
+
+  // Recovers the secret from at least `threshold` distinct shares.
+  static Result<Bytes> Combine(const std::vector<SecretShare>& shares,
+                               unsigned threshold);
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_CRYPTO_SECRET_SHARING_H_

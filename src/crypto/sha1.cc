@@ -1,0 +1,128 @@
+#include "src/crypto/sha1.h"
+
+#include <cstring>
+
+namespace scfs {
+
+namespace {
+inline uint32_t Rotl32(uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+Sha1::Sha1() : total_bytes_(0), buffered_(0) {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+  state_[4] = 0xc3d2e1f0;
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = state_[0];
+  uint32_t b = state_[1];
+  uint32_t c = state_[2];
+  uint32_t d = state_[3];
+  uint32_t e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f;
+    uint32_t k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::Update(const uint8_t* data, size_t size) {
+  total_bytes_ += size;
+  while (size > 0) {
+    size_t take = kBlockSize - buffered_;
+    if (take > size) {
+      take = size;
+    }
+    std::memcpy(buffer_ + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    size -= take;
+    if (buffered_ == kBlockSize) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+}
+
+std::array<uint8_t, Sha1::kDigestSize> Sha1::Finish() {
+  uint64_t bit_length = total_bytes_ * 8;
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  while (buffered_ != 56) {
+    Update(&zero, 1);
+  }
+  uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<uint8_t>(bit_length >> (56 - i * 8));
+  }
+  // Bypass the length bookkeeping for the final 8 bytes.
+  total_bytes_ -= 8;
+  Update(length_bytes, 8);
+
+  std::array<uint8_t, kDigestSize> digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+Bytes Sha1::Hash(const Bytes& data) {
+  Sha1 h;
+  h.Update(data);
+  auto d = h.Finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes Sha1::Hash(std::string_view data) {
+  Sha1 h;
+  h.Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  auto d = h.Finish();
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace scfs

@@ -1,0 +1,40 @@
+// SHA-1 (FIPS 180-4). SCFS uses SHA-1 as the collision-resistant hash of file
+// contents stored in the consistency anchor (paper §2.5.1). Kept alongside
+// SHA-256, which this reproduction prefers for new integrity checks.
+
+#ifndef SCFS_CRYPTO_SHA1_H_
+#define SCFS_CRYPTO_SHA1_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace scfs {
+
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha1();
+
+  void Update(const uint8_t* data, size_t size);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  std::array<uint8_t, kDigestSize> Finish();
+
+  static Bytes Hash(const Bytes& data);
+  static Bytes Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[5];
+  uint64_t total_bytes_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffered_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_CRYPTO_SHA1_H_

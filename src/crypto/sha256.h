@@ -1,0 +1,39 @@
+// SHA-256 (FIPS 180-4). Used for DepSky block hashes and as the PRF behind
+// the HMAC authenticators.
+
+#ifndef SCFS_CRYPTO_SHA256_H_
+#define SCFS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace scfs {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  void Update(const uint8_t* data, size_t size);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  std::array<uint8_t, kDigestSize> Finish();
+
+  static Bytes Hash(const Bytes& data);
+  static Bytes Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffered_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_CRYPTO_SHA256_H_

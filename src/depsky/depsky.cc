@@ -1,0 +1,467 @@
+#include "src/depsky/depsky.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "src/crypto/chacha20.h"
+#include "src/crypto/secret_sharing.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+
+namespace scfs {
+
+DepSkyClient::DepSkyClient(Environment* env, std::vector<DepSkyCloud> clouds,
+                           DepSkyConfig config, uint64_t seed)
+    : env_(env), clouds_(std::move(clouds)), config_(config), rng_(seed) {}
+
+std::string DepSkyClient::MetadataKey(const std::string& unit) {
+  return "du/" + unit + "/md";
+}
+
+std::string DepSkyClient::ValueKey(const std::string& unit, uint64_t version) {
+  return "du/" + unit + "/v" + std::to_string(version);
+}
+
+Bytes DepSkyClient::RandomBytesLocked(size_t size) {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return rng_.RandomBytes(size);
+}
+
+void DepSkyClient::ParallelOnClouds(
+    const std::vector<unsigned>& clouds,
+    const std::function<Status(unsigned)>& op,
+    std::vector<Status>* statuses) {
+  statuses->assign(clouds_.size(), OkStatus());
+  std::vector<std::thread> threads;
+  std::vector<VirtualDuration> charges(clouds.size(), 0);
+  threads.reserve(clouds.size());
+  for (size_t i = 0; i < clouds.size(); ++i) {
+    unsigned cloud = clouds[i];
+    threads.emplace_back([&, cloud, i] {
+      Environment::ResetThreadCharged();
+      (*statuses)[cloud] = op(cloud);
+      charges[i] = Environment::ThreadCharged();
+    });
+  }
+  VirtualDuration max_charge = 0;
+  for (size_t i = 0; i < threads.size(); ++i) {
+    threads[i].join();
+    max_charge = std::max(max_charge, charges[i]);
+  }
+  // The caller waited for the slowest cloud; charge it that much.
+  Environment::AddThreadCharge(max_charge);
+}
+
+Result<DepSkyMetadata> DepSkyClient::ReadMetadata(const std::string& unit) {
+  const std::string key = MetadataKey(unit);
+  std::vector<Result<Bytes>> raw(clouds_.size(), NotFoundError("unqueried"));
+  std::vector<unsigned> all(clouds_.size());
+  for (unsigned i = 0; i < clouds_.size(); ++i) {
+    all[i] = i;
+  }
+  std::vector<Status> statuses;
+  ParallelOnClouds(
+      all,
+      [&](unsigned i) {
+        raw[i] = clouds_[i].store->Get(clouds_[i].creds, key);
+        return OkStatus();
+      },
+      &statuses);
+
+  // Keep the highest *authenticated* version view. Byzantine clouds cannot
+  // forge the HMAC; at worst they serve an old copy, which loses the
+  // max-version vote as long as one honest fresh copy answers.
+  Result<DepSkyMetadata> best = NotFoundError("no metadata for " + unit);
+  uint64_t best_version = 0;
+  bool found = false;
+  for (unsigned i = 0; i < clouds_.size(); ++i) {
+    if (!raw[i].ok()) {
+      continue;
+    }
+    auto md = DepSkyMetadata::Decode(*raw[i], config_.auth_key);
+    if (!md.ok()) {
+      continue;  // corrupted/forged copy: skip
+    }
+    uint64_t version = md->versions.empty() ? 0 : md->versions.back().version;
+    if (!found || version > best_version) {
+      best = std::move(md);
+      best_version = version;
+      found = true;
+    }
+  }
+  return best;
+}
+
+Status DepSkyClient::PushMetadata(const std::string& unit,
+                                  const DepSkyMetadata& md) {
+  const std::string key = MetadataKey(unit);
+  Bytes encoded = md.Encode(config_.auth_key);
+  std::vector<unsigned> all(clouds_.size());
+  for (unsigned i = 0; i < clouds_.size(); ++i) {
+    all[i] = i;
+  }
+  std::vector<Status> statuses;
+  ParallelOnClouds(
+      all,
+      [&](unsigned i) {
+        Status s = clouds_[i].store->Put(clouds_[i].creds, key, encoded);
+        if (s.ok()) {
+          ApplyAclsToObject(md, i, key);
+        }
+        return s;
+      },
+      &statuses);
+  unsigned successes = 0;
+  for (unsigned i : all) {
+    if (statuses[i].ok()) {
+      ++successes;
+    }
+  }
+  if (successes < config_.quorum()) {
+    return UnavailableError("metadata write quorum not reached for " + unit);
+  }
+  return OkStatus();
+}
+
+void DepSkyClient::ApplyAclsToObject(const DepSkyMetadata& md, unsigned cloud,
+                                     const std::string& key) {
+  // Owner of the data unit always gets read+write on objects we create.
+  if (cloud < md.owner_ids.size() && !md.owner_ids[cloud].empty() &&
+      md.owner_ids[cloud] != clouds_[cloud].creds.canonical_id) {
+    (void)clouds_[cloud].store->SetAcl(clouds_[cloud].creds, key,
+                                       md.owner_ids[cloud],
+                                       ObjectPermissions::ReadWrite());
+  }
+  for (const auto& grant : md.grants) {
+    if (cloud >= grant.cloud_ids.size() || grant.cloud_ids[cloud].empty()) {
+      continue;
+    }
+    if (grant.cloud_ids[cloud] == clouds_[cloud].creds.canonical_id) {
+      continue;
+    }
+    ObjectPermissions perms;
+    perms.read = grant.read;
+    perms.write = grant.write;
+    (void)clouds_[cloud].store->SetAcl(clouds_[cloud].creds, key,
+                                       grant.cloud_ids[cloud], perms);
+  }
+}
+
+Result<uint64_t> DepSkyClient::WriteVersion(
+    const std::string& unit, const std::string& content_hash,
+    const Bytes& data, const std::vector<DepSkyGrant>* merge_grants) {
+  // Step 0: learn the current version history (creates it on first write).
+  DepSkyMetadata md;
+  auto existing = ReadMetadata(unit);
+  if (existing.ok()) {
+    md = std::move(*existing);
+  } else if (existing.status().code() == ErrorCode::kNotFound) {
+    md.n = config_.n();
+    md.k = config_.k();
+    md.mode = config_.mode;
+    md.owner_ids.resize(clouds_.size());
+    for (unsigned i = 0; i < clouds_.size(); ++i) {
+      md.owner_ids[i] = clouds_[i].creds.canonical_id;
+    }
+  } else {
+    return existing.status();
+  }
+  if (merge_grants != nullptr) {
+    for (const auto& grant : *merge_grants) {
+      auto it = std::find_if(md.grants.begin(), md.grants.end(),
+                             [&](const DepSkyGrant& g) {
+                               return g.cloud_ids == grant.cloud_ids;
+                             });
+      if (it != md.grants.end()) {
+        *it = grant;
+      } else if (grant.read || grant.write) {
+        md.grants.push_back(grant);
+      }
+    }
+  }
+
+  DepSkyVersion version;
+  version.version = md.NextVersionNumber();
+  version.content_hash = content_hash;
+  version.size = data.size();
+  version.cloud_shard.assign(clouds_.size(), -1);
+
+  // Steps 1-3 (Figure 6): key generation, encryption, erasure coding and
+  // secret sharing.
+  std::vector<Bytes> shards;
+  std::vector<SecretShare> shares;
+  if (config_.mode == DepSkyMode::kSecretSharing) {
+    Bytes key = RandomBytesLocked(ChaCha20::kKeySize);
+    version.nonce = RandomBytesLocked(ChaCha20::kNonceSize);
+    Bytes ciphertext = ChaCha20::Crypt(key, version.nonce, 0, data);
+    ErasureCodec codec(config_.n(), config_.k());
+    ASSIGN_OR_RETURN(shards, codec.Encode(ciphertext));
+    Result<std::vector<SecretShare>> split = [&]() {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      return SecretSharing::Split(key, config_.n(), config_.k(), rng_);
+    }();
+    RETURN_IF_ERROR(split.status());
+    shares = std::move(*split);
+  } else {
+    shards.assign(clouds_.size(), data);  // full replicas
+  }
+  version.shard_hashes.resize(shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    version.shard_hashes[i] = Sha256::Hash(shards[i]);
+  }
+
+  // Step 4: store shard_i + share_i at cloud i. Preferred quorums: use the
+  // first n-f clouds, falling back to spares only on failure.
+  const std::string value_key = ValueKey(unit, version.version);
+  const unsigned quorum = config_.quorum();
+  std::vector<unsigned> preferred;
+  std::vector<unsigned> spares;
+  for (unsigned i = 0; i < clouds_.size(); ++i) {
+    if (config_.preferred_quorums && preferred.size() >= quorum) {
+      spares.push_back(i);
+    } else {
+      preferred.push_back(i);
+    }
+  }
+
+  auto write_to_cloud = [&](unsigned cloud, unsigned shard_index) -> Status {
+    DepSkyValueObject object;
+    object.shard = shards[shard_index];
+    if (config_.mode == DepSkyMode::kSecretSharing) {
+      object.share_index = shares[shard_index].index;
+      object.share_data = shares[shard_index].data;
+    }
+    Status s = clouds_[cloud].store->Put(clouds_[cloud].creds, value_key,
+                                         object.Encode());
+    if (s.ok()) {
+      ApplyAclsToObject(md, cloud, value_key);
+    }
+    return s;
+  };
+
+  // First wave: shard i -> preferred cloud i.
+  std::vector<Status> statuses;
+  ParallelOnClouds(
+      preferred, [&](unsigned cloud) { return write_to_cloud(cloud, cloud); },
+      &statuses);
+  unsigned successes = 0;
+  std::vector<unsigned> failed_shards;
+  for (unsigned cloud : preferred) {
+    if (statuses[cloud].ok()) {
+      version.cloud_shard[cloud] = static_cast<int32_t>(cloud);
+      ++successes;
+    } else {
+      failed_shards.push_back(cloud);
+    }
+  }
+  // Fallback wave: route failed shards to spare clouds.
+  for (unsigned spare : spares) {
+    if (successes >= quorum || failed_shards.empty()) {
+      break;
+    }
+    unsigned shard = failed_shards.back();
+    if (write_to_cloud(spare, shard).ok()) {
+      version.cloud_shard[spare] = static_cast<int32_t>(shard);
+      failed_shards.pop_back();
+      ++successes;
+    }
+  }
+  if (successes < quorum) {
+    return UnavailableError("depsky write quorum not reached for " + unit);
+  }
+
+  // Step 5: publish the version in the metadata object.
+  md.versions.push_back(std::move(version));
+  RETURN_IF_ERROR(PushMetadata(unit, md));
+  return md.versions.back().version;
+}
+
+Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
+                                         const DepSkyMetadata& md,
+                                         const DepSkyVersion& version) {
+  const std::string value_key = ValueKey(unit, version.version);
+  const unsigned k = (md.mode == DepSkyMode::kSecretSharing) ? md.k : 1;
+
+  // Clouds that hold a shard of this version, in preference order.
+  std::vector<unsigned> holders;
+  for (unsigned i = 0; i < clouds_.size(); ++i) {
+    if (i < version.cloud_shard.size() && version.cloud_shard[i] >= 0) {
+      holders.push_back(i);
+    }
+  }
+  if (holders.size() < k) {
+    return UnavailableError("not enough shard holders recorded");
+  }
+
+  std::vector<std::optional<Bytes>> shards(clouds_.size());
+  std::vector<SecretShare> shares;
+  std::mutex collect_mu;
+  unsigned valid = 0;
+
+  auto fetch_from = [&](unsigned cloud) -> Status {
+    auto raw = clouds_[cloud].store->Get(clouds_[cloud].creds, value_key);
+    if (!raw.ok()) {
+      return raw.status();
+    }
+    auto object = DepSkyValueObject::Decode(*raw);
+    if (!object.ok()) {
+      return object.status();
+    }
+    unsigned shard_index =
+        static_cast<unsigned>(version.cloud_shard[cloud]);
+    if (shard_index >= version.shard_hashes.size() ||
+        Sha256::Hash(object->shard) != version.shard_hashes[shard_index]) {
+      return CorruptionError("shard hash mismatch at cloud " +
+                             std::to_string(cloud));
+    }
+    std::lock_guard<std::mutex> lock(collect_mu);
+    if (!shards[shard_index].has_value()) {
+      shards[shard_index] = std::move(object->shard);
+      if (object->share_index != 0) {
+        shares.push_back(SecretShare{object->share_index, object->share_data});
+      }
+      ++valid;
+    }
+    return OkStatus();
+  };
+
+  // Fetch the first k holders in parallel, then fall back one by one.
+  std::vector<unsigned> first_wave(holders.begin(),
+                                   holders.begin() + k);
+  std::vector<Status> statuses;
+  ParallelOnClouds(first_wave, fetch_from, &statuses);
+  size_t next_holder = k;
+  while (valid < k && next_holder < holders.size()) {
+    (void)fetch_from(holders[next_holder++]);
+  }
+  if (valid < k) {
+    return UnavailableError("could not fetch enough valid shards for " + unit);
+  }
+
+  Bytes plaintext;
+  if (md.mode == DepSkyMode::kSecretSharing) {
+    ErasureCodec codec(md.n, md.k);
+    ASSIGN_OR_RETURN(Bytes ciphertext, codec.Decode(shards));
+    ASSIGN_OR_RETURN(Bytes key, SecretSharing::Combine(shares, md.k));
+    plaintext = ChaCha20::Crypt(key, version.nonce, 0, ciphertext);
+  } else {
+    for (auto& shard : shards) {
+      if (shard.has_value()) {
+        plaintext = std::move(*shard);
+        break;
+      }
+    }
+  }
+
+  // Final integrity check: the consistency-anchor hash must match.
+  if (HexEncode(Sha1::Hash(plaintext)) != version.content_hash) {
+    return CorruptionError("content hash mismatch for " + unit);
+  }
+  return plaintext;
+}
+
+Result<Bytes> DepSkyClient::ReadByHash(const std::string& unit,
+                                       const std::string& content_hash) {
+  ASSIGN_OR_RETURN(DepSkyMetadata md, ReadMetadata(unit));
+  const DepSkyVersion* version = md.FindByHash(content_hash);
+  if (version == nullptr) {
+    return NotFoundError("version " + content_hash + " not visible yet");
+  }
+  return FetchVersion(unit, md, *version);
+}
+
+Result<Bytes> DepSkyClient::ReadLatest(const std::string& unit) {
+  ASSIGN_OR_RETURN(DepSkyMetadata md, ReadMetadata(unit));
+  const DepSkyVersion* version = md.Latest();
+  if (version == nullptr) {
+    return NotFoundError("no versions of " + unit);
+  }
+  return FetchVersion(unit, md, *version);
+}
+
+Status DepSkyClient::DeleteVersion(const std::string& unit, uint64_t version) {
+  ASSIGN_OR_RETURN(DepSkyMetadata md, ReadMetadata(unit));
+  auto it = std::find_if(md.versions.begin(), md.versions.end(),
+                         [&](const DepSkyVersion& v) {
+                           return v.version == version;
+                         });
+  if (it == md.versions.end()) {
+    return NotFoundError("version not in metadata");
+  }
+  md.versions.erase(it);
+  RETURN_IF_ERROR(PushMetadata(unit, md));
+
+  const std::string value_key = ValueKey(unit, version);
+  std::vector<unsigned> all(clouds_.size());
+  for (unsigned i = 0; i < clouds_.size(); ++i) {
+    all[i] = i;
+  }
+  std::vector<Status> statuses;
+  ParallelOnClouds(
+      all,
+      [&](unsigned i) {
+        return clouds_[i].store->Delete(clouds_[i].creds, value_key);
+      },
+      &statuses);
+  return OkStatus();  // best effort: missing replicas are fine
+}
+
+Status DepSkyClient::DeleteUnit(const std::string& unit) {
+  auto md = ReadMetadata(unit);
+  if (md.ok()) {
+    // Delete value objects for every version first.
+    std::vector<uint64_t> versions;
+    for (const auto& v : md->versions) {
+      versions.push_back(v.version);
+    }
+    for (uint64_t v : versions) {
+      const std::string value_key = ValueKey(unit, v);
+      for (unsigned i = 0; i < clouds_.size(); ++i) {
+        (void)clouds_[i].store->Delete(clouds_[i].creds, value_key);
+      }
+    }
+  }
+  const std::string md_key = MetadataKey(unit);
+  for (unsigned i = 0; i < clouds_.size(); ++i) {
+    (void)clouds_[i].store->Delete(clouds_[i].creds, md_key);
+  }
+  return OkStatus();
+}
+
+Status DepSkyClient::SetGrant(const std::string& unit,
+                              const DepSkyGrant& grant) {
+  ASSIGN_OR_RETURN(DepSkyMetadata md, ReadMetadata(unit));
+  // Replace an existing grant for the same principal ids, else append.
+  auto it = std::find_if(md.grants.begin(), md.grants.end(),
+                         [&](const DepSkyGrant& g) {
+                           return g.cloud_ids == grant.cloud_ids;
+                         });
+  if (it != md.grants.end()) {
+    if (!grant.read && !grant.write) {
+      md.grants.erase(it);
+    } else {
+      *it = grant;
+    }
+  } else if (grant.read || grant.write) {
+    md.grants.push_back(grant);
+  }
+
+  // Apply to the metadata object and to every existing version object.
+  RETURN_IF_ERROR(PushMetadata(unit, md));
+  ObjectPermissions perms;
+  perms.read = grant.read;
+  perms.write = grant.write;
+  for (const auto& version : md.versions) {
+    const std::string value_key = ValueKey(unit, version.version);
+    for (unsigned i = 0; i < clouds_.size(); ++i) {
+      if (i < grant.cloud_ids.size() && !grant.cloud_ids[i].empty()) {
+        (void)clouds_[i].store->SetAcl(clouds_[i].creds, value_key,
+                                       grant.cloud_ids[i], perms);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace scfs

@@ -1,0 +1,128 @@
+// DepSkyClient: the cloud-of-clouds storage protocols (paper §3.2, Figure 6,
+// and [15]), extended with SCFS's read-by-hash operation for consistency
+// anchoring.
+//
+// A data unit is a versioned object spread over n = 3f+1 clouds. A write:
+//   1. generates a fresh random key K, encrypts the file with it,
+//   2. erasure-codes the ciphertext into n shards (any k = f+1 recover it),
+//   3. secret-shares K so each cloud gets one share (f+1 shares recover K),
+//   4. stores shard_i + share_i in cloud i — with preferred quorums only the
+//      cheapest n-f clouds are used unless one fails,
+//   5. appends the version to the authenticated metadata object replicated in
+//      every cloud.
+// A read fetches the metadata from all clouds, keeps the highest
+// authenticated version, then fetches any k valid shards (hash-checked, so
+// corrupted or byzantine clouds are detected and skipped).
+//
+// No single cloud ever holds the plaintext or the whole key: confidentiality,
+// integrity and availability survive f arbitrary cloud faults.
+
+#ifndef SCFS_DEPSKY_DEPSKY_H_
+#define SCFS_DEPSKY_DEPSKY_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/cloud/object_store.h"
+#include "src/codec/reed_solomon.h"
+#include "src/common/rng.h"
+#include "src/depsky/metadata.h"
+#include "src/sim/environment.h"
+
+namespace scfs {
+
+struct DepSkyCloud {
+  ObjectStore* store = nullptr;
+  CloudCredentials creds;  // this client's account at that provider
+};
+
+struct DepSkyConfig {
+  unsigned f = 1;
+  DepSkyMode mode = DepSkyMode::kSecretSharing;
+  bool preferred_quorums = true;  // write shards to n-f clouds only
+  Bytes auth_key;                 // metadata HMAC key (deployment secret)
+
+  unsigned n() const { return 3 * f + 1; }
+  unsigned k() const { return f + 1; }
+  unsigned quorum() const { return n() - f; }
+};
+
+class DepSkyClient {
+ public:
+  DepSkyClient(Environment* env, std::vector<DepSkyCloud> clouds,
+               DepSkyConfig config, uint64_t seed = 99);
+
+  // Stores a new version. `content_hash` is the hex consistency-anchor hash
+  // of `data` (computed by the caller; verified on read). Returns the new
+  // version number. If `merge_grants` is non-null, those grants are folded
+  // into the unit metadata in the same metadata push (no extra round trip).
+  Result<uint64_t> WriteVersion(
+      const std::string& unit, const std::string& content_hash,
+      const Bytes& data,
+      const std::vector<DepSkyGrant>* merge_grants = nullptr);
+
+  // Reads the version with the given content hash; NOT_FOUND if no (visible)
+  // metadata lists it — the consistency-anchor read loop retries.
+  Result<Bytes> ReadByHash(const std::string& unit,
+                           const std::string& content_hash);
+
+  // Reads the highest authenticated version.
+  Result<Bytes> ReadLatest(const std::string& unit);
+
+  // Quorum-read of the data unit's metadata.
+  Result<DepSkyMetadata> ReadMetadata(const std::string& unit);
+
+  // Garbage collection: drops one version (objects + metadata entry), or the
+  // whole unit.
+  Status DeleteVersion(const std::string& unit, uint64_t version);
+  Status DeleteUnit(const std::string& unit);
+
+  // Sharing: grants `grant.cloud_ids[i]` access at cloud i to all current and
+  // future objects of the unit, and records the grant in the metadata so
+  // future writers re-apply it. Empty read+write revokes.
+  Status SetGrant(const std::string& unit, const DepSkyGrant& grant);
+
+  unsigned cloud_count() const { return static_cast<unsigned>(clouds_.size()); }
+  const DepSkyConfig& config() const { return config_; }
+
+ private:
+  struct CloudResult {
+    Status status = OkStatus();
+    Bytes data;
+  };
+
+  static std::string MetadataKey(const std::string& unit);
+  static std::string ValueKey(const std::string& unit, uint64_t version);
+
+  // Runs `op(cloud_index)` on every listed cloud concurrently.
+  void ParallelOnClouds(const std::vector<unsigned>& clouds,
+                        const std::function<Status(unsigned)>& op,
+                        std::vector<Status>* statuses);
+
+  // Writes the given metadata to every cloud; needs a write quorum.
+  Status PushMetadata(const std::string& unit, const DepSkyMetadata& md);
+
+  // Fetches and reassembles one version.
+  Result<Bytes> FetchVersion(const std::string& unit,
+                             const DepSkyMetadata& md,
+                             const DepSkyVersion& version);
+
+  // Applies all grants (+ owner) to one object at one cloud.
+  void ApplyAclsToObject(const DepSkyMetadata& md, unsigned cloud,
+                         const std::string& key);
+
+  Bytes RandomBytesLocked(size_t size);
+
+  Environment* env_;
+  std::vector<DepSkyCloud> clouds_;
+  DepSkyConfig config_;
+  std::mutex rng_mu_;
+  Rng rng_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_DEPSKY_DEPSKY_H_

@@ -1,0 +1,81 @@
+// DepSky data-unit metadata (paper §3.2, [15]).
+//
+// Each data unit (one SCFS file) has a metadata object replicated in every
+// cloud. It records the version history — for each version: the SCFS content
+// hash (the consistency-anchor hash), the cipher nonce, the per-shard SHA-256
+// hashes used to detect corrupted clouds, and which cloud holds which erasure
+// shard (preferred quorums leave one cloud empty). The whole record carries
+// an HMAC-SHA256 authenticator so a byzantine cloud cannot forge versions
+// (substitution for DepSky's RSA signatures; same verify-on-read path).
+
+#ifndef SCFS_DEPSKY_METADATA_H_
+#define SCFS_DEPSKY_METADATA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace scfs {
+
+enum class DepSkyMode : uint8_t {
+  kReplication = 0,    // DepSky-A: full replicas, no confidentiality
+  kSecretSharing = 1,  // DepSky-CA: encrypt + erasure-code + secret-share key
+};
+
+struct DepSkyVersion {
+  uint64_t version = 0;
+  std::string content_hash;          // hex SHA-1 of the plaintext (CA hash)
+  uint64_t size = 0;                 // plaintext size
+  Bytes nonce;                       // cipher nonce (CA mode)
+  std::vector<Bytes> shard_hashes;   // SHA-256 per shard, indexed by shard
+  std::vector<int32_t> cloud_shard;  // cloud i holds shard cloud_shard[i], -1 if none
+};
+
+struct DepSkyGrant {
+  // Canonical id of the grantee at each cloud, in cloud order.
+  std::vector<std::string> cloud_ids;
+  bool read = false;
+  bool write = false;
+};
+
+struct DepSkyMetadata {
+  uint32_t n = 4;
+  uint32_t k = 2;
+  DepSkyMode mode = DepSkyMode::kSecretSharing;
+  // Canonical id of the data-unit owner at each cloud; writers grant the
+  // owner access to every object they create so shared writes stay readable.
+  std::vector<std::string> owner_ids;
+  std::vector<DepSkyVersion> versions;  // ascending version order
+  std::vector<DepSkyGrant> grants;
+
+  // Serializes and appends the HMAC authenticator.
+  Bytes Encode(const Bytes& auth_key) const;
+  // Decodes and verifies the authenticator; CORRUPTION on any mismatch.
+  static Result<DepSkyMetadata> Decode(const Bytes& data,
+                                       const Bytes& auth_key);
+
+  const DepSkyVersion* Latest() const {
+    return versions.empty() ? nullptr : &versions.back();
+  }
+  const DepSkyVersion* FindByHash(const std::string& content_hash) const;
+  uint64_t NextVersionNumber() const {
+    return versions.empty() ? 1 : versions.back().version + 1;
+  }
+};
+
+// The per-cloud value object: one erasure shard (or full replica) plus this
+// cloud's Shamir share of the file key (CA mode).
+struct DepSkyValueObject {
+  Bytes shard;
+  uint8_t share_index = 0;  // 0 = no share (replication mode)
+  Bytes share_data;
+
+  Bytes Encode() const;
+  static Result<DepSkyValueObject> Decode(const Bytes& data);
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_DEPSKY_METADATA_H_

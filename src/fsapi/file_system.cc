@@ -1,0 +1,30 @@
+#include "src/fsapi/file_system.h"
+
+namespace scfs {
+
+Status FileSystem::WriteFile(const std::string& path, const Bytes& data) {
+  ASSIGN_OR_RETURN(FileHandle handle,
+                   Open(path, kOpenWrite | kOpenCreate | kOpenTruncate));
+  Status write_status = Write(handle, 0, data);
+  Status close_status = Close(handle);
+  if (!write_status.ok()) {
+    return write_status;
+  }
+  return close_status;
+}
+
+Result<Bytes> FileSystem::ReadFile(const std::string& path) {
+  ASSIGN_OR_RETURN(FileHandle handle, Open(path, kOpenRead));
+  ASSIGN_OR_RETURN(FileStat stat, Stat(path));
+  auto data = Read(handle, 0, stat.size);
+  Status close_status = Close(handle);
+  if (!data.ok()) {
+    return data.status();
+  }
+  if (!close_status.ok()) {
+    return close_status;
+  }
+  return std::move(*data);
+}
+
+}  // namespace scfs

@@ -1,0 +1,87 @@
+#include "src/math/gf256.h"
+
+#include <cassert>
+
+namespace scfs {
+
+namespace {
+struct Tables {
+  uint8_t exp[512];   // doubled so Mul can skip a modulo
+  unsigned log[256];
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = i;
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= 0x11d;
+      }
+    }
+    for (unsigned i = 255; i < 512; ++i) {
+      exp[i] = exp[i - 255];
+    }
+    log[0] = 0;  // never read; keeps the table defined
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+}  // namespace
+
+uint8_t Gf256::Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return T().exp[T().log[a] + T().log[b]];
+}
+
+uint8_t Gf256::Div(uint8_t a, uint8_t b) {
+  assert(b != 0);
+  if (a == 0) {
+    return 0;
+  }
+  return T().exp[T().log[a] + 255 - T().log[b]];
+}
+
+uint8_t Gf256::Inv(uint8_t a) {
+  assert(a != 0);
+  return T().exp[255 - T().log[a]];
+}
+
+uint8_t Gf256::Pow(uint8_t a, unsigned e) {
+  if (e == 0) {
+    return 1;
+  }
+  if (a == 0) {
+    return 0;
+  }
+  return T().exp[(T().log[a] * e) % 255];
+}
+
+uint8_t Gf256::Exp(unsigned i) { return T().exp[i % 255]; }
+
+unsigned Gf256::Log(uint8_t a) {
+  assert(a != 0);
+  return T().log[a];
+}
+
+void Gf256::MulAddRow(uint8_t* out, const uint8_t* in, uint8_t scalar,
+                      unsigned len) {
+  if (scalar == 0) {
+    return;
+  }
+  const unsigned ls = T().log[scalar];
+  const uint8_t* exp = T().exp;
+  const unsigned* log = T().log;
+  for (unsigned i = 0; i < len; ++i) {
+    if (in[i] != 0) {
+      out[i] ^= exp[ls + log[in[i]]];
+    }
+  }
+}
+
+}  // namespace scfs

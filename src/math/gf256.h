@@ -1,0 +1,31 @@
+// Arithmetic over GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), the field used by both the Reed-Solomon erasure coder and the
+// Shamir secret-sharing scheme.
+
+#ifndef SCFS_MATH_GF256_H_
+#define SCFS_MATH_GF256_H_
+
+#include <cstdint>
+
+namespace scfs {
+
+class Gf256 {
+ public:
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Sub(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Mul(uint8_t a, uint8_t b);
+  static uint8_t Div(uint8_t a, uint8_t b);  // b must be non-zero
+  static uint8_t Inv(uint8_t a);             // a must be non-zero
+  static uint8_t Pow(uint8_t a, unsigned e);
+  // Generator element (2) raised to the i-th power, i in [0, 254].
+  static uint8_t Exp(unsigned i);
+  static unsigned Log(uint8_t a);  // a must be non-zero
+
+  // out[i] += scalar * in[i] over GF(2^8), vectorizable hot loop for RS.
+  static void MulAddRow(uint8_t* out, const uint8_t* in, uint8_t scalar,
+                        unsigned len);
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_MATH_GF256_H_

@@ -1,0 +1,116 @@
+#include "src/math/matrix.h"
+
+#include <cassert>
+
+#include "src/math/gf256.h"
+
+namespace scfs {
+
+GfMatrix GfMatrix::Identity(unsigned n) {
+  GfMatrix m(n, n);
+  for (unsigned i = 0; i < n; ++i) {
+    m.Set(i, i, 1);
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::SystematicVandermonde(unsigned n, unsigned k) {
+  assert(n >= k && k > 0 && n <= 255);
+  // Build the n x k Vandermonde matrix V[i][j] = (i+1)^j, then normalize its
+  // top k x k block to the identity by multiplying with its inverse. The
+  // result is systematic and any k rows remain linearly independent.
+  GfMatrix vandermonde(n, k);
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < k; ++j) {
+      vandermonde.Set(i, j, Gf256::Pow(static_cast<uint8_t>(i + 1), j));
+    }
+  }
+  std::vector<unsigned> top(k);
+  for (unsigned i = 0; i < k; ++i) {
+    top[i] = i;
+  }
+  GfMatrix top_block = vandermonde.SelectRows(top);
+  GfMatrix top_inverse(k, k);
+  bool invertible = top_block.Invert(&top_inverse);
+  assert(invertible);
+  (void)invertible;
+  return vandermonde.Mul(top_inverse);
+}
+
+GfMatrix GfMatrix::Mul(const GfMatrix& other) const {
+  assert(cols_ == other.rows_);
+  GfMatrix out(rows_, other.cols_);
+  for (unsigned i = 0; i < rows_; ++i) {
+    for (unsigned j = 0; j < other.cols_; ++j) {
+      uint8_t acc = 0;
+      for (unsigned k = 0; k < cols_; ++k) {
+        acc ^= Gf256::Mul(At(i, k), other.At(k, j));
+      }
+      out.Set(i, j, acc);
+    }
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::SelectRows(const std::vector<unsigned>& rows) const {
+  GfMatrix out(static_cast<unsigned>(rows.size()), cols_);
+  for (unsigned i = 0; i < rows.size(); ++i) {
+    assert(rows[i] < rows_);
+    for (unsigned j = 0; j < cols_; ++j) {
+      out.Set(i, j, At(rows[i], j));
+    }
+  }
+  return out;
+}
+
+bool GfMatrix::Invert(GfMatrix* out) const {
+  assert(rows_ == cols_);
+  const unsigned n = rows_;
+  GfMatrix work = *this;
+  GfMatrix inverse = Identity(n);
+
+  for (unsigned col = 0; col < n; ++col) {
+    // Find a pivot.
+    unsigned pivot = col;
+    while (pivot < n && work.At(pivot, col) == 0) {
+      ++pivot;
+    }
+    if (pivot == n) {
+      return false;
+    }
+    if (pivot != col) {
+      for (unsigned j = 0; j < n; ++j) {
+        uint8_t tmp = work.At(col, j);
+        work.Set(col, j, work.At(pivot, j));
+        work.Set(pivot, j, tmp);
+        tmp = inverse.At(col, j);
+        inverse.Set(col, j, inverse.At(pivot, j));
+        inverse.Set(pivot, j, tmp);
+      }
+    }
+    // Scale the pivot row to 1.
+    uint8_t inv_pivot = Gf256::Inv(work.At(col, col));
+    for (unsigned j = 0; j < n; ++j) {
+      work.Set(col, j, Gf256::Mul(work.At(col, j), inv_pivot));
+      inverse.Set(col, j, Gf256::Mul(inverse.At(col, j), inv_pivot));
+    }
+    // Eliminate the column from all other rows.
+    for (unsigned r = 0; r < n; ++r) {
+      if (r == col || work.At(r, col) == 0) {
+        continue;
+      }
+      uint8_t factor = work.At(r, col);
+      for (unsigned j = 0; j < n; ++j) {
+        work.Set(r, j,
+                 Gf256::Add(work.At(r, j), Gf256::Mul(factor, work.At(col, j))));
+        inverse.Set(
+            r, j,
+            Gf256::Add(inverse.At(r, j), Gf256::Mul(factor, inverse.At(col, j))));
+      }
+    }
+  }
+  *out = inverse;
+  return true;
+}
+
+}  // namespace scfs

@@ -1,0 +1,45 @@
+// Small dense matrices over GF(2^8): construction, multiplication and
+// Gaussian-elimination inversion. Used by the Reed-Solomon decoder and by
+// Lagrange-free Shamir reconstruction tests.
+
+#ifndef SCFS_MATH_MATRIX_H_
+#define SCFS_MATH_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scfs {
+
+class GfMatrix {
+ public:
+  GfMatrix(unsigned rows, unsigned cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static GfMatrix Identity(unsigned n);
+  // Systematic Vandermonde-derived encoding matrix for RS(n, k): the first k
+  // rows form the identity, so data shards equal the original data.
+  static GfMatrix SystematicVandermonde(unsigned n, unsigned k);
+
+  uint8_t At(unsigned r, unsigned c) const { return data_[r * cols_ + c]; }
+  void Set(unsigned r, unsigned c, uint8_t v) { data_[r * cols_ + c] = v; }
+
+  unsigned rows() const { return rows_; }
+  unsigned cols() const { return cols_; }
+
+  GfMatrix Mul(const GfMatrix& other) const;
+  // Returns the submatrix made of the given rows.
+  GfMatrix SelectRows(const std::vector<unsigned>& rows) const;
+  // Gauss-Jordan inversion; returns false if singular.
+  bool Invert(GfMatrix* out) const;
+
+  const uint8_t* Row(unsigned r) const { return &data_[r * cols_]; }
+
+ private:
+  unsigned rows_;
+  unsigned cols_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_MATH_MATRIX_H_

@@ -1,0 +1,67 @@
+#include "src/scfs/background.h"
+
+#include "src/sim/environment.h"
+
+namespace scfs {
+
+BackgroundUploader::BackgroundUploader() : worker_([this] { Loop(); }) {}
+
+BackgroundUploader::~BackgroundUploader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+void BackgroundUploader::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void BackgroundUploader::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+size_t BackgroundUploader::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + in_flight_;
+}
+
+VirtualDuration BackgroundUploader::total_charged() const {
+  return total_charged_.load(std::memory_order_relaxed);
+}
+
+void BackgroundUploader::Loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with empty queue
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    Environment::ResetThreadCharged();
+    task();
+    total_charged_.fetch_add(Environment::ThreadCharged(),
+                             std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+}  // namespace scfs

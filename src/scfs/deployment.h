@@ -1,0 +1,82 @@
+// Deployment: wires up a complete SCFS installation — the simulated storage
+// clouds, the coordination service and per-user SCFS agents — for the two
+// backends of the paper (Figure 5):
+//
+//   kAws  Amazon S3 as storage + DepSpace on one EC2 VM as coordination
+//   kCoc  four storage clouds behind DepSky + DepSpace replicated with
+//         BFT-SMaRt over four computing clouds (f = 1 byzantine)
+//
+// This is the top-level public API: examples and benchmarks create a
+// Deployment, mount agents for users, and use the returned fsapi::FileSystem.
+
+#ifndef SCFS_SCFS_DEPLOYMENT_H_
+#define SCFS_SCFS_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cloud/providers.h"
+#include "src/coord/local_coordination.h"
+#include "src/coord/smr.h"
+#include "src/scfs/file_system.h"
+
+namespace scfs {
+
+enum class ScfsBackendKind { kAws, kCoc };
+
+struct DeploymentOptions {
+  ScfsBackendKind backend = ScfsBackendKind::kCoc;
+  // Zero latency, zero consistency windows, single-replica coordination —
+  // for semantic tests where timing is irrelevant.
+  bool zero_latency = false;
+  unsigned f = 1;
+  uint64_t seed = 42;
+};
+
+class Deployment {
+ public:
+  static std::unique_ptr<Deployment> Create(Environment* env,
+                                            DeploymentOptions options);
+  ~Deployment();
+
+  // Creates, mounts and returns an SCFS agent for `user`. Fields of
+  // `options` that identify the user/backend are filled in by Mount.
+  Result<std::unique_ptr<ScfsFileSystem>> Mount(const std::string& user,
+                                                ScfsOptions options);
+
+  // Per-user canonical account ids, in cloud order.
+  std::vector<CanonicalId> CloudIdsFor(const std::string& user) const;
+
+  SimulatedCloud* cloud(unsigned index) { return clouds_[index].get(); }
+  unsigned cloud_count() const { return static_cast<unsigned>(clouds_.size()); }
+  CoordinationService* coord() { return coord_.get(); }
+  LocalCoordination* local_coord() { return local_coord_; }
+  ReplicatedCoordination* replicated_coord() { return replicated_coord_; }
+
+  // Bytes shipped from the coordination service to clients so far (drives
+  // the coordination share of Figure 11(b) costs).
+  uint64_t CoordReplyBytes() const;
+  const DeploymentOptions& options() const { return options_; }
+  Environment* env() { return env_; }
+
+  // Aggregate usage cost (USD) across all clouds for one user.
+  UsageTotals CloudUsage(const std::string& user) const;
+  uint64_t StoredBytes(const std::string& user) const;
+
+ private:
+  Deployment() = default;
+
+  Environment* env_ = nullptr;
+  DeploymentOptions options_;
+  std::vector<std::unique_ptr<SimulatedCloud>> clouds_;
+  std::unique_ptr<CoordinationService> coord_;
+  LocalCoordination* local_coord_ = nullptr;  // set for kAws / zero-latency
+  ReplicatedCoordination* replicated_coord_ = nullptr;  // set for kCoc
+  // Backends must outlive the agents that use them.
+  std::vector<std::unique_ptr<BlobBackend>> backends_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_SCFS_DEPLOYMENT_H_

@@ -1,0 +1,663 @@
+#include "src/scfs/file_system.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/path.h"
+#include "src/crypto/sha1.h"
+
+namespace scfs {
+
+namespace {
+// Registry tuples: the per-user list of cloud canonical ids (paper §2.6).
+Bytes EncodeCloudIds(const std::vector<CanonicalId>& ids) {
+  Bytes out;
+  AppendU32(&out, static_cast<uint32_t>(ids.size()));
+  for (const auto& id : ids) {
+    AppendString(&out, id);
+  }
+  return out;
+}
+
+Result<std::vector<CanonicalId>> DecodeCloudIds(const Bytes& data) {
+  ByteReader reader(data);
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count)) {
+    return CorruptionError("bad user registry tuple");
+  }
+  std::vector<CanonicalId> ids(count);
+  for (auto& id : ids) {
+    if (!reader.ReadString(&id)) {
+      return CorruptionError("bad user registry tuple");
+    }
+  }
+  return ids;
+}
+}  // namespace
+
+ScfsFileSystem::ScfsFileSystem(Environment* env, CoordinationService* coord,
+                               BlobBackend* backend, ScfsOptions options)
+    : env_(env),
+      coord_(options.mode == ScfsMode::kNonSharing ? nullptr : coord),
+      options_(std::move(options)),
+      backend_(backend),
+      rng_(std::hash<std::string>{}(options_.user) ^ 0x5cf5ULL ^
+           GlobalRng().NextU64()) {
+  storage_ = std::make_unique<StorageService>(env_, backend_, options_.storage);
+  // Locks are owned by this agent session, not by the user: two machines
+  // logged in as the same user must still exclude each other.
+  const std::string session = options_.user + "@" + rng_.RandomName(8);
+  MetadataServiceOptions md_options;
+  md_options.cache_ttl = options_.metadata_cache_ttl;
+  md_options.use_pns = options_.use_pns;
+  md_options.non_sharing = options_.mode == ScfsMode::kNonSharing;
+  md_options.session = session;
+  metadata_ = std::make_unique<MetadataService>(env_, coord_, storage_.get(),
+                                                options_.user, md_options);
+  locks_ = std::make_unique<LockService>(coord_, session, options_.locks);
+  uploader_ = std::make_unique<BackgroundUploader>();
+  gc_worker_ = std::make_unique<BackgroundUploader>();
+}
+
+ScfsFileSystem::~ScfsFileSystem() {
+  if (mounted_) {
+    (void)Unmount();
+  }
+}
+
+Status ScfsFileSystem::Mount() {
+  RETURN_IF_ERROR(metadata_->Mount());
+  if (coord_ != nullptr) {
+    // Publish this user's cloud canonical ids (world-readable so other
+    // owners can grant this user access — §2.6).
+    RETURN_IF_ERROR(coord_->Write(options_.user,
+                                  UserRegistryKey(options_.user),
+                                  EncodeCloudIds(options_.user_cloud_ids)));
+    RETURN_IF_ERROR(coord_->GrantEntryAccess(
+        options_.user, UserRegistryKey(options_.user), "*", true, false));
+  }
+  mounted_ = true;
+  return OkStatus();
+}
+
+Status ScfsFileSystem::Unmount() {
+  uploader_->Drain();
+  gc_worker_->Drain();
+  Status s = metadata_->Unmount();
+  mounted_ = false;
+  return s;
+}
+
+void ScfsFileSystem::DrainBackground() {
+  uploader_->Drain();
+  gc_worker_->Drain();
+}
+
+std::string ScfsFileSystem::NewObjectId() {
+  std::lock_guard<std::mutex> lock(fs_mu_);
+  return options_.user + "-" + rng_.RandomName(16);
+}
+
+Status ScfsFileSystem::CheckParentDirectory(const std::string& path) {
+  const std::string parent = ParentPath(path);
+  if (parent == "/") {
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(FileMetadata md, metadata_->Get(parent));
+  if (md.type != FileType::kDirectory) {
+    return NotDirectoryError(parent);
+  }
+  return OkStatus();
+}
+
+Result<FileMetadata> ScfsFileSystem::ResolveForOpen(const std::string& path,
+                                                    uint32_t flags,
+                                                    bool* created) {
+  *created = false;
+  auto existing = metadata_->Get(path);
+  if (existing.ok()) {
+    return existing;
+  }
+  if (existing.status().code() != ErrorCode::kNotFound ||
+      (flags & kOpenCreate) == 0) {
+    return existing.status();
+  }
+  RETURN_IF_ERROR(CheckParentDirectory(path));
+  FileMetadata md;
+  md.path = path;
+  md.type = FileType::kFile;
+  md.owner = options_.user;
+  md.object_id = NewObjectId();
+  md.ctime = env_->Now();
+  md.mtime = md.ctime;
+  RETURN_IF_ERROR(metadata_->Create(md));
+  *created = true;
+  return md;
+}
+
+Result<FileHandle> ScfsFileSystem::Open(const std::string& path,
+                                        uint32_t flags) {
+  const std::string normalized = NormalizePath(path);
+  if (normalized.empty() || normalized == "/") {
+    return InvalidArgumentError("bad path: " + path);
+  }
+  const bool write_mode = (flags & kOpenWrite) != 0;
+
+  // Step (ii) of the open protocol (Figure 4): opening for writing locks the
+  // file before anything else so a losing racer fails fast with BUSY.
+  // (Creation also takes the lock: the created entry is immediately
+  // write-opened.)
+  if (write_mode) {
+    RETURN_IF_ERROR(locks_->Acquire(normalized));
+  }
+
+  bool created = false;
+  auto metadata = ResolveForOpen(normalized, flags, &created);
+  if (!metadata.ok()) {
+    if (write_mode) {
+      (void)locks_->Release(normalized);
+    }
+    return metadata.status();
+  }
+  auto fail = [&](Status status) -> Result<FileHandle> {
+    if (write_mode) {
+      (void)locks_->Release(normalized);
+    }
+    return status;
+  };
+
+  if (metadata->type == FileType::kDirectory) {
+    return fail(IsDirectoryError(normalized));
+  }
+  if (write_mode && !metadata->AllowsWrite(options_.user)) {
+    return fail(PermissionDeniedError(normalized));
+  }
+  if (!write_mode && !metadata->AllowsRead(options_.user)) {
+    return fail(PermissionDeniedError(normalized));
+  }
+
+  // Step (iii): bring the file data into the memory cache — locally when the
+  // cached copy matches the anchored hash, from the cloud otherwise.
+  OpenFile open_file;
+  open_file.metadata = std::move(*metadata);
+  open_file.write_mode = write_mode;
+  if ((flags & kOpenTruncate) != 0) {
+    open_file.dirty = open_file.metadata.size > 0;
+    open_file.metadata.size = 0;
+    open_file.metadata.content_hash.clear();
+  } else {
+    auto data = storage_->Fetch(open_file.metadata.object_id,
+                                open_file.metadata.content_hash);
+    if (!data.ok()) {
+      return fail(data.status());
+    }
+    open_file.data = std::move(*data);
+  }
+
+  FileHandle handle = next_handle_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(fs_mu_);
+    open_files_.emplace(handle, std::move(open_file));
+  }
+  return handle;
+}
+
+Result<Bytes> ScfsFileSystem::Read(FileHandle handle, uint64_t offset,
+                                   size_t size) {
+  std::lock_guard<std::mutex> lock(fs_mu_);
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  const Bytes& data = it->second.data;
+  if (offset >= data.size()) {
+    return Bytes{};
+  }
+  size_t n = std::min<size_t>(size, data.size() - offset);
+  return Bytes(data.begin() + static_cast<ptrdiff_t>(offset),
+               data.begin() + static_cast<ptrdiff_t>(offset + n));
+}
+
+Status ScfsFileSystem::Write(FileHandle handle, uint64_t offset,
+                             const Bytes& data) {
+  std::lock_guard<std::mutex> lock(fs_mu_);
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  OpenFile& file = it->second;
+  if (!file.write_mode) {
+    return PermissionDeniedError("file not open for writing");
+  }
+  if (offset + data.size() > file.data.size()) {
+    file.data.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(),
+            file.data.begin() + static_cast<ptrdiff_t>(offset));
+  file.dirty = true;
+  file.metadata.size = file.data.size();
+  file.metadata.mtime = env_->Now();
+  return OkStatus();
+}
+
+Status ScfsFileSystem::Truncate(FileHandle handle, uint64_t size) {
+  std::lock_guard<std::mutex> lock(fs_mu_);
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return InvalidArgumentError("bad handle");
+  }
+  OpenFile& file = it->second;
+  if (!file.write_mode) {
+    return PermissionDeniedError("file not open for writing");
+  }
+  file.data.resize(size, 0);
+  file.dirty = true;
+  file.metadata.size = size;
+  file.metadata.mtime = env_->Now();
+  return OkStatus();
+}
+
+Status ScfsFileSystem::Fsync(FileHandle handle) {
+  Bytes data;
+  std::string object_id;
+  {
+    std::lock_guard<std::mutex> lock(fs_mu_);
+    auto it = open_files_.find(handle);
+    if (it == open_files_.end()) {
+      return InvalidArgumentError("bad handle");
+    }
+    if (!it->second.dirty) {
+      return OkStatus();
+    }
+    data = it->second.data;
+    object_id = it->second.metadata.object_id;
+  }
+  // Durability level 1: the local disk survives a process/system crash.
+  const std::string hash = HexEncode(Sha1::Hash(data));
+  return storage_->FlushToDisk(object_id, hash, data);
+}
+
+std::vector<BackendGrant> ScfsFileSystem::BuildGrants(
+    const FileMetadata& metadata) {
+  std::vector<BackendGrant> grants;
+  // When a grantee writes, the cloud objects it creates belong to the
+  // grantee's accounts; the file owner must be granted access back.
+  if (metadata.owner != options_.user) {
+    auto owner_ids = LookupUserCloudIds(metadata.owner);
+    if (owner_ids.ok()) {
+      BackendGrant grant;
+      grant.cloud_ids = std::move(*owner_ids);
+      grant.read = true;
+      grant.write = true;
+      grants.push_back(std::move(grant));
+    }
+  }
+  for (const auto& [user, bits] : metadata.acl) {
+    auto ids = LookupUserCloudIds(user);
+    if (!ids.ok()) {
+      SCFS_LOG(Warning) << "no cloud ids registered for " << user;
+      continue;
+    }
+    BackendGrant grant;
+    grant.cloud_ids = std::move(*ids);
+    grant.read = (bits & 1) != 0;
+    grant.write = (bits & 2) != 0;
+    grants.push_back(std::move(grant));
+  }
+  return grants;
+}
+
+Result<std::vector<CanonicalId>> ScfsFileSystem::LookupUserCloudIds(
+    const std::string& user) {
+  {
+    std::lock_guard<std::mutex> lock(fs_mu_);
+    auto it = registry_cache_.find(user);
+    if (it != registry_cache_.end()) {
+      return it->second;
+    }
+  }
+  if (user == options_.user) {
+    return options_.user_cloud_ids;
+  }
+  if (coord_ == nullptr) {
+    return NotSupportedError("no registry in non-sharing mode");
+  }
+  ASSIGN_OR_RETURN(CoordEntry entry,
+                   coord_->Read(options_.user, UserRegistryKey(user)));
+  ASSIGN_OR_RETURN(std::vector<CanonicalId> ids, DecodeCloudIds(entry.value));
+  std::lock_guard<std::mutex> lock(fs_mu_);
+  registry_cache_[user] = ids;
+  return ids;
+}
+
+// Close-time synchronization (Figure 4 close path + §3.1 modes).
+Status ScfsFileSystem::SynchronizeOnClose(OpenFile&& file) {
+  FileMetadata md = std::move(file.metadata);
+  Bytes data = std::move(file.data);
+  const std::string hash =
+      data.empty() ? "" : HexEncode(Sha1::Hash(data));
+  md.content_hash = hash;
+  md.size = data.size();
+  md.version++;
+  std::vector<BackendGrant> grants = BuildGrants(md);
+  const std::string path = md.path;
+  const uint64_t written = data.size();
+
+  if (options_.mode == ScfsMode::kBlocking) {
+    // Level 2/3 before close returns: data to disk + cloud, metadata to the
+    // coordination service, then unlock.
+    if (!hash.empty()) {
+      RETURN_IF_ERROR(storage_->Push(md.object_id, hash, data, grants));
+    }
+    RETURN_IF_ERROR(metadata_->Put(md));
+    RETURN_IF_ERROR(locks_->Release(path));
+    MaybeTriggerGc(written);
+    return OkStatus();
+  }
+
+  // Non-blocking / non-sharing: level 1 now, upload + metadata + unlock in
+  // background (strictly ordered, preserving mutual exclusion).
+  if (!hash.empty()) {
+    RETURN_IF_ERROR(storage_->FlushToDisk(md.object_id, hash, data));
+    storage_->PutMemory(md.object_id, hash, data);
+  }
+  const bool private_entry = metadata_->IsPrivateEntry(md);
+  if (private_entry) {
+    // PNS entries are local structures: update now (cheap), persist the PNS
+    // object in background.
+    RETURN_IF_ERROR(metadata_->Put(md));
+  } else {
+    // Shared entries: the coordination tuple is only updated after the data
+    // reaches the clouds, but this agent sees its own close immediately.
+    metadata_->CacheLocally(md);
+  }
+  uploader_->Enqueue([this, md, data = std::move(data), hash, grants, path,
+                      private_entry] {
+    if (!hash.empty()) {
+      Status s = storage_->backend().WriteVersion(md.object_id, hash, data,
+                                                  grants);
+      if (!s.ok()) {
+        SCFS_LOG(Warning) << "background upload failed: " << s.ToString();
+      }
+    }
+    if (private_entry) {
+      Status s = metadata_->FlushPns();
+      if (!s.ok()) {
+        SCFS_LOG(Warning) << "background pns flush failed: " << s.ToString();
+      }
+    } else {
+      Status s = metadata_->Put(md);
+      if (!s.ok()) {
+        SCFS_LOG(Warning) << "background metadata update failed: "
+                          << s.ToString();
+      }
+    }
+    (void)locks_->Release(path);
+  });
+  MaybeTriggerGc(written);
+  return OkStatus();
+}
+
+Status ScfsFileSystem::Close(FileHandle handle) {
+  OpenFile file;
+  {
+    std::lock_guard<std::mutex> lock(fs_mu_);
+    auto it = open_files_.find(handle);
+    if (it == open_files_.end()) {
+      return InvalidArgumentError("bad handle");
+    }
+    file = std::move(it->second);
+    open_files_.erase(it);
+  }
+
+  if (!file.write_mode) {
+    return OkStatus();
+  }
+  if (!file.dirty) {
+    return locks_->Release(file.metadata.path);
+  }
+  return SynchronizeOnClose(std::move(file));
+}
+
+Status ScfsFileSystem::Mkdir(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  if (normalized.empty() || normalized == "/") {
+    return InvalidArgumentError("bad path: " + path);
+  }
+  RETURN_IF_ERROR(CheckParentDirectory(normalized));
+  if (metadata_->Get(normalized).ok()) {
+    return AlreadyExistsError(normalized);
+  }
+  FileMetadata md;
+  md.path = normalized;
+  md.type = FileType::kDirectory;
+  md.owner = options_.user;
+  md.ctime = env_->Now();
+  md.mtime = md.ctime;
+  return metadata_->Create(md);
+}
+
+Status ScfsFileSystem::Rmdir(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  ASSIGN_OR_RETURN(FileMetadata md, metadata_->Get(normalized));
+  if (md.type != FileType::kDirectory) {
+    return NotDirectoryError(normalized);
+  }
+  ASSIGN_OR_RETURN(std::vector<FileMetadata> children,
+                   metadata_->ListDir(normalized));
+  if (!children.empty()) {
+    return NotEmptyError(normalized);
+  }
+  return metadata_->Remove(normalized);
+}
+
+Status ScfsFileSystem::Unlink(const std::string& path) {
+  // Serialize with any queued close-publications: a pending background
+  // metadata update for this path must not resurrect the file after its
+  // removal (non-blocking mode).
+  if (options_.mode != ScfsMode::kBlocking && uploader_->pending() > 0) {
+    uploader_->Drain();
+  }
+  const std::string normalized = NormalizePath(path);
+  ASSIGN_OR_RETURN(FileMetadata md, metadata_->Get(normalized));
+  if (md.type == FileType::kDirectory) {
+    return IsDirectoryError(normalized);
+  }
+  if (!md.AllowsWrite(options_.user)) {
+    return PermissionDeniedError(normalized);
+  }
+  RETURN_IF_ERROR(metadata_->Remove(normalized));
+  metadata_->InvalidateCache(normalized);
+  if (!md.object_id.empty() && !md.content_hash.empty()) {
+    // Versions stay in the cloud until the garbage collector reclaims them
+    // (multi-versioning: removed files can be recovered until then).
+    (void)metadata_->AddTombstone(md.object_id);
+  }
+  return OkStatus();
+}
+
+Status ScfsFileSystem::Rename(const std::string& from, const std::string& to) {
+  // As in Unlink: queued publications must land before the namespace moves,
+  // or a background metadata write would re-create the source path.
+  if (options_.mode != ScfsMode::kBlocking && uploader_->pending() > 0) {
+    uploader_->Drain();
+  }
+  const std::string src = NormalizePath(from);
+  const std::string dst = NormalizePath(to);
+  if (src.empty() || dst.empty() || src == "/" || dst == "/") {
+    return InvalidArgumentError("bad rename");
+  }
+  if (PathIsWithin(dst, src)) {
+    return InvalidArgumentError("cannot rename into own subtree");
+  }
+  RETURN_IF_ERROR(CheckParentDirectory(dst));
+  if (metadata_->Get(dst).ok()) {
+    return AlreadyExistsError(dst);
+  }
+  RETURN_IF_ERROR(metadata_->RenameSubtree(src, dst));
+  metadata_->InvalidateCache(src);
+  return OkStatus();
+}
+
+Result<FileStat> ScfsFileSystem::Stat(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  if (normalized == "/") {
+    FileStat root;
+    root.type = FileType::kDirectory;
+    root.owner = options_.user;
+    return root;
+  }
+  ASSIGN_OR_RETURN(FileMetadata md, metadata_->Get(normalized));
+  if (md.type == FileType::kFile && !md.AllowsRead(options_.user)) {
+    return PermissionDeniedError(normalized);
+  }
+  return md.ToStat();
+}
+
+Result<std::vector<DirEntry>> ScfsFileSystem::ReadDir(const std::string& path) {
+  const std::string normalized = NormalizePath(path);
+  if (normalized != "/") {
+    ASSIGN_OR_RETURN(FileMetadata md, metadata_->Get(normalized));
+    if (md.type != FileType::kDirectory) {
+      return NotDirectoryError(normalized);
+    }
+  }
+  ASSIGN_OR_RETURN(std::vector<FileMetadata> children,
+                   metadata_->ListDir(normalized));
+  std::vector<DirEntry> out;
+  out.reserve(children.size());
+  for (const auto& child : children) {
+    out.push_back(DirEntry{Basename(child.path), child.type});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+Status ScfsFileSystem::SetFacl(const std::string& path, const std::string& user,
+                               bool read, bool write) {
+  if (coord_ == nullptr) {
+    return NotSupportedError("sharing disabled in non-sharing mode");
+  }
+  const std::string normalized = NormalizePath(path);
+  ASSIGN_OR_RETURN(FileMetadata md, metadata_->Get(normalized));
+  if (md.owner != options_.user) {
+    return PermissionDeniedError("only the owner may change ACLs");
+  }
+
+  // Step (i) — paper §2.6: update the ACLs of the cloud objects holding the
+  // file data, using the grantee's registered canonical ids.
+  ASSIGN_OR_RETURN(std::vector<CanonicalId> ids, LookupUserCloudIds(user));
+  BackendGrant grant;
+  grant.cloud_ids = std::move(ids);
+  grant.read = read;
+  grant.write = write;
+  if (md.type == FileType::kFile && !md.content_hash.empty()) {
+    RETURN_IF_ERROR(backend_->SetGrant(md.object_id, grant));
+  }
+
+  const bool was_shared = md.IsShared();
+  uint8_t bits = (read ? 1 : 0) | (write ? 2 : 0);
+  if (bits == 0) {
+    md.acl.erase(user);
+  } else {
+    md.acl[user] = bits;
+  }
+
+  // Step (ii): update the metadata tuple's ACL in the coordination service —
+  // moving the entry out of (or back into) the PNS as its shared status
+  // changes (§2.7).
+  if (!was_shared && md.IsShared()) {
+    RETURN_IF_ERROR(metadata_->PromoteToShared(md));
+  } else if (was_shared && !md.IsShared()) {
+    RETURN_IF_ERROR(metadata_->DemoteToPrivate(md));
+  } else {
+    RETURN_IF_ERROR(metadata_->Put(md));
+  }
+  if (md.IsShared()) {
+    RETURN_IF_ERROR(metadata_->GrantEntry(normalized, user, read, write));
+  }
+  return OkStatus();
+}
+
+Result<std::vector<AclEntry>> ScfsFileSystem::GetFacl(const std::string& path) {
+  ASSIGN_OR_RETURN(FileMetadata md, metadata_->Get(NormalizePath(path)));
+  std::vector<AclEntry> out;
+  for (const auto& [user, bits] : md.acl) {
+    out.push_back(AclEntry{user, (bits & 1) != 0, (bits & 2) != 0});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection (paper §2.5.3)
+// ---------------------------------------------------------------------------
+
+void ScfsFileSystem::MaybeTriggerGc(uint64_t written_bytes) {
+  if (!options_.gc.enabled) {
+    return;
+  }
+  uint64_t total = bytes_written_since_gc_.fetch_add(written_bytes) +
+                   written_bytes;
+  if (total < options_.gc.written_bytes_threshold) {
+    return;
+  }
+  bytes_written_since_gc_.store(0);
+  // "...it starts the garbage collector as a separated thread that runs in
+  // parallel with the rest of the system."
+  gc_worker_->Enqueue([this] { (void)RunGarbageCollection(); });
+}
+
+Status ScfsFileSystem::GcCollectFile(const FileMetadata& metadata) {
+  if (metadata.type != FileType::kFile || metadata.object_id.empty()) {
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(std::vector<BlobVersionInfo> versions,
+                   backend_->ListVersions(metadata.object_id));
+  if (versions.size() <= options_.gc.versions_to_keep) {
+    return OkStatus();
+  }
+  size_t to_delete = versions.size() - options_.gc.versions_to_keep;
+  for (size_t i = 0; i < to_delete; ++i) {
+    // Never delete the currently anchored version, whatever its age.
+    if (versions[i].content_hash == metadata.content_hash) {
+      continue;
+    }
+    (void)backend_->DeleteVersionByHash(metadata.object_id,
+                                        versions[i].content_hash);
+  }
+  return OkStatus();
+}
+
+Status ScfsFileSystem::RunGarbageCollection() {
+  // Old versions of live files owned by this user.
+  std::vector<FileMetadata> files;
+  if (coord_ != nullptr) {
+    auto entries = coord_->ReadPrefix(options_.user, "m:/");
+    if (entries.ok()) {
+      for (const auto& entry : *entries) {
+        auto md = FileMetadata::Decode(entry.value);
+        if (md.ok() && md->owner == options_.user) {
+          files.push_back(std::move(*md));
+        }
+      }
+    }
+  }
+  for (const auto& md : metadata_->PnsEntries()) {
+    files.push_back(md);
+  }
+  for (const auto& md : files) {
+    (void)GcCollectFile(md);
+  }
+
+  // Deleted files: drop entire data units and their tombstones.
+  ASSIGN_OR_RETURN(std::vector<std::string> tombstones,
+                   metadata_->ListTombstones());
+  for (const auto& object_id : tombstones) {
+    (void)backend_->DeleteUnit(object_id);
+    (void)metadata_->RemoveTombstone(object_id);
+  }
+  return OkStatus();
+}
+
+}  // namespace scfs

@@ -1,0 +1,67 @@
+#include "src/scfs/lock_service.h"
+
+namespace scfs {
+
+Status LockService::Acquire(const std::string& path) {
+  if (coord_ == nullptr) {
+    return OkStatus();
+  }
+  // The coordination-service lock is re-entrant per client, so re-acquiring
+  // refreshes the lease and returns the same token.
+  ASSIGN_OR_RETURN(CoordLock lock,
+                   coord_->TryLock(user_, LockKey(path), options_.lease));
+  std::lock_guard<std::mutex> guard(mu_);
+  Held& held = held_[path];
+  held.token = lock.token;
+  held.refcount++;
+  return OkStatus();
+}
+
+Status LockService::Release(const std::string& path) {
+  if (coord_ == nullptr) {
+    return OkStatus();
+  }
+  uint64_t token = 0;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = held_.find(path);
+    if (it == held_.end()) {
+      return NotFoundError("lock not held: " + path);
+    }
+    if (--it->second.refcount > 0) {
+      return OkStatus();  // still referenced by an in-flight upload/open
+    }
+    token = it->second.token;
+    held_.erase(it);
+  }
+  Status status = coord_->Unlock(user_, LockKey(path), token);
+  if (status.code() == ErrorCode::kNotFound) {
+    // The ephemeral lease already expired (exactly what leases are for when
+    // a client disappears); releasing an expired lock is benign.
+    return OkStatus();
+  }
+  return status;
+}
+
+Status LockService::Renew(const std::string& path) {
+  if (coord_ == nullptr) {
+    return OkStatus();
+  }
+  uint64_t token = 0;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = held_.find(path);
+    if (it == held_.end()) {
+      return NotFoundError("lock not held: " + path);
+    }
+    token = it->second.token;
+  }
+  return coord_->RenewLock(user_, LockKey(path), token, options_.lease);
+}
+
+bool LockService::Holds(const std::string& path) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return held_.count(path) > 0;
+}
+
+}  // namespace scfs

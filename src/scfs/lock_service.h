@@ -1,0 +1,57 @@
+// LockService (paper §2.5.1): write-write conflict avoidance built on the
+// coordination service's ephemeral lock recipe. Locks carry leases so a
+// crashed client's files unlock automatically; an agent that keeps a file
+// open re-extends the lease on demand. Opening for reading never locks —
+// read-write conflicts are handled by the consistency anchor and whole-file
+// upload/download, which guarantee the newest closed version is read.
+
+#ifndef SCFS_SCFS_LOCK_SERVICE_H_
+#define SCFS_SCFS_LOCK_SERVICE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/coord/coordination_service.h"
+#include "src/scfs/metadata.h"
+
+namespace scfs {
+
+struct LockServiceOptions {
+  VirtualDuration lease = 120 * kSecond;
+};
+
+class LockService {
+ public:
+  // `coord` may be null (non-sharing mode): every lock trivially succeeds —
+  // there is a single client per namespace.
+  LockService(CoordinationService* coord, std::string user,
+              LockServiceOptions options = {})
+      : coord_(coord), user_(std::move(user)), options_(options) {}
+
+  // BUSY if another client holds the file. Re-entrant within this agent:
+  // acquisitions are refcounted (the non-blocking mode may re-open a file
+  // whose previous close is still uploading; the lock must survive until the
+  // last release).
+  Status Acquire(const std::string& path);
+  Status Release(const std::string& path);
+  // Extends the lease of a lock held by this service.
+  Status Renew(const std::string& path);
+  bool Holds(const std::string& path);
+
+ private:
+  struct Held {
+    uint64_t token = 0;
+    int refcount = 0;
+  };
+
+  CoordinationService* coord_;
+  std::string user_;
+  LockServiceOptions options_;
+  std::mutex mu_;
+  std::map<std::string, Held> held_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_SCFS_LOCK_SERVICE_H_

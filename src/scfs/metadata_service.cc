@@ -1,0 +1,394 @@
+#include "src/scfs/metadata_service.h"
+
+#include "src/common/logging.h"
+#include "src/common/path.h"
+#include "src/crypto/sha1.h"
+
+namespace scfs {
+
+namespace {
+constexpr VirtualDuration kPnsLockLease = 600 * kSecond;
+}  // namespace
+
+MetadataService::MetadataService(Environment* env, CoordinationService* coord,
+                                 StorageService* storage, std::string user,
+                                 MetadataServiceOptions options)
+    : env_(env),
+      coord_(coord),
+      storage_(storage),
+      user_(std::move(user)),
+      options_(options) {}
+
+Status MetadataService::Mount() {
+  if (options_.session.empty()) {
+    options_.session = user_;
+  }
+  if (!using_pns()) {
+    return OkStatus();
+  }
+  // Lock the PNS against a second session logged in as the same user, then
+  // fetch the PNS object from the cloud (paper §2.7).
+  std::string pns_hash;
+  if (coord_ != nullptr) {
+    ASSIGN_OR_RETURN(CoordLock lock,
+                     coord_->TryLock(options_.session,
+                                     LockKey(PnsTupleKey(user_)),
+                                     kPnsLockLease));
+    pns_lock_token_ = lock.token;
+    auto tuple = coord_->Read(user_, PnsTupleKey(user_));
+    if (tuple.ok()) {
+      pns_hash = ToString(tuple->value);
+    } else if (tuple.status().code() != ErrorCode::kNotFound) {
+      return tuple.status();
+    }
+  }
+
+  Result<Bytes> blob = NotFoundError("no pns yet");
+  if (!pns_hash.empty()) {
+    blob = storage_->Fetch(PnsObjectId(), pns_hash);
+  } else if (options_.non_sharing) {
+    // Non-sharing mode has no coordination service to anchor the PNS hash;
+    // read the newest visible PNS object directly (S3QL-style).
+    blob = storage_->backend().ReadLatest(PnsObjectId());
+  }
+  if (blob.ok()) {
+    ASSIGN_OR_RETURN(PrivateNameSpace pns, PrivateNameSpace::Decode(*blob));
+    std::lock_guard<std::mutex> lock(mu_);
+    pns_ = std::move(pns);
+  } else if (blob.status().code() != ErrorCode::kNotFound &&
+             blob.status().code() != ErrorCode::kTimeout) {
+    return blob.status();
+  }
+  pns_loaded_ = true;
+  return OkStatus();
+}
+
+Status MetadataService::Unmount() {
+  if (!using_pns()) {
+    return OkStatus();
+  }
+  Status flush = FlushPns();
+  if (coord_ != nullptr && pns_lock_token_ != 0) {
+    (void)coord_->Unlock(options_.session, LockKey(PnsTupleKey(user_)),
+                         pns_lock_token_);
+  }
+  return flush;
+}
+
+Status MetadataService::FlushPns() {
+  Bytes encoded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    encoded = pns_.Encode();
+  }
+  const std::string hash = HexEncode(Sha1::Hash(encoded));
+  RETURN_IF_ERROR(storage_->Push(PnsObjectId(), hash, encoded, {}));
+  if (coord_ != nullptr) {
+    RETURN_IF_ERROR(coord_->Write(user_, PnsTupleKey(user_), ToBytes(hash)));
+    (void)coord_->RenewLock(options_.session, LockKey(PnsTupleKey(user_)),
+                            pns_lock_token_, kPnsLockLease);
+  }
+  return OkStatus();
+}
+
+bool MetadataService::InPns(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pns_.entries.count(path) > 0;
+}
+
+Result<FileMetadata> MetadataService::GetFromCoord(const std::string& path) {
+  if (coord_ == nullptr) {
+    return NotFoundError(path);
+  }
+  ASSIGN_OR_RETURN(CoordEntry entry, coord_->Read(user_, MetadataKey(path)));
+  ++coord_reads_;
+  ASSIGN_OR_RETURN(FileMetadata md, FileMetadata::Decode(entry.value));
+  md.path = path;  // the key is authoritative (rename triggers move keys)
+  return md;
+}
+
+Result<FileMetadata> MetadataService::Get(const std::string& path) {
+  // 1. Short-term cache.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(path);
+    if (it != cache_.end()) {
+      if (env_->Now() - it->second.fetched_at <= options_.cache_ttl) {
+        ++cache_hits_;
+        return it->second.metadata;
+      }
+      cache_.erase(it);
+    }
+    // 2. This agent's in-flight close updates (awaiting background publish).
+    auto override_it = local_overrides_.find(path);
+    if (override_it != local_overrides_.end()) {
+      return override_it->second;
+    }
+    // 3. PNS (always authoritative for private files — we hold its lock).
+    auto pns_it = pns_.entries.find(path);
+    if (pns_it != pns_.entries.end()) {
+      return pns_it->second;
+    }
+  }
+  // 3. Coordination service.
+  ASSIGN_OR_RETURN(FileMetadata md, GetFromCoord(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[path] = CachedEntry{md, env_->Now()};
+  return md;
+}
+
+Status MetadataService::Put(const FileMetadata& metadata) {
+  // An entry goes to the PNS iff it is private: already there, or not shared
+  // while PNS is enabled. Everything goes there in non-sharing mode.
+  const bool in_pns = InPns(metadata.path);
+  bool goes_to_pns =
+      options_.non_sharing ||
+      (options_.use_pns && (in_pns || !metadata.IsShared()));
+
+  if (goes_to_pns && !in_pns && coord_ != nullptr && !options_.non_sharing) {
+    // Unknown entry with PNS enabled: it may exist as a shared coordination
+    // tuple (e.g. created by another client and opened here). Prefer the
+    // coordination service if it already has it.
+    auto existing = coord_->Read(user_, MetadataKey(metadata.path));
+    if (existing.ok()) {
+      goes_to_pns = false;
+    }
+  }
+
+  if (goes_to_pns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pns_.entries[metadata.path] = metadata;
+    cache_[metadata.path] = CachedEntry{metadata, env_->Now()};
+    return OkStatus();
+  }
+
+  RETURN_IF_ERROR(
+      coord_->Write(user_, MetadataKey(metadata.path), metadata.Encode()));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[metadata.path] = CachedEntry{metadata, env_->Now()};
+  // The coordination service is now at least as fresh as any pending local
+  // override this Put was published for.
+  auto override_it = local_overrides_.find(metadata.path);
+  if (override_it != local_overrides_.end() &&
+      override_it->second.version <= metadata.version) {
+    local_overrides_.erase(override_it);
+  }
+  return OkStatus();
+}
+
+Status MetadataService::Create(const FileMetadata& metadata) {
+  if (options_.non_sharing || options_.use_pns) {
+    // New files are born private: existence is checked in the local PNS only
+    // (private namespaces are per-user, so private files of different users
+    // never collide — §2.7).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pns_.entries.count(metadata.path) > 0) {
+      return AlreadyExistsError(metadata.path);
+    }
+    pns_.entries[metadata.path] = metadata;
+    cache_[metadata.path] = CachedEntry{metadata, env_->Now()};
+    return OkStatus();
+  }
+
+  RETURN_IF_ERROR(coord_->ConditionalCreate(user_, MetadataKey(metadata.path),
+                                            metadata.Encode()));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[metadata.path] = CachedEntry{metadata, env_->Now()};
+  return OkStatus();
+}
+
+Status MetadataService::Remove(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.erase(path);
+    local_overrides_.erase(path);
+    auto it = pns_.entries.find(path);
+    if (it != pns_.entries.end()) {
+      pns_.entries.erase(it);
+      return OkStatus();
+    }
+  }
+  if (coord_ == nullptr) {
+    return NotFoundError(path);
+  }
+  return coord_->Remove(user_, MetadataKey(path));
+}
+
+Result<std::vector<FileMetadata>> MetadataService::ListDir(
+    const std::string& path) {
+  std::vector<FileMetadata> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [entry_path, md] : pns_.entries) {
+      if (ParentPath(entry_path) == path && entry_path != path) {
+        out.push_back(md);
+      }
+    }
+  }
+  if (coord_ != nullptr && !options_.non_sharing) {
+    const std::string prefix = (path == "/") ? "m:/" : "m:" + path + "/";
+    ASSIGN_OR_RETURN(std::vector<CoordEntryView> entries,
+                     coord_->ReadPrefix(user_, prefix));
+    for (const auto& entry : entries) {
+      auto md = FileMetadata::Decode(entry.value);
+      if (!md.ok()) {
+        continue;
+      }
+      // Key layout is "m:<path>/"; recover the path and keep only children.
+      std::string entry_path = entry.key.substr(2);
+      if (!entry_path.empty() && entry_path.back() == '/') {
+        entry_path.pop_back();
+      }
+      if (ParentPath(entry_path) != path || entry_path == path) {
+        continue;
+      }
+      md->path = entry_path;
+      out.push_back(std::move(*md));
+    }
+  }
+  return out;
+}
+
+Status MetadataService::RenameSubtree(const std::string& from,
+                                      const std::string& to) {
+  bool renamed_any = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, FileMetadata>> moved;
+    for (auto it = pns_.entries.begin(); it != pns_.entries.end();) {
+      if (PathIsWithin(it->first, from)) {
+        std::string new_path = to + it->first.substr(from.size());
+        FileMetadata md = std::move(it->second);
+        md.path = new_path;
+        moved.emplace_back(std::move(new_path), std::move(md));
+        it = pns_.entries.erase(it);
+        renamed_any = true;
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [new_path, md] : moved) {
+      pns_.entries[new_path] = std::move(md);
+    }
+    cache_.clear();
+  }
+  if (coord_ != nullptr && !options_.non_sharing) {
+    // One atomic server-side trigger (the DepSpace extension the paper added
+    // for rename): "m:<from>/" covers the entry itself and every descendant.
+    Status s = coord_->RenamePrefix(user_, "m:" + from + "/", "m:" + to + "/");
+    if (s.ok()) {
+      renamed_any = true;
+    } else if (s.code() != ErrorCode::kNotFound) {
+      return s;
+    }
+  }
+  return renamed_any ? OkStatus() : NotFoundError(from);
+}
+
+Status MetadataService::AddTombstone(const std::string& object_id) {
+  if (using_pns()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pns_.tombstones.push_back(object_id);
+    return OkStatus();
+  }
+  return coord_->Write(user_, TombstoneKey(user_, object_id), {});
+}
+
+Result<std::vector<std::string>> MetadataService::ListTombstones() {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = pns_.tombstones;
+  }
+  if (coord_ != nullptr && !options_.non_sharing) {
+    const std::string prefix = "t:" + user_ + ":";
+    ASSIGN_OR_RETURN(std::vector<CoordEntryView> entries,
+                     coord_->ReadPrefix(user_, prefix));
+    for (const auto& entry : entries) {
+      out.push_back(entry.key.substr(prefix.size()));
+    }
+  }
+  return out;
+}
+
+Status MetadataService::RemoveTombstone(const std::string& object_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(pns_.tombstones.begin(), pns_.tombstones.end(),
+                        object_id);
+    if (it != pns_.tombstones.end()) {
+      pns_.tombstones.erase(it);
+      return OkStatus();
+    }
+  }
+  if (coord_ == nullptr) {
+    return NotFoundError(object_id);
+  }
+  return coord_->Remove(user_, TombstoneKey(user_, object_id));
+}
+
+Status MetadataService::PromoteToShared(const FileMetadata& metadata) {
+  if (!options_.use_pns || coord_ == nullptr) {
+    return Put(metadata);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pns_.entries.erase(metadata.path);
+  }
+  RETURN_IF_ERROR(
+      coord_->Write(user_, MetadataKey(metadata.path), metadata.Encode()));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[metadata.path] = CachedEntry{metadata, env_->Now()};
+  return OkStatus();
+}
+
+Status MetadataService::DemoteToPrivate(const FileMetadata& metadata) {
+  if (!options_.use_pns || coord_ == nullptr) {
+    return Put(metadata);
+  }
+  RETURN_IF_ERROR(coord_->Remove(user_, MetadataKey(metadata.path)));
+  std::lock_guard<std::mutex> lock(mu_);
+  pns_.entries[metadata.path] = metadata;
+  cache_[metadata.path] = CachedEntry{metadata, env_->Now()};
+  return OkStatus();
+}
+
+Status MetadataService::GrantEntry(const std::string& path,
+                                   const std::string& grantee, bool read,
+                                   bool write) {
+  if (coord_ == nullptr) {
+    return NotSupportedError("no coordination service in non-sharing mode");
+  }
+  return coord_->GrantEntryAccess(user_, MetadataKey(path), grantee, read,
+                                  write);
+}
+
+void MetadataService::InvalidateCache(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(path);
+}
+
+bool MetadataService::IsPrivateEntry(const FileMetadata& metadata) {
+  if (options_.non_sharing) {
+    return true;
+  }
+  return options_.use_pns && !metadata.IsShared() && InPns(metadata.path);
+}
+
+void MetadataService::CacheLocally(const FileMetadata& metadata) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[metadata.path] = CachedEntry{metadata, env_->Now()};
+  local_overrides_[metadata.path] = metadata;
+}
+
+std::vector<FileMetadata> MetadataService::PnsEntries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FileMetadata> out;
+  out.reserve(pns_.entries.size());
+  for (const auto& [path, md] : pns_.entries) {
+    out.push_back(md);
+  }
+  return out;
+}
+
+}  // namespace scfs

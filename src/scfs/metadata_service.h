@@ -1,0 +1,130 @@
+// MetadataService: the SCFS agent's local service for file metadata (paper
+// §2.5.1) with two features central to the evaluation:
+//
+//   * a short-term metadata cache (default 500 ms expiration) absorbing the
+//     bursts of stat/getattr calls applications issue per high-level action
+//     (Figure 10a shows the system collapsing without it);
+//   * Private Name Spaces (§2.7): metadata of non-shared files lives in one
+//     cloud-stored object per user instead of one coordination tuple per
+//     file, shrinking coordination-service state and traffic (Figure 10b).
+//
+// Shared entries live in the coordination service (the consistency anchor for
+// both metadata and, via the content hash they carry, file data).
+
+#ifndef SCFS_SCFS_METADATA_SERVICE_H_
+#define SCFS_SCFS_METADATA_SERVICE_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/coord/coordination_service.h"
+#include "src/scfs/metadata.h"
+#include "src/scfs/storage_service.h"
+#include "src/sim/environment.h"
+
+namespace scfs {
+
+struct MetadataServiceOptions {
+  VirtualDuration cache_ttl = FromMillis(500);
+  bool use_pns = false;        // Private Name Spaces enabled
+  bool non_sharing = false;    // no coordination service at all (SCFS-*-NS)
+  // Lock-owner identity of this agent session. Locks must be per-session —
+  // two machines logged in as the same user still conflict (the PNS lock
+  // exists precisely for that case). Defaults to the user name if empty.
+  std::string session;
+};
+
+class MetadataService {
+ public:
+  // `coord` may be null only in non-sharing mode. `storage` persists the PNS
+  // object (it is file data as far as the cloud is concerned).
+  MetadataService(Environment* env, CoordinationService* coord,
+                  StorageService* storage, std::string user,
+                  MetadataServiceOptions options);
+
+  // Loads the PNS at mount time (locks it against a second session of the
+  // same user when a coordination service is available).
+  Status Mount();
+  Status Unmount();
+
+  Result<FileMetadata> Get(const std::string& path);
+  Status Put(const FileMetadata& metadata);
+  Status Create(const FileMetadata& metadata);  // fails if the path exists
+  Status Remove(const std::string& path);
+  Result<std::vector<FileMetadata>> ListDir(const std::string& path);
+  Status RenameSubtree(const std::string& from, const std::string& to);
+
+  // Tombstones: data units orphaned by unlink, awaiting garbage collection.
+  Status AddTombstone(const std::string& object_id);
+  Result<std::vector<std::string>> ListTombstones();
+  Status RemoveTombstone(const std::string& object_id);
+
+  // Moves a PNS entry into the coordination service when a file becomes
+  // shared (and back when all grants are revoked). No-ops without PNS.
+  Status PromoteToShared(const FileMetadata& metadata);
+  Status DemoteToPrivate(const FileMetadata& metadata);
+
+  // Grants/revokes coordination-level access to a shared entry.
+  Status GrantEntry(const std::string& path, const std::string& grantee,
+                    bool read, bool write);
+
+  // Drops expired cache entries; exposed so tests can force expiration.
+  void InvalidateCache(const std::string& path);
+
+  // Snapshot of all PNS entries (garbage collector input).
+  std::vector<FileMetadata> PnsEntries();
+
+  // Persists the PNS object to the cloud and refreshes the PNS tuple. Called
+  // by the agent's background uploader after private-file updates.
+  Status FlushPns();
+
+  // True if this entry is (or would be) stored privately in the PNS.
+  bool IsPrivateEntry(const FileMetadata& metadata);
+
+  // Refreshes only the local short-term cache (used by the non-blocking mode
+  // so the writer observes its own close immediately, before the background
+  // coordination update completes).
+  void CacheLocally(const FileMetadata& metadata);
+
+  bool using_pns() const { return options_.use_pns || options_.non_sharing; }
+  const std::string& user() const { return user_; }
+
+  // Experiment counters.
+  uint64_t coord_reads() const { return coord_reads_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct CachedEntry {
+    FileMetadata metadata;
+    VirtualTime fetched_at = 0;
+  };
+
+  bool InPns(const std::string& path);
+  Result<FileMetadata> GetFromCoord(const std::string& path);
+  std::string PnsObjectId() const { return "pns-" + user_; }
+
+  Environment* env_;
+  CoordinationService* coord_;
+  StorageService* storage_;
+  std::string user_;
+  MetadataServiceOptions options_;
+
+  std::mutex mu_;
+  std::map<std::string, CachedEntry> cache_;
+  // The agent's own in-flight close updates (non-blocking mode): authoritative
+  // until the background coordination update completes, unlike the TTL cache.
+  std::map<std::string, FileMetadata> local_overrides_;
+  PrivateNameSpace pns_;
+  bool pns_loaded_ = false;
+  uint64_t pns_lock_token_ = 0;
+
+  uint64_t coord_reads_ = 0;
+  uint64_t cache_hits_ = 0;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_SCFS_METADATA_SERVICE_H_

@@ -1,0 +1,72 @@
+#include "src/sim/environment.h"
+
+#include <thread>
+
+namespace scfs {
+
+Environment::Environment(double time_scale)
+    : instant_(false),
+      time_scale_(time_scale),
+      origin_(std::chrono::steady_clock::now()) {}
+
+Environment::Environment()
+    : instant_(true),
+      time_scale_(0.0),
+      origin_(std::chrono::steady_clock::now()) {}
+
+std::unique_ptr<Environment> Environment::Instant() {
+  return std::unique_ptr<Environment>(new Environment());
+}
+
+std::unique_ptr<Environment> Environment::Scaled(double time_scale) {
+  return std::make_unique<Environment>(time_scale);
+}
+
+VirtualTime Environment::Now() const {
+  if (instant_) {
+    return logical_now_.load(std::memory_order_relaxed);
+  }
+  auto real_elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - origin_)
+                          .count();
+  return static_cast<VirtualTime>(
+      static_cast<double>(real_elapsed) / 1000.0 / time_scale_);
+}
+
+namespace {
+thread_local VirtualDuration t_charged = 0;
+}  // namespace
+
+VirtualDuration Environment::ThreadCharged() { return t_charged; }
+void Environment::ResetThreadCharged() { t_charged = 0; }
+void Environment::AddThreadCharge(VirtualDuration d) {
+  if (d > 0) {
+    t_charged += d;
+  }
+}
+
+void Environment::Sleep(VirtualDuration d) {
+  if (d <= 0) {
+    return;
+  }
+  t_charged += d;
+  if (instant_) {
+    logical_now_.fetch_add(d, std::memory_order_relaxed);
+    return;
+  }
+  auto real_ns = static_cast<int64_t>(static_cast<double>(d) * 1000.0 *
+                                      time_scale_);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(real_ns));
+}
+
+std::chrono::steady_clock::time_point Environment::RealDeadline(
+    VirtualTime t) const {
+  if (instant_) {
+    return std::chrono::steady_clock::now();
+  }
+  auto real_ns =
+      static_cast<int64_t>(static_cast<double>(t) * 1000.0 * time_scale_);
+  return origin_ + std::chrono::nanoseconds(real_ns);
+}
+
+}  // namespace scfs

@@ -1,0 +1,68 @@
+// Environment: the simulation kernel shared by all modelled services.
+//
+// time_scale is the number of real seconds spent per virtual second. The
+// default benchmark configuration uses 1/1000 (one virtual second costs one
+// real millisecond). Semantic tests use Environment::Instant(), where all
+// modelled sleeps are skipped and virtual time is advanced by a logical
+// counter instead, keeping "happens after the window" reasoning intact.
+
+#ifndef SCFS_SIM_ENVIRONMENT_H_
+#define SCFS_SIM_ENVIRONMENT_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "src/sim/time.h"
+
+namespace scfs {
+
+class Environment {
+ public:
+  // Scaled mode: virtual durations are slept as d * time_scale real time.
+  explicit Environment(double time_scale);
+
+  // Instant mode: Sleep() does not block; it atomically advances a logical
+  // virtual clock instead. Services that compare Now() against visibility
+  // deadlines still behave correctly, just with zero real delay.
+  static std::unique_ptr<Environment> Instant();
+  // Standard benchmark environment (1 virtual second = 1 real millisecond).
+  static std::unique_ptr<Environment> Scaled(double time_scale = 0.001);
+
+  // Current virtual time (microseconds since environment creation).
+  VirtualTime Now() const;
+
+  // Blocks (scaled) for a virtual duration.
+  void Sleep(VirtualDuration d);
+
+  // Sum of virtual durations Slept by the *calling thread* since the last
+  // ResetThreadCharged(). Benchmarks of purely local operations report this
+  // instead of elapsed time, so modelled costs are measured exactly, without
+  // real-compute noise scaled into virtual time.
+  static VirtualDuration ThreadCharged();
+  static void ResetThreadCharged();
+
+  // Adds to the calling thread's charged time without sleeping. Used by
+  // fan-out primitives to propagate the *maximum* child charge (parallel
+  // cloud accesses) and by waits that block outside Sleep() (quorum reply
+  // collection).
+  static void AddThreadCharge(VirtualDuration d);
+
+  // Maps a virtual deadline to a real steady_clock time point (scaled mode).
+  std::chrono::steady_clock::time_point RealDeadline(VirtualTime t) const;
+
+  bool instant() const { return instant_; }
+  double time_scale() const { return time_scale_; }
+
+ private:
+  Environment();  // instant mode
+
+  bool instant_;
+  double time_scale_;
+  std::chrono::steady_clock::time_point origin_;
+  std::atomic<int64_t> logical_now_{0};  // instant mode only
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_SIM_ENVIRONMENT_H_

@@ -1,0 +1,76 @@
+// Fault injection for modelled services.
+//
+// Supports the fault classes the paper's cloud-of-clouds backend is built to
+// survive (§3.2): provider unavailability (outages), data corruption and
+// Byzantine behaviour (arbitrary wrong answers), plus probabilistic transient
+// failures for retry-path testing.
+
+#ifndef SCFS_SIM_FAULT_H_
+#define SCFS_SIM_FAULT_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "src/common/rng.h"
+
+namespace scfs {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 17) : rng_(seed) {}
+
+  // Hard outage: every operation fails with UNAVAILABLE until cleared.
+  void SetUnavailable(bool unavailable) { unavailable_.store(unavailable); }
+  bool unavailable() const { return unavailable_.load(); }
+
+  // Transient failures: each operation independently fails with probability p.
+  void SetTransientFailureProbability(double p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    transient_p_ = p;
+  }
+
+  // Corruption: reads return flipped bytes. Either the next `n` reads or all.
+  void CorruptNextReads(int n) { corrupt_reads_.store(n); }
+  void SetCorruptAllReads(bool corrupt) { corrupt_all_.store(corrupt); }
+
+  // Byzantine: the service may return stale/fabricated data (consumers decide
+  // what that means; this is just the switch).
+  void SetByzantine(bool byzantine) { byzantine_.store(byzantine); }
+  bool byzantine() const { return byzantine_.load(); }
+
+  // Called by the service before each operation; true => fail UNAVAILABLE.
+  bool ShouldFailOperation() {
+    if (unavailable_.load()) {
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    return transient_p_ > 0.0 && rng_.Chance(transient_p_);
+  }
+
+  // Called by the service on each read; true => corrupt the payload.
+  bool ShouldCorruptRead() {
+    if (corrupt_all_.load()) {
+      return true;
+    }
+    int n = corrupt_reads_.load();
+    while (n > 0) {
+      if (corrupt_reads_.compare_exchange_weak(n, n - 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<bool> unavailable_{false};
+  std::atomic<bool> corrupt_all_{false};
+  std::atomic<bool> byzantine_{false};
+  std::atomic<int> corrupt_reads_{0};
+  std::mutex mu_;
+  double transient_p_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_SIM_FAULT_H_

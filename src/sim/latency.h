@@ -1,0 +1,51 @@
+// Latency models for cloud and coordination accesses.
+//
+// A modelled access costs: base + U[0, jitter] + bytes / bandwidth.
+// This is the standard first-order model for wide-area object storage: a
+// fixed round-trip component (TCP+TLS+HTTP on the paper's testbed, 60-100 ms
+// to the coordination service, 100s of ms to storage clouds) plus a transfer
+// component proportional to object size.
+
+#ifndef SCFS_SIM_LATENCY_H_
+#define SCFS_SIM_LATENCY_H_
+
+#include <cstddef>
+
+#include "src/common/rng.h"
+#include "src/sim/time.h"
+
+namespace scfs {
+
+struct LatencyModel {
+  VirtualDuration base = 0;       // fixed per-operation latency
+  VirtualDuration jitter = 0;     // uniform additive jitter in [0, jitter]
+  double bytes_per_second = 0.0;  // transfer bandwidth; 0 means infinite
+
+  VirtualDuration Sample(Rng& rng, size_t bytes) const {
+    VirtualDuration d = base;
+    if (jitter > 0) {
+      d += static_cast<VirtualDuration>(
+          rng.UniformU64(static_cast<uint64_t>(jitter) + 1));
+    }
+    if (bytes_per_second > 0.0 && bytes > 0) {
+      d += static_cast<VirtualDuration>(
+          static_cast<double>(bytes) / bytes_per_second * kSecond);
+    }
+    return d;
+  }
+
+  static LatencyModel None() { return LatencyModel{}; }
+
+  static LatencyModel Fixed(VirtualDuration base) {
+    return LatencyModel{base, 0, 0.0};
+  }
+
+  static LatencyModel WideArea(VirtualDuration base, VirtualDuration jitter,
+                               double megabytes_per_second) {
+    return LatencyModel{base, jitter, megabytes_per_second * 1024.0 * 1024.0};
+  }
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_SIM_LATENCY_H_

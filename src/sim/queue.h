@@ -1,0 +1,169 @@
+// DelayedQueue<T>: a mailbox with virtual-time delivery delays, used as the
+// network transport between coordination-service replicas and clients.
+//
+// Push(msg, deliver_at) makes the message visible to Pop() only once the
+// environment clock reaches deliver_at; the sender never blocks. Pop() blocks
+// (in scaled real time) until a deliverable message exists or the queue is
+// closed.
+
+#ifndef SCFS_SIM_QUEUE_H_
+#define SCFS_SIM_QUEUE_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/environment.h"
+
+namespace scfs {
+
+template <typename T>
+class DelayedQueue {
+ public:
+  explicit DelayedQueue(Environment* env) : env_(env) {}
+
+  void Push(T message, VirtualTime deliver_at) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return;
+      }
+      heap_.push(Item{deliver_at, seq_++, std::move(message)});
+    }
+    cv_.notify_all();
+  }
+
+  void PushNow(T message) { Push(std::move(message), env_->Now()); }
+
+  // Blocks until a message is deliverable or the queue is closed.
+  // Returns nullopt when closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (!heap_.empty()) {
+        VirtualTime due = heap_.top().deliver_at;
+        if (due <= env_->Now()) {
+          T out = std::move(const_cast<Item&>(heap_.top()).message);
+          heap_.pop();
+          return out;
+        }
+        if (env_->instant()) {
+          // Logical clock: jump straight to the delivery time.
+          T out = std::move(const_cast<Item&>(heap_.top()).message);
+          heap_.pop();
+          lock.unlock();
+          env_->Sleep(due - env_->Now());
+          return out;
+        }
+        cv_.wait_until(lock, env_->RealDeadline(due));
+        continue;
+      }
+      if (closed_) {
+        return std::nullopt;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  // Blocks at most `max_wait` virtual time; nullopt on timeout/close. In
+  // instant mode an empty queue advances the logical clock by max_wait (the
+  // caller "waited" that long).
+  std::optional<T> PopFor(VirtualDuration max_wait) {
+    VirtualTime give_up = env_->Now() + max_wait;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (!heap_.empty()) {
+        VirtualTime due = heap_.top().deliver_at;
+        if (due <= env_->Now()) {
+          T out = std::move(const_cast<Item&>(heap_.top()).message);
+          heap_.pop();
+          return out;
+        }
+        if (env_->instant()) {
+          if (due > give_up) {
+            lock.unlock();
+            env_->Sleep(give_up - env_->Now());
+            return std::nullopt;
+          }
+          T out = std::move(const_cast<Item&>(heap_.top()).message);
+          heap_.pop();
+          lock.unlock();
+          env_->Sleep(due - env_->Now());
+          return out;
+        }
+        if (due > give_up) {
+          cv_.wait_until(lock, env_->RealDeadline(give_up));
+          if (env_->Now() >= give_up) {
+            return std::nullopt;
+          }
+          continue;
+        }
+        cv_.wait_until(lock, env_->RealDeadline(due));
+        continue;
+      }
+      if (closed_) {
+        return std::nullopt;
+      }
+      if (env_->instant()) {
+        lock.unlock();
+        env_->Sleep(max_wait);
+        return std::nullopt;
+      }
+      cv_.wait_until(lock, env_->RealDeadline(give_up));
+      if (heap_.empty() && env_->Now() >= give_up) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Non-blocking variant; returns nullopt if nothing deliverable right now.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (heap_.empty() || heap_.top().deliver_at > env_->Now()) {
+      return std::nullopt;
+    }
+    T out = std::move(const_cast<Item&>(heap_.top()).message);
+    heap_.pop();
+    return out;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  struct Item {
+    VirtualTime deliver_at;
+    uint64_t seq;  // FIFO tie-break for equal delivery times
+    T message;
+
+    bool operator>(const Item& other) const {
+      if (deliver_at != other.deliver_at) {
+        return deliver_at > other.deliver_at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  Environment* env_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap_;
+  uint64_t seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_SIM_QUEUE_H_

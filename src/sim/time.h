@@ -1,0 +1,35 @@
+// Virtual time vocabulary. All modelled delays in SCFS are expressed in
+// virtual microseconds; the Environment maps virtual time onto (scaled) real
+// time so the whole evaluation runs orders of magnitude faster than the
+// paper's wall-clock testbed while preserving every latency ratio.
+
+#ifndef SCFS_SIM_TIME_H_
+#define SCFS_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace scfs {
+
+// Virtual timestamps/durations in microseconds.
+using VirtualTime = int64_t;
+using VirtualDuration = int64_t;
+
+constexpr VirtualDuration kMicrosecond = 1;
+constexpr VirtualDuration kMillisecond = 1000;
+constexpr VirtualDuration kSecond = 1000 * 1000;
+
+constexpr double ToSeconds(VirtualDuration d) {
+  return static_cast<double>(d) / kSecond;
+}
+
+constexpr VirtualDuration FromMillis(double ms) {
+  return static_cast<VirtualDuration>(ms * kMillisecond);
+}
+
+constexpr VirtualDuration FromSecondsD(double s) {
+  return static_cast<VirtualDuration>(s * kSecond);
+}
+
+}  // namespace scfs
+
+#endif  // SCFS_SIM_TIME_H_

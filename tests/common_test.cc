@@ -1,0 +1,289 @@
+// Unit tests for src/common: Status/Result, bytes/hex/serialization, paths,
+// the LRU cache and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/bytes.h"
+#include "src/common/lru_cache.h"
+#include "src/common/path.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace scfs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("missing file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing file");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing file");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(AlreadyExistsError("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(PermissionDeniedError("").code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(UnavailableError("").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(TimeoutError("").code(), ErrorCode::kTimeout);
+  EXPECT_EQ(ConflictError("").code(), ErrorCode::kConflict);
+  EXPECT_EQ(CorruptionError("").code(), ErrorCode::kCorruption);
+  EXPECT_EQ(InvalidArgumentError("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(FailedPreconditionError("").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(IsDirectoryError("").code(), ErrorCode::kIsDirectory);
+  EXPECT_EQ(NotDirectoryError("").code(), ErrorCode::kNotDirectory);
+  EXPECT_EQ(NotEmptyError("").code(), ErrorCode::kNotEmpty);
+  EXPECT_EQ(BusyError("").code(), ErrorCode::kBusy);
+  EXPECT_EQ(NotSupportedError("").code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(InternalError("").code(), ErrorCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(NotFoundError("x")).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  Bytes b = ToBytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(ToString(b), "hello");
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  EXPECT_EQ(HexEncode(b), "deadbeef007f");
+  EXPECT_EQ(HexDecode("deadbeef007f"), b);
+  EXPECT_EQ(HexDecode("DEADBEEF007F"), b);
+}
+
+TEST(BytesTest, HexDecodeRejectsMalformed) {
+  EXPECT_TRUE(HexDecode("abc").empty());   // odd length
+  EXPECT_TRUE(HexDecode("zz").empty());    // non-hex
+}
+
+TEST(BytesTest, ConstantTimeEquals) {
+  EXPECT_TRUE(ConstantTimeEquals(ToBytes("abc"), ToBytes("abc")));
+  EXPECT_FALSE(ConstantTimeEquals(ToBytes("abc"), ToBytes("abd")));
+  EXPECT_FALSE(ConstantTimeEquals(ToBytes("abc"), ToBytes("abcd")));
+}
+
+TEST(BytesTest, SerializationRoundTrip) {
+  Bytes out;
+  AppendU32(&out, 0xdeadbeef);
+  AppendU64(&out, 0x1122334455667788ULL);
+  AppendBytes(&out, ToBytes("payload"));
+  AppendString(&out, "name");
+
+  ByteReader reader(out);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  Bytes payload;
+  std::string name;
+  ASSERT_TRUE(reader.ReadU32(&u32));
+  ASSERT_TRUE(reader.ReadU64(&u64));
+  ASSERT_TRUE(reader.ReadBytes(&payload));
+  ASSERT_TRUE(reader.ReadString(&name));
+  EXPECT_EQ(u32, 0xdeadbeef);
+  EXPECT_EQ(u64, 0x1122334455667788ULL);
+  EXPECT_EQ(ToString(payload), "payload");
+  EXPECT_EQ(name, "name");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, ReaderDetectsTruncation) {
+  Bytes out;
+  AppendU32(&out, 100);  // claims 100 bytes follow, none do
+  ByteReader reader(out);
+  Bytes payload;
+  EXPECT_FALSE(reader.ReadBytes(&payload));
+  uint64_t v;
+  EXPECT_FALSE(reader.ReadU64(&v));
+}
+
+TEST(PathTest, Normalize) {
+  EXPECT_EQ(NormalizePath("/"), "/");
+  EXPECT_EQ(NormalizePath("/a/b"), "/a/b");
+  EXPECT_EQ(NormalizePath("//a///b/"), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/./b"), "/a/b");
+  EXPECT_EQ(NormalizePath("relative"), "");
+  EXPECT_EQ(NormalizePath("/a/../b"), "");  // dotdot rejected
+  EXPECT_EQ(NormalizePath(""), "");
+}
+
+TEST(PathTest, ParentAndBasename) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(ParentPath("/"), "/");
+  EXPECT_EQ(Basename("/a/b/c"), "c");
+  EXPECT_EQ(Basename("/a"), "a");
+  EXPECT_EQ(Basename("/"), "");
+}
+
+TEST(PathTest, JoinAndSplit) {
+  EXPECT_EQ(JoinPath("/", "a"), "/a");
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+  auto parts = SplitPath("/a/b/c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitPath("/").empty());
+}
+
+TEST(PathTest, IsWithin) {
+  EXPECT_TRUE(PathIsWithin("/a/b", "/a"));
+  EXPECT_TRUE(PathIsWithin("/a", "/a"));
+  EXPECT_TRUE(PathIsWithin("/a", "/"));
+  EXPECT_FALSE(PathIsWithin("/ab", "/a"));
+  EXPECT_FALSE(PathIsWithin("/b", "/a"));
+}
+
+TEST(PathTest, IsValidPath) {
+  EXPECT_TRUE(IsValidPath("/"));
+  EXPECT_TRUE(IsValidPath("/a/b"));
+  EXPECT_FALSE(IsValidPath("/a/"));
+  EXPECT_FALSE(IsValidPath("a"));
+  EXPECT_FALSE(IsValidPath(""));
+}
+
+TEST(LruCacheTest, BasicPutGet) {
+  LruCache<std::string, int> cache(10);
+  EXPECT_TRUE(cache.Put("a", 1));
+  EXPECT_TRUE(cache.Put("b", 2));
+  EXPECT_EQ(cache.Get("a").value(), 1);
+  EXPECT_EQ(cache.Get("b").value(), 2);
+  EXPECT_FALSE(cache.Get("c").has_value());
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<std::string, int> cache(2);  // entry-count budget
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Get("a");      // a is now most recent
+  cache.Put("c", 3);   // evicts b
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+}
+
+TEST(LruCacheTest, ByteBudgetWithSizeFn) {
+  LruCache<std::string, std::string> cache(
+      10, [](const std::string& v) { return v.size(); });
+  EXPECT_TRUE(cache.Put("a", "12345"));
+  EXPECT_TRUE(cache.Put("b", "12345"));
+  EXPECT_EQ(cache.used_bytes(), 10u);
+  cache.Put("c", "123");  // evicts a (LRU)
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_EQ(cache.used_bytes(), 8u);
+}
+
+TEST(LruCacheTest, OversizedValueRejected) {
+  LruCache<std::string, std::string> cache(
+      4, [](const std::string& v) { return v.size(); });
+  EXPECT_FALSE(cache.Put("big", "12345"));
+  EXPECT_FALSE(cache.Contains("big"));
+}
+
+TEST(LruCacheTest, EvictionCallbackFires) {
+  std::vector<std::string> evicted;
+  LruCache<std::string, int> cache(
+      1, nullptr, [&](const std::string& k, int&&) { evicted.push_back(k); });
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "a");
+  // Explicit erase must not fire the callback.
+  cache.Erase("b");
+  EXPECT_EQ(evicted.size(), 1u);
+}
+
+TEST(LruCacheTest, RechargeAfterInPlaceMutation) {
+  LruCache<std::string, std::string> cache(
+      10, [](const std::string& v) { return v.size(); });
+  cache.Put("a", "12");
+  std::string* ref = cache.GetRef("a");
+  ASSERT_NE(ref, nullptr);
+  *ref += "3456";
+  cache.Recharge("a");
+  EXPECT_EQ(cache.used_bytes(), 6u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformU64(10);
+    EXPECT_LT(v, 10u);
+    int64_t w = rng.UniformInt(-5, 5);
+    EXPECT_GE(w, -5);
+    EXPECT_LE(w, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+TEST(RngTest, RandomBytesLengthAndSpread) {
+  Rng rng(7);
+  Bytes b = rng.RandomBytes(1000);
+  EXPECT_EQ(b.size(), 1000u);
+  std::set<uint8_t> distinct(b.begin(), b.end());
+  EXPECT_GT(distinct.size(), 100u);  // not constant
+}
+
+TEST(RngTest, RandomNameAlphabet) {
+  Rng rng(7);
+  std::string name = rng.RandomName(64);
+  EXPECT_EQ(name.size(), 64u);
+  for (char c : name) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+}  // namespace
+}  // namespace scfs

@@ -1,0 +1,411 @@
+// Tests for the coordination service: command serialization, tuple-space
+// semantics (entries, versions, ACLs, ephemeral locks, the rename trigger)
+// and the replicated SMR cluster under crash and byzantine faults.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/coord/command.h"
+#include "src/coord/local_coordination.h"
+#include "src/coord/smr.h"
+#include "src/coord/tuple_space.h"
+
+namespace scfs {
+namespace {
+
+TEST(CommandTest, EncodeDecodeRoundTrip) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kCompareAndSwap;
+  cmd.client = "alice";
+  cmd.key = "/meta/file";
+  cmd.value = ToBytes("payload");
+  cmd.aux = "extra";
+  cmd.a = 42;
+  cmd.b = 7;
+  auto decoded = CoordCommand::Decode(cmd.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, CoordOp::kCompareAndSwap);
+  EXPECT_EQ(decoded->client, "alice");
+  EXPECT_EQ(decoded->key, "/meta/file");
+  EXPECT_EQ(ToString(decoded->value), "payload");
+  EXPECT_EQ(decoded->aux, "extra");
+  EXPECT_EQ(decoded->a, 42u);
+  EXPECT_EQ(decoded->b, 7u);
+}
+
+TEST(CommandTest, ReplyRoundTripWithEntries) {
+  CoordReply reply;
+  reply.code = ErrorCode::kOk;
+  reply.value = ToBytes("v");
+  reply.a = 3;
+  reply.entries.push_back({"k1", ToBytes("e1"), 1});
+  reply.entries.push_back({"k2", ToBytes("e2"), 2});
+  auto decoded = CoordReply::Decode(reply.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->a, 3u);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[1].key, "k2");
+  EXPECT_EQ(decoded->entries[1].version, 2u);
+}
+
+TEST(CommandTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(CoordCommand::Decode({}).ok());
+  EXPECT_FALSE(CoordCommand::Decode({1, 2, 3}).ok());
+  EXPECT_FALSE(CoordReply::Decode({}).ok());
+}
+
+CoordCommand Cmd(CoordOp op, const std::string& client, const std::string& key,
+                 const Bytes& value = {}, uint64_t a = 0, uint64_t b = 0,
+                 const std::string& aux = "") {
+  CoordCommand cmd;
+  cmd.op = op;
+  cmd.client = client;
+  cmd.key = key;
+  cmd.value = value;
+  cmd.a = a;
+  cmd.b = b;
+  cmd.aux = aux;
+  return cmd;
+}
+
+TEST(TupleSpaceTest, WriteReadVersionBump) {
+  TupleSpace space;
+  auto r1 = space.Apply(0, Cmd(CoordOp::kWrite, "alice", "k", ToBytes("v1")));
+  EXPECT_TRUE(r1.ok());
+  EXPECT_EQ(r1.a, 1u);
+  auto r2 = space.Apply(0, Cmd(CoordOp::kWrite, "alice", "k", ToBytes("v2")));
+  EXPECT_EQ(r2.a, 2u);
+  auto read = space.Apply(0, Cmd(CoordOp::kRead, "alice", "k"));
+  EXPECT_EQ(ToString(read.value), "v2");
+  EXPECT_EQ(read.a, 2u);
+}
+
+TEST(TupleSpaceTest, ConditionalCreate) {
+  TupleSpace space;
+  EXPECT_TRUE(
+      space.Apply(0, Cmd(CoordOp::kConditionalCreate, "a", "k", ToBytes("v")))
+          .ok());
+  EXPECT_EQ(
+      space.Apply(0, Cmd(CoordOp::kConditionalCreate, "a", "k", ToBytes("w")))
+          .code,
+      ErrorCode::kAlreadyExists);
+}
+
+TEST(TupleSpaceTest, CompareAndSwap) {
+  TupleSpace space;
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "k", ToBytes("v1")));
+  // Wrong version.
+  EXPECT_EQ(
+      space.Apply(0, Cmd(CoordOp::kCompareAndSwap, "a", "k", ToBytes("x"), 9))
+          .code,
+      ErrorCode::kConflict);
+  // Right version.
+  auto r = space.Apply(0, Cmd(CoordOp::kCompareAndSwap, "a", "k",
+                              ToBytes("v2"), 1));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.a, 2u);
+  EXPECT_EQ(ToString(space.Apply(0, Cmd(CoordOp::kRead, "a", "k")).value),
+            "v2");
+}
+
+TEST(TupleSpaceTest, RemoveAndNotFound) {
+  TupleSpace space;
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "k", ToBytes("v")));
+  EXPECT_TRUE(space.Apply(0, Cmd(CoordOp::kRemove, "a", "k")).ok());
+  EXPECT_EQ(space.Apply(0, Cmd(CoordOp::kRead, "a", "k")).code,
+            ErrorCode::kNotFound);
+  EXPECT_EQ(space.Apply(0, Cmd(CoordOp::kRemove, "a", "k")).code,
+            ErrorCode::kNotFound);
+}
+
+TEST(TupleSpaceTest, ReadPrefix) {
+  TupleSpace space;
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "/m/a", ToBytes("1")));
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "/m/b", ToBytes("2")));
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "/x/c", ToBytes("3")));
+  auto r = space.Apply(0, Cmd(CoordOp::kReadPrefix, "a", "/m/"));
+  ASSERT_EQ(r.entries.size(), 2u);
+  EXPECT_EQ(r.entries[0].key, "/m/a");
+  EXPECT_EQ(r.entries[1].key, "/m/b");
+}
+
+TEST(TupleSpaceTest, EntryAclEnforced) {
+  TupleSpace space;
+  space.Apply(0, Cmd(CoordOp::kWrite, "alice", "k", ToBytes("v")));
+  // Bob cannot read or write.
+  EXPECT_EQ(space.Apply(0, Cmd(CoordOp::kRead, "bob", "k")).code,
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(space.Apply(0, Cmd(CoordOp::kWrite, "bob", "k", ToBytes("w"))).code,
+            ErrorCode::kPermissionDenied);
+  // Grant read.
+  EXPECT_TRUE(space
+                  .Apply(0, Cmd(CoordOp::kSetEntryAcl, "alice", "k", {},
+                                kCoordPermRead, 0, "bob"))
+                  .ok());
+  EXPECT_TRUE(space.Apply(0, Cmd(CoordOp::kRead, "bob", "k")).ok());
+  EXPECT_EQ(space.Apply(0, Cmd(CoordOp::kWrite, "bob", "k", ToBytes("w"))).code,
+            ErrorCode::kPermissionDenied);
+  // Only the owner can change ACLs.
+  EXPECT_EQ(space
+                .Apply(0, Cmd(CoordOp::kSetEntryAcl, "bob", "k", {},
+                              kCoordPermRead | kCoordPermWrite, 0, "bob"))
+                .code,
+            ErrorCode::kPermissionDenied);
+  // ReadPrefix filters unreadable entries.
+  space.Apply(0, Cmd(CoordOp::kWrite, "alice", "k2", ToBytes("v2")));
+  auto r = space.Apply(0, Cmd(CoordOp::kReadPrefix, "bob", "k"));
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].key, "k");
+}
+
+TEST(TupleSpaceTest, LockExclusionAndToken) {
+  TupleSpace space;
+  auto l1 = space.Apply(0, Cmd(CoordOp::kTryLock, "alice", "L", {}, kSecond));
+  ASSERT_TRUE(l1.ok());
+  EXPECT_GT(l1.a, 0u);
+  // Another client is rejected.
+  EXPECT_EQ(space.Apply(10, Cmd(CoordOp::kTryLock, "bob", "L", {}, kSecond)).code,
+            ErrorCode::kBusy);
+  // Same client re-acquires (re-entrant) with the same token.
+  auto l2 = space.Apply(10, Cmd(CoordOp::kTryLock, "alice", "L", {}, kSecond));
+  EXPECT_TRUE(l2.ok());
+  EXPECT_EQ(l2.a, l1.a);
+  // Unlock with wrong token fails; right token succeeds.
+  EXPECT_EQ(space.Apply(20, Cmd(CoordOp::kUnlock, "alice", "L", {}, 0, 999)).code,
+            ErrorCode::kNotFound);
+  EXPECT_TRUE(space.Apply(20, Cmd(CoordOp::kUnlock, "alice", "L", {}, 0, l1.a))
+                  .ok());
+  EXPECT_TRUE(space.Apply(30, Cmd(CoordOp::kTryLock, "bob", "L", {}, kSecond))
+                  .ok());
+}
+
+TEST(TupleSpaceTest, LockLeaseExpiresEphemeral) {
+  // Paper §2.5.1: lock entries are ephemeral so a crashed client's lock
+  // disappears automatically.
+  TupleSpace space;
+  auto l1 = space.Apply(0, Cmd(CoordOp::kTryLock, "alice", "L", {}, kSecond));
+  ASSERT_TRUE(l1.ok());
+  // Before expiry bob fails; after expiry bob succeeds.
+  EXPECT_EQ(space.Apply(kSecond - 1, Cmd(CoordOp::kTryLock, "bob", "L", {}, kSecond))
+                .code,
+            ErrorCode::kBusy);
+  EXPECT_TRUE(
+      space.Apply(kSecond + 1, Cmd(CoordOp::kTryLock, "bob", "L", {}, kSecond))
+          .ok());
+}
+
+TEST(TupleSpaceTest, RenewExtendsLease) {
+  TupleSpace space;
+  auto l1 = space.Apply(0, Cmd(CoordOp::kTryLock, "alice", "L", {}, kSecond));
+  ASSERT_TRUE(l1.ok());
+  EXPECT_TRUE(space
+                  .Apply(kSecond / 2, Cmd(CoordOp::kRenewLock, "alice", "L", {},
+                                          2 * kSecond, l1.a))
+                  .ok());
+  EXPECT_EQ(space
+                .Apply(2 * kSecond, Cmd(CoordOp::kTryLock, "bob", "L", {},
+                                        kSecond))
+                .code,
+            ErrorCode::kBusy);
+}
+
+TEST(TupleSpaceTest, RenamePrefixMovesSubtree) {
+  TupleSpace space;
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "/m/dir/f1", ToBytes("1")));
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "/m/dir/sub/f2", ToBytes("2")));
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "/m/other", ToBytes("3")));
+  auto r = space.Apply(
+      0, Cmd(CoordOp::kRenamePrefix, "a", "/m/dir", {}, 0, 0, "/m/renamed"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.a, 2u);
+  EXPECT_EQ(space.Apply(0, Cmd(CoordOp::kRead, "a", "/m/dir/f1")).code,
+            ErrorCode::kNotFound);
+  EXPECT_EQ(ToString(space.Apply(0, Cmd(CoordOp::kRead, "a", "/m/renamed/f1"))
+                         .value),
+            "1");
+  EXPECT_EQ(
+      ToString(space.Apply(0, Cmd(CoordOp::kRead, "a", "/m/renamed/sub/f2"))
+                   .value),
+      "2");
+  EXPECT_TRUE(space.Apply(0, Cmd(CoordOp::kRead, "a", "/m/other")).ok());
+}
+
+TEST(TupleSpaceTest, StoredBytesAccounting) {
+  TupleSpace space;
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "key", ToBytes("12345")));
+  EXPECT_EQ(space.stored_bytes(), 3u + 5u);
+  space.Apply(0, Cmd(CoordOp::kWrite, "a", "key", ToBytes("1")));
+  EXPECT_EQ(space.stored_bytes(), 3u + 1u);
+  space.Apply(0, Cmd(CoordOp::kRemove, "a", "key"));
+  EXPECT_EQ(space.stored_bytes(), 0u);
+}
+
+TEST(LocalCoordinationTest, TypedWrappers) {
+  auto env = Environment::Instant();
+  LocalCoordination coord(env.get(), LatencyModel::None());
+  ASSERT_TRUE(coord.Write("alice", "k", ToBytes("v")).ok());
+  auto entry = coord.Read("alice", "k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(ToString(entry->value), "v");
+  EXPECT_EQ(entry->version, 1u);
+
+  auto cas = coord.CompareAndSwap("alice", "k", ToBytes("v2"), 1);
+  ASSERT_TRUE(cas.ok());
+  EXPECT_EQ(*cas, 2u);
+
+  auto lock = coord.TryLock("alice", "L", kSecond);
+  ASSERT_TRUE(lock.ok());
+  EXPECT_EQ(coord.TryLock("bob", "L", kSecond).status().code(),
+            ErrorCode::kBusy);
+  ASSERT_TRUE(coord.Unlock("alice", "L", lock->token).ok());
+
+  ASSERT_TRUE(coord.GrantEntryAccess("alice", "k", "bob", true, false).ok());
+  EXPECT_TRUE(coord.Read("bob", "k").ok());
+
+  ASSERT_TRUE(coord.Remove("alice", "k").ok());
+  EXPECT_EQ(coord.Read("alice", "k").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(LocalCoordinationTest, LatencyCharged) {
+  auto env = Environment::Scaled(1e-5);
+  LocalCoordination coord(env.get(), LatencyModel::Fixed(40 * kMillisecond));
+  VirtualTime t0 = env->Now();
+  coord.Write("a", "k", ToBytes("v"));
+  // One op = request + reply = 2 x 40 ms.
+  EXPECT_GE(env->Now() - t0, 80 * kMillisecond);
+}
+
+TEST(LocalCoordinationTest, UnavailabilityInjected) {
+  auto env = Environment::Instant();
+  LocalCoordination coord(env.get(), LatencyModel::None());
+  coord.faults().SetUnavailable(true);
+  EXPECT_EQ(coord.Write("a", "k", ToBytes("v")).code(),
+            ErrorCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// SMR cluster tests. These run with a scaled environment so virtual
+// timeouts map to microseconds of real time.
+// ---------------------------------------------------------------------------
+
+SmrConfig FastSmrConfig(bool byzantine) {
+  SmrConfig config;
+  config.f = 1;
+  config.byzantine = byzantine;
+  config.client_link = LatencyModel::Fixed(2 * kMillisecond);
+  config.replica_link = LatencyModel::Fixed(kMillisecond);
+  config.client_timeout = 2000 * kMillisecond;
+  config.order_timeout = 600 * kMillisecond;
+  return config;
+}
+
+TEST(SmrClusterTest, BasicExecute) {
+  auto env = Environment::Scaled(1e-3);
+  ReplicatedCoordination coord(env.get(), FastSmrConfig(true));
+  ASSERT_TRUE(coord.Write("alice", "k", ToBytes("v")).ok());
+  auto entry = coord.Read("alice", "k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(ToString(entry->value), "v");
+}
+
+TEST(SmrClusterTest, AllReplicasConverge) {
+  auto env = Environment::Scaled(1e-3);
+  ReplicatedCoordination coord(env.get(), FastSmrConfig(true));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        coord.Write("alice", "k" + std::to_string(i), ToBytes("v")).ok());
+  }
+  // Give stragglers a moment, then check execution counts.
+  env->Sleep(200 * kMillisecond);
+  auto& cluster = coord.cluster();
+  for (unsigned r = 0; r < cluster.replica_count(); ++r) {
+    EXPECT_EQ(cluster.executed_count(r), 20u) << "replica " << r;
+  }
+}
+
+TEST(SmrClusterTest, ConcurrentClientsAllSucceed) {
+  auto env = Environment::Scaled(1e-3);
+  ReplicatedCoordination coord(env.get(), FastSmrConfig(true));
+  constexpr int kThreads = 4;
+  constexpr int kOps = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "t" + std::to_string(t) + "i" + std::to_string(i);
+        if (!coord.Write("client" + std::to_string(t), key, ToBytes("v")).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  auto listed = coord.ReadPrefix("client0", "t0");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), static_cast<size_t>(kOps));
+}
+
+TEST(SmrClusterTest, ByzantineReplyOutvoted) {
+  auto env = Environment::Scaled(1e-3);
+  ReplicatedCoordination coord(env.get(), FastSmrConfig(true));
+  coord.cluster().SetReplicaByzantine(2, true);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(coord.Write("a", "k" + std::to_string(i), ToBytes("v")).ok());
+    auto entry = coord.Read("a", "k" + std::to_string(i));
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(ToString(entry->value), "v");
+  }
+}
+
+TEST(SmrClusterTest, NonLeaderCrashTolerated) {
+  auto env = Environment::Scaled(1e-3);
+  ReplicatedCoordination coord(env.get(), FastSmrConfig(true));
+  ASSERT_TRUE(coord.Write("a", "k0", ToBytes("v")).ok());
+  coord.cluster().CrashReplica(3);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(coord.Write("a", "k" + std::to_string(i), ToBytes("v")).ok());
+  }
+}
+
+TEST(SmrClusterTest, LeaderCrashTriggersViewChange) {
+  auto env = Environment::Scaled(1e-3);
+  ReplicatedCoordination coord(env.get(), FastSmrConfig(true));
+  ASSERT_TRUE(coord.Write("a", "before", ToBytes("v")).ok());
+  EXPECT_EQ(coord.cluster().current_view(), 0u);
+  coord.cluster().CrashReplica(0);  // view 0's leader
+  ASSERT_TRUE(coord.Write("a", "after", ToBytes("v")).ok());
+  EXPECT_GE(coord.cluster().current_view(), 1u);
+  auto entry = coord.Read("a", "before");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(ToString(entry->value), "v");
+}
+
+TEST(SmrClusterTest, CrashModeUsesFewerReplicas) {
+  auto env = Environment::Scaled(1e-3);
+  SmrConfig config = FastSmrConfig(false);
+  ReplicatedCoordination coord(env.get(), config);
+  EXPECT_EQ(coord.cluster().replica_count(), 3u);  // 2f+1
+  ASSERT_TRUE(coord.Write("a", "k", ToBytes("v")).ok());
+  auto entry = coord.Read("a", "k");
+  ASSERT_TRUE(entry.ok());
+}
+
+TEST(SmrClusterTest, LockSemanticsThroughReplication) {
+  auto env = Environment::Scaled(1e-3);
+  ReplicatedCoordination coord(env.get(), FastSmrConfig(true));
+  auto lock = coord.TryLock("alice", "L", 120 * kSecond);
+  ASSERT_TRUE(lock.ok());
+  EXPECT_EQ(coord.TryLock("bob", "L", 120 * kSecond).status().code(),
+            ErrorCode::kBusy);
+  ASSERT_TRUE(coord.Unlock("alice", "L", lock->token).ok());
+  EXPECT_TRUE(coord.TryLock("bob", "L", 120 * kSecond).ok());
+}
+
+}  // namespace
+}  // namespace scfs

@@ -1,0 +1,268 @@
+// Known-answer and property tests for the crypto substrate: SHA-1, SHA-256
+// (FIPS 180-4 vectors), HMAC-SHA256 (RFC 4231), ChaCha20 (RFC 8439) and
+// Shamir secret sharing.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/crypto/chacha20.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/secret_sharing.h"
+#include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
+
+namespace scfs {
+namespace {
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(HexEncode(Sha1::Hash("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(HexEncode(Sha1::Hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      HexEncode(Sha1::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  auto digest = h.Finish();
+  EXPECT_EQ(HexEncode(digest.data(), digest.size()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  Rng rng(11);
+  Bytes data = rng.RandomBytes(10000);
+  Sha1 h;
+  size_t off = 0;
+  size_t step = 1;
+  while (off < data.size()) {
+    size_t n = std::min(step, data.size() - off);
+    h.Update(data.data() + off, n);
+    off += n;
+    step = step * 3 + 1;
+  }
+  auto incremental = h.Finish();
+  EXPECT_EQ(Bytes(incremental.begin(), incremental.end()), Sha1::Hash(data));
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexEncode(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexEncode(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      HexEncode(Sha256::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  auto digest = h.Finish();
+  EXPECT_EQ(HexEncode(digest.data(), digest.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, DifferentInputsDifferentDigests) {
+  EXPECT_NE(Sha256::Hash("a"), Sha256::Hash("b"));
+}
+
+TEST(HmacTest, Rfc4231TestCase1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(
+      HexEncode(HmacSha256(key, ToBytes("Hi There"))),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231TestCase2) {
+  EXPECT_EQ(
+      HexEncode(HmacSha256(ToBytes("Jefe"),
+                           ToBytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key of 0xaa.
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      HexEncode(HmacSha256(
+          key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, VerifyAcceptsAndRejects) {
+  Bytes key = ToBytes("secret");
+  Bytes msg = ToBytes("message");
+  Bytes mac = HmacSha256(key, msg);
+  EXPECT_TRUE(HmacSha256Verify(key, msg, mac));
+  Bytes bad_mac = mac;
+  bad_mac[0] ^= 1;
+  EXPECT_FALSE(HmacSha256Verify(key, msg, bad_mac));
+  EXPECT_FALSE(HmacSha256Verify(ToBytes("wrong"), msg, mac));
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  Bytes key(32);
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  Bytes nonce = HexDecode("000000000000004a00000000");
+  Bytes plaintext = ToBytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.");
+  Bytes ciphertext = ChaCha20::Crypt(key, nonce, 1, plaintext);
+  // First 32 bytes of the RFC 8439 section 2.4.2 ciphertext.
+  EXPECT_EQ(HexEncode(Bytes(ciphertext.begin(), ciphertext.begin() + 32)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+  // Decryption restores the plaintext.
+  EXPECT_EQ(ChaCha20::Crypt(key, nonce, 1, ciphertext), plaintext);
+}
+
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  Bytes key(32);
+  for (int i = 0; i < 32; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  Bytes nonce = HexDecode("000000090000004a00000000");
+  auto block = ChaCha20::Block(key, nonce, 1);
+  EXPECT_EQ(HexEncode(block.data(), 16), "10f1e7e4d13b5915500fdd1fa32071c4");
+}
+
+TEST(ChaCha20Test, RoundTripArbitrarySizes) {
+  Rng rng(3);
+  Bytes key = rng.RandomBytes(32);
+  Bytes nonce = rng.RandomBytes(12);
+  for (size_t size : {0u, 1u, 63u, 64u, 65u, 1000u, 4096u}) {
+    Bytes plaintext = rng.RandomBytes(size);
+    Bytes ciphertext = ChaCha20::Crypt(key, nonce, 0, plaintext);
+    EXPECT_EQ(ChaCha20::Crypt(key, nonce, 0, ciphertext), plaintext);
+    if (size > 8) {
+      EXPECT_NE(ciphertext, plaintext);
+    }
+  }
+}
+
+TEST(ChaCha20Test, DifferentKeysDifferentStreams) {
+  Rng rng(4);
+  Bytes nonce = rng.RandomBytes(12);
+  Bytes plaintext(128, 0);
+  Bytes c1 = ChaCha20::Crypt(rng.RandomBytes(32), nonce, 0, plaintext);
+  Bytes c2 = ChaCha20::Crypt(rng.RandomBytes(32), nonce, 0, plaintext);
+  EXPECT_NE(c1, c2);
+}
+
+struct ShamirParam {
+  unsigned shares;
+  unsigned threshold;
+};
+
+class SecretSharingParamTest : public ::testing::TestWithParam<ShamirParam> {};
+
+TEST_P(SecretSharingParamTest, SplitCombineRoundTrip) {
+  Rng rng(42);
+  const auto param = GetParam();
+  Bytes secret = rng.RandomBytes(32);
+  auto shares = SecretSharing::Split(secret, param.shares, param.threshold, rng);
+  ASSERT_TRUE(shares.ok());
+  ASSERT_EQ(shares->size(), param.shares);
+
+  // Exactly threshold shares suffice (take the last `threshold`).
+  std::vector<SecretShare> subset(shares->end() - param.threshold,
+                                  shares->end());
+  auto recovered = SecretSharing::Combine(subset, param.threshold);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, secret);
+}
+
+TEST_P(SecretSharingParamTest, BelowThresholdFails) {
+  Rng rng(42);
+  const auto param = GetParam();
+  if (param.threshold < 2) {
+    GTEST_SKIP() << "threshold 1 has no below-threshold case";
+  }
+  Bytes secret = rng.RandomBytes(16);
+  auto shares = SecretSharing::Split(secret, param.shares, param.threshold, rng);
+  ASSERT_TRUE(shares.ok());
+  std::vector<SecretShare> subset(shares->begin(),
+                                  shares->begin() + param.threshold - 1);
+  EXPECT_FALSE(SecretSharing::Combine(subset, param.threshold).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, SecretSharingParamTest,
+    ::testing::Values(ShamirParam{4, 2}, ShamirParam{4, 3}, ShamirParam{7, 3},
+                      ShamirParam{10, 5}, ShamirParam{3, 1}, ShamirParam{5, 5}),
+    [](const ::testing::TestParamInfo<ShamirParam>& info) {
+      return "n" + std::to_string(info.param.shares) + "t" +
+             std::to_string(info.param.threshold);
+    });
+
+TEST(SecretSharingTest, SingleShareRevealsNothing) {
+  // With threshold 2, one share must be statistically unrelated to the
+  // secret: check that the share differs from the secret (overwhelming
+  // probability) and that two splits of the same secret give different shares.
+  Rng rng(5);
+  Bytes secret = rng.RandomBytes(32);
+  auto shares1 = SecretSharing::Split(secret, 4, 2, rng);
+  auto shares2 = SecretSharing::Split(secret, 4, 2, rng);
+  ASSERT_TRUE(shares1.ok());
+  ASSERT_TRUE(shares2.ok());
+  EXPECT_NE((*shares1)[0].data, secret);
+  EXPECT_NE((*shares1)[0].data, (*shares2)[0].data);
+}
+
+TEST(SecretSharingTest, DuplicateSharesRejected) {
+  Rng rng(6);
+  Bytes secret = rng.RandomBytes(8);
+  auto shares = SecretSharing::Split(secret, 4, 2, rng);
+  ASSERT_TRUE(shares.ok());
+  std::vector<SecretShare> dup = {(*shares)[0], (*shares)[0]};
+  EXPECT_FALSE(SecretSharing::Combine(dup, 2).ok());
+}
+
+TEST(SecretSharingTest, InvalidParameters) {
+  Rng rng(7);
+  Bytes secret = rng.RandomBytes(8);
+  EXPECT_FALSE(SecretSharing::Split(secret, 2, 3, rng).ok());  // t > n
+  EXPECT_FALSE(SecretSharing::Split(secret, 4, 0, rng).ok());  // t == 0
+}
+
+TEST(SecretSharingTest, AnySubsetOfThresholdWorks) {
+  Rng rng(8);
+  Bytes secret = rng.RandomBytes(16);
+  auto shares = SecretSharing::Split(secret, 4, 2, rng);
+  ASSERT_TRUE(shares.ok());
+  for (unsigned i = 0; i < 4; ++i) {
+    for (unsigned j = i + 1; j < 4; ++j) {
+      std::vector<SecretShare> subset = {(*shares)[i], (*shares)[j]};
+      auto recovered = SecretSharing::Combine(subset, 2);
+      ASSERT_TRUE(recovered.ok());
+      EXPECT_EQ(*recovered, secret) << "shares " << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scfs

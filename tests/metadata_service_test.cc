@@ -1,0 +1,266 @@
+// Unit tests for the SCFS metadata service: serialization, the short-term
+// cache (hits, expiration, invalidation), private name spaces (mount, flush,
+// promotion/demotion, the second-session lock) and tombstones.
+
+#include <gtest/gtest.h>
+
+#include "src/cloud/simulated_cloud.h"
+#include "src/coord/local_coordination.h"
+#include "src/scfs/metadata_service.h"
+
+namespace scfs {
+namespace {
+
+FileMetadata SampleMetadata(const std::string& path) {
+  FileMetadata md;
+  md.path = path;
+  md.type = FileType::kFile;
+  md.size = 123;
+  md.mtime = 456;
+  md.ctime = 789;
+  md.owner = "alice";
+  md.object_id = "alice-xyz";
+  md.content_hash = "abcd";
+  md.version = 7;
+  md.acl["bob"] = 1;
+  md.acl["carol"] = 3;
+  return md;
+}
+
+TEST(FileMetadataTest, EncodeDecodeRoundTrip) {
+  FileMetadata md = SampleMetadata("/a/b");
+  auto decoded = FileMetadata::Decode(md.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->path, "/a/b");
+  EXPECT_EQ(decoded->size, 123u);
+  EXPECT_EQ(decoded->owner, "alice");
+  EXPECT_EQ(decoded->object_id, "alice-xyz");
+  EXPECT_EQ(decoded->content_hash, "abcd");
+  EXPECT_EQ(decoded->version, 7u);
+  ASSERT_EQ(decoded->acl.size(), 2u);
+  EXPECT_EQ(decoded->acl.at("carol"), 3);
+}
+
+TEST(FileMetadataTest, DecodeRejectsTruncation) {
+  FileMetadata md = SampleMetadata("/a");
+  Bytes encoded = md.Encode();
+  encoded.resize(encoded.size() / 2);
+  EXPECT_FALSE(FileMetadata::Decode(encoded).ok());
+}
+
+TEST(FileMetadataTest, AclSemantics) {
+  FileMetadata md = SampleMetadata("/a");
+  EXPECT_TRUE(md.AllowsRead("alice"));   // owner
+  EXPECT_TRUE(md.AllowsWrite("alice"));
+  EXPECT_TRUE(md.AllowsRead("bob"));     // read-only grant
+  EXPECT_FALSE(md.AllowsWrite("bob"));
+  EXPECT_TRUE(md.AllowsWrite("carol"));  // rw grant
+  EXPECT_FALSE(md.AllowsRead("eve"));
+  EXPECT_TRUE(md.IsShared());
+}
+
+TEST(PrivateNameSpaceTest, EncodeDecodeRoundTrip) {
+  PrivateNameSpace pns;
+  pns.entries["/a"] = SampleMetadata("/a");
+  pns.entries["/b/c"] = SampleMetadata("/b/c");
+  pns.tombstones = {"obj-1", "obj-2"};
+  auto decoded = PrivateNameSpace::Decode(pns.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries.at("/b/c").size, 123u);
+  ASSERT_EQ(decoded->tombstones.size(), 2u);
+  EXPECT_EQ(decoded->tombstones[1], "obj-2");
+}
+
+class MetadataServiceTest : public ::testing::Test {
+ protected:
+  MetadataServiceTest()
+      : env_(Environment::Instant()),
+        cloud_(CloudProfile{}, env_.get(), 1),
+        backend_(&cloud_, CloudCredentials{"u"}),
+        coord_(env_.get(), LatencyModel::None()) {
+    StorageServiceOptions storage_options;
+    storage_ = std::make_unique<StorageService>(env_.get(), &backend_,
+                                                storage_options);
+  }
+
+  MetadataService MakeService(MetadataServiceOptions options,
+                              const std::string& user = "alice") {
+    return MetadataService(env_.get(),
+                           options.non_sharing ? nullptr : &coord_,
+                           storage_.get(), user, options);
+  }
+
+  std::unique_ptr<Environment> env_;
+  SimulatedCloud cloud_;
+  SingleCloudBackend backend_;
+  LocalCoordination coord_;
+  std::unique_ptr<StorageService> storage_;
+};
+
+TEST_F(MetadataServiceTest, PutGetThroughCoordination) {
+  auto service = MakeService({});
+  ASSERT_TRUE(service.Mount().ok());
+  ASSERT_TRUE(service.Put(SampleMetadata("/f")).ok());
+  auto got = service.Get("/f");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->object_id, "alice-xyz");
+  // It is really in the coordination service.
+  EXPECT_TRUE(coord_.Read("alice", MetadataKey("/f")).ok());
+}
+
+TEST_F(MetadataServiceTest, CacheHitsWithinTtlThenExpires) {
+  MetadataServiceOptions options;
+  options.cache_ttl = 100 * kMillisecond;
+  auto service = MakeService(options);
+  ASSERT_TRUE(service.Mount().ok());
+  ASSERT_TRUE(service.Put(SampleMetadata("/f")).ok());
+
+  uint64_t reads0 = service.coord_reads();
+  ASSERT_TRUE(service.Get("/f").ok());  // cache hit (cached by Put)
+  EXPECT_EQ(service.coord_reads(), reads0);
+  EXPECT_GE(service.cache_hits(), 1u);
+
+  env_->Sleep(200 * kMillisecond);  // past the TTL
+  ASSERT_TRUE(service.Get("/f").ok());
+  EXPECT_EQ(service.coord_reads(), reads0 + 1);  // had to go to coord
+}
+
+TEST_F(MetadataServiceTest, ZeroTtlAlwaysReadsCoordination) {
+  MetadataServiceOptions options;
+  options.cache_ttl = 0;
+  auto service = MakeService(options);
+  ASSERT_TRUE(service.Mount().ok());
+  ASSERT_TRUE(service.Put(SampleMetadata("/f")).ok());
+  uint64_t reads0 = service.coord_reads();
+  env_->Sleep(1);
+  ASSERT_TRUE(service.Get("/f").ok());
+  env_->Sleep(1);
+  ASSERT_TRUE(service.Get("/f").ok());
+  EXPECT_EQ(service.coord_reads(), reads0 + 2);
+}
+
+TEST_F(MetadataServiceTest, LocalOverrideSurvivesTtlUntilPublished) {
+  MetadataServiceOptions options;
+  options.cache_ttl = kMillisecond;
+  auto service = MakeService(options);
+  ASSERT_TRUE(service.Mount().ok());
+  FileMetadata stale = SampleMetadata("/f");
+  stale.version = 1;
+  ASSERT_TRUE(service.Put(stale).ok());
+
+  FileMetadata fresh = stale;
+  fresh.version = 2;
+  fresh.content_hash = "ffff";
+  service.CacheLocally(fresh);  // pending close, not yet in coord
+  env_->Sleep(10 * kSecond);    // far past the TTL
+
+  auto got = service.Get("/f");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->version, 2u);  // the override, not coord's stale copy
+
+  // After the (background) Put publishes it, the override is dropped and
+  // coord agrees.
+  ASSERT_TRUE(service.Put(fresh).ok());
+  env_->Sleep(10 * kSecond);
+  got = service.Get("/f");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->version, 2u);
+}
+
+TEST_F(MetadataServiceTest, PnsMountFlushRemount) {
+  MetadataServiceOptions options;
+  options.use_pns = true;
+  {
+    auto service = MakeService(options);
+    ASSERT_TRUE(service.Mount().ok());
+    ASSERT_TRUE(service.Create(SampleMetadata("/private")).ok());
+    ASSERT_TRUE(service.Unmount().ok());  // flushes the PNS object
+  }
+  // No per-file tuple was created; only the PNS tuple exists.
+  EXPECT_FALSE(coord_.Read("alice", MetadataKey("/private")).ok());
+  EXPECT_TRUE(coord_.Read("alice", PnsTupleKey("alice")).ok());
+
+  auto service = MakeService(options);
+  ASSERT_TRUE(service.Mount().ok());
+  auto got = service.Get("/private");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->object_id, "alice-xyz");
+  ASSERT_TRUE(service.Unmount().ok());
+}
+
+TEST_F(MetadataServiceTest, PnsSecondSessionIsLockedOut) {
+  MetadataServiceOptions options;
+  options.use_pns = true;
+  options.session = "alice@laptop";
+  auto first = MakeService(options);
+  ASSERT_TRUE(first.Mount().ok());
+
+  MetadataServiceOptions second_options = options;
+  second_options.session = "alice@desktop";
+  auto second = MakeService(second_options);
+  EXPECT_EQ(second.Mount().code(), ErrorCode::kBusy);
+
+  ASSERT_TRUE(first.Unmount().ok());
+  auto third = MakeService(second_options);
+  EXPECT_TRUE(third.Mount().ok());
+  ASSERT_TRUE(third.Unmount().ok());
+}
+
+TEST_F(MetadataServiceTest, PromoteAndDemote) {
+  MetadataServiceOptions options;
+  options.use_pns = true;
+  auto service = MakeService(options);
+  ASSERT_TRUE(service.Mount().ok());
+  FileMetadata md = SampleMetadata("/doc");
+  md.acl.clear();
+  ASSERT_TRUE(service.Create(md).ok());
+  EXPECT_FALSE(coord_.Read("alice", MetadataKey("/doc")).ok());
+
+  md.acl["bob"] = 1;
+  ASSERT_TRUE(service.PromoteToShared(md).ok());
+  EXPECT_TRUE(coord_.Read("alice", MetadataKey("/doc")).ok());
+  EXPECT_TRUE(service.Get("/doc").ok());
+
+  md.acl.clear();
+  ASSERT_TRUE(service.DemoteToPrivate(md).ok());
+  EXPECT_FALSE(coord_.Read("alice", MetadataKey("/doc")).ok());
+  EXPECT_TRUE(service.Get("/doc").ok());
+  ASSERT_TRUE(service.Unmount().ok());
+}
+
+TEST_F(MetadataServiceTest, TombstonesRoundTrip) {
+  auto service = MakeService({});
+  ASSERT_TRUE(service.Mount().ok());
+  ASSERT_TRUE(service.AddTombstone("obj-1").ok());
+  ASSERT_TRUE(service.AddTombstone("obj-2").ok());
+  auto listed = service.ListTombstones();
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), 2u);
+  ASSERT_TRUE(service.RemoveTombstone("obj-1").ok());
+  listed = service.ListTombstones();
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 1u);
+  EXPECT_EQ((*listed)[0], "obj-2");
+}
+
+TEST_F(MetadataServiceTest, RenameSubtreeMovesEverything) {
+  auto service = MakeService({});
+  ASSERT_TRUE(service.Mount().ok());
+  ASSERT_TRUE(service.Put(SampleMetadata("/d")).ok());
+  ASSERT_TRUE(service.Put(SampleMetadata("/d/f1")).ok());
+  ASSERT_TRUE(service.Put(SampleMetadata("/d/sub/f2")).ok());
+  ASSERT_TRUE(service.Put(SampleMetadata("/dx")).ok());  // prefix sibling
+
+  ASSERT_TRUE(service.RenameSubtree("/d", "/e").ok());
+  service.InvalidateCache("/d");
+  service.InvalidateCache("/dx");
+  EXPECT_TRUE(service.Get("/e/f1").ok());
+  EXPECT_TRUE(service.Get("/e/sub/f2").ok());
+  EXPECT_FALSE(service.Get("/d/f1").ok());
+  // The sibling with a common name prefix must be untouched.
+  EXPECT_TRUE(service.Get("/dx").ok());
+}
+
+}  // namespace
+}  // namespace scfs

@@ -1,0 +1,317 @@
+// Property-based differential testing: random operation sequences are
+// applied simultaneously to SCFS (over either backend, in every mode) and to
+// a simple in-memory reference model; after every operation the observable
+// behaviour (status class, file contents, stat, directory listings) must
+// agree. This catches namespace/cache/locking bugs that example-based tests
+// miss.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/path.h"
+#include "src/common/rng.h"
+#include "src/scfs/deployment.h"
+
+namespace scfs {
+namespace {
+
+// A minimal always-correct model of the namespace SCFS should implement.
+class ReferenceModel {
+ public:
+  bool Exists(const std::string& path) const { return files_.count(path) || dirs_.count(path); }
+
+  Status WriteFile(const std::string& path, const Bytes& data) {
+    const std::string parent = ParentPath(path);
+    if (parent != "/" && dirs_.count(parent) == 0) {
+      return NotFoundError(parent);
+    }
+    if (dirs_.count(path) > 0) {
+      return IsDirectoryError(path);
+    }
+    files_[path] = data;
+    return OkStatus();
+  }
+
+  Result<Bytes> ReadFile(const std::string& path) const {
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return NotFoundError(path);
+    }
+    return it->second;
+  }
+
+  Status Mkdir(const std::string& path) {
+    if (Exists(path)) {
+      return AlreadyExistsError(path);
+    }
+    const std::string parent = ParentPath(path);
+    if (parent != "/" && dirs_.count(parent) == 0) {
+      return NotFoundError(parent);
+    }
+    dirs_.insert(path);
+    return OkStatus();
+  }
+
+  Status Unlink(const std::string& path) {
+    if (dirs_.count(path) > 0) {
+      return IsDirectoryError(path);
+    }
+    return files_.erase(path) > 0 ? OkStatus() : NotFoundError(path);
+  }
+
+  Status Rmdir(const std::string& path) {
+    if (dirs_.count(path) == 0) {
+      return files_.count(path) ? NotDirectoryError(path) : NotFoundError(path);
+    }
+    for (const auto& [file, data] : files_) {
+      if (PathIsWithin(file, path) && file != path) {
+        return NotEmptyError(path);
+      }
+    }
+    for (const auto& dir : dirs_) {
+      if (dir != path && PathIsWithin(dir, path)) {
+        return NotEmptyError(path);
+      }
+    }
+    dirs_.erase(path);
+    return OkStatus();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) {
+    if (!Exists(from)) {
+      return NotFoundError(from);
+    }
+    if (Exists(to) || PathIsWithin(to, from)) {
+      return Exists(to) ? AlreadyExistsError(to)
+                        : InvalidArgumentError("into own subtree");
+    }
+    const std::string parent = ParentPath(to);
+    if (parent != "/" && dirs_.count(parent) == 0) {
+      return NotFoundError(parent);
+    }
+    std::map<std::string, Bytes> moved_files;
+    for (auto it = files_.begin(); it != files_.end();) {
+      if (PathIsWithin(it->first, from)) {
+        moved_files[to + it->first.substr(from.size())] = std::move(it->second);
+        it = files_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::set<std::string> moved_dirs;
+    for (auto it = dirs_.begin(); it != dirs_.end();) {
+      if (PathIsWithin(*it, from)) {
+        moved_dirs.insert(to + it->substr(from.size()));
+        it = dirs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    files_.merge(moved_files);
+    dirs_.merge(moved_dirs);
+    return OkStatus();
+  }
+
+  std::vector<std::string> List(const std::string& dir) const {
+    std::vector<std::string> out;
+    for (const auto& [path, data] : files_) {
+      if (ParentPath(path) == dir) {
+        out.push_back(Basename(path));
+      }
+    }
+    for (const auto& path : dirs_) {
+      if (ParentPath(path) == dir && path != dir) {
+        out.push_back(Basename(path));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  const std::map<std::string, Bytes>& files() const { return files_; }
+  const std::set<std::string>& dirs() const { return dirs_; }
+
+ private:
+  std::map<std::string, Bytes> files_;
+  std::set<std::string> dirs_;
+};
+
+struct PropertyParam {
+  ScfsBackendKind backend;
+  ScfsMode mode;
+  bool use_pns;
+  uint64_t seed;
+};
+
+class ScfsPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(ScfsPropertyTest, RandomOpsMatchReferenceModel) {
+  const auto param = GetParam();
+  auto env = Environment::Instant();
+  DeploymentOptions options;
+  options.backend = param.backend;
+  options.zero_latency = true;
+  auto deployment = Deployment::Create(env.get(), options);
+  ScfsOptions fs_options;
+  fs_options.mode = param.mode;
+  fs_options.use_pns = param.use_pns;
+  auto mounted = deployment->Mount("u", fs_options);
+  ASSERT_TRUE(mounted.ok());
+  auto& fs = *mounted;
+
+  ReferenceModel model;
+  Rng rng(param.seed);
+
+  // A small pool of paths so operations collide interestingly.
+  std::vector<std::string> dirs = {"/d1", "/d2", "/d1/sub"};
+  std::vector<std::string> names = {"a", "b", "c"};
+  auto random_path = [&]() {
+    std::string dir = rng.Chance(0.25)
+                          ? ""
+                          : dirs[rng.UniformU64(dirs.size())];
+    return dir + "/" + names[rng.UniformU64(names.size())];
+  };
+  auto random_dir = [&]() { return dirs[rng.UniformU64(dirs.size())]; };
+
+  for (int step = 0; step < 300; ++step) {
+    int op = static_cast<int>(rng.UniformU64(8));
+    switch (op) {
+      case 0: {  // write
+        std::string path = random_path();
+        Bytes data = rng.RandomBytes(rng.UniformU64(2048));
+        Status got = fs->WriteFile(path, data);
+        Status want = model.WriteFile(path, data);
+        ASSERT_EQ(got.ok(), want.ok())
+            << step << " write " << path << ": " << got.ToString() << " vs "
+            << want.ToString();
+        break;
+      }
+      case 1: {  // read
+        std::string path = random_path();
+        auto got = fs->ReadFile(path);
+        auto want = model.ReadFile(path);
+        ASSERT_EQ(got.ok(), want.ok()) << step << " read " << path;
+        if (got.ok()) {
+          ASSERT_EQ(*got, *want) << step << " read " << path;
+        }
+        break;
+      }
+      case 2: {  // mkdir
+        std::string path = random_dir();
+        Status got = fs->Mkdir(path);
+        Status want = model.Mkdir(path);
+        ASSERT_EQ(got.ok(), want.ok()) << step << " mkdir " << path;
+        break;
+      }
+      case 3: {  // unlink
+        std::string path = random_path();
+        Status got = fs->Unlink(path);
+        Status want = model.Unlink(path);
+        ASSERT_EQ(got.ok(), want.ok()) << step << " unlink " << path;
+        break;
+      }
+      case 4: {  // rmdir
+        std::string path = random_dir();
+        Status got = fs->Rmdir(path);
+        Status want = model.Rmdir(path);
+        ASSERT_EQ(got.ok(), want.ok())
+            << step << " rmdir " << path << ": " << got.ToString() << " vs "
+            << want.ToString();
+        break;
+      }
+      case 5: {  // stat agreement
+        std::string path = random_path();
+        auto got = fs->Stat(path);
+        bool want = model.Exists(path);
+        ASSERT_EQ(got.ok(), want) << step << " stat " << path;
+        if (got.ok() && model.files().count(path)) {
+          ASSERT_EQ(got->size, model.files().at(path).size())
+              << step << " stat size " << path;
+        }
+        break;
+      }
+      case 6: {  // readdir agreement on a random directory
+        std::string dir = rng.Chance(0.3) ? "/" : random_dir();
+        auto got = fs->ReadDir(dir);
+        if (!got.ok()) {
+          // Must only fail when the model has no such *directory* (it may
+          // exist as a file after a rename, which is NOT_DIRECTORY).
+          ASSERT_TRUE(model.dirs().count(dir) == 0 && dir != "/")
+              << step << " readdir " << dir << ": " << got.status().ToString();
+          break;
+        }
+        std::vector<std::string> got_names;
+        for (const auto& entry : *got) {
+          got_names.push_back(entry.name);
+        }
+        std::sort(got_names.begin(), got_names.end());
+        ASSERT_EQ(got_names, model.List(dir)) << step << " readdir " << dir;
+        break;
+      }
+      case 7: {  // rename (files and whole directories)
+        std::string from = rng.Chance(0.5) ? random_path() : random_dir();
+        std::string to = rng.Chance(0.5) ? random_path() : random_dir();
+        Status got = fs->Rename(from, to);
+        Status want = model.Rename(from, to);
+        ASSERT_EQ(got.ok(), want.ok())
+            << step << " rename " << from << " -> " << to << ": "
+            << got.ToString() << " vs " << want.ToString();
+        break;
+      }
+    }
+  }
+
+  // Final full-state comparison.
+  fs->DrainBackground();
+  for (const auto& [path, data] : model.files()) {
+    auto got = fs->ReadFile(path);
+    ASSERT_TRUE(got.ok()) << "final read " << path;
+    EXPECT_EQ(*got, data) << "final content " << path;
+  }
+  (void)fs->Unmount();
+}
+
+std::vector<PropertyParam> MakeParams() {
+  std::vector<PropertyParam> params;
+  uint64_t seed = 1000;
+  for (auto backend : {ScfsBackendKind::kAws, ScfsBackendKind::kCoc}) {
+    for (auto mode : {ScfsMode::kBlocking, ScfsMode::kNonBlocking,
+                      ScfsMode::kNonSharing}) {
+      for (bool pns : {false, true}) {
+        if (mode == ScfsMode::kNonSharing && pns) {
+          continue;  // NS implies PNS already
+        }
+        params.push_back(PropertyParam{backend, mode, pns, seed});
+        seed += 77;
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ScfsPropertyTest, ::testing::ValuesIn(MakeParams()),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      std::string name =
+          info.param.backend == ScfsBackendKind::kAws ? "Aws" : "CoC";
+      switch (info.param.mode) {
+        case ScfsMode::kBlocking:
+          name += "Blocking";
+          break;
+        case ScfsMode::kNonBlocking:
+          name += "NonBlocking";
+          break;
+        case ScfsMode::kNonSharing:
+          name += "NonSharing";
+          break;
+      }
+      if (info.param.use_pns) {
+        name += "Pns";
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace scfs

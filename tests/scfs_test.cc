@@ -1,0 +1,542 @@
+// SCFS agent tests: POSIX semantics, consistency-on-close between agents,
+// locking, ACL-based sharing, private name spaces, modes of operation,
+// garbage collection and cloud-fault tolerance — run over both backends where
+// it matters.
+
+#include <gtest/gtest.h>
+
+#include "src/scfs/consistency_anchor.h"
+#include "src/scfs/deployment.h"
+
+namespace scfs {
+namespace {
+
+class ScfsTest : public ::testing::TestWithParam<ScfsBackendKind> {
+ protected:
+  ScfsTest() : env_(Environment::Instant()) {
+    DeploymentOptions options;
+    options.backend = GetParam();
+    options.zero_latency = true;
+    deployment_ = Deployment::Create(env_.get(), options);
+  }
+
+  std::unique_ptr<ScfsFileSystem> MountAgent(
+      const std::string& user, ScfsMode mode = ScfsMode::kBlocking,
+      bool use_pns = false) {
+    ScfsOptions options;
+    options.mode = mode;
+    options.use_pns = use_pns;
+    auto fs = deployment_->Mount(user, options);
+    EXPECT_TRUE(fs.ok()) << fs.status().ToString();
+    return std::move(*fs);
+  }
+
+  std::unique_ptr<Environment> env_;
+  std::unique_ptr<Deployment> deployment_;
+};
+
+TEST_P(ScfsTest, WriteReadRoundTrip) {
+  auto fs = MountAgent("alice");
+  Bytes data = ToBytes("hello scfs");
+  ASSERT_TRUE(fs->WriteFile("/f.txt", data).ok());
+  auto read = fs->ReadFile("/f.txt");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_P(ScfsTest, OpenMissingFileFails) {
+  auto fs = MountAgent("alice");
+  EXPECT_EQ(fs->Open("/nope", kOpenRead).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_P(ScfsTest, CreateRequiresParentDirectory) {
+  auto fs = MountAgent("alice");
+  EXPECT_EQ(fs->Open("/no/such/dir/f", kOpenWrite | kOpenCreate)
+                .status()
+                .code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(fs->Mkdir("/dir").ok());
+  ASSERT_TRUE(fs->WriteFile("/dir/f", ToBytes("x")).ok());
+}
+
+TEST_P(ScfsTest, PartialReadsAndOffsets) {
+  auto fs = MountAgent("alice");
+  ASSERT_TRUE(fs->WriteFile("/f", ToBytes("0123456789")).ok());
+  auto fh = fs->Open("/f", kOpenRead);
+  ASSERT_TRUE(fh.ok());
+  EXPECT_EQ(ToString(*fs->Read(*fh, 2, 3)), "234");
+  EXPECT_EQ(ToString(*fs->Read(*fh, 8, 100)), "89");  // clamped
+  EXPECT_TRUE(fs->Read(*fh, 20, 5)->empty());         // past EOF
+  ASSERT_TRUE(fs->Close(*fh).ok());
+}
+
+TEST_P(ScfsTest, WriteAtOffsetExtends) {
+  auto fs = MountAgent("alice");
+  auto fh = fs->Open("/f", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(fs->Write(*fh, 0, ToBytes("abc")).ok());
+  ASSERT_TRUE(fs->Write(*fh, 5, ToBytes("xyz")).ok());
+  ASSERT_TRUE(fs->Close(*fh).ok());
+  auto read = fs->ReadFile("/f");
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 8u);
+  EXPECT_EQ((*read)[3], 0);  // hole filled with zeros
+  EXPECT_EQ(ToString(Bytes(read->begin() + 5, read->end())), "xyz");
+}
+
+TEST_P(ScfsTest, TruncateOnOpenAndExplicit) {
+  auto fs = MountAgent("alice");
+  ASSERT_TRUE(fs->WriteFile("/f", ToBytes("longcontent")).ok());
+  // O_TRUNC drops the old content without fetching it.
+  auto fh = fs->Open("/f", kOpenWrite | kOpenTruncate);
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(fs->Write(*fh, 0, ToBytes("hi")).ok());
+  ASSERT_TRUE(fs->Close(*fh).ok());
+  EXPECT_EQ(ToString(*fs->ReadFile("/f")), "hi");
+  // Explicit truncate.
+  fh = fs->Open("/f", kOpenWrite);
+  ASSERT_TRUE(fh.ok());
+  ASSERT_TRUE(fs->Truncate(*fh, 1).ok());
+  ASSERT_TRUE(fs->Close(*fh).ok());
+  EXPECT_EQ(ToString(*fs->ReadFile("/f")), "h");
+}
+
+TEST_P(ScfsTest, StatReportsSizeAndType) {
+  auto fs = MountAgent("alice");
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->WriteFile("/d/f", ToBytes("12345")).ok());
+  auto file_stat = fs->Stat("/d/f");
+  ASSERT_TRUE(file_stat.ok());
+  EXPECT_EQ(file_stat->type, FileType::kFile);
+  EXPECT_EQ(file_stat->size, 5u);
+  EXPECT_EQ(file_stat->owner, "alice");
+  auto dir_stat = fs->Stat("/d");
+  ASSERT_TRUE(dir_stat.ok());
+  EXPECT_EQ(dir_stat->type, FileType::kDirectory);
+  auto root_stat = fs->Stat("/");
+  ASSERT_TRUE(root_stat.ok());
+  EXPECT_EQ(root_stat->type, FileType::kDirectory);
+}
+
+TEST_P(ScfsTest, ReadDirListsChildrenOnly) {
+  auto fs = MountAgent("alice");
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->Mkdir("/d/sub").ok());
+  ASSERT_TRUE(fs->WriteFile("/d/a", ToBytes("1")).ok());
+  ASSERT_TRUE(fs->WriteFile("/d/sub/deep", ToBytes("2")).ok());
+  auto entries = fs->ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].name, "a");
+  EXPECT_EQ((*entries)[1].name, "sub");
+  EXPECT_EQ((*entries)[1].type, FileType::kDirectory);
+}
+
+TEST_P(ScfsTest, MkdirErrors) {
+  auto fs = MountAgent("alice");
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  EXPECT_EQ(fs->Mkdir("/d").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(fs->Mkdir("/missing/d").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(fs->WriteFile("/f", ToBytes("x")).ok());
+  EXPECT_EQ(fs->Mkdir("/f/d").code(), ErrorCode::kNotDirectory);
+}
+
+TEST_P(ScfsTest, RmdirOnlyWhenEmpty) {
+  auto fs = MountAgent("alice");
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->WriteFile("/d/f", ToBytes("x")).ok());
+  EXPECT_EQ(fs->Rmdir("/d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(fs->Unlink("/d/f").ok());
+  ASSERT_TRUE(fs->Rmdir("/d").ok());
+  EXPECT_EQ(fs->Stat("/d").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_P(ScfsTest, UnlinkRemovesFromNamespace) {
+  auto fs = MountAgent("alice");
+  ASSERT_TRUE(fs->WriteFile("/f", ToBytes("x")).ok());
+  ASSERT_TRUE(fs->Unlink("/f").ok());
+  EXPECT_EQ(fs->Stat("/f").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs->Unlink("/f").code(), ErrorCode::kNotFound);
+  // The path can be reused.
+  ASSERT_TRUE(fs->WriteFile("/f", ToBytes("y")).ok());
+  EXPECT_EQ(ToString(*fs->ReadFile("/f")), "y");
+}
+
+TEST_P(ScfsTest, RenameFileAndDirectory) {
+  auto fs = MountAgent("alice");
+  ASSERT_TRUE(fs->Mkdir("/d").ok());
+  ASSERT_TRUE(fs->WriteFile("/d/f", ToBytes("content")).ok());
+  // File rename.
+  ASSERT_TRUE(fs->Rename("/d/f", "/d/g").ok());
+  EXPECT_EQ(fs->Stat("/d/f").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(ToString(*fs->ReadFile("/d/g")), "content");
+  // Directory rename moves the subtree.
+  ASSERT_TRUE(fs->Rename("/d", "/e").ok());
+  EXPECT_EQ(ToString(*fs->ReadFile("/e/g")), "content");
+  EXPECT_EQ(fs->Stat("/d").status().code(), ErrorCode::kNotFound);
+  // Rename into own subtree is rejected.
+  ASSERT_TRUE(fs->Mkdir("/e/sub").ok());
+  EXPECT_EQ(fs->Rename("/e", "/e/sub/x").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_P(ScfsTest, ConsistencyOnCloseAcrossAgents) {
+  auto alice = MountAgent("alice");
+  auto bob_view = MountAgent("alice");  // second machine, same user
+  Bytes v1 = ToBytes("version 1");
+  ASSERT_TRUE(alice->WriteFile("/shared", v1).ok());
+  // After alice's close, the other agent sees the update on open.
+  auto read = bob_view->ReadFile("/shared");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, v1);
+  // And a subsequent update too (cache must revalidate by hash).
+  env_->Sleep(kSecond);  // let the 500 ms metadata cache expire
+  Bytes v2 = ToBytes("version 2 -- longer");
+  ASSERT_TRUE(alice->WriteFile("/shared", v2).ok());
+  env_->Sleep(kSecond);
+  read = bob_view->ReadFile("/shared");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, v2);
+}
+
+TEST_P(ScfsTest, WriteWriteConflictGetsBusy) {
+  auto a = MountAgent("alice");
+  auto b = MountAgent("alice");
+  ASSERT_TRUE(a->WriteFile("/f", ToBytes("x")).ok());
+  env_->Sleep(kSecond);
+  auto fh_a = a->Open("/f", kOpenWrite);
+  ASSERT_TRUE(fh_a.ok());
+  EXPECT_EQ(b->Open("/f", kOpenWrite).status().code(), ErrorCode::kBusy);
+  // Reading is always allowed.
+  auto fh_b = b->Open("/f", kOpenRead);
+  EXPECT_TRUE(fh_b.ok());
+  ASSERT_TRUE(b->Close(*fh_b).ok());
+  // After close, the other client can lock.
+  ASSERT_TRUE(a->Close(*fh_a).ok());
+  auto fh_b2 = b->Open("/f", kOpenWrite);
+  EXPECT_TRUE(fh_b2.ok());
+  ASSERT_TRUE(b->Close(*fh_b2).ok());
+}
+
+TEST_P(ScfsTest, CrashedClientLockExpires) {
+  auto a = MountAgent("alice");
+  auto b = MountAgent("alice");
+  ASSERT_TRUE(a->WriteFile("/f", ToBytes("x")).ok());
+  env_->Sleep(kSecond);
+  auto fh_a = a->Open("/f", kOpenWrite);
+  ASSERT_TRUE(fh_a.ok());
+  EXPECT_EQ(b->Open("/f", kOpenWrite).status().code(), ErrorCode::kBusy);
+  // "a" crashes (never closes). The ephemeral lock lease runs out.
+  env_->Sleep(200 * kSecond);
+  auto fh_b = b->Open("/f", kOpenWrite);
+  EXPECT_TRUE(fh_b.ok());
+  ASSERT_TRUE(b->Close(*fh_b).ok());
+}
+
+TEST_P(ScfsTest, SharingWithAclBetweenUsers) {
+  auto alice = MountAgent("alice");
+  auto bob = MountAgent("bob");
+  Bytes data = ToBytes("alice's document");
+  ASSERT_TRUE(alice->WriteFile("/doc", data).ok());
+  env_->Sleep(kSecond);
+
+  // Before the grant bob cannot read (metadata ACL + cloud ACL).
+  EXPECT_FALSE(bob->ReadFile("/doc").ok());
+
+  ASSERT_TRUE(alice->SetFacl("/doc", "bob", true, false).ok());
+  env_->Sleep(kSecond);
+  auto read = bob->ReadFile("/doc");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+
+  // Read-only: bob cannot open for writing.
+  EXPECT_EQ(bob->Open("/doc", kOpenWrite).status().code(),
+            ErrorCode::kPermissionDenied);
+
+  // Upgrade to read-write; bob updates; alice reads bob's version.
+  ASSERT_TRUE(alice->SetFacl("/doc", "bob", true, true).ok());
+  env_->Sleep(kSecond);
+  Bytes update = ToBytes("bob was here");
+  ASSERT_TRUE(bob->WriteFile("/doc", update).ok());
+  env_->Sleep(kSecond);
+  auto alice_read = alice->ReadFile("/doc");
+  ASSERT_TRUE(alice_read.ok()) << alice_read.status().ToString();
+  EXPECT_EQ(*alice_read, update);
+
+  // GetFacl reflects the grants.
+  auto acl = alice->GetFacl("/doc");
+  ASSERT_TRUE(acl.ok());
+  ASSERT_EQ(acl->size(), 1u);
+  EXPECT_EQ((*acl)[0].user, "bob");
+  EXPECT_TRUE((*acl)[0].write);
+
+  // Revoke: bob loses access.
+  ASSERT_TRUE(alice->SetFacl("/doc", "bob", false, false).ok());
+  env_->Sleep(kSecond);
+  EXPECT_FALSE(bob->ReadFile("/doc").ok());
+}
+
+TEST_P(ScfsTest, OnlyOwnerChangesAcl) {
+  auto alice = MountAgent("alice");
+  auto bob = MountAgent("bob");
+  ASSERT_TRUE(alice->WriteFile("/doc", ToBytes("x")).ok());
+  ASSERT_TRUE(alice->SetFacl("/doc", "bob", true, false).ok());
+  env_->Sleep(kSecond);
+  EXPECT_EQ(bob->SetFacl("/doc", "bob", true, true).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_P(ScfsTest, NonBlockingModeEventuallyPublishes) {
+  auto writer = MountAgent("alice", ScfsMode::kNonBlocking);
+  auto reader = MountAgent("alice");
+  Bytes data = ToBytes("async data");
+  ASSERT_TRUE(writer->WriteFile("/f", data).ok());
+  writer->DrainBackground();
+  env_->Sleep(kSecond);
+  auto read = reader->ReadFile("/f");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+TEST_P(ScfsTest, NonBlockingHoldsLockUntilUploadDone) {
+  // Mutual exclusion is preserved: metadata is updated and the lock released
+  // only after the background upload completes (§3.1).
+  auto writer = MountAgent("alice", ScfsMode::kNonBlocking);
+  ASSERT_TRUE(writer->WriteFile("/f", ToBytes("queued")).ok());
+  // Until drained, the lock may still be held; after drain it must be free.
+  writer->DrainBackground();
+  auto reader = MountAgent("alice");
+  auto fh = reader->Open("/f", kOpenWrite);
+  EXPECT_TRUE(fh.ok());
+  ASSERT_TRUE(reader->Close(*fh).ok());
+}
+
+TEST_P(ScfsTest, NonBlockingLocalReadAfterClose) {
+  // The writer itself sees its own update immediately (local caches).
+  auto fs = MountAgent("alice", ScfsMode::kNonBlocking);
+  Bytes data = ToBytes("read my own writes");
+  ASSERT_TRUE(fs->WriteFile("/f", data).ok());
+  auto read = fs->ReadFile("/f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  fs->DrainBackground();
+}
+
+TEST_P(ScfsTest, NonSharingModeWorksWithoutCoordination) {
+  auto fs = MountAgent("alice", ScfsMode::kNonSharing);
+  ASSERT_TRUE(fs->Mkdir("/docs").ok());
+  Bytes data = ToBytes("private data");
+  ASSERT_TRUE(fs->WriteFile("/docs/f", data).ok());
+  EXPECT_EQ(*fs->ReadFile("/docs/f"), data);
+  // Sharing operations are rejected.
+  EXPECT_EQ(fs->SetFacl("/docs/f", "bob", true, false).code(),
+            ErrorCode::kNotSupported);
+  fs->DrainBackground();
+  // A remount recovers the namespace from the cloud-stored PNS.
+  ASSERT_TRUE(fs->Unmount().ok());
+  auto remounted = MountAgent("alice", ScfsMode::kNonSharing);
+  auto read = remounted->ReadFile("/docs/f");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+TEST_P(ScfsTest, PnsKeepsPrivateFilesOutOfCoordination) {
+  auto bob = MountAgent("bob");  // registers bob's cloud ids
+  auto fs = MountAgent("alice", ScfsMode::kBlocking, /*use_pns=*/true);
+  ASSERT_TRUE(fs->WriteFile("/private", ToBytes("p")).ok());
+  // No metadata tuple for the private file.
+  auto entry =
+      deployment_->coord()->Read("alice", MetadataKey("/private"));
+  EXPECT_EQ(entry.status().code(), ErrorCode::kNotFound);
+
+  // Sharing promotes it into the coordination service.
+  ASSERT_TRUE(fs->SetFacl("/private", "bob", true, false).ok());
+  entry = deployment_->coord()->Read("alice", MetadataKey("/private"));
+  EXPECT_TRUE(entry.ok());
+
+  // Revoking all grants demotes it back.
+  ASSERT_TRUE(fs->SetFacl("/private", "bob", false, false).ok());
+  entry = deployment_->coord()->Read("alice", MetadataKey("/private"));
+  EXPECT_EQ(entry.status().code(), ErrorCode::kNotFound);
+  // Still readable throughout.
+  EXPECT_TRUE(fs->ReadFile("/private").ok());
+  fs->DrainBackground();
+}
+
+TEST_P(ScfsTest, PnsSharedFileVisibleToOtherUser) {
+  auto alice = MountAgent("alice", ScfsMode::kBlocking, /*use_pns=*/true);
+  auto bob = MountAgent("bob");
+  ASSERT_TRUE(alice->WriteFile("/doc", ToBytes("pns shared")).ok());
+  ASSERT_TRUE(alice->SetFacl("/doc", "bob", true, false).ok());
+  env_->Sleep(kSecond);
+  auto read = bob->ReadFile("/doc");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(ToString(*read), "pns shared");
+}
+
+TEST_P(ScfsTest, GarbageCollectorTrimsOldVersions) {
+  ScfsOptions options;
+  options.mode = ScfsMode::kBlocking;
+  options.gc.enabled = false;  // run manually
+  options.gc.versions_to_keep = 2;
+  auto fs = deployment_->Mount("alice", options);
+  ASSERT_TRUE(fs.ok());
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        (*fs)->WriteFile("/f", ToBytes("version " + std::to_string(i))).ok());
+  }
+  auto stat = (*fs)->Stat("/f");
+  ASSERT_TRUE(stat.ok());
+
+  // Find the object id through the metadata service.
+  auto md = (*fs)->metadata_service().Get("/f");
+  ASSERT_TRUE(md.ok());
+  auto before = (*fs)->storage_service().backend().ListVersions(md->object_id);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 5u);
+
+  ASSERT_TRUE((*fs)->RunGarbageCollection().ok());
+  auto after = (*fs)->storage_service().backend().ListVersions(md->object_id);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 2u);
+  // The live version survives.
+  EXPECT_EQ(ToString(*(*fs)->ReadFile("/f")), "version 4");
+}
+
+TEST_P(ScfsTest, GarbageCollectorReclaimsDeletedFiles) {
+  ScfsOptions options;
+  options.gc.enabled = false;
+  auto fs = deployment_->Mount("alice", options);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE((*fs)->WriteFile("/f", ToBytes("doomed")).ok());
+  auto md = (*fs)->metadata_service().Get("/f");
+  ASSERT_TRUE(md.ok());
+  ASSERT_TRUE((*fs)->Unlink("/f").ok());
+  // Data still in the cloud (recoverable) until GC runs.
+  auto versions = (*fs)->storage_service().backend().ListVersions(md->object_id);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), 1u);
+  ASSERT_TRUE((*fs)->RunGarbageCollection().ok());
+  versions = (*fs)->storage_service().backend().ListVersions(md->object_id);
+  // Unit gone (empty list or not found are both acceptable).
+  EXPECT_TRUE(!versions.ok() || versions->empty());
+}
+
+TEST_P(ScfsTest, MemoryCacheServesRepeatedReads) {
+  auto fs = MountAgent("alice");
+  Bytes data(100 * 1024, 7);
+  ASSERT_TRUE(fs->WriteFile("/f", data).ok());
+  uint64_t cloud_reads_before = fs->storage_service().cloud_reads();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs->ReadFile("/f").ok());
+  }
+  // Always-write/avoid-reading: all these reads resolve locally.
+  EXPECT_EQ(fs->storage_service().cloud_reads(), cloud_reads_before);
+  EXPECT_GE(fs->storage_service().memory_hits(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ScfsTest,
+                         ::testing::Values(ScfsBackendKind::kAws,
+                                           ScfsBackendKind::kCoc),
+                         [](const ::testing::TestParamInfo<ScfsBackendKind>& i) {
+                           return i.param == ScfsBackendKind::kAws ? "Aws"
+                                                                   : "CoC";
+                         });
+
+// ---------------------------------------------------------------------------
+// CoC-specific fault tolerance and consistency-anchor behaviour.
+// ---------------------------------------------------------------------------
+
+class ScfsCocTest : public ::testing::Test {
+ protected:
+  ScfsCocTest() : env_(Environment::Instant()) {
+    DeploymentOptions options;
+    options.backend = ScfsBackendKind::kCoc;
+    options.zero_latency = true;
+    deployment_ = Deployment::Create(env_.get(), options);
+  }
+
+  std::unique_ptr<Environment> env_;
+  std::unique_ptr<Deployment> deployment_;
+};
+
+TEST_F(ScfsCocTest, SurvivesSingleCloudOutage) {
+  ScfsOptions options;
+  auto fs = deployment_->Mount("alice", options);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE((*fs)->WriteFile("/f", ToBytes("before outage")).ok());
+
+  deployment_->cloud(0)->faults().SetUnavailable(true);
+  // Reads and writes continue.
+  EXPECT_EQ(ToString(*(*fs)->ReadFile("/f")), "before outage");
+  ASSERT_TRUE((*fs)->WriteFile("/g", ToBytes("during outage")).ok());
+  deployment_->cloud(0)->faults().SetUnavailable(false);
+
+  // Fresh agent (empty caches) can read everything.
+  auto fresh = deployment_->Mount("alice", ScfsOptions{});
+  ASSERT_TRUE(fresh.ok());
+  env_->Sleep(kSecond);
+  EXPECT_EQ(ToString(*(*fresh)->ReadFile("/g")), "during outage");
+}
+
+TEST_F(ScfsCocTest, SurvivesCloudCorruption) {
+  auto fs = deployment_->Mount("alice", ScfsOptions{});
+  ASSERT_TRUE(fs.ok());
+  Bytes data(20000, 9);
+  ASSERT_TRUE((*fs)->WriteFile("/f", data).ok());
+  deployment_->cloud(1)->faults().SetCorruptAllReads(true);
+  // A cache-cold agent must detect the bad shard and recover elsewhere.
+  auto fresh = deployment_->Mount("alice", ScfsOptions{});
+  ASSERT_TRUE(fresh.ok());
+  env_->Sleep(kSecond);
+  auto read = (*fresh)->ReadFile("/f");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+  deployment_->cloud(1)->faults().SetCorruptAllReads(false);
+}
+
+TEST_F(ScfsCocTest, AnchoredStorageAlgorithm) {
+  // The decoupled Figure 3 algorithm over the real substrates.
+  SingleCloudBackend backend(deployment_->cloud(0),
+                             CloudCredentials{"amazon-s3:alice"});
+  AnchorOptions anchor_options;
+  anchor_options.retry_delay = 10 * kMillisecond;
+  AnchoredStorage anchored(env_.get(), deployment_->coord(), "alice",
+                           &backend, anchor_options);
+  Bytes v1 = ToBytes("anchored v1");
+  ASSERT_TRUE(anchored.Write("obj", v1).ok());
+  EXPECT_EQ(*anchored.Read("obj"), v1);
+  Bytes v2 = ToBytes("anchored v2");
+  ASSERT_TRUE(anchored.Write("obj", v2).ok());
+  EXPECT_EQ(*anchored.Read("obj"), v2);
+}
+
+TEST_F(ScfsCocTest, AnchoredReadLoopsUntilVisible) {
+  // Non-zero consistency window: the anchor hash is immediately current, but
+  // the data appears only later; Read must spin, not return stale data.
+  CloudProfile profile;
+  profile.name = "windowed";
+  profile.consistency_window_base = 200 * kMillisecond;
+  SimulatedCloud cloud(profile, env_.get(), 77);
+  SingleCloudBackend backend(&cloud, CloudCredentials{"u"});
+  LocalCoordination coord(env_.get(), LatencyModel::None());
+  AnchorOptions anchor_options;
+  anchor_options.retry_delay = 20 * kMillisecond;
+  AnchoredStorage anchored(env_.get(), &coord, "u", &backend, anchor_options);
+
+  // Note: version objects are keyed id|hash => new keys, which the simulated
+  // S3 treats as immediately visible. To exercise the loop we need an
+  // overwrite: write the same content id|hash twice with different bytes is
+  // impossible by construction, so instead verify the PNS-style ReadLatest
+  // lag at the cloud level and the anchored read's immunity to it.
+  Bytes v1 = ToBytes("v1");
+  Bytes v2 = ToBytes("v2");
+  ASSERT_TRUE(anchored.Write("obj", v1).ok());
+  env_->Sleep(kSecond);
+  ASSERT_TRUE(anchored.Write("obj", v2).ok());
+  EXPECT_EQ(*anchored.Read("obj"), v2);  // anchor always current
+}
+
+}  // namespace
+}  // namespace scfs
