@@ -169,7 +169,14 @@ Result<std::vector<AclEntry>> S3fsLike::GetFacl(const std::string&) {
 
 S3qlLike::S3qlLike(Environment* env, ObjectStore* store,
                    CloudCredentials creds, S3qlOptions options)
-    : env_(env), store_(store), creds_(std::move(creds)), options_(options) {}
+    : env_(env),
+      store_(store),
+      creds_(std::move(creds)),
+      options_(options),
+      // S3QL's write-back queue is FIFO: a close's PUT must reach the cloud
+      // before a later unlink's DELETE of the same key.
+      uploader_(BackgroundUploaderOptions{/*max_depth=*/256,
+                                          /*serialize=*/true}) {}
 
 S3qlLike::~S3qlLike() { uploader_.Drain(); }
 
@@ -277,7 +284,7 @@ Status S3qlLike::Close(FileHandle handle) {
   env_->Sleep(options_.disk_flush_latency);
   // Write-back: the data is pushed to the cloud later, in background.
   uploader_.Enqueue([this, path, data = std::move(data)] {
-    (void)store_->Put(creds_, Key(path), data);
+    return store_->Put(creds_, Key(path), data);
   });
   return OkStatus();
 }
@@ -309,7 +316,7 @@ Status S3qlLike::Unlink(const std::string& path) {
     }
   }
   uploader_.Enqueue([this, normalized] {
-    (void)store_->Delete(creds_, Key(normalized));
+    return store_->Delete(creds_, Key(normalized));
   });
   return OkStatus();
 }

@@ -100,6 +100,11 @@ class S3qlLike : public FileSystem {
   Result<std::vector<AclEntry>> GetFacl(const std::string& path) override;
 
   void DrainBackground() { uploader_.Drain(); }
+  // S3QL's write-back queue is its upload pipeline: the barrier waits for it.
+  Status SyncBarrier() override {
+    uploader_.Drain();
+    return OkStatus();
+  }
 
  private:
   struct Node {

@@ -1,0 +1,36 @@
+#include "src/cloud/object_store.h"
+
+namespace scfs {
+
+// Default adapters: run the blocking call inline. The ready future carries
+// zero charge because the calling thread was already charged by the call
+// itself — a Get() on it must not charge twice.
+
+Future<Status> ObjectStore::PutAsync(const CloudCredentials& creds,
+                                     const std::string& key, Bytes data) {
+  return Future<Status>::Ready(Put(creds, key, std::move(data)));
+}
+
+Future<Result<Bytes>> ObjectStore::GetAsync(const CloudCredentials& creds,
+                                            const std::string& key) {
+  return Future<Result<Bytes>>::Ready(Get(creds, key));
+}
+
+Future<Status> ObjectStore::DeleteAsync(const CloudCredentials& creds,
+                                        const std::string& key) {
+  return Future<Status>::Ready(Delete(creds, key));
+}
+
+Future<Result<std::vector<ObjectInfo>>> ObjectStore::ListAsync(
+    const CloudCredentials& creds, const std::string& prefix) {
+  return Future<Result<std::vector<ObjectInfo>>>::Ready(List(creds, prefix));
+}
+
+Future<Status> ObjectStore::SetAclAsync(const CloudCredentials& creds,
+                                        const std::string& key,
+                                        const CanonicalId& grantee,
+                                        ObjectPermissions permissions) {
+  return Future<Status>::Ready(SetAcl(creds, key, grantee, permissions));
+}
+
+}  // namespace scfs

@@ -10,6 +10,7 @@
 
 #include "src/cloud/acl.h"
 #include "src/common/bytes.h"
+#include "src/common/future.h"
 #include "src/common/status.h"
 #include "src/sim/time.h"
 
@@ -49,6 +50,30 @@ class ObjectStore {
                                    const std::string& key) = 0;
 
   virtual const std::string& provider_name() const = 0;
+
+  // -- Asynchronous variants ------------------------------------------------
+  //
+  // The default adapters run the blocking virtual inline and return a ready
+  // future with zero charge (the caller was already charged by the inline
+  // call), so every existing implementation keeps working unchanged.
+  // Implementations that are safe to call from multiple threads
+  // (SimulatedCloud) override these to dispatch on the shared executor: the
+  // call returns immediately, the returned future carries the producer's
+  // modelled charge, and several requests genuinely overlap — the substrate
+  // of DepSky's quorum fan-out and the non-blocking close pipeline.
+
+  virtual Future<Status> PutAsync(const CloudCredentials& creds,
+                                  const std::string& key, Bytes data);
+  virtual Future<Result<Bytes>> GetAsync(const CloudCredentials& creds,
+                                         const std::string& key);
+  virtual Future<Status> DeleteAsync(const CloudCredentials& creds,
+                                     const std::string& key);
+  virtual Future<Result<std::vector<ObjectInfo>>> ListAsync(
+      const CloudCredentials& creds, const std::string& prefix);
+  virtual Future<Status> SetAclAsync(const CloudCredentials& creds,
+                                     const std::string& key,
+                                     const CanonicalId& grantee,
+                                     ObjectPermissions permissions);
 };
 
 }  // namespace scfs

@@ -12,6 +12,43 @@ SimulatedCloud::SimulatedCloud(CloudProfile profile, Environment* env,
       faults_(seed ^ 0x9e3779b9ULL),
       costs_(profile_.prices) {}
 
+SimulatedCloud::~SimulatedCloud() { async_ops_.AwaitIdle(); }
+
+Future<Status> SimulatedCloud::PutAsync(const CloudCredentials& creds,
+                                        const std::string& key, Bytes data) {
+  return SubmitTracked(&async_ops_,
+                       [this, creds, key, data = std::move(data)]() mutable {
+                         return Put(creds, key, std::move(data));
+                       });
+}
+
+Future<Result<Bytes>> SimulatedCloud::GetAsync(const CloudCredentials& creds,
+                                               const std::string& key) {
+  return SubmitTracked(&async_ops_,
+                       [this, creds, key] { return Get(creds, key); });
+}
+
+Future<Status> SimulatedCloud::DeleteAsync(const CloudCredentials& creds,
+                                           const std::string& key) {
+  return SubmitTracked(&async_ops_,
+                       [this, creds, key] { return Delete(creds, key); });
+}
+
+Future<Result<std::vector<ObjectInfo>>> SimulatedCloud::ListAsync(
+    const CloudCredentials& creds, const std::string& prefix) {
+  return SubmitTracked(&async_ops_,
+                       [this, creds, prefix] { return List(creds, prefix); });
+}
+
+Future<Status> SimulatedCloud::SetAclAsync(const CloudCredentials& creds,
+                                           const std::string& key,
+                                           const CanonicalId& grantee,
+                                           ObjectPermissions permissions) {
+  return SubmitTracked(&async_ops_, [this, creds, key, grantee, permissions] {
+    return SetAcl(creds, key, grantee, permissions);
+  });
+}
+
 void SimulatedCloud::SleepFor(const LatencyModel& model, size_t bytes) {
   VirtualDuration d;
   {

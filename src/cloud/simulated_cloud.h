@@ -14,6 +14,7 @@
 
 #include "src/cloud/cost_meter.h"
 #include "src/cloud/object_store.h"
+#include "src/common/executor.h"
 #include "src/common/rng.h"
 #include "src/sim/environment.h"
 #include "src/sim/fault.h"
@@ -35,6 +36,9 @@ struct CloudProfile {
 class SimulatedCloud : public ObjectStore {
  public:
   SimulatedCloud(CloudProfile profile, Environment* env, uint64_t seed);
+  // Waits for every in-flight asynchronous request (quorum fan-outs may
+  // return to the caller while a straggler request is still modelled).
+  ~SimulatedCloud() override;
 
   Status Put(const CloudCredentials& creds, const std::string& key,
              Bytes data) override;
@@ -51,6 +55,21 @@ class SimulatedCloud : public ObjectStore {
                            const std::string& key) override;
 
   const std::string& provider_name() const override { return profile_.name; }
+
+  // True-overlap async API: requests dispatch on the shared executor and the
+  // returned future carries the request's modelled charge. All state is
+  // internally locked, so any number of requests may be in flight at once.
+  Future<Status> PutAsync(const CloudCredentials& creds, const std::string& key,
+                          Bytes data) override;
+  Future<Result<Bytes>> GetAsync(const CloudCredentials& creds,
+                                 const std::string& key) override;
+  Future<Status> DeleteAsync(const CloudCredentials& creds,
+                             const std::string& key) override;
+  Future<Result<std::vector<ObjectInfo>>> ListAsync(
+      const CloudCredentials& creds, const std::string& prefix) override;
+  Future<Status> SetAclAsync(const CloudCredentials& creds,
+                             const std::string& key, const CanonicalId& grantee,
+                             ObjectPermissions permissions) override;
 
   FaultInjector& faults() { return faults_; }
   CostMeter& costs() { return costs_; }
@@ -84,6 +103,8 @@ class SimulatedCloud : public ObjectStore {
   CostMeter costs_;
   std::map<std::string, Object> objects_;
   uint64_t create_seq_ = 0;  // monotonic creation stamp for LIST ordering
+
+  InFlightTracker async_ops_;
 };
 
 }  // namespace scfs

@@ -205,6 +205,15 @@ void SmrCluster::ReplicaLoop(unsigned index) {
     }
     if (msg.has_value()) {
       HandleMessage(index, r, std::move(*msg));
+      // Drain everything already deliverable before consulting the failure
+      // detector: a replica that was briefly descheduled must not vote for a
+      // view change while the leader's proposal sits in its inbox.
+      while (auto more = r.inbox.TryPop()) {
+        if (r.crashed.load()) {
+          break;
+        }
+        HandleMessage(index, r, std::move(*more));
+      }
     }
     CheckOrderingTimeout(index, r);
   }
@@ -241,8 +250,34 @@ void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
             msg.from != static_cast<int>(msg.view % replica_count())) {
           break;  // stale view or impostor leader
         }
+        if (msg.seq < r.next_exec_seq) {
+          // Below the execution frontier (a same-view re-propose raced us,
+          // or a lagging new leader re-orders an already-executed seq). Vote
+          // accept only when the proposal matches the request this replica
+          // executed at that seq — the vote helps slower replicas commit the
+          // same order — and abstain on a conflict: endorsing a different
+          // request at an executed seq would help commit a divergent order.
+          // (A quorum of replicas that all lost the original assignment in
+          // the view change can still commit a conflicting one without this
+          // replica's vote — closing that window needs a view-change
+          // certificate protocol, a known simplification of this SMR; the
+          // conflicting request stays pending here, so the failure detector
+          // keeps rotating leaders until a compatible assignment appears.)
+          auto seq_it = r.executed_seqs.find(msg.seq);
+          if (seq_it != r.executed_seqs.end() &&
+              seq_it->second == msg.request_id) {
+            SmrMessage accept;
+            accept.type = SmrMessage::Type::kAccept;
+            accept.from = static_cast<int>(index);
+            accept.view = msg.view;
+            accept.seq = msg.seq;
+            accept.request_id = msg.request_id;
+            to_broadcast.push_back(std::move(accept));
+          }
+          break;
+        }
         if (r.proposals.count(msg.seq) == 0) {
-          r.proposals.emplace(msg.seq, std::make_pair(msg, false));
+          r.proposals.emplace(msg.seq, Replica::Proposal{msg, env_->Now()});
         }
         auto pending_it = r.pending.find(msg.request_id);
         if (pending_it != r.pending.end()) {
@@ -259,8 +294,8 @@ void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
         break;
       }
       case SmrMessage::Type::kAccept: {
-        if (msg.view != r.view) {
-          break;
+        if (msg.view != r.view || msg.seq < r.next_exec_seq) {
+          break;  // stale view, or accept for an already-executed seq
         }
         r.accept_votes[msg.seq].insert(msg.from);
         TryExecute(index, r, &to_client);
@@ -334,7 +369,7 @@ void SmrCluster::TryExecute(unsigned index, Replica& r,
         votes_it->second.size() < config_.order_quorum()) {
       break;
     }
-    const SmrMessage& proposal = proposal_it->second.first;
+    const SmrMessage& proposal = proposal_it->second.msg;
     Bytes reply_bytes;
     auto executed_it = r.executed.find(proposal.request_id);
     if (executed_it != r.executed.end()) {
@@ -361,6 +396,22 @@ void SmrCluster::TryExecute(unsigned index, Replica& r,
       reply.payload[0] ^= 0xff;  // byzantine replica lies to clients
     }
     out->push_back(std::move(reply));
+    // Record the committed assignment (it validates below-frontier
+    // re-proposes), then prune the vote/proposal state so the leader's
+    // re-propose scan stays O(in-flight), not O(history). The commit log is
+    // itself a sliding window: a below-frontier re-propose can only
+    // reference a seq a lagging leader still holds pending, which is
+    // bounded by the client retry lifetime — far less than the window.
+    // (Proposals beyond the window are simply not endorsed.)
+    constexpr uint64_t kExecutedSeqWindow = 4096;
+    r.executed_seqs[r.next_exec_seq] = proposal.request_id;
+    if (r.next_exec_seq >= kExecutedSeqWindow) {
+      r.executed_seqs.erase(r.executed_seqs.begin(),
+                            r.executed_seqs.lower_bound(
+                                r.next_exec_seq - kExecutedSeqWindow + 1));
+    }
+    r.accept_votes.erase(r.next_exec_seq);
+    r.proposals.erase(proposal_it);
     r.next_exec_seq++;
   }
 }
@@ -371,6 +422,35 @@ void SmrCluster::TryExecute(unsigned index, Replica& r,
 void SmrCluster::CheckOrderingTimeout(unsigned index, Replica& r) {
   SmrMessage vote;
   bool send = false;
+  std::vector<SmrMessage> reproposals;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (IsLeader(r, index)) {
+      // Leader: re-broadcast proposals that failed to gather an accept
+      // quorum in time. A proposal sent in the instant this replica won a
+      // view change is dropped by followers still gathering view votes; the
+      // exact original message is re-sent (same seq/order_time, so replicas
+      // that already stored it stay deterministic) until it commits.
+      VirtualTime now = env_->Now();
+      for (auto it = r.proposals.lower_bound(r.next_exec_seq);
+           it != r.proposals.end(); ++it) {
+        auto& [seq, entry] = *it;
+        auto votes_it = r.accept_votes.find(seq);
+        unsigned votes =
+            votes_it == r.accept_votes.end()
+                ? 0
+                : static_cast<unsigned>(votes_it->second.size());
+        if (votes < config_.order_quorum() &&
+            now - entry.last_sent > config_.order_timeout) {
+          entry.last_sent = now;
+          reproposals.push_back(entry.msg);
+        }
+      }
+    }
+  }
+  for (const auto& proposal : reproposals) {
+    BroadcastFromReplica(index, proposal);
+  }
   {
     std::lock_guard<std::mutex> lock(r.mu);
     if (IsLeader(r, index)) {

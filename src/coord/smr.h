@@ -116,9 +116,14 @@ class SmrCluster {
     uint64_t next_seq = 0;       // leader only
     uint64_t next_exec_seq = 0;  // execution frontier
     std::map<uint64_t, PendingRequest> pending;  // request_id -> payload
-    std::map<uint64_t, std::pair<SmrMessage, bool>> proposals;  // seq -> (msg, committed)
+    struct Proposal {
+      SmrMessage msg;
+      VirtualTime last_sent = 0;  // leader re-propose pacing
+    };
+    std::map<uint64_t, Proposal> proposals;  // seq -> stored proposal
     std::map<uint64_t, std::set<int>> accept_votes;             // seq -> voters
     std::map<uint64_t, Bytes> executed;       // request_id -> reply bytes
+    std::map<uint64_t, uint64_t> executed_seqs;  // seq -> request_id commit log
     std::map<uint64_t, std::set<int>> view_votes;  // proposed view -> voters
     uint64_t executed_ops = 0;
     Rng rng{0};

@@ -1,8 +1,6 @@
 #include "src/depsky/depsky.h"
 
 #include <algorithm>
-#include <functional>
-#include <thread>
 
 #include "src/crypto/chacha20.h"
 #include "src/crypto/secret_sharing.h"
@@ -14,6 +12,22 @@ namespace scfs {
 DepSkyClient::DepSkyClient(Environment* env, std::vector<DepSkyCloud> clouds,
                            DepSkyConfig config, uint64_t seed)
     : env_(env), clouds_(std::move(clouds)), config_(config), rng_(seed) {}
+
+DepSkyClient::~DepSkyClient() { async_ops_.AwaitIdle(); }
+
+void DepSkyClient::ApplyAclsWhenWritten(
+    Future<Status> put, unsigned cloud,
+    std::shared_ptr<const DepSkyMetadata> md, const std::string& key) {
+  async_ops_.Add();
+  put.OnReady([this, cloud, md, key](const Status& status, VirtualDuration) {
+    if (status.ok()) {
+      std::vector<Future<Status>> acl;
+      CollectAclFutures(*md, cloud, key, &acl);
+      // The ACL requests' own completion is tracked by their store.
+    }
+    async_ops_.Done();
+  });
+}
 
 std::string DepSkyClient::MetadataKey(const std::string& unit) {
   return "du/" + unit + "/md";
@@ -28,64 +42,56 @@ Bytes DepSkyClient::RandomBytesLocked(size_t size) {
   return rng_.RandomBytes(size);
 }
 
-void DepSkyClient::ParallelOnClouds(
-    const std::vector<unsigned>& clouds,
-    const std::function<Status(unsigned)>& op,
-    std::vector<Status>* statuses) {
-  statuses->assign(clouds_.size(), OkStatus());
-  std::vector<std::thread> threads;
-  std::vector<VirtualDuration> charges(clouds.size(), 0);
-  threads.reserve(clouds.size());
-  for (size_t i = 0; i < clouds.size(); ++i) {
-    unsigned cloud = clouds[i];
-    threads.emplace_back([&, cloud, i] {
-      Environment::ResetThreadCharged();
-      (*statuses)[cloud] = op(cloud);
-      charges[i] = Environment::ThreadCharged();
-    });
-  }
-  VirtualDuration max_charge = 0;
-  for (size_t i = 0; i < threads.size(); ++i) {
-    threads[i].join();
-    max_charge = std::max(max_charge, charges[i]);
-  }
-  // The caller waited for the slowest cloud; charge it that much.
-  Environment::AddThreadCharge(max_charge);
-}
-
 Result<DepSkyMetadata> DepSkyClient::ReadMetadata(const std::string& unit) {
   const std::string key = MetadataKey(unit);
-  std::vector<Result<Bytes>> raw(clouds_.size(), NotFoundError("unqueried"));
-  std::vector<unsigned> all(clouds_.size());
+  // Fan the GET out to every cloud through the async API, but return as soon
+  // as a quorum (n-f) of authenticated copies answered — the protocol only
+  // needs n-f replies, and waiting for the slowest cloud is exactly the
+  // latency the paper's quorum design avoids.
+  std::vector<Future<Result<Bytes>>> futures;
+  futures.reserve(clouds_.size());
   for (unsigned i = 0; i < clouds_.size(); ++i) {
-    all[i] = i;
+    futures.push_back(clouds_[i].store->GetAsync(clouds_[i].creds, key));
   }
-  std::vector<Status> statuses;
-  ParallelOnClouds(
-      all,
-      [&](unsigned i) {
-        raw[i] = clouds_[i].store->Get(clouds_[i].creds, key);
-        return OkStatus();
-      },
-      &statuses);
+  // The predicate authenticates each reply once and keeps the decoded copy
+  // (it runs serialized under the combinator's lock and never after the
+  // trigger, so the shared vector needs no further synchronization).
+  struct Decoded {
+    std::vector<std::optional<DepSkyMetadata>> entries;
+  };
+  auto decoded = std::make_shared<Decoded>();
+  decoded->entries.resize(clouds_.size());
+  const Bytes auth_key = config_.auth_key;
+  (void)WhenQuorum<Result<Bytes>>(
+      std::move(futures), config_.quorum(),
+      [decoded, auth_key](size_t i, const Result<Bytes>& raw) {
+        if (!raw.ok()) {
+          return false;
+        }
+        auto md = DepSkyMetadata::Decode(*raw, auth_key);
+        if (!md.ok()) {
+          return false;  // corrupted/forged copy: skip
+        }
+        decoded->entries[i] = std::move(*md);
+        return true;
+      })
+      .Join();
 
-  // Keep the highest *authenticated* version view. Byzantine clouds cannot
-  // forge the HMAC; at worst they serve an old copy, which loses the
-  // max-version vote as long as one honest fresh copy answers.
+  // Keep the highest *authenticated* version view among the replies.
+  // Byzantine clouds cannot forge the HMAC; at worst they serve an old copy,
+  // which loses the max-version vote as long as one honest fresh copy is in
+  // the quorum.
   Result<DepSkyMetadata> best = NotFoundError("no metadata for " + unit);
   uint64_t best_version = 0;
   bool found = false;
-  for (unsigned i = 0; i < clouds_.size(); ++i) {
-    if (!raw[i].ok()) {
+  for (auto& entry : decoded->entries) {
+    if (!entry.has_value()) {
       continue;
     }
-    auto md = DepSkyMetadata::Decode(*raw[i], config_.auth_key);
-    if (!md.ok()) {
-      continue;  // corrupted/forged copy: skip
-    }
-    uint64_t version = md->versions.empty() ? 0 : md->versions.back().version;
+    uint64_t version =
+        entry->versions.empty() ? 0 : entry->versions.back().version;
     if (!found || version > best_version) {
-      best = std::move(md);
+      best = std::move(*entry);
       best_version = version;
       found = true;
     }
@@ -97,41 +103,48 @@ Status DepSkyClient::PushMetadata(const std::string& unit,
                                   const DepSkyMetadata& md) {
   const std::string key = MetadataKey(unit);
   Bytes encoded = md.Encode(config_.auth_key);
-  std::vector<unsigned> all(clouds_.size());
+  std::vector<Future<Status>> futures;
+  futures.reserve(clouds_.size());
   for (unsigned i = 0; i < clouds_.size(); ++i) {
-    all[i] = i;
+    futures.push_back(
+        clouds_[i].store->PutAsync(clouds_[i].creds, key, encoded));
   }
-  std::vector<Status> statuses;
-  ParallelOnClouds(
-      all,
-      [&](unsigned i) {
-        Status s = clouds_[i].store->Put(clouds_[i].creds, key, encoded);
-        if (s.ok()) {
-          ApplyAclsToObject(md, i, key);
-        }
-        return s;
-      },
-      &statuses);
-  unsigned successes = 0;
-  for (unsigned i : all) {
-    if (statuses[i].ok()) {
-      ++successes;
+  // Return at the write quorum; stragglers finish inside their stores. ACLs
+  // for the acknowledged copies are applied (in parallel) before returning;
+  // a straggler's ACLs ride behind its PUT as a continuation so the slow
+  // cloud still converges to the granted state.
+  QuorumResult<Status> acks =
+      WhenQuorum<Status>(futures, config_.quorum(),
+                         [](size_t, const Status& s) { return s.ok(); })
+          .Get();
+  std::shared_ptr<const DepSkyMetadata> md_shared;
+  std::vector<Future<Status>> acl_futures;
+  for (unsigned i = 0; i < clouds_.size(); ++i) {
+    if (!acks.results[i].has_value()) {
+      if (!md_shared) {
+        md_shared = std::make_shared<const DepSkyMetadata>(md);
+      }
+      ApplyAclsWhenWritten(futures[i], i, md_shared, key);
+    } else if (acks.results[i]->ok()) {
+      CollectAclFutures(md, i, key, &acl_futures);
     }
   }
-  if (successes < config_.quorum()) {
+  WhenAll<Status>(std::move(acl_futures)).Join();  // max-of-clouds
+  if (!acks.quorum_reached) {
     return UnavailableError("metadata write quorum not reached for " + unit);
   }
   return OkStatus();
 }
 
-void DepSkyClient::ApplyAclsToObject(const DepSkyMetadata& md, unsigned cloud,
-                                     const std::string& key) {
+void DepSkyClient::CollectAclFutures(const DepSkyMetadata& md, unsigned cloud,
+                                     const std::string& key,
+                                     std::vector<Future<Status>>* out) {
   // Owner of the data unit always gets read+write on objects we create.
   if (cloud < md.owner_ids.size() && !md.owner_ids[cloud].empty() &&
       md.owner_ids[cloud] != clouds_[cloud].creds.canonical_id) {
-    (void)clouds_[cloud].store->SetAcl(clouds_[cloud].creds, key,
-                                       md.owner_ids[cloud],
-                                       ObjectPermissions::ReadWrite());
+    out->push_back(clouds_[cloud].store->SetAclAsync(
+        clouds_[cloud].creds, key, md.owner_ids[cloud],
+        ObjectPermissions::ReadWrite()));
   }
   for (const auto& grant : md.grants) {
     if (cloud >= grant.cloud_ids.size() || grant.cloud_ids[cloud].empty()) {
@@ -143,9 +156,16 @@ void DepSkyClient::ApplyAclsToObject(const DepSkyMetadata& md, unsigned cloud,
     ObjectPermissions perms;
     perms.read = grant.read;
     perms.write = grant.write;
-    (void)clouds_[cloud].store->SetAcl(clouds_[cloud].creds, key,
-                                       grant.cloud_ids[cloud], perms);
+    out->push_back(clouds_[cloud].store->SetAclAsync(
+        clouds_[cloud].creds, key, grant.cloud_ids[cloud], perms));
   }
+}
+
+void DepSkyClient::ApplyAclsToObject(const DepSkyMetadata& md, unsigned cloud,
+                                     const std::string& key) {
+  std::vector<Future<Status>> futures;
+  CollectAclFutures(md, cloud, key, &futures);
+  WhenAll<Status>(std::move(futures)).Join();  // best effort, charge the wait
 }
 
 Result<uint64_t> DepSkyClient::WriteVersion(
@@ -225,36 +245,62 @@ Result<uint64_t> DepSkyClient::WriteVersion(
     }
   }
 
-  auto write_to_cloud = [&](unsigned cloud, unsigned shard_index) -> Status {
+  auto encode_object = [&](unsigned shard_index) -> Bytes {
     DepSkyValueObject object;
     object.shard = shards[shard_index];
     if (config_.mode == DepSkyMode::kSecretSharing) {
       object.share_index = shares[shard_index].index;
       object.share_data = shares[shard_index].data;
     }
+    return object.Encode();
+  };
+  auto write_to_cloud = [&](unsigned cloud, unsigned shard_index) -> Status {
     Status s = clouds_[cloud].store->Put(clouds_[cloud].creds, value_key,
-                                         object.Encode());
+                                         encode_object(shard_index));
     if (s.ok()) {
       ApplyAclsToObject(md, cloud, value_key);
     }
     return s;
   };
 
-  // First wave: shard i -> preferred cloud i.
-  std::vector<Status> statuses;
-  ParallelOnClouds(
-      preferred, [&](unsigned cloud) { return write_to_cloud(cloud, cloud); },
-      &statuses);
+  // First wave: shard i -> preferred cloud i, fanned out through the async
+  // ObjectStore API and awaited at the write quorum. (With preferred quorums
+  // the wave is exactly quorum-sized, so this waits for all of it; without
+  // them, the n-f fastest clouds complete the write.)
+  std::vector<Future<Status>> futures;
+  futures.reserve(preferred.size());
+  for (unsigned cloud : preferred) {
+    futures.push_back(clouds_[cloud].store->PutAsync(
+        clouds_[cloud].creds, value_key, encode_object(cloud)));
+  }
+  QuorumResult<Status> acks =
+      WhenQuorum<Status>(futures, quorum,
+                         [](size_t, const Status& s) { return s.ok(); })
+          .Get();
   unsigned successes = 0;
   std::vector<unsigned> failed_shards;
-  for (unsigned cloud : preferred) {
-    if (statuses[cloud].ok()) {
+  std::shared_ptr<const DepSkyMetadata> md_shared;
+  std::vector<Future<Status>> acl_futures;
+  for (size_t i = 0; i < preferred.size(); ++i) {
+    unsigned cloud = preferred[i];
+    if (!acks.results[i].has_value()) {
+      // Still in flight past the quorum: not recorded as a holder, but its
+      // object (if the PUT lands) still gets the grants.
+      if (!md_shared) {
+        md_shared = std::make_shared<const DepSkyMetadata>(md);
+      }
+      ApplyAclsWhenWritten(futures[i], cloud, md_shared, value_key);
+      continue;
+    }
+    if (acks.results[i]->ok()) {
       version.cloud_shard[cloud] = static_cast<int32_t>(cloud);
+      CollectAclFutures(md, cloud, value_key, &acl_futures);
       ++successes;
     } else {
       failed_shards.push_back(cloud);
     }
   }
+  WhenAll<Status>(std::move(acl_futures)).Join();  // max-of-clouds
   // Fallback wave: route failed shards to spare clouds.
   for (unsigned spare : spares) {
     if (successes >= quorum || failed_shards.empty()) {
@@ -296,26 +342,25 @@ Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
 
   std::vector<std::optional<Bytes>> shards(clouds_.size());
   std::vector<SecretShare> shares;
-  std::mutex collect_mu;
   unsigned valid = 0;
 
-  auto fetch_from = [&](unsigned cloud) -> Status {
-    auto raw = clouds_[cloud].store->Get(clouds_[cloud].creds, value_key);
+  // Validates and collects one reply. Runs serialized: either under the
+  // quorum combinator's lock (first wave) or on this thread (fallback), and
+  // never after the combined future completes — the wave is quorum-sized, so
+  // the trigger implies every wave member already finished.
+  auto collect = [&](unsigned cloud, const Result<Bytes>& raw) -> bool {
     if (!raw.ok()) {
-      return raw.status();
+      return false;
     }
     auto object = DepSkyValueObject::Decode(*raw);
     if (!object.ok()) {
-      return object.status();
+      return false;
     }
-    unsigned shard_index =
-        static_cast<unsigned>(version.cloud_shard[cloud]);
+    unsigned shard_index = static_cast<unsigned>(version.cloud_shard[cloud]);
     if (shard_index >= version.shard_hashes.size() ||
         Sha256::Hash(object->shard) != version.shard_hashes[shard_index]) {
-      return CorruptionError("shard hash mismatch at cloud " +
-                             std::to_string(cloud));
+      return false;  // corrupted or byzantine shard: skip
     }
-    std::lock_guard<std::mutex> lock(collect_mu);
     if (!shards[shard_index].has_value()) {
       shards[shard_index] = std::move(object->shard);
       if (object->share_index != 0) {
@@ -323,17 +368,28 @@ Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
       }
       ++valid;
     }
-    return OkStatus();
+    return true;
   };
 
-  // Fetch the first k holders in parallel, then fall back one by one.
-  std::vector<unsigned> first_wave(holders.begin(),
-                                   holders.begin() + k);
-  std::vector<Status> statuses;
-  ParallelOnClouds(first_wave, fetch_from, &statuses);
+  // Fetch the first k holders concurrently through the async API, then fall
+  // back one by one to the remaining holders.
+  std::vector<unsigned> first_wave(holders.begin(), holders.begin() + k);
+  std::vector<Future<Result<Bytes>>> futures;
+  futures.reserve(first_wave.size());
+  for (unsigned cloud : first_wave) {
+    futures.push_back(
+        clouds_[cloud].store->GetAsync(clouds_[cloud].creds, value_key));
+  }
+  (void)WhenQuorum<Result<Bytes>>(
+      std::move(futures), k,
+      [&](size_t i, const Result<Bytes>& raw) {
+        return collect(first_wave[i], raw);
+      })
+      .Join();
   size_t next_holder = k;
   while (valid < k && next_holder < holders.size()) {
-    (void)fetch_from(holders[next_holder++]);
+    unsigned cloud = holders[next_holder++];
+    collect(cloud, clouds_[cloud].store->Get(clouds_[cloud].creds, value_key));
   }
   if (valid < k) {
     return UnavailableError("could not fetch enough valid shards for " + unit);
@@ -393,17 +449,13 @@ Status DepSkyClient::DeleteVersion(const std::string& unit, uint64_t version) {
   RETURN_IF_ERROR(PushMetadata(unit, md));
 
   const std::string value_key = ValueKey(unit, version);
-  std::vector<unsigned> all(clouds_.size());
+  std::vector<Future<Status>> futures;
+  futures.reserve(clouds_.size());
   for (unsigned i = 0; i < clouds_.size(); ++i) {
-    all[i] = i;
+    futures.push_back(
+        clouds_[i].store->DeleteAsync(clouds_[i].creds, value_key));
   }
-  std::vector<Status> statuses;
-  ParallelOnClouds(
-      all,
-      [&](unsigned i) {
-        return clouds_[i].store->Delete(clouds_[i].creds, value_key);
-      },
-      &statuses);
+  WhenAll<Status>(std::move(futures)).Join();
   return OkStatus();  // best effort: missing replicas are fine
 }
 

@@ -20,7 +20,6 @@
 #ifndef SCFS_DEPSKY_DEPSKY_H_
 #define SCFS_DEPSKY_DEPSKY_H_
 
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,6 +27,8 @@
 
 #include "src/cloud/object_store.h"
 #include "src/codec/reed_solomon.h"
+#include "src/common/executor.h"
+#include "src/common/future.h"
 #include "src/common/rng.h"
 #include "src/depsky/metadata.h"
 #include "src/sim/environment.h"
@@ -54,6 +55,8 @@ class DepSkyClient {
  public:
   DepSkyClient(Environment* env, std::vector<DepSkyCloud> clouds,
                DepSkyConfig config, uint64_t seed = 99);
+  // Waits for ACL continuations still riding behind straggler PUTs.
+  ~DepSkyClient();
 
   // Stores a new version. `content_hash` is the hex consistency-anchor hash
   // of `data` (computed by the caller; verified on read). Returns the new
@@ -89,20 +92,12 @@ class DepSkyClient {
   const DepSkyConfig& config() const { return config_; }
 
  private:
-  struct CloudResult {
-    Status status = OkStatus();
-    Bytes data;
-  };
-
   static std::string MetadataKey(const std::string& unit);
   static std::string ValueKey(const std::string& unit, uint64_t version);
 
-  // Runs `op(cloud_index)` on every listed cloud concurrently.
-  void ParallelOnClouds(const std::vector<unsigned>& clouds,
-                        const std::function<Status(unsigned)>& op,
-                        std::vector<Status>* statuses);
-
-  // Writes the given metadata to every cloud; needs a write quorum.
+  // Writes the given metadata to every cloud through the async ObjectStore
+  // API, returning as soon as a write quorum (n-f) has acknowledged; the
+  // stragglers keep running inside their stores.
   Status PushMetadata(const std::string& unit, const DepSkyMetadata& md);
 
   // Fetches and reassembles one version.
@@ -110,9 +105,23 @@ class DepSkyClient {
                              const DepSkyMetadata& md,
                              const DepSkyVersion& version);
 
-  // Applies all grants (+ owner) to one object at one cloud.
+  // Applies all grants (+ owner) to one object at one cloud, waiting for
+  // the ACL round trips.
   void ApplyAclsToObject(const DepSkyMetadata& md, unsigned cloud,
                          const std::string& key);
+  // Same, but queues the ACL round trips through the async API and appends
+  // their futures to `out` — post-quorum call sites fan ACLs out across
+  // clouds and pay max-of-clouds, not the sum.
+  void CollectAclFutures(const DepSkyMetadata& md, unsigned cloud,
+                         const std::string& key,
+                         std::vector<Future<Status>>* out);
+  // Applies the ACLs once `put` completes successfully — attached to PUTs
+  // still in flight past a quorum trigger, so a consistently slow (but
+  // correct) cloud still converges to the granted state instead of
+  // permanently consuming the fault margin.
+  void ApplyAclsWhenWritten(Future<Status> put, unsigned cloud,
+                            std::shared_ptr<const DepSkyMetadata> md,
+                            const std::string& key);
 
   Bytes RandomBytesLocked(size_t size);
 
@@ -121,6 +130,7 @@ class DepSkyClient {
   DepSkyConfig config_;
   std::mutex rng_mu_;
   Rng rng_;
+  InFlightTracker async_ops_;
 };
 
 }  // namespace scfs

@@ -2,10 +2,20 @@
 
 namespace scfs {
 
+Future<Status> FileSystem::CloseAsync(FileHandle handle) {
+  // Synchronous adapter: the caller was charged inline by Close itself.
+  return Future<Status>::Ready(Close(handle));
+}
+
+Status FileSystem::SyncBarrier() { return OkStatus(); }
+
 Status FileSystem::WriteFile(const std::string& path, const Bytes& data) {
   ASSIGN_OR_RETURN(FileHandle handle,
                    Open(path, kOpenWrite | kOpenCreate | kOpenTruncate));
   Status write_status = Write(handle, 0, data);
+  // Close runs even when the write failed: it retires the handle and, in
+  // implementations with per-file locks, releases the lock — a failed write
+  // must never leave the file locked.
   Status close_status = Close(handle);
   if (!write_status.ok()) {
     return write_status;
@@ -15,8 +25,13 @@ Status FileSystem::WriteFile(const std::string& path, const Bytes& data) {
 
 Result<Bytes> FileSystem::ReadFile(const std::string& path) {
   ASSIGN_OR_RETURN(FileHandle handle, Open(path, kOpenRead));
-  ASSIGN_OR_RETURN(FileStat stat, Stat(path));
-  auto data = Read(handle, 0, stat.size);
+  auto stat = Stat(path);
+  if (!stat.ok()) {
+    // Don't leak the open handle when the stat races a concurrent remove.
+    (void)Close(handle);
+    return stat.status();
+  }
+  auto data = Read(handle, 0, stat->size);
   Status close_status = Close(handle);
   if (!data.ok()) {
     return data.status();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/future.h"
 #include "src/common/status.h"
 #include "src/sim/time.h"
 
@@ -82,6 +83,21 @@ class FileSystem {
   // Closes the file; a modified file is synchronized with the backend
   // (durability level 2/3) per the file system's mode.
   virtual Status Close(FileHandle handle) = 0;
+
+  // Asynchronous close: the handle is retired immediately and the returned
+  // future completes when the close reaches the file system's first
+  // durability point — level 1 (local disk) for SCFS's non-blocking mode,
+  // whose upload -> metadata -> unlock chain then proceeds in background in
+  // that order (paper §3.1); level 2/3 for blocking implementations. The
+  // default adapter runs the blocking Close inline and returns a ready
+  // future.
+  virtual Future<Status> CloseAsync(FileHandle handle);
+
+  // Flush point for the asynchronous pipeline: blocks until every close
+  // issued so far is fully synchronized with the backend (durability 2/3,
+  // metadata published, locks released). Default: no-op for fully
+  // synchronous implementations.
+  virtual Status SyncBarrier();
 
   // -- Namespace -----------------------------------------------------------
 

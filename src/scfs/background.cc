@@ -1,67 +1,116 @@
 #include "src/scfs/background.h"
 
+#include "src/common/executor.h"
 #include "src/sim/environment.h"
 
 namespace scfs {
 
-BackgroundUploader::BackgroundUploader() : worker_([this] { Loop(); }) {}
+BackgroundUploader::BackgroundUploader(BackgroundUploaderOptions options)
+    : options_(options) {}
 
-BackgroundUploader::~BackgroundUploader() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  cv_.notify_all();
-  if (worker_.joinable()) {
-    worker_.join();
-  }
+BackgroundUploader::~BackgroundUploader() { Drain(); }
+
+Future<Status> BackgroundUploader::Enqueue(std::function<Status()> task,
+                                           bool account_charge) {
+  return Schedule(Future<Status>(), std::move(task), account_charge,
+                  /*reserved=*/false);
 }
 
-void BackgroundUploader::Enqueue(std::function<void()> task) {
+Future<Status> BackgroundUploader::EnqueueAfter(Future<Status> dep,
+                                                std::function<Status()> task,
+                                                bool account_charge) {
+  return Schedule(std::move(dep), std::move(task), account_charge,
+                  /*reserved=*/false);
+}
+
+void BackgroundUploader::Reserve(size_t count) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, count] {
+    return pending_ + count <= options_.max_depth || pending_ == 0;
+  });
+  pending_ += count;
+}
+
+Future<Status> BackgroundUploader::EnqueueReserved(std::function<Status()> task,
+                                                   bool account_charge) {
+  return Schedule(Future<Status>(), std::move(task), account_charge,
+                  /*reserved=*/true);
+}
+
+Future<Status> BackgroundUploader::EnqueueAfterReserved(
+    Future<Status> dep, std::function<Status()> task, bool account_charge) {
+  return Schedule(std::move(dep), std::move(task), account_charge,
+                  /*reserved=*/true);
+}
+
+Future<Status> BackgroundUploader::Schedule(Future<Status> dep,
+                                            std::function<Status()> task,
+                                            bool account_charge,
+                                            bool reserved) {
+  Promise<Status> promise;
+  Future<Status> future = promise.future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    // Bounded depth: block the producer, not the queue (reserved stages
+    // were counted by Reserve already). In serialize mode the previous tail
+    // becomes this stage's dependency atomically, so concurrent producers
+    // cannot fork the chain.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!reserved) {
+      cv_.wait(lock, [this] { return pending_ < options_.max_depth; });
+      ++pending_;
+    }
+    if (options_.serialize) {
+      if (!dep.valid()) {
+        dep = tail_;
+      } else if (tail_.valid()) {
+        // An explicit dep must not fork the single FIFO lane: gate on both
+        // the dep and the previous tail.
+        dep = AsCompletion(WhenAll<Status>({dep, tail_}));
+      }
+      tail_ = future;
+    }
   }
-  cv_.notify_one();
+
+  auto run = [this, task = std::move(task), promise, account_charge] {
+    Environment::ResetThreadCharged();
+    Status status = task();
+    VirtualDuration charged = Environment::ThreadCharged();
+    if (account_charge) {
+      total_charged_.fetch_add(charged, std::memory_order_relaxed);
+    }
+    promise.Set(std::move(status), charged);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      cv_.notify_all();
+    }
+  };
+
+  if (!dep.valid()) {
+    DefaultExecutor().Post(std::move(run));
+  } else {
+    // Start the stage once its predecessor finishes, whatever its status —
+    // a failed upload still publishes metadata and releases the lock, as
+    // the sequential worker did.
+    dep.OnReady([run = std::move(run)](const Status&, VirtualDuration) {
+      DefaultExecutor().Post(run);
+    });
+  }
+  return future;
 }
 
 void BackgroundUploader::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 size_t BackgroundUploader::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size() + in_flight_;
+  return pending_;
 }
 
 VirtualDuration BackgroundUploader::total_charged() const {
   return total_charged_.load(std::memory_order_relaxed);
-}
-
-void BackgroundUploader::Loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // shutdown with empty queue
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
-    }
-    Environment::ResetThreadCharged();
-    task();
-    total_charged_.fetch_add(Environment::ThreadCharged(),
-                             std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-    }
-    drained_cv_.notify_all();
-  }
 }
 
 }  // namespace scfs

@@ -1,58 +1,98 @@
-// BackgroundUploader: the worker behind SCFS's non-blocking mode (paper
-// §3.1). close() returns once the file is durable locally; the upload, the
-// metadata update and the unlock happen here, strictly in that order per
-// task, so mutual exclusion is preserved: "the file metadata is updated and
-// the associated lock released only after the file contents are updated to
-// the clouds".
+// BackgroundUploader: the pipeline behind SCFS's non-blocking mode (paper
+// §3.1), rebuilt as a bounded-depth pipeline of futures on the shared
+// executor.
+//
+// Each close contributes a chain of stages — local flush (durability level
+// 1), then cloud upload → metadata update → unlock, strictly in that order
+// per file, so mutual exclusion is preserved: "the file metadata is updated
+// and the associated lock released only after the file contents are updated
+// to the clouds". Chains for *different* files run concurrently (the paper's
+// uploads are independent cloud PUTs), which is what lets a burst of closes
+// overlap their disk flushes and uploads instead of queueing behind one
+// worker thread.
+//
+// Depth is bounded: Enqueue applies backpressure once `max_depth` stages are
+// pending, so a writer that outruns the clouds blocks instead of growing the
+// queue without limit. A serialize option restores strict FIFO across tasks
+// (used by the garbage-collection worker, whose passes must not overlap).
 
 #ifndef SCFS_SCFS_BACKGROUND_H_
 #define SCFS_SCFS_BACKGROUND_H_
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <mutex>
-#include <thread>
 
+#include "src/common/future.h"
 #include "src/common/status.h"
 #include "src/sim/time.h"
 
 namespace scfs {
 
+struct BackgroundUploaderOptions {
+  // Maximum stages pending at once; Enqueue blocks beyond this.
+  size_t max_depth = 256;
+  // Chain every task after the previous one (single-lane FIFO).
+  bool serialize = false;
+};
+
 class BackgroundUploader {
  public:
-  BackgroundUploader();
+  explicit BackgroundUploader(BackgroundUploaderOptions options = {});
   ~BackgroundUploader();
 
   BackgroundUploader(const BackgroundUploader&) = delete;
   BackgroundUploader& operator=(const BackgroundUploader&) = delete;
 
-  // Enqueues one task; tasks run in FIFO order on a single worker.
-  void Enqueue(std::function<void()> task);
+  // Schedules one stage; returns a future completing with the stage's
+  // status. Stages enqueued here are mutually independent unless the
+  // uploader serializes. When `account_charge` is false the stage's modelled
+  // time is excluded from total_charged() — used for stages whose charge is
+  // delivered to a foreground waiter through the returned future instead
+  // (the level-1 flush a Close() blocks on), so it is never counted twice.
+  Future<Status> Enqueue(std::function<Status()> task,
+                         bool account_charge = true);
 
-  // Blocks until every task enqueued so far has completed. Used by tests and
-  // by unmount.
+  // Schedules `task` to start only after `dep` completes (regardless of its
+  // status) — the per-file upload -> metadata -> unlock chain.
+  Future<Status> EnqueueAfter(Future<Status> dep, std::function<Status()> task,
+                              bool account_charge = true);
+
+  // Atomically reserves `count` pending slots, blocking while fewer are
+  // free. A producer scheduling a multi-stage chain reserves the whole
+  // chain up front, then enqueues each stage with the *Reserved variants —
+  // it never holds one stage's slot while blocking for another's (the
+  // hold-and-wait shape that deadlocks bounded queues). Counts larger than
+  // max_depth are admitted once the queue is empty.
+  void Reserve(size_t count);
+  Future<Status> EnqueueReserved(std::function<Status()> task,
+                                 bool account_charge = true);
+  Future<Status> EnqueueAfterReserved(Future<Status> dep,
+                                      std::function<Status()> task,
+                                      bool account_charge = true);
+
+  // Blocks until every stage enqueued so far has completed. Used by tests,
+  // unmount, and namespace operations that must not race queued publishes.
   void Drain();
 
   size_t pending() const;
 
-  // Total modelled (charged) virtual time spent executing tasks. Experiments
-  // use deltas of this to attribute background upload latency (Figure 9's
-  // non-blocking sharing latency includes the in-flight upload).
+  // Total modelled (charged) virtual time spent executing accounted stages.
+  // Experiments use deltas of this to attribute background upload latency
+  // (Figure 9's non-blocking sharing latency includes the in-flight upload).
   VirtualDuration total_charged() const;
 
  private:
-  void Loop();
+  Future<Status> Schedule(Future<Status> dep, std::function<Status()> task,
+                          bool account_charge, bool reserved);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::condition_variable drained_cv_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  size_t pending_ = 0;
+  Future<Status> tail_;  // last scheduled stage (serialize mode)
+  BackgroundUploaderOptions options_;
   std::atomic<int64_t> total_charged_{0};
-  std::thread worker_;
 };
 
 }  // namespace scfs

@@ -5,6 +5,25 @@
 namespace scfs {
 
 // ---------------------------------------------------------------------------
+// Default async adapters
+// ---------------------------------------------------------------------------
+
+Future<Status> BlobBackend::WriteVersionAsync(
+    const std::string& id, const std::string& content_hash, const Bytes& data,
+    const std::vector<BackendGrant>& grants) {
+  return SubmitTracked(&async_ops_, [this, id, content_hash, data, grants] {
+    return WriteVersion(id, content_hash, data, grants);
+  });
+}
+
+Future<Result<Bytes>> BlobBackend::ReadByHashAsync(
+    const std::string& id, const std::string& content_hash) {
+  return SubmitTracked(&async_ops_, [this, id, content_hash] {
+    return ReadByHash(id, content_hash);
+  });
+}
+
+// ---------------------------------------------------------------------------
 // SingleCloudBackend (SCFS-AWS)
 // ---------------------------------------------------------------------------
 

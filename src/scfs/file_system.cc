@@ -56,12 +56,20 @@ ScfsFileSystem::ScfsFileSystem(Environment* env, CoordinationService* coord,
                                                 options_.user, md_options);
   locks_ = std::make_unique<LockService>(coord_, session, options_.locks);
   uploader_ = std::make_unique<BackgroundUploader>();
-  gc_worker_ = std::make_unique<BackgroundUploader>();
+  // GC passes must not overlap each other: single-lane FIFO.
+  BackgroundUploaderOptions gc_options;
+  gc_options.serialize = true;
+  gc_worker_ = std::make_unique<BackgroundUploader>(gc_options);
 }
 
 ScfsFileSystem::~ScfsFileSystem() {
   if (mounted_) {
     (void)Unmount();
+  } else {
+    // Drain before member destruction even when never mounted (or mount
+    // failed): an in-flight close chain's callbacks touch fs_mu_ and
+    // close_chains_, which die before the uploader member would.
+    DrainBackground();
   }
 }
 
@@ -81,8 +89,7 @@ Status ScfsFileSystem::Mount() {
 }
 
 Status ScfsFileSystem::Unmount() {
-  uploader_->Drain();
-  gc_worker_->Drain();
+  DrainBackground();
   Status s = metadata_->Unmount();
   mounted_ = false;
   return s;
@@ -91,6 +98,27 @@ Status ScfsFileSystem::Unmount() {
 void ScfsFileSystem::DrainBackground() {
   uploader_->Drain();
   gc_worker_->Drain();
+}
+
+Status ScfsFileSystem::SyncBarrier() {
+  DrainBackground();
+  return OkStatus();
+}
+
+void ScfsFileSystem::WaitForCloseChains(const std::string& path) {
+  std::vector<Future<Status>> tails;
+  {
+    std::lock_guard<std::mutex> lock(fs_mu_);
+    for (const auto& [chain_path, chain] : close_chains_) {
+      if (PathIsWithin(chain_path, path)) {
+        tails.push_back(chain.publish);
+      }
+    }
+  }
+  // Like Drain(), the barrier itself is not charged to the caller.
+  for (const auto& tail : tails) {
+    tail.Wait();
+  }
 }
 
 std::string ScfsFileSystem::NewObjectId() {
@@ -330,93 +358,218 @@ Result<std::vector<CanonicalId>> ScfsFileSystem::LookupUserCloudIds(
   return ids;
 }
 
-// Close-time synchronization (Figure 4 close path + §3.1 modes).
-Status ScfsFileSystem::SynchronizeOnClose(OpenFile&& file) {
+// Close-time synchronization (Figure 4 close path + §3.1 modes), as a
+// future pipeline.
+Future<Status> ScfsFileSystem::SynchronizeOnCloseAsync(OpenFile&& file) {
   FileMetadata md = std::move(file.metadata);
-  Bytes data = std::move(file.data);
+  auto data = std::make_shared<const Bytes>(std::move(file.data));
   const std::string hash =
-      data.empty() ? "" : HexEncode(Sha1::Hash(data));
+      data->empty() ? "" : HexEncode(Sha1::Hash(*data));
   md.content_hash = hash;
-  md.size = data.size();
+  md.size = data->size();
   md.version++;
   std::vector<BackendGrant> grants = BuildGrants(md);
   const std::string path = md.path;
-  const uint64_t written = data.size();
+  const uint64_t written = data->size();
+
+  // Queue capacity is acquired BEFORE this close registers itself as a
+  // dependency of later same-path closes: once its placeholder tails are
+  // visible in close_chains_, its stages already hold their slots and can
+  // always be enqueued, so every tail a queued stage waits on belongs to an
+  // admitted chain and eventually resolves. (Reserving after registering
+  // would let later closes fill the queue with stages gated on a tail whose
+  // producer is still blocked in Reserve — a circular wait.) Reserving the
+  // whole chain atomically also means the producer never holds one stage's
+  // slot while blocking for another's, and the pending count covers the
+  // chain from the first enqueue, so a concurrent Unlink's barrier cannot
+  // slip between the stages.
+  uploader_->Reserve(options_.mode == ScfsMode::kBlocking ? 1 : 2);
+
+  // Per-file ordering: a close of a re-opened file must apply its path-keyed
+  // metadata updates only after the previous close of the same path (the
+  // lock service is re-entrant, so the reopen is legal while the chain is in
+  // flight). Stage 1 orders on the previous stage 1 (a disk flush, never the
+  // previous cloud upload); stage 2 orders on the previous publish. The new
+  // tails are registered as placeholders under the same lock that reads the
+  // previous ones, so two concurrent closes of the same path (two write
+  // handles) cannot fork the chain.
+  Future<Status> dep_level1;
+  Future<Status> dep_publish;
+  uint64_t gen;
+  Promise<Status> level1_tail;
+  Promise<Status> publish_tail;
+  {
+    std::lock_guard<std::mutex> lock(fs_mu_);
+    auto it = close_chains_.find(path);
+    if (it != close_chains_.end()) {
+      dep_level1 = it->second.level1;
+      dep_publish = it->second.publish;
+    }
+    gen = ++close_chain_gen_;
+    close_chains_[path] =
+        CloseChainTails{gen, level1_tail.future(), publish_tail.future()};
+  }
+
+  Future<Status> result;     // what the caller waits on
+  Future<Status> chain_end;  // completion of the whole chain
 
   if (options_.mode == ScfsMode::kBlocking) {
-    // Level 2/3 before close returns: data to disk + cloud, metadata to the
-    // coordination service, then unlock.
-    if (!hash.empty()) {
-      RETURN_IF_ERROR(storage_->Push(md.object_id, hash, data, grants));
-    }
-    RETURN_IF_ERROR(metadata_->Put(md));
-    RETURN_IF_ERROR(locks_->Release(path));
-    MaybeTriggerGc(written);
-    return OkStatus();
-  }
-
-  // Non-blocking / non-sharing: level 1 now, upload + metadata + unlock in
-  // background (strictly ordered, preserving mutual exclusion).
-  if (!hash.empty()) {
-    RETURN_IF_ERROR(storage_->FlushToDisk(md.object_id, hash, data));
-    storage_->PutMemory(md.object_id, hash, data);
-  }
-  const bool private_entry = metadata_->IsPrivateEntry(md);
-  if (private_entry) {
-    // PNS entries are local structures: update now (cheap), persist the PNS
-    // object in background.
-    RETURN_IF_ERROR(metadata_->Put(md));
-  } else {
-    // Shared entries: the coordination tuple is only updated after the data
-    // reaches the clouds, but this agent sees its own close immediately.
-    metadata_->CacheLocally(md);
-  }
-  uploader_->Enqueue([this, md, data = std::move(data), hash, grants, path,
-                      private_entry] {
-    if (!hash.empty()) {
-      Status s = storage_->backend().WriteVersion(md.object_id, hash, data,
-                                                  grants);
-      if (!s.ok()) {
-        SCFS_LOG(Warning) << "background upload failed: " << s.ToString();
+    // Level 2/3 before the future completes: data to disk + cloud, metadata
+    // to the coordination service, then unlock. A failed push still releases
+    // the file lock — a failed write must not leave the file locked. The
+    // stage's charge reaches the foreground waiter through the future, so
+    // it is excluded from the uploader's background accounting.
+    auto task = [this, md, data, hash, grants, path, written] {
+      auto fail = [&](Status status) {
+        (void)locks_->Release(path);
+        return status;
+      };
+      if (!hash.empty()) {
+        Status s = storage_->Push(md.object_id, hash, *data, grants);
+        if (!s.ok()) {
+          return fail(s);
+        }
       }
-    }
-    if (private_entry) {
-      Status s = metadata_->FlushPns();
-      if (!s.ok()) {
-        SCFS_LOG(Warning) << "background pns flush failed: " << s.ToString();
-      }
-    } else {
       Status s = metadata_->Put(md);
       if (!s.ok()) {
-        SCFS_LOG(Warning) << "background metadata update failed: "
-                          << s.ToString();
+        return fail(s);
       }
-    }
-    (void)locks_->Release(path);
+      s = locks_->Release(path);
+      MaybeTriggerGc(written);
+      return s;
+    };
+    result = dep_publish.valid()
+                 ? uploader_->EnqueueAfterReserved(dep_publish, std::move(task),
+                                                   /*account_charge=*/false)
+                 : uploader_->EnqueueReserved(std::move(task),
+                                              /*account_charge=*/false);
+    chain_end = result;
+  } else {
+    // Non-blocking / non-sharing. Stage 1 — durability level 1 plus the
+    // local visibility updates, which happen only once the flush succeeded
+    // (a failed close must not become visible as the new version). Its
+    // charge reaches a foreground Close() through the future, so it is
+    // excluded from the uploader's background accounting.
+    const bool private_entry = metadata_->IsPrivateEntry(md);
+    auto level1_status = std::make_shared<Status>();
+
+    // Stage 2 — upload, then metadata, then unlock: strictly after this
+    // close's stage 1 AND the previous chain's publish (gated on the
+    // stage-1 placeholder).
+    Future<Status> stage2_gate =
+        dep_publish.valid()
+            ? AsCompletion(
+                  WhenAll<Status>({level1_tail.future(), dep_publish}))
+            : level1_tail.future();
+    chain_end = uploader_->EnqueueAfterReserved(
+        stage2_gate, [this, md, data, hash, grants, path, private_entry,
+                      level1_status] {
+          if (!level1_status->ok()) {
+            // Level 1 failed: nothing was published; just release the lock
+            // so a failed write doesn't leave the file locked.
+            (void)locks_->Release(path);
+            return *level1_status;
+          }
+          if (!hash.empty()) {
+            Status s = storage_->backend().WriteVersion(md.object_id, hash,
+                                                        *data, grants);
+            if (!s.ok()) {
+              SCFS_LOG(Warning) << "background upload failed: "
+                                << s.ToString();
+            }
+          }
+          if (private_entry) {
+            Status s = metadata_->FlushPns();
+            if (!s.ok()) {
+              SCFS_LOG(Warning) << "background pns flush failed: "
+                                << s.ToString();
+            }
+          } else {
+            Status s = metadata_->Put(md);
+            if (!s.ok()) {
+              SCFS_LOG(Warning) << "background metadata update failed: "
+                                << s.ToString();
+            }
+          }
+          return locks_->Release(path);
+        });
+
+    // Stage 1, ordered on the previous close's stage 1 only: the path-keyed
+    // local metadata update must apply in close order, but a reopened
+    // file's Close() costs a disk flush, never the previous cloud upload.
+    auto stage1 = [this, md, data, hash, private_entry, level1_status] {
+      if (!hash.empty()) {
+        Status s = storage_->FlushToDisk(md.object_id, hash, *data);
+        if (!s.ok()) {
+          *level1_status = s;
+          return s;
+        }
+        storage_->PutMemory(md.object_id, hash, *data);
+      }
+      if (private_entry) {
+        // PNS entries are local structures: update now (cheap), persist
+        // the PNS object in stage 2.
+        Status s = metadata_->Put(md);
+        if (!s.ok()) {
+          *level1_status = s;
+          return s;
+        }
+      } else {
+        // Shared entries: the coordination tuple is only updated after
+        // the data reaches the clouds, but this agent sees its own
+        // close as soon as level 1 completes.
+        metadata_->CacheLocally(md);
+      }
+      return OkStatus();
+    };
+    result = uploader_->EnqueueAfterReserved(dep_level1, std::move(stage1),
+                                             /*account_charge=*/false);
+    MaybeTriggerGc(written);
+  }
+
+  // Resolve the registered tail placeholders as the chain progresses, and
+  // prune the map entry unless a newer chain already replaced it.
+  result.OnReady([level1_tail](const Status& status, VirtualDuration charge) {
+    level1_tail.Set(status, charge);
   });
-  MaybeTriggerGc(written);
-  return OkStatus();
+  chain_end.OnReady(
+      [publish_tail](const Status& status, VirtualDuration charge) {
+        publish_tail.Set(status, charge);
+      });
+  publish_tail.future().OnReady([this, path, gen](const Status&,
+                                                  VirtualDuration) {
+    std::lock_guard<std::mutex> lock(fs_mu_);
+    auto it = close_chains_.find(path);
+    if (it != close_chains_.end() && it->second.gen == gen) {
+      close_chains_.erase(it);
+    }
+  });
+  return result;
 }
 
 Status ScfsFileSystem::Close(FileHandle handle) {
+  return CloseAsync(handle).Get();
+}
+
+Future<Status> ScfsFileSystem::CloseAsync(FileHandle handle) {
   OpenFile file;
   {
     std::lock_guard<std::mutex> lock(fs_mu_);
     auto it = open_files_.find(handle);
     if (it == open_files_.end()) {
-      return InvalidArgumentError("bad handle");
+      return Future<Status>::Ready(InvalidArgumentError("bad handle"));
     }
     file = std::move(it->second);
     open_files_.erase(it);
   }
 
   if (!file.write_mode) {
-    return OkStatus();
+    return Future<Status>::Ready(OkStatus());
   }
   if (!file.dirty) {
-    return locks_->Release(file.metadata.path);
+    return Future<Status>::Ready(locks_->Release(file.metadata.path));
   }
-  return SynchronizeOnClose(std::move(file));
+  return SynchronizeOnCloseAsync(std::move(file));
 }
 
 Status ScfsFileSystem::Mkdir(const std::string& path) {
@@ -452,13 +605,12 @@ Status ScfsFileSystem::Rmdir(const std::string& path) {
 }
 
 Status ScfsFileSystem::Unlink(const std::string& path) {
-  // Serialize with any queued close-publications: a pending background
-  // metadata update for this path must not resurrect the file after its
-  // removal (non-blocking mode).
-  if (options_.mode != ScfsMode::kBlocking && uploader_->pending() > 0) {
-    uploader_->Drain();
-  }
   const std::string normalized = NormalizePath(path);
+  // Serialize with this path's queued close-publications: a pending
+  // background metadata update must not resurrect the file after its
+  // removal. (Every mode: blocking-mode CloseAsync also publishes through
+  // the uploader.)
+  WaitForCloseChains(normalized);
   ASSIGN_OR_RETURN(FileMetadata md, metadata_->Get(normalized));
   if (md.type == FileType::kDirectory) {
     return IsDirectoryError(normalized);
@@ -477,11 +629,6 @@ Status ScfsFileSystem::Unlink(const std::string& path) {
 }
 
 Status ScfsFileSystem::Rename(const std::string& from, const std::string& to) {
-  // As in Unlink: queued publications must land before the namespace moves,
-  // or a background metadata write would re-create the source path.
-  if (options_.mode != ScfsMode::kBlocking && uploader_->pending() > 0) {
-    uploader_->Drain();
-  }
   const std::string src = NormalizePath(from);
   const std::string dst = NormalizePath(to);
   if (src.empty() || dst.empty() || src == "/" || dst == "/") {
@@ -490,6 +637,11 @@ Status ScfsFileSystem::Rename(const std::string& from, const std::string& to) {
   if (PathIsWithin(dst, src)) {
     return InvalidArgumentError("cannot rename into own subtree");
   }
+  // As in Unlink: queued publications under either endpoint must land before
+  // the namespace moves, or a background metadata write would re-create the
+  // source path (or overwrite the destination with a stale version).
+  WaitForCloseChains(src);
+  WaitForCloseChains(dst);
   RETURN_IF_ERROR(CheckParentDirectory(dst));
   if (metadata_->Get(dst).ok()) {
     return AlreadyExistsError(dst);
@@ -605,7 +757,7 @@ void ScfsFileSystem::MaybeTriggerGc(uint64_t written_bytes) {
   bytes_written_since_gc_.store(0);
   // "...it starts the garbage collector as a separated thread that runs in
   // parallel with the rest of the system."
-  gc_worker_->Enqueue([this] { (void)RunGarbageCollection(); });
+  gc_worker_->Enqueue([this] { return RunGarbageCollection(); });
 }
 
 Status ScfsFileSystem::GcCollectFile(const FileMetadata& metadata) {

@@ -74,6 +74,15 @@ class ScfsFileSystem : public FileSystem {
   Status Truncate(FileHandle handle, uint64_t size) override;
   Status Fsync(FileHandle handle) override;
   Status Close(FileHandle handle) override;
+  // Non-blocking mode: retires the handle immediately and returns a future
+  // that completes at durability level 1 (local disk); the upload ->
+  // metadata -> unlock chain continues in background, strictly in that
+  // order. Blocking mode: the future completes at durability level 2/3.
+  // Close() is CloseAsync().Get().
+  Future<Status> CloseAsync(FileHandle handle) override;
+  // Waits until every close issued so far is fully synchronized (uploads
+  // done, metadata published, locks released).
+  Status SyncBarrier() override;
   Status Mkdir(const std::string& path) override;
   Status Rmdir(const std::string& path) override;
   Status Unlink(const std::string& path) override;
@@ -109,7 +118,12 @@ class ScfsFileSystem : public FileSystem {
   Status CheckParentDirectory(const std::string& path);
   std::vector<BackendGrant> BuildGrants(const FileMetadata& metadata);
   Result<std::vector<CanonicalId>> LookupUserCloudIds(const std::string& user);
-  Status SynchronizeOnClose(OpenFile&& file);
+  Future<Status> SynchronizeOnCloseAsync(OpenFile&& file);
+  // Blocks until every in-flight close chain publishing at `path` or below
+  // it has completed. Namespace operations use this instead of a full
+  // Drain(): the resurrection hazard they guard against is path-keyed, so
+  // an unlink or rename must not barrier behind unrelated files' uploads.
+  void WaitForCloseChains(const std::string& path);
   void MaybeTriggerGc(uint64_t written_bytes);
   Status GcCollectFile(const FileMetadata& metadata);
 
@@ -124,11 +138,28 @@ class ScfsFileSystem : public FileSystem {
   std::unique_ptr<BackgroundUploader> gc_worker_;
   BlobBackend* backend_;
 
-  std::mutex fs_mu_;  // open-file table + registry cache
+  std::mutex fs_mu_;  // open-file table + registry cache + close chains
   std::map<FileHandle, OpenFile> open_files_;
   std::atomic<uint64_t> next_handle_{1};
   std::map<std::string, std::vector<CanonicalId>> registry_cache_;
   Rng rng_;
+
+  // Tails of the in-flight close chain per path: a re-opened file (the lock
+  // service is re-entrant precisely to allow reopening while the previous
+  // close is still uploading) must apply its path-keyed metadata updates in
+  // close order, or a stale write could overwrite a newer one. Two tails:
+  // `level1` (local flush + local metadata — the next close's stage 1 waits
+  // only for this, a disk flush, never the previous cloud upload) and
+  // `publish` (upload + coordination metadata + unlock — gates the next
+  // stage 2). Entries are pruned when the chain completes; the generation
+  // counter guards against pruning a newer chain that reused the path.
+  struct CloseChainTails {
+    uint64_t gen = 0;
+    Future<Status> level1;
+    Future<Status> publish;
+  };
+  std::map<std::string, CloseChainTails> close_chains_;
+  uint64_t close_chain_gen_ = 0;
 
   std::atomic<uint64_t> bytes_written_since_gc_{0};
   bool mounted_ = false;

@@ -76,6 +76,11 @@ Status MetadataService::Unmount() {
 }
 
 Status MetadataService::FlushPns() {
+  // Serialized end to end: a close's stage-1 Put lands in pns_.entries
+  // before its stage-2 flush, so of two serialized flushes the later one
+  // always snapshots a superset — the last tuple write can never point at a
+  // snapshot missing a completed close.
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
   Bytes encoded;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -108,9 +113,17 @@ Result<FileMetadata> MetadataService::GetFromCoord(const std::string& path) {
 }
 
 Result<FileMetadata> MetadataService::Get(const std::string& path) {
-  // 1. Short-term cache.
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // 1. This agent's in-flight close updates: authoritative until their
+    // background publish completes, so they outrank the TTL cache — an
+    // older chain's publish refreshes the cache with its (stale) version
+    // while a newer close's override is still pending.
+    auto override_it = local_overrides_.find(path);
+    if (override_it != local_overrides_.end()) {
+      return override_it->second;
+    }
+    // 2. Short-term cache.
     auto it = cache_.find(path);
     if (it != cache_.end()) {
       if (env_->Now() - it->second.fetched_at <= options_.cache_ttl) {
@@ -119,18 +132,13 @@ Result<FileMetadata> MetadataService::Get(const std::string& path) {
       }
       cache_.erase(it);
     }
-    // 2. This agent's in-flight close updates (awaiting background publish).
-    auto override_it = local_overrides_.find(path);
-    if (override_it != local_overrides_.end()) {
-      return override_it->second;
-    }
     // 3. PNS (always authoritative for private files — we hold its lock).
     auto pns_it = pns_.entries.find(path);
     if (pns_it != pns_.entries.end()) {
       return pns_it->second;
     }
   }
-  // 3. Coordination service.
+  // 4. Coordination service.
   ASSIGN_OR_RETURN(FileMetadata md, GetFromCoord(path));
   std::lock_guard<std::mutex> lock(mu_);
   cache_[path] = CachedEntry{md, env_->Now()};

@@ -78,7 +78,10 @@ class MetadataService {
   std::vector<FileMetadata> PnsEntries();
 
   // Persists the PNS object to the cloud and refreshes the PNS tuple. Called
-  // by the agent's background uploader after private-file updates.
+  // by the agent's background uploader after private-file updates. Flushes
+  // are serialized: concurrent close chains each flush the whole (global)
+  // PNS, and the tuple write is last-writer-wins, so an unserialized slow
+  // flush could land after a newer one and regress the durable PNS.
   Status FlushPns();
 
   // True if this entry is (or would be) stored privately in the PNS.
@@ -113,6 +116,9 @@ class MetadataService {
   MetadataServiceOptions options_;
 
   std::mutex mu_;
+  // Held across a whole FlushPns (snapshot -> cloud push -> tuple write);
+  // acquired before mu_, never the other way around.
+  std::mutex flush_mu_;
   std::map<std::string, CachedEntry> cache_;
   // The agent's own in-flight close updates (non-blocking mode): authoritative
   // until the background coordination update completes, unlike the TTL cache.

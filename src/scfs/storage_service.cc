@@ -50,6 +50,7 @@ StorageService::StorageService(Environment* env, BlobBackend* backend,
 }
 
 StorageService::~StorageService() {
+  async_ops_.AwaitIdle();
   if (owns_disk_dir_) {
     std::error_code ec;
     std::filesystem::remove_all(disk_dir_, ec);
@@ -176,6 +177,22 @@ Status StorageService::Push(const std::string& id, const std::string& hash,
     memory_.Put(CacheKey(id, hash), data);
   }
   return backend_->WriteVersion(id, hash, data, grants);
+}
+
+Future<Status> StorageService::PushAsync(const std::string& id,
+                                         const std::string& hash, Bytes data,
+                                         std::vector<BackendGrant> grants) {
+  return SubmitTracked(
+      &async_ops_,
+      [this, id, hash, data = std::move(data), grants = std::move(grants)] {
+        return Push(id, hash, data, grants);
+      });
+}
+
+Future<Result<Bytes>> StorageService::PrefetchAsync(const std::string& id,
+                                                    const std::string& hash) {
+  return SubmitTracked(&async_ops_,
+                       [this, id, hash] { return Fetch(id, hash); });
 }
 
 }  // namespace scfs

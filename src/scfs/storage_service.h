@@ -18,6 +18,8 @@
 #include <mutex>
 #include <string>
 
+#include "src/common/executor.h"
+#include "src/common/future.h"
 #include "src/common/lru_cache.h"
 #include "src/scfs/blob_backend.h"
 #include "src/sim/environment.h"
@@ -61,6 +63,16 @@ class StorageService {
   Status Push(const std::string& id, const std::string& hash,
               const Bytes& data, const std::vector<BackendGrant>& grants);
 
+  // Asynchronous variants, dispatched on the shared executor. The service
+  // is internally locked, so any number may be in flight; the destructor
+  // waits for stragglers. PushAsync completes at durability level 2/3;
+  // PrefetchAsync warms both cache levels ahead of an open (and returns the
+  // data, so it doubles as an async Fetch).
+  Future<Status> PushAsync(const std::string& id, const std::string& hash,
+                           Bytes data, std::vector<BackendGrant> grants);
+  Future<Result<Bytes>> PrefetchAsync(const std::string& id,
+                                      const std::string& hash);
+
   BlobBackend& backend() { return *backend_; }
   const std::filesystem::path& disk_dir() const { return disk_dir_; }
 
@@ -93,6 +105,8 @@ class StorageService {
   uint64_t memory_hits_ = 0;
   uint64_t disk_hits_ = 0;
   uint64_t cloud_reads_ = 0;
+
+  InFlightTracker async_ops_;
 };
 
 }  // namespace scfs

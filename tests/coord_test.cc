@@ -317,9 +317,22 @@ TEST(SmrClusterTest, AllReplicasConverge) {
     ASSERT_TRUE(
         coord.Write("alice", "k" + std::to_string(i), ToBytes("v")).ok());
   }
-  // Give stragglers a moment, then check execution counts.
-  env->Sleep(200 * kMillisecond);
+  // Stragglers converge *eventually*: the client returns at the reply
+  // quorum, so the slowest replica may still be executing. Poll with a
+  // generous deadline instead of one fixed sleep (which is sensitive to
+  // real-thread scheduling), then assert.
   auto& cluster = coord.cluster();
+  auto converged = [&] {
+    for (unsigned r = 0; r < cluster.replica_count(); ++r) {
+      if (cluster.executed_count(r) != 20u) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int spin = 0; spin < 100 && !converged(); ++spin) {
+    env->Sleep(200 * kMillisecond);
+  }
   for (unsigned r = 0; r < cluster.replica_count(); ++r) {
     EXPECT_EQ(cluster.executed_count(r), 20u) << "replica " << r;
   }

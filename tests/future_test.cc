@@ -1,0 +1,233 @@
+// Unit tests for the async storage pipeline's completion primitive:
+// Future/Promise, the WhenAll / WhenQuorum combinators, thread-charge
+// propagation (max-of-children, never sum) and callback ordering.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/common/future.h"
+#include "src/sim/environment.h"
+
+namespace scfs {
+namespace {
+
+TEST(FutureTest, ReadyFutureIsImmediatelyAvailable) {
+  Future<int> f = Future<int>::Ready(42);
+  ASSERT_TRUE(f.valid());
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.Get(), 42);
+  EXPECT_EQ(f.charge(), 0);
+}
+
+TEST(FutureTest, DefaultConstructedIsInvalid) {
+  Future<int> f;
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(FutureTest, PromiseFulfillsAcrossThreads) {
+  Promise<std::string> promise;
+  Future<std::string> future = promise.future();
+  EXPECT_FALSE(future.ready());
+  std::thread producer([&] { promise.Set("done", 7); });
+  EXPECT_EQ(future.Get(), "done");
+  producer.join();
+  EXPECT_EQ(future.charge(), 7);
+}
+
+TEST(FutureTest, GetChargesTheWaiterWithProducerCharge) {
+  Promise<int> promise;
+  promise.Set(1, 5 * kMillisecond);
+  Environment::ResetThreadCharged();
+  EXPECT_EQ(promise.future().Get(), 1);
+  EXPECT_EQ(Environment::ThreadCharged(), 5 * kMillisecond);
+}
+
+TEST(FutureTest, WaitDoesNotCharge) {
+  Promise<int> promise;
+  promise.Set(1, 5 * kMillisecond);
+  Environment::ResetThreadCharged();
+  promise.future().Wait();
+  EXPECT_EQ(Environment::ThreadCharged(), 0);
+}
+
+TEST(FutureTest, CallbacksRunInRegistrationOrder) {
+  Promise<int> promise;
+  Future<int> future = promise.future();
+  std::vector<int> order;
+  future.OnReady([&](const int&, VirtualDuration) { order.push_back(1); });
+  future.OnReady([&](const int&, VirtualDuration) { order.push_back(2); });
+  future.OnReady([&](const int&, VirtualDuration) { order.push_back(3); });
+  promise.Set(0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  // A callback registered after completion runs immediately, inline.
+  bool ran = false;
+  future.OnReady([&](const int& v, VirtualDuration c) {
+    ran = true;
+    EXPECT_EQ(v, 0);
+    EXPECT_EQ(c, 0);
+  });
+  EXPECT_TRUE(ran);
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+TEST(WhenAllTest, CombinesResultsAndChargesMaxOfChildren) {
+  Promise<int> a, b, c;
+  Future<std::vector<int>> all =
+      WhenAll<int>({a.future(), b.future(), c.future()});
+  a.Set(1, 5 * kMillisecond);
+  b.Set(2, 10 * kMillisecond);
+  EXPECT_FALSE(all.ready());
+  c.Set(3, 7 * kMillisecond);
+  ASSERT_TRUE(all.ready());
+  Environment::ResetThreadCharged();
+  EXPECT_EQ(all.Get(), (std::vector<int>{1, 2, 3}));
+  // Parallel children cost the waiter the slowest branch, not the sum.
+  EXPECT_EQ(Environment::ThreadCharged(), 10 * kMillisecond);
+}
+
+TEST(WhenAllTest, EmptyInputCompletesImmediately) {
+  Future<std::vector<int>> all = WhenAll<int>({});
+  ASSERT_TRUE(all.ready());
+  EXPECT_TRUE(all.Get().empty());
+}
+
+TEST(WhenQuorumTest, CompletesAtQuorumWithoutStragglers) {
+  Promise<int> a, b, c;
+  Future<QuorumResult<int>> q =
+      WhenQuorum<int>({a.future(), b.future(), c.future()}, 2);
+  a.Set(10, 3 * kMillisecond);
+  EXPECT_FALSE(q.ready());
+  b.Set(20, 9 * kMillisecond);
+  ASSERT_TRUE(q.ready());  // c still pending
+
+  Environment::ResetThreadCharged();
+  QuorumResult<int> result = q.Get();
+  EXPECT_TRUE(result.quorum_reached);
+  EXPECT_EQ(result.satisfied, 2u);
+  ASSERT_TRUE(result.results[0].has_value());
+  ASSERT_TRUE(result.results[1].has_value());
+  EXPECT_FALSE(result.results[2].has_value());  // in flight at trigger time
+  // Charged the quorum-closing arrival, not the slowest child.
+  EXPECT_EQ(Environment::ThreadCharged(), 9 * kMillisecond);
+
+  c.Set(30, 100 * kMillisecond);  // straggler is ignored, never crashes
+  EXPECT_EQ(q.Get().satisfied, 2u);
+}
+
+TEST(WhenQuorumTest, PredicateFiltersFailures) {
+  Promise<int> a, b, c;
+  auto even = [](size_t, const int& v) { return v % 2 == 0; };
+  Future<QuorumResult<int>> q =
+      WhenQuorum<int>({a.future(), b.future(), c.future()}, 2, even);
+  a.Set(1);  // fails predicate
+  b.Set(2);
+  EXPECT_FALSE(q.ready());  // only one satisfying reply so far
+  c.Set(4);
+  ASSERT_TRUE(q.ready());
+  QuorumResult<int> result = q.Get();
+  EXPECT_TRUE(result.quorum_reached);
+  EXPECT_EQ(result.satisfied, 2u);
+}
+
+TEST(WhenQuorumTest, CompletesWhenAllDoneWithoutQuorum) {
+  Promise<int> a, b;
+  auto never = [](size_t, const int&) { return false; };
+  Future<QuorumResult<int>> q =
+      WhenQuorum<int>({a.future(), b.future()}, 1, never);
+  a.Set(1);
+  b.Set(2);
+  ASSERT_TRUE(q.ready());
+  QuorumResult<int> result = q.Get();
+  EXPECT_FALSE(result.quorum_reached);
+  EXPECT_EQ(result.satisfied, 0u);
+  EXPECT_TRUE(result.results[0].has_value());
+  EXPECT_TRUE(result.results[1].has_value());
+}
+
+TEST(WhenQuorumTest, PredicateSeesChildIndex) {
+  Promise<int> a, b;
+  std::vector<size_t> seen;
+  Future<QuorumResult<int>> q = WhenQuorum<int>(
+      {a.future(), b.future()}, 2, [&](size_t index, const int&) {
+        seen.push_back(index);
+        return true;
+      });
+  b.Set(2);
+  a.Set(1);
+  ASSERT_TRUE(q.ready());
+  EXPECT_EQ(seen, (std::vector<size_t>{1, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Executor integration
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorTest, SubmitPropagatesModelledCharge) {
+  auto env = Environment::Instant();
+  Future<int> f = DefaultExecutor().Submit([&] {
+    env->Sleep(12 * kMillisecond);
+    return 99;
+  });
+  Environment::ResetThreadCharged();
+  EXPECT_EQ(f.Get(), 99);
+  EXPECT_EQ(Environment::ThreadCharged(), 12 * kMillisecond);
+}
+
+TEST(ExecutorTest, NestedSubmitDoesNotDeadlock) {
+  // A task that blocks on tasks it spawns itself: the executor must grow
+  // instead of starving (a DepSky write inside a background upload fans out
+  // PUTs to the same executor).
+  Future<int> outer = DefaultExecutor().Submit([] {
+    std::vector<Future<int>> inner;
+    for (int i = 0; i < 8; ++i) {
+      inner.push_back(DefaultExecutor().Submit([i] { return i; }));
+    }
+    int sum = 0;
+    for (auto& f : inner) {
+      sum += f.Get();
+    }
+    return sum;
+  });
+  EXPECT_EQ(outer.Get(), 28);
+}
+
+TEST(ExecutorTest, ManyConcurrentWaitersComplete) {
+  std::atomic<int> done{0};
+  std::vector<Future<int>> fs;
+  for (int i = 0; i < 64; ++i) {
+    fs.push_back(DefaultExecutor().Submit([&done, i] {
+      done.fetch_add(1);
+      return i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(fs[i].Get(), i);
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ExecutorTest, InFlightTrackerWaitsForStragglers) {
+  auto env = Environment::Scaled(0.001);
+  std::atomic<bool> finished{false};
+  {
+    InFlightTracker tracker;
+    (void)SubmitTracked(&tracker, [&] {
+      env->Sleep(20 * kMillisecond);
+      finished.store(true);
+      return 0;
+    });
+    tracker.AwaitIdle();
+  }
+  EXPECT_TRUE(finished.load());
+}
+
+}  // namespace
+}  // namespace scfs
