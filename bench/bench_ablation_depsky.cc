@@ -67,6 +67,11 @@ void Run() {
     unsigned clouds_used = 0;
     double storage_cost_day = 0;
     for (auto& cloud : clouds) {
+      // A write returns at the quorum; let the straggler PUT land so the
+      // storage readout is deterministic.
+      cloud->Quiesce();
+    }
+    for (auto& cloud : clouds) {
       uint64_t bytes =
           cloud->costs().StoredBytes(cloud->provider_name() + ":u");
       stored += bytes;

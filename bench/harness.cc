@@ -272,6 +272,41 @@ FileSyncResult RunFileSyncBenchmark(Environment* env, FileSystem* fs,
 }
 
 // ---------------------------------------------------------------------------
+// Machine-readable results.
+// ---------------------------------------------------------------------------
+
+void BenchJsonWriter::Add(const std::string& name, double value,
+                          const std::string& unit) {
+  entries_.push_back(Entry{name, value, unit});
+}
+
+std::string BenchJsonWriter::ToJson() const {
+  std::string out = "[\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.3f", entries_[i].value);
+    out += "  {\"name\": \"" + entries_[i].name + "\", \"value\": " + value +
+           ", \"unit\": \"" + entries_[i].unit + "\"}";
+    out += (i + 1 < entries_.size()) ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool BenchJsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Statistics & printing.
 // ---------------------------------------------------------------------------
 

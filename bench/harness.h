@@ -175,6 +175,30 @@ FileSyncResult RunFileSyncBenchmark(Environment* env, FileSystem* fs,
                                     int iterations);
 
 // ---------------------------------------------------------------------------
+// Machine-readable results. Benchmarks collect named metrics and write them
+// as a JSON array (e.g. BENCH_codec.json) so successive PRs can track the
+// perf trajectory without scraping stdout.
+// ---------------------------------------------------------------------------
+
+class BenchJsonWriter {
+ public:
+  void Add(const std::string& name, double value, const std::string& unit);
+
+  std::string ToJson() const;
+  // Writes ToJson() to `path`; returns false (and prints a warning) on I/O
+  // failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::vector<Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
 // Statistics and printing.
 // ---------------------------------------------------------------------------
 

@@ -75,6 +75,12 @@ class SimulatedCloud : public ObjectStore {
   CostMeter& costs() { return costs_; }
   const CloudProfile& profile() const { return profile_; }
 
+  // Waits for every in-flight asynchronous request to settle. Benchmarks and
+  // tests call this before sampling costs()/List(): a quorum fan-out returns
+  // to the caller while a straggler PUT may still be modelled, so an
+  // unquiesced readout races with it.
+  void Quiesce() { async_ops_.AwaitIdle(); }
+
   // Test/inspection hook: the latest stored version regardless of visibility.
   Result<Bytes> PeekLatest(const std::string& key);
 

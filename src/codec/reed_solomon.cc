@@ -1,14 +1,106 @@
 #include "src/codec/reed_solomon.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "src/math/gf256.h"
 
 namespace scfs {
 
+namespace {
+
+// Stripe length for the multi-row accumulation kernels: inputs and outputs
+// of one stripe stay cache-resident while every matrix entry is applied, so
+// the payload streams through the cache hierarchy once per encode instead of
+// once per matrix row.
+constexpr size_t kStripeBytes = 16 * 1024;
+
+// rows x cols matrix application: out[r] ^= sum_c matrix[r][c] * in[c], all
+// rows/cols walked stripe by stripe. Nibble tables are built once per matrix
+// entry, not per stripe. Outputs must be zeroed (or hold a partial sum the
+// caller wants to accumulate onto).
+void MulAddMatrixStriped(const uint8_t* const* inputs, uint8_t* const* outputs,
+                         const uint8_t* matrix, unsigned rows, unsigned cols,
+                         size_t shard_size) {
+  std::vector<Gf256::MulTable> tables(static_cast<size_t>(rows) * cols);
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      uint8_t scalar = matrix[r * cols + c];
+      if (scalar > 1) {
+        tables[r * cols + c] = Gf256::BuildMulTable(scalar);
+      }
+    }
+  }
+  for (size_t offset = 0; offset < shard_size; offset += kStripeBytes) {
+    const size_t chunk = std::min(kStripeBytes, shard_size - offset);
+    for (unsigned r = 0; r < rows; ++r) {
+      uint8_t* out = outputs[r] + offset;
+      for (unsigned c = 0; c < cols; ++c) {
+        const uint8_t scalar = matrix[r * cols + c];
+        if (scalar == 0) {
+          continue;
+        }
+        const uint8_t* in = inputs[c] + offset;
+        if (scalar == 1) {
+          Gf256::AddRow(out, in, chunk);
+        } else {
+          Gf256::MulAddRow(out, in, tables[r * cols + c], chunk);
+        }
+      }
+    }
+  }
+}
+
+// Builds zero-copy views of the present shards and records the shard size
+// (from the first present shard; DecodeInto validates the rest against it).
+// Returns false if no shard is present.
+bool BuildShardViews(const std::vector<std::optional<Bytes>>& shards,
+                     size_t* shard_size,
+                     std::vector<std::optional<ConstByteSpan>>* views) {
+  *shard_size = 0;
+  views->assign(shards.size(), std::nullopt);
+  bool found = false;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].has_value()) {
+      if (!found) {
+        *shard_size = shards[i]->size();
+        found = true;
+      }
+      (*views)[i] = ConstByteSpan(*shards[i]);
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
 ReedSolomon::ReedSolomon(unsigned n, unsigned k)
     : n_(n), k_(k), encode_matrix_(GfMatrix::SystematicVandermonde(n, k)) {
   assert(k >= 1 && k <= n && n <= 255);
+}
+
+void ReedSolomon::EncodeParity(ConstByteSpan data, size_t shard_size,
+                               ByteSpan parity) const {
+  const unsigned parity_rows = n_ - k_;
+  if (parity_rows == 0 || shard_size == 0) {
+    return;
+  }
+  assert(data.size() == static_cast<size_t>(k_) * shard_size);
+  assert(parity.size() == static_cast<size_t>(parity_rows) * shard_size);
+  std::memset(parity.data(), 0, parity.size());
+
+  std::vector<const uint8_t*> inputs(k_);
+  for (unsigned c = 0; c < k_; ++c) {
+    inputs[c] = data.data() + static_cast<size_t>(c) * shard_size;
+  }
+  std::vector<uint8_t*> outputs(parity_rows);
+  for (unsigned r = 0; r < parity_rows; ++r) {
+    outputs[r] = parity.data() + static_cast<size_t>(r) * shard_size;
+  }
+  // The parity block of the systematic encode matrix, rows k..n-1.
+  MulAddMatrixStriped(inputs.data(), outputs.data(), encode_matrix_.Row(k_),
+                      parity_rows, k_, shard_size);
 }
 
 Result<std::vector<Bytes>> ReedSolomon::EncodeShards(
@@ -23,59 +115,60 @@ Result<std::vector<Bytes>> ReedSolomon::EncodeShards(
     }
   }
   std::vector<Bytes> out(n_);
-  for (unsigned row = 0; row < n_; ++row) {
-    if (row < k_) {
-      out[row] = data_shards[row];  // systematic
-      continue;
-    }
-    out[row].assign(shard_size, 0);
-    for (unsigned col = 0; col < k_; ++col) {
-      Gf256::MulAddRow(out[row].data(), data_shards[col].data(),
-                       encode_matrix_.At(row, col),
-                       static_cast<unsigned>(shard_size));
-    }
+  std::vector<const uint8_t*> inputs(k_);
+  for (unsigned i = 0; i < k_; ++i) {
+    out[i] = data_shards[i];  // systematic
+    inputs[i] = data_shards[i].data();
+  }
+  std::vector<uint8_t*> outputs(n_ - k_);
+  for (unsigned r = k_; r < n_; ++r) {
+    out[r].assign(shard_size, 0);
+    outputs[r - k_] = out[r].data();
+  }
+  if (n_ > k_ && shard_size > 0) {
+    MulAddMatrixStriped(inputs.data(), outputs.data(), encode_matrix_.Row(k_),
+                        n_ - k_, k_, shard_size);
   }
   return out;
 }
 
-Result<std::vector<Bytes>> ReedSolomon::DecodeShards(
-    const std::vector<std::optional<Bytes>>& shards) const {
+Status ReedSolomon::DecodeInto(
+    const std::vector<std::optional<ConstByteSpan>>& shards, size_t shard_size,
+    ByteSpan out) const {
   if (shards.size() != n_) {
     return InvalidArgumentError("expected n shard slots");
   }
+  if (out.size() != static_cast<size_t>(k_) * shard_size) {
+    return InvalidArgumentError("output buffer must hold k shards");
+  }
+  // Choose the k survivors with the lowest indices; every present systematic
+  // shard sorts before any parity shard, so all of them get used.
   std::vector<unsigned> present;
-  size_t shard_size = 0;
-  for (unsigned i = 0; i < n_; ++i) {
+  for (unsigned i = 0; i < n_ && present.size() < k_; ++i) {
     if (shards[i].has_value()) {
-      if (present.empty()) {
-        shard_size = shards[i]->size();
-      } else if (shards[i]->size() != shard_size) {
+      if (shards[i]->size() != shard_size) {
         return InvalidArgumentError("shard size mismatch");
       }
       present.push_back(i);
-      if (present.size() == k_) {
-        break;
-      }
     }
   }
   if (present.size() < k_) {
     return FailedPreconditionError("not enough shards to decode");
   }
 
-  // Fast path: all k data shards survive.
-  bool all_data = true;
-  for (unsigned i = 0; i < k_; ++i) {
-    if (present[i] != i) {
-      all_data = false;
-      break;
+  // Surviving systematic shards land in place with a single copy; collect the
+  // rows that actually need reconstruction.
+  std::vector<unsigned> missing;
+  for (unsigned r = 0; r < k_; ++r) {
+    if (shards[r].has_value()) {
+      std::memcpy(out.data() + static_cast<size_t>(r) * shard_size,
+                  shards[r]->data(), shard_size);
+    } else {
+      missing.push_back(r);
     }
   }
-  std::vector<Bytes> data(k_);
-  if (all_data) {
-    for (unsigned i = 0; i < k_; ++i) {
-      data[i] = *shards[i];
-    }
-    return data;
+  if (missing.empty() || shard_size == 0) {
+    return OkStatus();
   }
 
   GfMatrix sub = encode_matrix_.SelectRows(present);
@@ -83,13 +176,43 @@ Result<std::vector<Bytes>> ReedSolomon::DecodeShards(
   if (!sub.Invert(&inverse)) {
     return InternalError("encode submatrix singular");
   }
-  for (unsigned row = 0; row < k_; ++row) {
-    data[row].assign(shard_size, 0);
-    for (unsigned col = 0; col < k_; ++col) {
-      Gf256::MulAddRow(data[row].data(), shards[present[col]]->data(),
-                       inverse.At(row, col),
-                       static_cast<unsigned>(shard_size));
+
+  // Missing rows only: out[r] = sum_c inverse[r][c] * survivor[c], reading
+  // the survivors' bytes where they already are.
+  std::vector<const uint8_t*> inputs(k_);
+  for (unsigned c = 0; c < k_; ++c) {
+    inputs[c] = shards[present[c]]->data();
+  }
+  std::vector<uint8_t*> outputs(missing.size());
+  std::vector<uint8_t> matrix(missing.size() * k_);
+  for (size_t m = 0; m < missing.size(); ++m) {
+    outputs[m] = out.data() + static_cast<size_t>(missing[m]) * shard_size;
+    std::memset(outputs[m], 0, shard_size);
+    for (unsigned c = 0; c < k_; ++c) {
+      matrix[m * k_ + c] = inverse.At(missing[m], c);
     }
+  }
+  MulAddMatrixStriped(inputs.data(), outputs.data(), matrix.data(),
+                      static_cast<unsigned>(missing.size()), k_, shard_size);
+  return OkStatus();
+}
+
+Result<std::vector<Bytes>> ReedSolomon::DecodeShards(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  if (shards.size() != n_) {
+    return InvalidArgumentError("expected n shard slots");
+  }
+  size_t shard_size = 0;
+  std::vector<std::optional<ConstByteSpan>> views;
+  if (!BuildShardViews(shards, &shard_size, &views)) {
+    return FailedPreconditionError("not enough shards to decode");
+  }
+  Bytes flat(static_cast<size_t>(k_) * shard_size);
+  RETURN_IF_ERROR(DecodeInto(views, shard_size, ByteSpan(flat)));
+  std::vector<Bytes> data(k_);
+  for (unsigned r = 0; r < k_; ++r) {
+    const uint8_t* begin = flat.data() + static_cast<size_t>(r) * shard_size;
+    data[r].assign(begin, begin + shard_size);
   }
   return data;
 }
@@ -102,36 +225,66 @@ size_t ErasureCodec::ShardSize(size_t data_size) const {
   return per_shard;
 }
 
-Result<std::vector<Bytes>> ErasureCodec::Encode(const Bytes& data) const {
-  const unsigned k = rs_.k();
-  Bytes framed;
-  framed.reserve(data.size() + 8);
-  AppendU64(&framed, data.size());
-  framed.insert(framed.end(), data.begin(), data.end());
-  const size_t per_shard = ShardSize(data.size());
-  framed.resize(per_shard * k, 0);
-
-  std::vector<Bytes> data_shards(k);
-  for (unsigned i = 0; i < k; ++i) {
-    data_shards[i].assign(framed.begin() + i * per_shard,
-                          framed.begin() + (i + 1) * per_shard);
+ShardArena ErasureCodec::PrepareArena(size_t payload_size) const {
+  ShardArena arena(rs_.n(), rs_.k(), ShardSize(payload_size), payload_size);
+  // Frame header: big-endian payload length, written through the whole data
+  // region (for tiny payloads a single shard can be shorter than the
+  // header). Padding is already zero.
+  ByteSpan frame = arena.mutable_data_region();
+  uint64_t size = payload_size;
+  for (int shift = 56, i = 0; shift >= 0; shift -= 8, ++i) {
+    frame[static_cast<size_t>(i)] = static_cast<uint8_t>(size >> shift);
   }
-  return rs_.EncodeShards(data_shards);
+  return arena;
+}
+
+void ErasureCodec::ComputeParity(ShardArena* arena) const {
+  rs_.EncodeParity(arena->data_region(), arena->shard_size(),
+                   arena->parity_region());
+}
+
+ShardArena ErasureCodec::EncodeToArena(ConstByteSpan data) const {
+  ShardArena arena = PrepareArena(data.size());
+  if (!data.empty()) {
+    std::memcpy(arena.payload().data(), data.data(), data.size());
+  }
+  ComputeParity(&arena);
+  return arena;
+}
+
+Result<std::vector<Bytes>> ErasureCodec::Encode(const Bytes& data) const {
+  ShardArena arena = EncodeToArena(data);
+  std::vector<Bytes> out(arena.n());
+  for (unsigned i = 0; i < arena.n(); ++i) {
+    out[i] = CopyToBytes(arena.shard(i));
+  }
+  return out;
 }
 
 Result<Bytes> ErasureCodec::Decode(
     const std::vector<std::optional<Bytes>>& shards) const {
-  ASSIGN_OR_RETURN(std::vector<Bytes> data_shards, rs_.DecodeShards(shards));
-  Bytes framed;
-  for (const auto& shard : data_shards) {
-    framed.insert(framed.end(), shard.begin(), shard.end());
+  if (shards.size() != rs_.n()) {
+    return InvalidArgumentError("expected n shard slots");
   }
-  ByteReader reader(framed);
+  size_t shard_size = 0;
+  std::vector<std::optional<ConstByteSpan>> views;
+  if (!BuildShardViews(shards, &shard_size, &views)) {
+    return FailedPreconditionError("not enough shards to decode");
+  }
+
+  // Reassemble straight into one buffer: [header | payload | padding].
+  Bytes framed(static_cast<size_t>(rs_.k()) * shard_size);
+  RETURN_IF_ERROR(rs_.DecodeInto(views, shard_size, ByteSpan(framed)));
+
+  ByteReader reader{ConstByteSpan(framed)};
   uint64_t size = 0;
   if (!reader.ReadU64(&size) || size > framed.size() - 8) {
     return CorruptionError("bad erasure frame header");
   }
-  return Bytes(framed.begin() + 8, framed.begin() + 8 + size);
+  // Drop the header in place (memmove, no reallocation) and trim the padding.
+  framed.erase(framed.begin(), framed.begin() + 8);
+  framed.resize(size);
+  return framed;
 }
 
 }  // namespace scfs

@@ -3,6 +3,12 @@
 // RS(n, k): data is split into k shards; n-k parity shards are derived; any k
 // of the n shards reconstruct the data. DepSky uses this with n = 3f+1 clouds
 // and k = f+1, so each cloud stores ~|F|/(f+1) bytes instead of |F|.
+//
+// The encode/decode cores are span-based and striped: all n shards of one
+// encode live in a single contiguous ShardArena (the k systematic shards
+// alias the framed payload — they are never sliced out or copied), and the
+// GF(2^8) row kernels walk the encode matrix once per cache-resident stripe
+// with per-entry nibble tables built once per matrix row.
 
 #ifndef SCFS_CODEC_REED_SOLOMON_H_
 #define SCFS_CODEC_REED_SOLOMON_H_
@@ -16,6 +22,59 @@
 
 namespace scfs {
 
+// One contiguous buffer holding all n shards of an encode, laid out
+// [shard 0 | shard 1 | ... | shard n-1]. The first k shards are the framed
+// payload (8-byte length header + payload + zero padding): systematic shards
+// are views into that frame, so building them costs nothing.
+class ShardArena {
+ public:
+  ShardArena() = default;
+  ShardArena(unsigned n, unsigned k, size_t shard_size, size_t payload_size)
+      : buffer_(static_cast<size_t>(n) * shard_size, 0),
+        n_(n),
+        k_(k),
+        shard_size_(shard_size),
+        payload_size_(payload_size) {}
+
+  unsigned n() const { return n_; }
+  unsigned k() const { return k_; }
+  size_t shard_size() const { return shard_size_; }
+  size_t payload_size() const { return payload_size_; }
+
+  ConstByteSpan shard(unsigned i) const {
+    return ConstByteSpan(buffer_.data() + static_cast<size_t>(i) * shard_size_,
+                         shard_size_);
+  }
+  ByteSpan mutable_shard(unsigned i) {
+    return ByteSpan(buffer_.data() + static_cast<size_t>(i) * shard_size_,
+                    shard_size_);
+  }
+
+  // The k data shards as one contiguous region (the frame).
+  ConstByteSpan data_region() const {
+    return ConstByteSpan(buffer_.data(), static_cast<size_t>(k_) * shard_size_);
+  }
+  ByteSpan mutable_data_region() {
+    return ByteSpan(buffer_.data(), static_cast<size_t>(k_) * shard_size_);
+  }
+  // The payload bytes inside the frame (after the 8-byte length header).
+  ByteSpan payload() {
+    return ByteSpan(buffer_.data() + 8, payload_size_);
+  }
+  // The n-k parity shards as one contiguous region.
+  ByteSpan parity_region() {
+    return ByteSpan(buffer_.data() + static_cast<size_t>(k_) * shard_size_,
+                    static_cast<size_t>(n_ - k_) * shard_size_);
+  }
+
+ private:
+  Bytes buffer_;
+  unsigned n_ = 0;
+  unsigned k_ = 0;
+  size_t shard_size_ = 0;
+  size_t payload_size_ = 0;
+};
+
 class ReedSolomon {
  public:
   // n = total shards, k = data shards; 1 <= k <= n <= 255.
@@ -23,6 +82,19 @@ class ReedSolomon {
 
   unsigned n() const { return n_; }
   unsigned k() const { return k_; }
+
+  // Core encode: derives the n-k parity shards from k contiguous data shards.
+  // `data` holds k * shard_size bytes (shard i at offset i * shard_size);
+  // `parity` holds (n-k) * shard_size bytes and is overwritten.
+  void EncodeParity(ConstByteSpan data, size_t shard_size,
+                    ByteSpan parity) const;
+
+  // Core decode: reconstructs the k data shards into `out` (k * shard_size
+  // contiguous bytes). `shards` has n slots (missing ones empty); surviving
+  // systematic shards are copied into place once, missing rows are rebuilt by
+  // striped accumulation reading the survivors' spans in place.
+  Status DecodeInto(const std::vector<std::optional<ConstByteSpan>>& shards,
+                    size_t shard_size, ByteSpan out) const;
 
   // Encodes equally-sized data shards into n shards (the first k are the
   // inputs verbatim; systematic code). All shards share the input size.
@@ -40,14 +112,30 @@ class ReedSolomon {
   GfMatrix encode_matrix_;
 };
 
-// File-level convenience API: pads and splits a byte string into k equal
-// shards (with an embedded length header), then erasure-codes to n shards.
+// File-level convenience API: frames a byte string (8-byte length header +
+// padding) into k equal shards, then erasure-codes to n shards.
 class ErasureCodec {
  public:
   ErasureCodec(unsigned n, unsigned k) : rs_(n, k) {}
 
+  // Zero-copy encode pipeline, in two steps so producers (e.g. a stream
+  // cipher) can write the payload straight into the frame:
+  //   ShardArena arena = codec.PrepareArena(size);   // header+padding done
+  //   fill arena.payload();                          // producer writes here
+  //   codec.ComputeParity(&arena);                   // derive parity shards
+  ShardArena PrepareArena(size_t payload_size) const;
+  void ComputeParity(ShardArena* arena) const;
+
+  // One-step arena encode for payloads that already exist contiguously
+  // (copies the payload into the frame once, then computes parity).
+  ShardArena EncodeToArena(ConstByteSpan data) const;
+
+  // Legacy owning API: materializes each shard as its own buffer.
   Result<std::vector<Bytes>> Encode(const Bytes& data) const;
+
   // Any k of the n shards (others nullopt) reproduce the original bytes.
+  // Reassembles into a single preallocated buffer; surviving systematic
+  // shards are read in place (aliased), not staged through copies.
   Result<Bytes> Decode(const std::vector<std::optional<Bytes>>& shards) const;
 
   unsigned n() const { return rs_.n(); }

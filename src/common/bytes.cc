@@ -4,11 +4,15 @@
 
 namespace scfs {
 
+Bytes CopyToBytes(ConstByteSpan span) {
+  return Bytes(span.begin(), span.end());
+}
+
 Bytes ToBytes(std::string_view text) {
   return Bytes(text.begin(), text.end());
 }
 
-std::string ToString(const Bytes& bytes) {
+std::string ToString(ConstByteSpan bytes) {
   return std::string(bytes.begin(), bytes.end());
 }
 
@@ -39,7 +43,7 @@ std::string HexEncode(const uint8_t* data, size_t size) {
   return out;
 }
 
-std::string HexEncode(const Bytes& bytes) {
+std::string HexEncode(ConstByteSpan bytes) {
   return HexEncode(bytes.data(), bytes.size());
 }
 
@@ -60,7 +64,7 @@ Bytes HexDecode(std::string_view hex) {
   return out;
 }
 
-bool ConstantTimeEquals(const Bytes& a, const Bytes& b) {
+bool ConstantTimeEquals(ConstByteSpan a, ConstByteSpan b) {
   if (a.size() != b.size()) {
     return false;
   }
@@ -83,7 +87,7 @@ void AppendU64(Bytes* out, uint64_t v) {
   }
 }
 
-void AppendBytes(Bytes* out, const Bytes& data) {
+void AppendBytes(Bytes* out, ConstByteSpan data) {
   AppendU32(out, static_cast<uint32_t>(data.size()));
   out->insert(out->end(), data.begin(), data.end());
 }
@@ -133,22 +137,31 @@ bool ByteReader::ReadU64(uint64_t* v) {
   return true;
 }
 
-bool ByteReader::ReadBytes(Bytes* out) {
+bool ByteReader::ReadBytesSpan(ConstByteSpan* out) {
   uint32_t len = 0;
   if (!ReadU32(&len) || remaining() < len) {
     return false;
   }
-  out->assign(data_.begin() + pos_, data_.begin() + pos_ + len);
+  *out = data_.subspan(pos_, len);
   pos_ += len;
   return true;
 }
 
-bool ByteReader::ReadString(std::string* out) {
-  Bytes tmp;
-  if (!ReadBytes(&tmp)) {
+bool ByteReader::ReadBytes(Bytes* out) {
+  ConstByteSpan span;
+  if (!ReadBytesSpan(&span)) {
     return false;
   }
-  out->assign(tmp.begin(), tmp.end());
+  out->assign(span.begin(), span.end());
+  return true;
+}
+
+bool ByteReader::ReadString(std::string* out) {
+  ConstByteSpan span;
+  if (!ReadBytesSpan(&span)) {
+    return false;
+  }
+  out->assign(span.begin(), span.end());
   return true;
 }
 

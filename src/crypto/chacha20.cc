@@ -26,66 +26,120 @@ inline uint32_t LoadLe32(const uint8_t* p) {
          (static_cast<uint32_t>(p[2]) << 16) |
          (static_cast<uint32_t>(p[3]) << 24);
 }
-}  // namespace
 
-std::array<uint8_t, 64> ChaCha20::Block(const Bytes& key, const Bytes& nonce,
-                                        uint32_t counter) {
-  assert(key.size() == kKeySize);
-  assert(nonce.size() == kNonceSize);
-
-  uint32_t state[16];
+void InitState(uint32_t state[16], ConstByteSpan key, ConstByteSpan nonce,
+               uint32_t counter) {
+  assert(key.size() == ChaCha20::kKeySize);
+  assert(nonce.size() == ChaCha20::kNonceSize);
   state[0] = 0x61707865;
   state[1] = 0x3320646e;
   state[2] = 0x79622d32;
   state[3] = 0x6b206574;
   for (int i = 0; i < 8; ++i) {
-    state[4 + i] = LoadLe32(&key[i * 4]);
+    state[4 + i] = LoadLe32(key.data() + i * 4);
   }
   state[12] = counter;
   for (int i = 0; i < 3; ++i) {
-    state[13 + i] = LoadLe32(&nonce[i * 4]);
+    state[13 + i] = LoadLe32(nonce.data() + i * 4);
   }
+}
 
-  uint32_t working[16];
-  std::memcpy(working, state, sizeof(state));
+// One block of keystream as 16 little-endian words: 10 double-rounds over a
+// working copy, then the feed-forward add.
+void KeystreamWords(const uint32_t state[16], uint32_t out[16]) {
+  std::memcpy(out, state, 16 * sizeof(uint32_t));
   for (int round = 0; round < 10; ++round) {
-    QuarterRound(working, 0, 4, 8, 12);
-    QuarterRound(working, 1, 5, 9, 13);
-    QuarterRound(working, 2, 6, 10, 14);
-    QuarterRound(working, 3, 7, 11, 15);
-    QuarterRound(working, 0, 5, 10, 15);
-    QuarterRound(working, 1, 6, 11, 12);
-    QuarterRound(working, 2, 7, 8, 13);
-    QuarterRound(working, 3, 4, 9, 14);
+    QuarterRound(out, 0, 4, 8, 12);
+    QuarterRound(out, 1, 5, 9, 13);
+    QuarterRound(out, 2, 6, 10, 14);
+    QuarterRound(out, 3, 7, 11, 15);
+    QuarterRound(out, 0, 5, 10, 15);
+    QuarterRound(out, 1, 6, 11, 12);
+    QuarterRound(out, 2, 7, 8, 13);
+    QuarterRound(out, 3, 4, 9, 14);
   }
-
-  std::array<uint8_t, 64> out;
   for (int i = 0; i < 16; ++i) {
-    uint32_t v = working[i] + state[i];
-    out[i * 4] = static_cast<uint8_t>(v);
-    out[i * 4 + 1] = static_cast<uint8_t>(v >> 8);
-    out[i * 4 + 2] = static_cast<uint8_t>(v >> 16);
-    out[i * 4 + 3] = static_cast<uint8_t>(v >> 24);
+    out[i] += state[i];
   }
+}
+
+void SerializeKeystream(const uint32_t words[16], uint8_t bytes[64]) {
+  for (int i = 0; i < 16; ++i) {
+    bytes[i * 4] = static_cast<uint8_t>(words[i]);
+    bytes[i * 4 + 1] = static_cast<uint8_t>(words[i] >> 8);
+    bytes[i * 4 + 2] = static_cast<uint8_t>(words[i] >> 16);
+    bytes[i * 4 + 3] = static_cast<uint8_t>(words[i] >> 24);
+  }
+}
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+constexpr bool kLittleEndianHost = true;
+#else
+constexpr bool kLittleEndianHost = false;
+#endif
+
+}  // namespace
+
+std::array<uint8_t, 64> ChaCha20::Block(ConstByteSpan key, ConstByteSpan nonce,
+                                        uint32_t counter) {
+  uint32_t state[16];
+  InitState(state, key, nonce, counter);
+  uint32_t words[16];
+  KeystreamWords(state, words);
+  std::array<uint8_t, 64> out;
+  SerializeKeystream(words, out.data());
   return out;
 }
 
-Bytes ChaCha20::Crypt(const Bytes& key, const Bytes& nonce, uint32_t counter,
-                      const Bytes& input) {
-  Bytes out(input.size());
-  size_t offset = 0;
-  uint32_t block_counter = counter;
-  while (offset < input.size()) {
-    auto keystream = Block(key, nonce, block_counter++);
-    size_t n = input.size() - offset;
-    if (n > 64) {
-      n = 64;
+void ChaCha20::CryptInto(ConstByteSpan key, ConstByteSpan nonce,
+                         uint32_t counter, ConstByteSpan input,
+                         ByteSpan output) {
+  assert(output.size() == input.size());
+  uint32_t state[16];
+  InitState(state, key, nonce, counter);
+
+  const uint8_t* in = input.data();
+  uint8_t* out = output.data();
+  size_t remaining = input.size();
+  uint32_t words[16];
+  while (remaining > 0) {
+    KeystreamWords(state, words);
+    ++state[12];
+    const size_t n = remaining < 64 ? remaining : 64;
+    if (kLittleEndianHost && n == 64) {
+      // Word-wide XOR: on a little-endian host the keystream words are the
+      // keystream bytes, so XOR 8 bytes per stride straight from them.
+      const uint8_t* ks = reinterpret_cast<const uint8_t*>(words);
+      for (int w = 0; w < 8; ++w) {
+        uint64_t x;
+        uint64_t k;
+        std::memcpy(&x, in + w * 8, 8);
+        std::memcpy(&k, ks + w * 8, 8);
+        x ^= k;
+        std::memcpy(out + w * 8, &x, 8);
+      }
+    } else {
+      uint8_t ks[64];
+      SerializeKeystream(words, ks);
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = in[i] ^ ks[i];
+      }
     }
-    for (size_t i = 0; i < n; ++i) {
-      out[offset + i] = input[offset + i] ^ keystream[i];
-    }
-    offset += n;
+    in += n;
+    out += n;
+    remaining -= n;
   }
+}
+
+void ChaCha20::CryptInPlace(ConstByteSpan key, ConstByteSpan nonce,
+                            uint32_t counter, ByteSpan data) {
+  CryptInto(key, nonce, counter, data, data);
+}
+
+Bytes ChaCha20::Crypt(ConstByteSpan key, ConstByteSpan nonce, uint32_t counter,
+                      ConstByteSpan input) {
+  Bytes out(input.size());
+  CryptInto(key, nonce, counter, input, ByteSpan(out));
   return out;
 }
 

@@ -2,6 +2,12 @@
 // uses here to encrypt file contents before erasure coding (the paper used a
 // random AES key; ChaCha20 plays the identical role — a fresh random key per
 // write, protected by secret sharing).
+//
+// The span variants let the DepSky write path encrypt straight into the
+// erasure-coding arena (no ciphertext staging buffer) and the read path
+// decrypt the reassembled ciphertext in place. The keystream is XORed in
+// 8-byte words and the cipher state is initialized once per call rather than
+// once per 64-byte block.
 
 #ifndef SCFS_CRYPTO_CHACHA20_H_
 #define SCFS_CRYPTO_CHACHA20_H_
@@ -20,11 +26,21 @@ class ChaCha20 {
 
   // Encryption == decryption (XOR stream). counter is the initial 32-bit
   // block counter (RFC 8439 test vectors use 1 for encryption).
-  static Bytes Crypt(const Bytes& key, const Bytes& nonce, uint32_t counter,
-                     const Bytes& input);
+  //
+  // output.size() must equal input.size(); output may be the same region as
+  // input (in-place) or disjoint from it, but must not partially overlap.
+  static void CryptInto(ConstByteSpan key, ConstByteSpan nonce,
+                        uint32_t counter, ConstByteSpan input,
+                        ByteSpan output);
+  static void CryptInPlace(ConstByteSpan key, ConstByteSpan nonce,
+                           uint32_t counter, ByteSpan data);
+
+  // Owning convenience wrapper around CryptInto.
+  static Bytes Crypt(ConstByteSpan key, ConstByteSpan nonce, uint32_t counter,
+                     ConstByteSpan input);
 
   // One 64-byte keystream block; exposed for test vectors.
-  static std::array<uint8_t, 64> Block(const Bytes& key, const Bytes& nonce,
+  static std::array<uint8_t, 64> Block(ConstByteSpan key, ConstByteSpan nonce,
                                        uint32_t counter);
 };
 

@@ -4,8 +4,8 @@
 
 namespace scfs {
 
-Bytes HmacSha256(const Bytes& key, const Bytes& message) {
-  Bytes k = key;
+Bytes HmacSha256(ConstByteSpan key, ConstByteSpan message) {
+  Bytes k = CopyToBytes(key);
   if (k.size() > Sha256::kBlockSize) {
     k = Sha256::Hash(k);
   }
@@ -30,8 +30,8 @@ Bytes HmacSha256(const Bytes& key, const Bytes& message) {
   return Bytes(digest.begin(), digest.end());
 }
 
-bool HmacSha256Verify(const Bytes& key, const Bytes& message,
-                      const Bytes& expected_mac) {
+bool HmacSha256Verify(ConstByteSpan key, ConstByteSpan message,
+                      ConstByteSpan expected_mac) {
   return ConstantTimeEquals(HmacSha256(key, message), expected_mac);
 }
 

@@ -10,11 +10,11 @@
 
 namespace scfs {
 
-Bytes HmacSha256(const Bytes& key, const Bytes& message);
+Bytes HmacSha256(ConstByteSpan key, ConstByteSpan message);
 
 // Constant-time verification.
-bool HmacSha256Verify(const Bytes& key, const Bytes& message,
-                      const Bytes& expected_mac);
+bool HmacSha256Verify(ConstByteSpan key, ConstByteSpan message,
+                      ConstByteSpan expected_mac);
 
 }  // namespace scfs
 

@@ -111,7 +111,7 @@ std::array<uint8_t, Sha1::kDigestSize> Sha1::Finish() {
   return digest;
 }
 
-Bytes Sha1::Hash(const Bytes& data) {
+Bytes Sha1::Hash(ConstByteSpan data) {
   Sha1 h;
   h.Update(data);
   auto d = h.Finish();

@@ -20,10 +20,10 @@ class Sha1 {
   Sha1();
 
   void Update(const uint8_t* data, size_t size);
-  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(ConstByteSpan data) { Update(data.data(), data.size()); }
   std::array<uint8_t, kDigestSize> Finish();
 
-  static Bytes Hash(const Bytes& data);
+  static Bytes Hash(ConstByteSpan data);
   static Bytes Hash(std::string_view data);
 
  private:

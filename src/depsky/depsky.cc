@@ -170,7 +170,7 @@ void DepSkyClient::ApplyAclsToObject(const DepSkyMetadata& md, unsigned cloud,
 
 Result<uint64_t> DepSkyClient::WriteVersion(
     const std::string& unit, const std::string& content_hash,
-    const Bytes& data, const std::vector<DepSkyGrant>* merge_grants) {
+    ConstByteSpan data, const std::vector<DepSkyGrant>* merge_grants) {
   // Step 0: learn the current version history (creates it on first write).
   DepSkyMetadata md;
   auto existing = ReadMetadata(unit);
@@ -208,27 +208,42 @@ Result<uint64_t> DepSkyClient::WriteVersion(
   version.cloud_shard.assign(clouds_.size(), -1);
 
   // Steps 1-3 (Figure 6): key generation, encryption, erasure coding and
-  // secret sharing.
-  std::vector<Bytes> shards;
+  // secret sharing. The whole stage is zero-copy: the plaintext is encrypted
+  // straight into the arena's framed data region (the systematic shards alias
+  // that frame), parity is derived in place, and every later consumer —
+  // shard hashing and wire-object serialization — reads arena views. In
+  // replication mode the "shards" are views of the caller's plaintext.
+  std::optional<ShardArena> arena;
   std::vector<SecretShare> shares;
+  const unsigned shard_count = static_cast<unsigned>(clouds_.size());
   if (config_.mode == DepSkyMode::kSecretSharing) {
     Bytes key = RandomBytesLocked(ChaCha20::kKeySize);
     version.nonce = RandomBytesLocked(ChaCha20::kNonceSize);
-    Bytes ciphertext = ChaCha20::Crypt(key, version.nonce, 0, data);
     ErasureCodec codec(config_.n(), config_.k());
-    ASSIGN_OR_RETURN(shards, codec.Encode(ciphertext));
+    arena = codec.PrepareArena(data.size());
+    ChaCha20::CryptInto(key, version.nonce, 0, data, arena->payload());
+    codec.ComputeParity(&*arena);
     Result<std::vector<SecretShare>> split = [&]() {
       std::lock_guard<std::mutex> lock(rng_mu_);
       return SecretSharing::Split(key, config_.n(), config_.k(), rng_);
     }();
     RETURN_IF_ERROR(split.status());
     shares = std::move(*split);
-  } else {
-    shards.assign(clouds_.size(), data);  // full replicas
   }
-  version.shard_hashes.resize(shards.size());
-  for (size_t i = 0; i < shards.size(); ++i) {
-    version.shard_hashes[i] = Sha256::Hash(shards[i]);
+  auto shard_view = [&](unsigned i) -> ConstByteSpan {
+    return arena ? arena->shard(i) : data;  // full replicas without the arena
+  };
+  version.shard_hashes.resize(shard_count);
+  if (arena) {
+    for (unsigned i = 0; i < shard_count; ++i) {
+      version.shard_hashes[i] = Sha256::Hash(arena->shard(i));
+    }
+  } else {
+    // Replicas are identical; hash the payload once, not once per cloud.
+    Bytes replica_hash = Sha256::Hash(data);
+    for (unsigned i = 0; i < shard_count; ++i) {
+      version.shard_hashes[i] = replica_hash;
+    }
   }
 
   // Step 4: store shard_i + share_i at cloud i. Preferred quorums: use the
@@ -246,13 +261,14 @@ Result<uint64_t> DepSkyClient::WriteVersion(
   }
 
   auto encode_object = [&](unsigned shard_index) -> Bytes {
-    DepSkyValueObject object;
-    object.shard = shards[shard_index];
+    // The shard bytes move from the arena (or the caller's plaintext) to the
+    // wire buffer in this one serialization copy.
     if (config_.mode == DepSkyMode::kSecretSharing) {
-      object.share_index = shares[shard_index].index;
-      object.share_data = shares[shard_index].data;
+      return DepSkyValueObject::EncodeParts(shard_view(shard_index),
+                                            shares[shard_index].index,
+                                            shares[shard_index].data);
     }
-    return object.Encode();
+    return DepSkyValueObject::EncodeParts(shard_view(shard_index), 0, {});
   };
   auto write_to_cloud = [&](unsigned cloud, unsigned shard_index) -> Status {
     Status s = clouds_[cloud].store->Put(clouds_[cloud].creds, value_key,
@@ -397,10 +413,12 @@ Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
 
   Bytes plaintext;
   if (md.mode == DepSkyMode::kSecretSharing) {
+    // Reassemble into one buffer, then decrypt it in place: the ciphertext
+    // buffer becomes the plaintext without a second allocation or pass.
     ErasureCodec codec(md.n, md.k);
-    ASSIGN_OR_RETURN(Bytes ciphertext, codec.Decode(shards));
+    ASSIGN_OR_RETURN(plaintext, codec.Decode(shards));
     ASSIGN_OR_RETURN(Bytes key, SecretSharing::Combine(shares, md.k));
-    plaintext = ChaCha20::Crypt(key, version.nonce, 0, ciphertext);
+    ChaCha20::CryptInPlace(key, version.nonce, 0, ByteSpan(plaintext));
   } else {
     for (auto& shard : shards) {
       if (shard.has_value()) {

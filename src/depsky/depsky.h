@@ -62,9 +62,14 @@ class DepSkyClient {
   // of `data` (computed by the caller; verified on read). Returns the new
   // version number. If `merge_grants` is non-null, those grants are folded
   // into the unit metadata in the same metadata push (no extra round trip).
+  //
+  // `data` is a borrowed view: the payload is encrypted straight into the
+  // erasure-coding arena (secret-sharing mode) or serialized straight into
+  // the per-cloud wire objects (replication mode) — the client never makes
+  // its own copy of the plaintext.
   Result<uint64_t> WriteVersion(
       const std::string& unit, const std::string& content_hash,
-      const Bytes& data,
+      ConstByteSpan data,
       const std::vector<DepSkyGrant>* merge_grants = nullptr);
 
   // Reads the version with the given content hash; NOT_FOUND if no (visible)

@@ -145,7 +145,13 @@ const DepSkyVersion* DepSkyMetadata::FindByHash(
 }
 
 Bytes DepSkyValueObject::Encode() const {
+  return EncodeParts(shard, share_index, share_data);
+}
+
+Bytes DepSkyValueObject::EncodeParts(ConstByteSpan shard, uint8_t share_index,
+                                     ConstByteSpan share_data) {
   Bytes out;
+  out.reserve(shard.size() + share_data.size() + 9);
   AppendBytes(&out, shard);
   out.push_back(share_index);
   AppendBytes(&out, share_data);

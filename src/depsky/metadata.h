@@ -73,6 +73,10 @@ struct DepSkyValueObject {
   Bytes share_data;
 
   Bytes Encode() const;
+  // Serializes without materializing a DepSkyValueObject: the shard (an arena
+  // view on the write path) is copied exactly once, into the wire buffer.
+  static Bytes EncodeParts(ConstByteSpan shard, uint8_t share_index,
+                           ConstByteSpan share_data);
   static Result<DepSkyValueObject> Decode(const Bytes& data);
 };
 

@@ -2,6 +2,11 @@
 
 #include <cassert>
 
+#if defined(__x86_64__) || defined(__i386__)
+#define SCFS_GF256_X86 1
+#include <immintrin.h>
+#endif
+
 namespace scfs {
 
 namespace {
@@ -59,7 +64,9 @@ uint8_t Gf256::Pow(uint8_t a, unsigned e) {
   if (a == 0) {
     return 0;
   }
-  return T().exp[(T().log[a] * e) % 255];
+  // The multiplicative group has order 255, so reduce the exponent first;
+  // log[a] * e would wrap for e within a factor ~2^24 of UINT_MAX.
+  return T().exp[(T().log[a] * (e % 255u)) % 255u];
 }
 
 uint8_t Gf256::Exp(unsigned i) { return T().exp[i % 255]; }
@@ -69,15 +76,149 @@ unsigned Gf256::Log(uint8_t a) {
   return T().log[a];
 }
 
+Gf256::MulTable Gf256::BuildMulTable(uint8_t scalar) {
+  MulTable t;
+  for (unsigned x = 0; x < 16; ++x) {
+    t.lo[x] = Mul(scalar, static_cast<uint8_t>(x));
+    t.hi[x] = Mul(scalar, static_cast<uint8_t>(x << 4));
+  }
+  return t;
+}
+
+namespace {
+
+using RowKernel = void (*)(uint8_t*, const uint8_t*, const Gf256::MulTable&,
+                           size_t);
+
+void MulAddRowPortable(uint8_t* out, const uint8_t* in,
+                       const Gf256::MulTable& t, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    out[i + 0] ^= t.lo[in[i + 0] & 0x0f] ^ t.hi[in[i + 0] >> 4];
+    out[i + 1] ^= t.lo[in[i + 1] & 0x0f] ^ t.hi[in[i + 1] >> 4];
+    out[i + 2] ^= t.lo[in[i + 2] & 0x0f] ^ t.hi[in[i + 2] >> 4];
+    out[i + 3] ^= t.lo[in[i + 3] & 0x0f] ^ t.hi[in[i + 3] >> 4];
+    out[i + 4] ^= t.lo[in[i + 4] & 0x0f] ^ t.hi[in[i + 4] >> 4];
+    out[i + 5] ^= t.lo[in[i + 5] & 0x0f] ^ t.hi[in[i + 5] >> 4];
+    out[i + 6] ^= t.lo[in[i + 6] & 0x0f] ^ t.hi[in[i + 6] >> 4];
+    out[i + 7] ^= t.lo[in[i + 7] & 0x0f] ^ t.hi[in[i + 7] >> 4];
+  }
+  for (; i < len; ++i) {
+    out[i] ^= t.lo[in[i] & 0x0f] ^ t.hi[in[i] >> 4];
+  }
+}
+
+#ifdef SCFS_GF256_X86
+
+__attribute__((target("ssse3"))) void MulAddRowSsse3(
+    uint8_t* out, const uint8_t* in, const Gf256::MulTable& t, size_t len) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    __m128i lon = _mm_and_si128(v, mask);
+    __m128i hin = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    __m128i prod =
+        _mm_xor_si128(_mm_shuffle_epi8(lo, lon), _mm_shuffle_epi8(hi, hin));
+    __m128i o = _mm_loadu_si128(reinterpret_cast<const __m128i*>(out + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_xor_si128(o, prod));
+  }
+  if (i < len) {
+    MulAddRowPortable(out + i, in + i, t, len - i);
+  }
+}
+
+__attribute__((target("avx2"))) void MulAddRowAvx2(uint8_t* out,
+                                                   const uint8_t* in,
+                                                   const Gf256::MulTable& t,
+                                                   size_t len) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    __m256i lon = _mm256_and_si256(v, mask);
+    __m256i hin = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo, lon),
+                                    _mm256_shuffle_epi8(hi, hin));
+    __m256i o = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_xor_si256(o, prod));
+  }
+  if (i < len) {
+    MulAddRowPortable(out + i, in + i, t, len - i);
+  }
+}
+
+#endif  // SCFS_GF256_X86
+
+RowKernel PickRowKernel() {
+#ifdef SCFS_GF256_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return MulAddRowAvx2;
+  }
+  if (__builtin_cpu_supports("ssse3")) {
+    return MulAddRowSsse3;
+  }
+#endif
+  return MulAddRowPortable;
+}
+
+RowKernel CurrentRowKernel() {
+  static const RowKernel kernel = PickRowKernel();
+  return kernel;
+}
+
+}  // namespace
+
+void Gf256::MulAddRow(uint8_t* out, const uint8_t* in, const MulTable& table,
+                      size_t len) {
+  CurrentRowKernel()(out, in, table, len);
+}
+
 void Gf256::MulAddRow(uint8_t* out, const uint8_t* in, uint8_t scalar,
-                      unsigned len) {
+                      size_t len) {
+  if (scalar == 0) {
+    return;
+  }
+  if (scalar == 1) {
+    AddRow(out, in, len);
+    return;
+  }
+  const MulTable table = BuildMulTable(scalar);
+  CurrentRowKernel()(out, in, table, len);
+}
+
+void Gf256::AddRow(uint8_t* out, const uint8_t* in, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t a;
+    uint64_t b;
+    __builtin_memcpy(&a, out + i, 8);
+    __builtin_memcpy(&b, in + i, 8);
+    a ^= b;
+    __builtin_memcpy(out + i, &a, 8);
+  }
+  for (; i < len; ++i) {
+    out[i] ^= in[i];
+  }
+}
+
+void Gf256::MulAddRowReference(uint8_t* out, const uint8_t* in, uint8_t scalar,
+                               size_t len) {
   if (scalar == 0) {
     return;
   }
   const unsigned ls = T().log[scalar];
   const uint8_t* exp = T().exp;
   const unsigned* log = T().log;
-  for (unsigned i = 0; i < len; ++i) {
+  for (size_t i = 0; i < len; ++i) {
     if (in[i] != 0) {
       out[i] ^= exp[ls + log[in[i]]];
     }

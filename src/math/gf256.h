@@ -1,10 +1,20 @@
 // Arithmetic over GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1
 // (0x11d), the field used by both the Reed-Solomon erasure coder and the
 // Shamir secret-sharing scheme.
+//
+// The row kernels are the data plane's innermost loop: RS encode/decode runs
+// them once per (matrix entry, stripe). `MulAddRow` is table-driven — two
+// 16-entry nibble tables per scalar (product = lo[x & 0xf] ^ hi[x >> 4]),
+// built once per matrix row and applied branchlessly in word-wide strides;
+// on x86 the same tables feed a PSHUFB (SSSE3/AVX2) kernel selected once at
+// startup. The seed byte-at-a-time exp/log kernel is retained as
+// `MulAddRowReference` so tests can assert byte-identical output and the
+// benchmark can measure the speedup against it.
 
 #ifndef SCFS_MATH_GF256_H_
 #define SCFS_MATH_GF256_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace scfs {
@@ -21,9 +31,30 @@ class Gf256 {
   static uint8_t Exp(unsigned i);
   static unsigned Log(uint8_t a);  // a must be non-zero
 
-  // out[i] += scalar * in[i] over GF(2^8), vectorizable hot loop for RS.
+  // Per-scalar multiplication table: scalar * x = lo[x & 0xf] ^ hi[x >> 4].
+  // 32 bytes — two cache lines at most, L1-resident for a whole encode row.
+  struct MulTable {
+    uint8_t lo[16];
+    uint8_t hi[16];
+  };
+  static MulTable BuildMulTable(uint8_t scalar);
+
+  // out[i] ^= scalar * in[i] over GF(2^8). The scalar variant builds the
+  // nibble table itself; callers applying one scalar to many stripes (the RS
+  // striped kernels) build the table once and use the MulTable overload.
   static void MulAddRow(uint8_t* out, const uint8_t* in, uint8_t scalar,
-                        unsigned len);
+                        size_t len);
+  static void MulAddRow(uint8_t* out, const uint8_t* in, const MulTable& table,
+                        size_t len);
+
+  // out[i] ^= in[i]: the scalar == 1 fast path, XORed in 8-byte words.
+  static void AddRow(uint8_t* out, const uint8_t* in, size_t len);
+
+  // Seed kernel (byte-at-a-time exp/log lookups with a per-byte branch).
+  // Kept as the correctness oracle and benchmark baseline; not used on the
+  // data plane.
+  static void MulAddRowReference(uint8_t* out, const uint8_t* in,
+                                 uint8_t scalar, size_t len);
 };
 
 }  // namespace scfs

@@ -9,11 +9,12 @@ namespace scfs {
 // ---------------------------------------------------------------------------
 
 Future<Status> BlobBackend::WriteVersionAsync(
-    const std::string& id, const std::string& content_hash, const Bytes& data,
+    const std::string& id, const std::string& content_hash, Bytes data,
     const std::vector<BackendGrant>& grants) {
-  return SubmitTracked(&async_ops_, [this, id, content_hash, data, grants] {
-    return WriteVersion(id, content_hash, data, grants);
-  });
+  return SubmitTracked(
+      &async_ops_, [this, id, content_hash, data = std::move(data), grants] {
+        return WriteVersion(id, content_hash, data, grants);
+      });
 }
 
 Future<Result<Bytes>> BlobBackend::ReadByHashAsync(
@@ -28,10 +29,12 @@ Future<Result<Bytes>> BlobBackend::ReadByHashAsync(
 // ---------------------------------------------------------------------------
 
 Status SingleCloudBackend::WriteVersion(
-    const std::string& id, const std::string& content_hash, const Bytes& data,
+    const std::string& id, const std::string& content_hash, ConstByteSpan data,
     const std::vector<BackendGrant>& grants) {
   const std::string key = VersionKey(id, content_hash);
-  RETURN_IF_ERROR(store_->Put(creds_, key, data));
+  // The store takes ownership of what it keeps; this is the single
+  // materialization on the single-cloud write path.
+  RETURN_IF_ERROR(store_->Put(creds_, key, CopyToBytes(data)));
   for (const auto& grant : grants) {
     if (grant.cloud_ids.empty() || grant.cloud_ids[0].empty()) {
       continue;
@@ -123,7 +126,7 @@ DepSkyGrant ToDepSkyGrant(const BackendGrant& grant) {
 
 Status DepSkyBackend::WriteVersion(const std::string& id,
                                    const std::string& content_hash,
-                                   const Bytes& data,
+                                   ConstByteSpan data,
                                    const std::vector<BackendGrant>& grants) {
   std::vector<DepSkyGrant> merged;
   merged.reserve(grants.size());

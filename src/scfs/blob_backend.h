@@ -43,10 +43,12 @@ class BlobBackend {
   virtual ~BlobBackend() = default;
 
   // Stores a new immutable version of data unit `id` under `content_hash`
-  // (hex SHA-1 of `data`), applying `grants` to the created objects.
+  // (hex SHA-1 of `data`), applying `grants` to the created objects. `data`
+  // is a borrowed view, valid only for the duration of the call; the backend
+  // copies it exactly where the wire format demands ownership.
   virtual Status WriteVersion(const std::string& id,
                               const std::string& content_hash,
-                              const Bytes& data,
+                              ConstByteSpan data,
                               const std::vector<BackendGrant>& grants) = 0;
 
   // Reads the version with the given hash; NOT_FOUND while the version is not
@@ -90,8 +92,11 @@ class BlobBackend {
   // destructor: the base subobject (and this tracker) is destroyed after the
   // derived members an in-flight task may still be using.
 
+  // Takes the data by value: the asynchronous task must own the bytes it
+  // uploads after the caller returns (callers that already hold an owning
+  // buffer move it in; no extra copy happens).
   virtual Future<Status> WriteVersionAsync(
-      const std::string& id, const std::string& content_hash, const Bytes& data,
+      const std::string& id, const std::string& content_hash, Bytes data,
       const std::vector<BackendGrant>& grants);
   virtual Future<Result<Bytes>> ReadByHashAsync(const std::string& id,
                                                 const std::string& content_hash);
@@ -109,7 +114,7 @@ class SingleCloudBackend : public BlobBackend {
   ~SingleCloudBackend() override { async_ops_.AwaitIdle(); }
 
   Status WriteVersion(const std::string& id, const std::string& content_hash,
-                      const Bytes& data,
+                      ConstByteSpan data,
                       const std::vector<BackendGrant>& grants) override;
   Result<Bytes> ReadByHash(const std::string& id,
                            const std::string& content_hash) override;
@@ -142,7 +147,7 @@ class DepSkyBackend : public BlobBackend {
   ~DepSkyBackend() override { async_ops_.AwaitIdle(); }
 
   Status WriteVersion(const std::string& id, const std::string& content_hash,
-                      const Bytes& data,
+                      ConstByteSpan data,
                       const std::vector<BackendGrant>& grants) override;
   Result<Bytes> ReadByHash(const std::string& id,
                            const std::string& content_hash) override;

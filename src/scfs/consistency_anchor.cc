@@ -4,11 +4,11 @@
 
 namespace scfs {
 
-std::string AnchoredStorage::AnchorHash(const Bytes& value) {
+std::string AnchoredStorage::AnchorHash(ConstByteSpan value) {
   return HexEncode(Sha1::Hash(value));
 }
 
-Status AnchoredStorage::Write(const std::string& id, const Bytes& value) {
+Status AnchoredStorage::Write(const std::string& id, ConstByteSpan value) {
   // w1: hash; w2: store the data under id|h; w3: anchor the hash.
   const std::string hash = AnchorHash(value);
   RETURN_IF_ERROR(storage_->WriteVersion(id, hash, value, {}));

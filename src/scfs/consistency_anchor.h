@@ -43,13 +43,13 @@ class AnchoredStorage {
 
   // Figure 3, WRITE: every write creates a new version in the SS, then
   // publishes its hash in the CA.
-  Status Write(const std::string& id, const Bytes& value);
+  Status Write(const std::string& id, ConstByteSpan value);
 
   // Figure 3, READ: returns the version whose hash the CA currently anchors.
   Result<Bytes> Read(const std::string& id);
 
   // Computes the anchor hash of a value (hex SHA-1, as in SCFS).
-  static std::string AnchorHash(const Bytes& value);
+  static std::string AnchorHash(ConstByteSpan value);
 
   // Retries SS.read(id|h) until the version is visible — usable directly by
   // callers that obtained `h` some other way (SCFS's metadata service).

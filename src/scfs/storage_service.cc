@@ -74,7 +74,7 @@ void StorageService::SpillToDisk(const std::string& key, Bytes&& data) {
 }
 
 void StorageService::WriteToDisk(const std::string& id,
-                                 const std::string& hash, const Bytes& data) {
+                                 const std::string& hash, ConstByteSpan data) {
   std::ofstream out(DiskPath(id, hash), std::ios::binary | std::ios::trunc);
   if (!out) {
     SCFS_LOG(Warning) << "disk cache write failed for " << id;
@@ -117,7 +117,7 @@ void StorageService::PutMemory(const std::string& id, const std::string& hash,
 
 Status StorageService::FlushToDisk(const std::string& id,
                                    const std::string& hash,
-                                   const Bytes& data) {
+                                   ConstByteSpan data) {
   env_->Sleep(options_.disk_write_latency);
   std::lock_guard<std::mutex> lock(mu_);
   WriteToDisk(id, hash, data);
@@ -167,14 +167,14 @@ Result<Bytes> StorageService::Fetch(const std::string& id,
 }
 
 Status StorageService::Push(const std::string& id, const std::string& hash,
-                            const Bytes& data,
+                            ConstByteSpan data,
                             const std::vector<BackendGrant>& grants) {
   // Local disk first (cheap), then the cloud. A completed Push gives
   // durability level 2 (single cloud) or 3 (cloud-of-clouds).
   RETURN_IF_ERROR(FlushToDisk(id, hash, data));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    memory_.Put(CacheKey(id, hash), data);
+    memory_.Put(CacheKey(id, hash), CopyToBytes(data));
   }
   return backend_->WriteVersion(id, hash, data, grants);
 }

@@ -56,12 +56,13 @@ class StorageService {
 
   // Flushes one version to the local disk cache (fsync — durability level 1).
   Status FlushToDisk(const std::string& id, const std::string& hash,
-                     const Bytes& data);
+                     ConstByteSpan data);
 
   // Synchronously pushes to local disk AND the cloud backend (close in
-  // blocking mode — durability level 2/3).
+  // blocking mode — durability level 2/3). `data` is a borrowed view; the
+  // only copy made here is the one the memory cache keeps.
   Status Push(const std::string& id, const std::string& hash,
-              const Bytes& data, const std::vector<BackendGrant>& grants);
+              ConstByteSpan data, const std::vector<BackendGrant>& grants);
 
   // Asynchronous variants, dispatched on the shared executor. The service
   // is internally locked, so any number may be in flight; the destructor
@@ -90,7 +91,7 @@ class StorageService {
   void SpillToDisk(const std::string& key, Bytes&& data);
   Result<Bytes> ReadFromDisk(const std::string& id, const std::string& hash);
   void WriteToDisk(const std::string& id, const std::string& hash,
-                   const Bytes& data);
+                   ConstByteSpan data);
 
   Environment* env_;
   BlobBackend* backend_;
