@@ -1,0 +1,280 @@
+// Coordination-plane throughput: closed-loop multi-client benchmarks over
+// the replicated SMR cluster (the consistency anchor of every shared-file
+// metadata operation, paper §3.2 / Table 3).
+//
+// Three workloads, each run twice on the same in-binary cluster code:
+//
+//   seed      batching + read fast path disabled, one consensus instance at
+//             a time (the pre-batching lock-step configuration)
+//   batched   leader batching + pipelining + read-only fast path (defaults)
+//
+//   1. ordered    32 closed-loop clients issuing writes (totally ordered)
+//   2. reads      32 closed-loop clients issuing reads of their own keys
+//   3. mixed      Table-3-style metadata loop per client: create + getattr
+//                 burst (3 reads) + lock/unlock + publish
+//
+// Elapsed time is virtual (the environment clock), so results measure the
+// modelled protocol and queueing delays, not host speed. Emits
+// BENCH_coord.json via the shared harness.
+//
+// Usage: bench_coord_throughput [--quick] [--json PATH]
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/cloud/providers.h"
+#include "src/coord/smr.h"
+
+namespace scfs {
+namespace {
+
+struct Options {
+  bool quick = false;
+  std::string json_path = "BENCH_coord.json";
+};
+
+// The coordination round trips are tens of modelled milliseconds; run them
+// at a scale where scheduler wakeup noise (tens of real microseconds) stays
+// ~1% of the signal. Overridable like the other benches.
+double CoordTimeScale() {
+  const char* scale = std::getenv("SCFS_TIME_SCALE");
+  if (scale != nullptr && *scale != '\0') {
+    return std::atof(scale);
+  }
+  return 0.05;  // 1 virtual second = 50 real ms
+}
+
+SmrConfig MakeConfig(bool seed_mode) {
+  // The CoC deployment's geometry: four European computing clouds, ~30 ms
+  // client links, ~10 ms inter-replica links (see Deployment::Create).
+  SmrConfig config;
+  config.f = 1;
+  config.byzantine = true;
+  for (unsigned i = 0; i < config.replica_count(); ++i) {
+    config.client_links.push_back(CoordinationLinkLatency(i));
+  }
+  config.replica_link =
+      LatencyModel::WideArea(FromMillis(9), FromMillis(5), 16.0);
+  config.client_timeout = 30 * kSecond;
+  // Failure detector: must exceed the worst-case queueing delay of the
+  // lock-step seed configuration (32 clients x ~25 ms per instance).
+  config.order_timeout = 5 * kSecond;
+  if (seed_mode) {
+    config.enable_batching = false;
+    config.enable_read_fast_path = false;
+    config.max_inflight_instances = 1;
+  }
+  return config;
+}
+
+std::string ClientName(int index) {
+  return "bench-client-" + std::to_string(index);
+}
+
+// Closed-loop fan-out: `clients` threads each run `per_client(c)`.
+void RunClients(int clients, const std::function<void(int)>& per_client) {
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] { per_client(c); });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+}
+
+struct Throughput {
+  double ops_per_s = 0;
+  SmrCounters counters;
+};
+
+// Workload 1: totally-ordered writes, distinct keys per client.
+Throughput RunOrdered(Environment* env, bool seed_mode, int clients, int ops) {
+  ReplicatedCoordination coord(env, MakeConfig(seed_mode));
+  VirtualTime t0 = env->Now();
+  RunClients(clients, [&](int c) {
+    const std::string client = ClientName(c);
+    for (int i = 0; i < ops; ++i) {
+      std::string key = "k" + std::to_string(c) + ":" + std::to_string(i);
+      (void)coord.Write(client, key, ToBytes("v"));
+    }
+  });
+  double seconds = ToSeconds(env->Now() - t0);
+  Throughput out;
+  out.ops_per_s = seconds > 0 ? clients * ops / seconds : 0;
+  out.counters = coord.cluster().counters();
+  return out;
+}
+
+struct ReadLatency {
+  double mean_ms = 0;
+  double p95_ms = 0;
+  SmrCounters counters;
+};
+
+// Workload 2: concurrent reads of per-client keys (the getattr-style
+// accesses that dominate shared-file metadata traffic).
+ReadLatency RunReads(Environment* env, bool seed_mode, int clients, int ops) {
+  ReplicatedCoordination coord(env, MakeConfig(seed_mode));
+  for (int c = 0; c < clients; ++c) {
+    (void)coord.Write(ClientName(c), "r" + std::to_string(c), ToBytes("v"));
+  }
+  std::vector<std::vector<double>> latencies(clients);
+  RunClients(clients, [&](int c) {
+    const std::string client = ClientName(c);
+    const std::string key = "r" + std::to_string(c);
+    latencies[c].reserve(ops);
+    for (int i = 0; i < ops; ++i) {
+      VirtualTime start = env->Now();
+      (void)coord.Read(client, key);
+      latencies[c].push_back(ToSeconds(env->Now() - start) * 1e3);
+    }
+  });
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  ReadLatency out;
+  if (!all.empty()) {
+    double sum = 0;
+    for (double ms : all) {
+      sum += ms;
+    }
+    out.mean_ms = sum / all.size();
+    out.p95_ms = Percentile(all, 95.0);
+  }
+  out.counters = coord.cluster().counters();
+  return out;
+}
+
+// Workload 3: the Table-3 metadata shape — per iteration one create, a
+// getattr burst of three reads, a lock/unlock pair and one publish.
+Throughput RunMixed(Environment* env, bool seed_mode, int clients,
+                    int iterations) {
+  ReplicatedCoordination coord(env, MakeConfig(seed_mode));
+  constexpr int kOpsPerIteration = 7;
+  VirtualTime t0 = env->Now();
+  RunClients(clients, [&](int c) {
+    const std::string client = ClientName(c);
+    for (int i = 0; i < iterations; ++i) {
+      std::string key = "m" + std::to_string(c) + ":" + std::to_string(i);
+      (void)coord.Write(client, key, ToBytes("meta"));
+      for (int g = 0; g < 3; ++g) {
+        (void)coord.Read(client, key);
+      }
+      auto lock = coord.TryLock(client, "l" + key, kSecond);
+      if (lock.ok()) {
+        (void)coord.Unlock(client, "l" + key, lock->token);
+      }
+      (void)coord.Write(client, key, ToBytes("meta2"));
+    }
+  });
+  double seconds = ToSeconds(env->Now() - t0);
+  Throughput out;
+  out.ops_per_s =
+      seconds > 0 ? clients * iterations * kOpsPerIteration / seconds : 0;
+  out.counters = coord.cluster().counters();
+  return out;
+}
+
+void RunAll(const Options& options) {
+  auto env = Environment::Scaled(CoordTimeScale());
+  const int kClients = 32;
+  const int ordered_ops = options.quick ? 4 : 16;
+  const int read_ops = options.quick ? 4 : 12;
+  const int mixed_iterations = options.quick ? 2 : 4;
+
+  BenchJsonWriter json;
+  std::vector<int> widths = {30, 14, 14, 10};
+
+  PrintHeader("Coordination plane: ordered throughput (32 clients)");
+  Throughput ordered_seed = RunOrdered(env.get(), true, kClients, ordered_ops);
+  Throughput ordered_fast =
+      RunOrdered(env.get(), false, kClients, ordered_ops);
+  double ordered_speedup = ordered_seed.ops_per_s > 0
+                               ? ordered_fast.ops_per_s / ordered_seed.ops_per_s
+                               : 0;
+  PrintRow({"workload", "seed", "batched", "speedup"}, widths);
+  PrintRow({"ordered writes (ops/s)",
+            std::to_string(static_cast<int>(ordered_seed.ops_per_s)),
+            std::to_string(static_cast<int>(ordered_fast.ops_per_s)),
+            FormatSeconds(ordered_speedup) + "x"},
+           widths);
+  json.Add("coord_ordered_seed", ordered_seed.ops_per_s, "ops/s");
+  json.Add("coord_ordered_batched", ordered_fast.ops_per_s, "ops/s");
+  json.Add("coord_ordered_speedup", ordered_speedup, "x");
+  double batch_avg =
+      ordered_fast.counters.proposed_instances > 0
+          ? static_cast<double>(ordered_fast.counters.proposed_requests) /
+                ordered_fast.counters.proposed_instances
+          : 0;
+  json.Add("coord_ordered_avg_batch", batch_avg, "reqs/instance");
+
+  PrintHeader("Coordination plane: read latency (32 clients)");
+  ReadLatency read_seed = RunReads(env.get(), true, kClients, read_ops);
+  ReadLatency read_fast = RunReads(env.get(), false, kClients, read_ops);
+  double read_ratio =
+      read_fast.mean_ms > 0 ? read_seed.mean_ms / read_fast.mean_ms : 0;
+  PrintRow({"read mean (ms)", FormatSeconds(read_seed.mean_ms),
+            FormatSeconds(read_fast.mean_ms), FormatSeconds(read_ratio) + "x"},
+           widths);
+  PrintRow({"read p95 (ms)", FormatSeconds(read_seed.p95_ms),
+            FormatSeconds(read_fast.p95_ms), ""},
+           widths);
+  json.Add("coord_read_seed_mean", read_seed.mean_ms, "ms");
+  json.Add("coord_read_fast_mean", read_fast.mean_ms, "ms");
+  json.Add("coord_read_latency_ratio", read_ratio, "x");
+  json.Add("coord_read_fast_path_reads",
+           static_cast<double>(read_fast.counters.fast_path_reads), "ops");
+  json.Add("coord_read_fast_path_fallbacks",
+           static_cast<double>(read_fast.counters.fast_path_fallbacks), "ops");
+
+  PrintHeader("Coordination plane: mixed Table-3 metadata workload");
+  Throughput mixed_seed =
+      RunMixed(env.get(), true, kClients, mixed_iterations);
+  Throughput mixed_fast =
+      RunMixed(env.get(), false, kClients, mixed_iterations);
+  double mixed_speedup =
+      mixed_seed.ops_per_s > 0 ? mixed_fast.ops_per_s / mixed_seed.ops_per_s
+                               : 0;
+  PrintRow({"mixed metadata (ops/s)",
+            std::to_string(static_cast<int>(mixed_seed.ops_per_s)),
+            std::to_string(static_cast<int>(mixed_fast.ops_per_s)),
+            FormatSeconds(mixed_speedup) + "x"},
+           widths);
+  json.Add("coord_mixed_seed", mixed_seed.ops_per_s, "ops/s");
+  json.Add("coord_mixed_batched", mixed_fast.ops_per_s, "ops/s");
+  json.Add("coord_mixed_speedup", mixed_speedup, "x");
+
+  std::printf(
+      "\nShape check: batching+pipelining must give >=5x ordered throughput\n"
+      "at 32 clients, the read fast path >=3x lower read latency; the mixed\n"
+      "workload sits in between. Avg batch %.1f reqs/instance; %llu fast\n"
+      "reads, %llu fallbacks.\n",
+      batch_avg,
+      static_cast<unsigned long long>(read_fast.counters.fast_path_reads),
+      static_cast<unsigned long long>(
+          read_fast.counters.fast_path_fallbacks));
+
+  json.WriteFile(options.json_path);
+}
+
+}  // namespace
+}  // namespace scfs
+
+int main(int argc, char** argv) {
+  scfs::Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      options.json_path = argv[++i];
+    }
+  }
+  scfs::RunAll(options);
+  return 0;
+}

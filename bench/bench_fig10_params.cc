@@ -18,6 +18,11 @@ struct Timing {
   double copy_s = 0;
 };
 
+// Coordination-plane counters accumulated across runs (batching, fast-path
+// reads, fallbacks), reported so the shared-metadata workloads show how the
+// ordering pipeline behaves under them.
+SmrCounters g_coord_counters;
+
 Timing RunWithTtl(Environment* env, VirtualDuration ttl) {
   DeploymentOptions options;
   options.backend = ScfsBackendKind::kCoc;
@@ -36,6 +41,7 @@ Timing RunWithTtl(Environment* env, VirtualDuration ttl) {
   timing.copy_s = MicroCopyFiles(env, &fuse, kCopyCount, kFileSize).seconds;
   (*fs)->DrainBackground();
   (void)(*fs)->Unmount();
+  AccumulateCoordCounters(deployment.get(), &g_coord_counters);
   return timing;
 }
 
@@ -98,6 +104,7 @@ Timing RunWithSharing(Environment* env, int shared_percent) {
   (*fs)->DrainBackground();
   (void)(*fs)->Unmount();
   (void)(*peer)->Unmount();
+  AccumulateCoordCounters(deployment.get(), &g_coord_counters);
   return timing;
 }
 
@@ -127,6 +134,7 @@ void Run() {
       "\nPaper shape check: expiration 0 severely degrades both workloads,\n"
       "with little gain beyond 250-500ms; with PNSs, latency falls steadily\n"
       "as the shared fraction drops (~2.5-3.5x faster at 25%% sharing).\n");
+  PrintCoordCounters("Coordination counters", g_coord_counters);
 }
 
 }  // namespace

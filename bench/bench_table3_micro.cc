@@ -32,6 +32,9 @@ struct SystemUnderTest {
   std::function<void(const std::function<void(FileSystem*)>&)> with_fs;
 };
 
+// Coordination-plane counters accumulated across the SCFS-CoC rows.
+SmrCounters g_coord_counters;
+
 void RunAll() {
   auto env = Environment::Scaled(BenchTimeScale());
 
@@ -54,6 +57,7 @@ void RunAll() {
           fn(&fuse);
           (*fs)->DrainBackground();
           (void)(*fs)->Unmount();
+          AccumulateCoordCounters(deployment.get(), &g_coord_counters);
         }});
   };
 
@@ -144,6 +148,7 @@ void RunAll() {
       "random writes (FUSE small-chunk issue); S3FS slow everywhere (no\n"
       "memory cache, blocking S3 access); create/copy 2-3 orders of magnitude\n"
       "slower on NB/B/S3FS than on NS/S3QL/LocalFS; B slower than NB.\n");
+  PrintCoordCounters("Coordination counters (CoC rows)", g_coord_counters);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cmath>
 
+#include "src/scfs/deployment.h"
+
 namespace scfs {
 
 double BenchTimeScale() {
@@ -333,6 +335,28 @@ void PrintRow(const std::vector<std::string>& cells,
     std::printf("%-*s", width, cells[i].c_str());
   }
   std::printf("\n");
+}
+
+void AccumulateCoordCounters(Deployment* deployment, SmrCounters* into) {
+  if (deployment->replicated_coord() != nullptr) {
+    *into += deployment->replicated_coord()->cluster().counters();
+  }
+}
+
+void PrintCoordCounters(const std::string& label,
+                        const SmrCounters& counters) {
+  std::printf(
+      "\n%s: %llu ordered commands in %llu instances (%.1f reqs/instance), "
+      "%llu fast-path reads, %llu fallbacks\n",
+      label.c_str(),
+      static_cast<unsigned long long>(counters.ordered_commands),
+      static_cast<unsigned long long>(counters.proposed_instances),
+      counters.proposed_instances > 0
+          ? static_cast<double>(counters.proposed_requests) /
+                counters.proposed_instances
+          : 0.0,
+      static_cast<unsigned long long>(counters.fast_path_reads),
+      static_cast<unsigned long long>(counters.fast_path_fallbacks));
 }
 
 std::string FormatSeconds(double seconds) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/coord/smr.h"
 #include "src/fsapi/file_system.h"
 #include "src/sim/environment.h"
 
@@ -203,6 +204,16 @@ class BenchJsonWriter {
 // ---------------------------------------------------------------------------
 
 double Percentile(std::vector<double> values, double p);
+
+// One-line coordination-plane counter report (ordered commands, instances,
+// batch factor, fast-path reads, fallbacks), shared by the benches that
+// drive the replicated coordination service.
+void PrintCoordCounters(const std::string& label, const SmrCounters& counters);
+
+// Folds a deployment's coordination counters into `into` (no-op for
+// backends without a replicated coordination service).
+class Deployment;
+void AccumulateCoordCounters(Deployment* deployment, SmrCounters* into);
 
 void PrintHeader(const std::string& title);
 void PrintRow(const std::vector<std::string>& cells,

@@ -41,6 +41,14 @@ struct CoordCommand {
   uint64_t a = 0;
   uint64_t b = 0;
 
+  // True for commands that never mutate coordination state (kRead,
+  // kReadPrefix). The replication layer serves these from a replica's
+  // committed state without a consensus instance (the read-only fast path);
+  // everything else must be totally ordered.
+  bool is_read_only() const {
+    return op == CoordOp::kRead || op == CoordOp::kReadPrefix;
+  }
+
   Bytes Encode() const;
   static Result<CoordCommand> Decode(const Bytes& data);
 };

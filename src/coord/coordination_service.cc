@@ -134,4 +134,88 @@ Status CoordinationService::GrantEntryAccess(const std::string& owner,
   return reply.ToStatus("coord set acl " + key);
 }
 
+namespace {
+
+// Maps a SubmitAsync future to a status future, preserving the charge.
+Future<Status> AsStatus(Future<Result<CoordReply>> submitted,
+                        std::string context) {
+  Promise<Status> promise;
+  submitted.OnReady([promise, context = std::move(context)](
+                        const Result<CoordReply>& reply,
+                        VirtualDuration charge) {
+    promise.Set(reply.ok() ? reply->ToStatus(context) : reply.status(),
+                charge);
+  });
+  return promise.future();
+}
+
+}  // namespace
+
+Future<Status> CoordinationService::WriteAsync(const std::string& client,
+                                               const std::string& key,
+                                               const Bytes& value) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kWrite;
+  cmd.client = client;
+  cmd.key = key;
+  cmd.value = value;
+  return AsStatus(SubmitAsync(cmd), "coord write " + key);
+}
+
+Future<Result<CoordEntry>> CoordinationService::ReadAsync(
+    const std::string& client, const std::string& key) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kRead;
+  cmd.client = client;
+  cmd.key = key;
+  Promise<Result<CoordEntry>> promise;
+  SubmitAsync(cmd).OnReady([promise, key](const Result<CoordReply>& reply,
+                                          VirtualDuration charge) {
+    if (!reply.ok()) {
+      promise.Set(reply.status(), charge);
+      return;
+    }
+    Status status = reply->ToStatus("coord read " + key);
+    if (!status.ok()) {
+      promise.Set(status, charge);
+      return;
+    }
+    promise.Set(CoordEntry{reply->value, reply->a}, charge);
+  });
+  return promise.future();
+}
+
+Future<Status> CoordinationService::RemoveAsync(const std::string& client,
+                                                const std::string& key) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kRemove;
+  cmd.client = client;
+  cmd.key = key;
+  return AsStatus(SubmitAsync(cmd), "coord remove " + key);
+}
+
+Future<Status> CoordinationService::RenewLockAsync(const std::string& client,
+                                                   const std::string& name,
+                                                   uint64_t token,
+                                                   VirtualDuration lease) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kRenewLock;
+  cmd.client = client;
+  cmd.key = name;
+  cmd.a = static_cast<uint64_t>(lease);
+  cmd.b = token;
+  return AsStatus(SubmitAsync(cmd), "coord renew " + name);
+}
+
+Future<Status> CoordinationService::UnlockAsync(const std::string& client,
+                                                const std::string& name,
+                                                uint64_t token) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kUnlock;
+  cmd.client = client;
+  cmd.key = name;
+  cmd.b = token;
+  return AsStatus(SubmitAsync(cmd), "coord unlock " + name);
+}
+
 }  // namespace scfs

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/future.h"
 #include "src/coord/command.h"
 #include "src/sim/time.h"
 
@@ -30,6 +31,16 @@ class CoordinationService {
 
   // Submits one totally-ordered command and waits for its reply.
   virtual Result<CoordReply> Submit(const CoordCommand& command) = 0;
+
+  // Asynchronous submission: returns a future for the reply so callers can
+  // overlap coordination rounds with storage work. The default adapter runs
+  // Submit inline — the caller is charged by the blocking call itself, so
+  // the ready future carries zero charge (never double-counted). Replicated
+  // implementations override this with a real executor dispatch whose future
+  // carries the round's modelled latency.
+  virtual Future<Result<CoordReply>> SubmitAsync(const CoordCommand& command) {
+    return Future<Result<CoordReply>>::Ready(Submit(command));
+  }
 
   // -- Typed wrappers ------------------------------------------------------
 
@@ -57,6 +68,24 @@ class CoordinationService {
                       const std::string& new_prefix);
   Status GrantEntryAccess(const std::string& owner, const std::string& key,
                           const std::string& grantee, bool read, bool write);
+
+  // -- Asynchronous typed wrappers -----------------------------------------
+  // Futures over SubmitAsync; the charge semantics follow the future
+  // contract (a waiter is charged the producer's modelled round latency).
+  // Only pairs of commands that commute may be issued concurrently — the
+  // replication layer gives no cross-command ordering guarantee for
+  // in-flight submissions.
+
+  Future<Status> WriteAsync(const std::string& client, const std::string& key,
+                            const Bytes& value);
+  Future<Result<CoordEntry>> ReadAsync(const std::string& client,
+                                       const std::string& key);
+  Future<Status> RemoveAsync(const std::string& client, const std::string& key);
+  Future<Status> RenewLockAsync(const std::string& client,
+                                const std::string& name, uint64_t token,
+                                VirtualDuration lease);
+  Future<Status> UnlockAsync(const std::string& client, const std::string& name,
+                             uint64_t token);
 };
 
 }  // namespace scfs

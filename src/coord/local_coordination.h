@@ -7,6 +7,7 @@
 
 #include <mutex>
 
+#include "src/common/executor.h"
 #include "src/common/rng.h"
 #include "src/coord/coordination_service.h"
 #include "src/coord/tuple_space.h"
@@ -25,6 +26,14 @@ class LocalCoordination : public CoordinationService {
 
   Result<CoordReply> Submit(const CoordCommand& command) override;
 
+  // The wide-area round runs on the shared executor so callers overlap it
+  // with storage work; the future's charge is the modelled link latency.
+  Future<Result<CoordReply>> SubmitAsync(const CoordCommand& command) override {
+    return SubmitTracked(&inflight_, [this, command] {
+      return Submit(command);
+    });
+  }
+
   FaultInjector& faults() { return faults_; }
   TupleSpace& space() { return space_; }
 
@@ -40,6 +49,8 @@ class LocalCoordination : public CoordinationService {
   TupleSpace space_;
   FaultInjector faults_;
   uint64_t reply_bytes_out_ = 0;
+  // Last member: destroyed first, waiting out in-flight async submissions.
+  InFlightTracker inflight_;
 };
 
 }  // namespace scfs

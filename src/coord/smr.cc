@@ -1,10 +1,31 @@
 #include "src/coord/smr.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/common/logging.h"
 
 namespace scfs {
+
+namespace {
+
+SmrViewChangeCert CertFromProposal(uint64_t seq, const SmrMessage& msg) {
+  SmrViewChangeCert cert;
+  cert.seq = seq;
+  cert.view = msg.view;
+  cert.order_time = msg.order_time;
+  cert.batch = msg.batch;
+  return cert;
+}
+
+// A below-frontier catch-up proposal retires once every replica re-accepted
+// it, or after this many re-sends with an order-quorum of re-accepts — a
+// live laggard has received one of them (delivery is reliable; only the
+// transient view race drops proposals), while a crashed replica must not
+// keep the entry re-broadcasting forever.
+constexpr int kCatchUpResendLimit = 8;
+
+}  // namespace
 
 SmrCluster::SmrCluster(Environment* env, SmrConfig config, uint64_t seed)
     : env_(env), config_(config), client_rng_(seed ^ 0xc11e47ULL) {
@@ -62,13 +83,24 @@ uint64_t SmrCluster::executed_count(unsigned replica) const {
   return replicas_[replica]->executed_ops;
 }
 
+SmrCounters SmrCluster::counters() const {
+  SmrCounters out;
+  out.ordered_commands = ordered_commands_.load(std::memory_order_relaxed);
+  out.proposed_instances = proposed_instances_.load(std::memory_order_relaxed);
+  out.proposed_requests = proposed_requests_.load(std::memory_order_relaxed);
+  out.fast_path_reads = fast_path_reads_.load(std::memory_order_relaxed);
+  out.fast_path_fallbacks =
+      fast_path_fallbacks_.load(std::memory_order_relaxed);
+  return out;
+}
+
 void SmrCluster::SendToReplica(unsigned from_replica, unsigned to,
                                SmrMessage msg) {
   VirtualDuration delay = 0;
   if (from_replica != to) {
     std::lock_guard<std::mutex> lock(replicas_[from_replica]->mu);
     delay = config_.replica_link.Sample(replicas_[from_replica]->rng,
-                                        msg.payload.size());
+                                        msg.ByteSize());
   }
   replicas_[to]->inbox.Push(std::move(msg), env_->Now() + delay);
 }
@@ -90,10 +122,7 @@ void SmrCluster::SendReplyToClient(unsigned from_replica,
     }
     queue = it->second;
   }
-  const LatencyModel& link =
-      config_.client_links.empty()
-          ? config_.client_link
-          : config_.client_links[from_replica % config_.client_links.size()];
+  const LatencyModel& link = ClientLink(from_replica);
   VirtualDuration delay;
   {
     std::lock_guard<std::mutex> lock(replicas_[from_replica]->mu);
@@ -103,10 +132,111 @@ void SmrCluster::SendReplyToClient(unsigned from_replica,
   queue->Push(reply, env_->Now() + delay);
 }
 
+std::optional<Bytes> SmrCluster::TryFastRead(const Bytes& encoded_command) {
+  const uint64_t request_id = next_request_id_.fetch_add(1);
+  auto queue = std::make_shared<DelayedQueue<SmrMessage>>(env_);
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    client_queues_[request_id] = queue;
+  }
+  auto cleanup = [&] {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    client_queues_.erase(request_id);
+  };
+
+  SmrMessage request;
+  request.type = SmrMessage::Type::kReadRequest;
+  request.from = -1;
+  request.request_id = request_id;
+  request.payload = encoded_command;
+  for (unsigned i = 0; i < replicas_.size(); ++i) {
+    VirtualDuration delay;
+    {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      delay = ClientLink(i).Sample(client_rng_, request.payload.size());
+    }
+    replicas_[i]->inbox.Push(request, env_->Now() + delay);
+  }
+
+  const VirtualTime deadline = env_->Now() + config_.fast_read_timeout;
+  std::map<int, Bytes> replies;  // replica -> reply payload
+  for (;;) {
+    VirtualTime now = env_->Now();
+    if (now >= deadline) {
+      break;  // timeout: a replica is slow or gone
+    }
+    auto msg = queue->PopFor(deadline - now);
+    if (shutdown_.load()) {
+      break;
+    }
+    if (!msg.has_value()) {
+      break;  // timeout or closed
+    }
+    if (msg->type != SmrMessage::Type::kReply ||
+        msg->request_id != request_id) {
+      continue;
+    }
+    replies[msg->from] = msg->payload;
+    unsigned votes = 0;
+    for (const auto& [from, payload] : replies) {
+      if (payload == msg->payload) {
+        ++votes;
+      }
+    }
+    if (votes >= config_.read_quorum()) {
+      cleanup();
+      queue->Close();
+      // Charge the modelled round latency: request one-way + reply one-way
+      // (the wait itself happens on the reply queue, outside Sleep).
+      {
+        std::lock_guard<std::mutex> lock(rng_mu_);
+        const LatencyModel& link = ClientLink(0);
+        Environment::AddThreadCharge(
+            link.Sample(client_rng_, request.payload.size()) +
+            link.Sample(client_rng_, msg->payload.size()));
+      }
+      fast_path_reads_.fetch_add(1, std::memory_order_relaxed);
+      return msg->payload;
+    }
+    if (replies.size() >= replicas_.size()) {
+      break;  // every replica replied and no quorum matches: divergence
+    }
+  }
+  cleanup();
+  queue->Close();
+  // The failed round is not free: before falling back the caller waited for
+  // the divergence to become evident (a full round trip to the slowest
+  // replier), and the ordered round's charge comes on top. Charged as one
+  // modelled request+reply round rather than the timeout value: at
+  // aggressive bench time scales the virtual timeout also fires from real
+  // scheduling noise, and charges must stay deterministic modelled costs
+  // (see Environment::ThreadCharged), never host-scheduling artifacts.
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    const LatencyModel& link = ClientLink(0);
+    Environment::AddThreadCharge(
+        link.Sample(client_rng_, encoded_command.size()) +
+        link.Sample(client_rng_, 64));
+  }
+  return std::nullopt;
+}
+
 Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
   if (shutdown_.load()) {
     return UnavailableError("smr cluster shut down");
   }
+  Bytes encoded = command.Encode();
+  if (config_.enable_read_fast_path && command.is_read_only()) {
+    auto fast = TryFastRead(encoded);
+    if (shutdown_.load()) {
+      return UnavailableError("smr cluster shut down");
+    }
+    if (fast.has_value()) {
+      return CoordReply::Decode(*fast);
+    }
+    fast_path_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   const uint64_t request_id = next_request_id_.fetch_add(1);
   auto queue = std::make_shared<DelayedQueue<SmrMessage>>(env_);
   {
@@ -118,24 +248,32 @@ Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
   request.type = SmrMessage::Type::kRequest;
   request.from = -1;
   request.request_id = request_id;
-  request.payload = command.Encode();
+  request.payload = std::move(encoded);
 
   auto broadcast_request = [&] {
     for (unsigned i = 0; i < replicas_.size(); ++i) {
-      const LatencyModel& link =
-          config_.client_links.empty()
-              ? config_.client_link
-              : config_.client_links[i % config_.client_links.size()];
       VirtualDuration delay;
       {
         std::lock_guard<std::mutex> lock(rng_mu_);
-        delay = link.Sample(client_rng_, request.payload.size());
+        delay = ClientLink(i).Sample(client_rng_, request.payload.size());
       }
       replicas_[i]->inbox.Push(request, env_->Now() + delay);
     }
   };
   broadcast_request();
 
+  // With the read fast path enabled, a mutating command is acknowledged
+  // only once an order-quorum of replicas replies with matching results —
+  // the executed set of every acked write then intersects any fast-read
+  // matching quorum in at least one correct replica, which is what makes
+  // the fast path linearizable. Ordered *reads* (fast-path fallbacks, or
+  // reads with the fast path disabled) keep the cheap reply quorum: they
+  // create no state a later fast read must observe, and f+1 matching
+  // replies already vouch for the linearized result.
+  const unsigned needed_matching =
+      (config_.enable_read_fast_path && !command.is_read_only())
+          ? config_.order_quorum()
+          : config_.reply_quorum();
   std::map<int, Bytes> replies;  // replica -> reply payload
   int retries = 0;
   for (;;) {
@@ -163,7 +301,7 @@ Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
         ++votes;
       }
     }
-    if (votes >= config_.reply_quorum()) {
+    if (votes >= needed_matching) {
       {
         std::lock_guard<std::mutex> lock(clients_mu_);
         client_queues_.erase(request_id);
@@ -175,9 +313,7 @@ Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
       // outside Environment::Sleep, so it is not charged automatically.)
       {
         std::lock_guard<std::mutex> lock(rng_mu_);
-        const LatencyModel& link = config_.client_links.empty()
-                                       ? config_.client_link
-                                       : config_.client_links[0];
+        const LatencyModel& link = ClientLink(0);
         VirtualDuration modeled =
             link.Sample(client_rng_, request.payload.size()) +
             config_.replica_link.Sample(client_rng_, request.payload.size()) +
@@ -185,6 +321,7 @@ Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
             link.Sample(client_rng_, msg->payload.size());
         Environment::AddThreadCharge(modeled);
       }
+      ordered_commands_.fetch_add(1, std::memory_order_relaxed);
       return CoordReply::Decode(msg->payload);
     }
   }
@@ -219,6 +356,19 @@ void SmrCluster::ReplicaLoop(unsigned index) {
   }
 }
 
+SmrMessage SmrCluster::MakeReply(unsigned index, const Replica& r,
+                                 uint64_t request_id, Bytes reply_bytes) const {
+  SmrMessage reply;
+  reply.type = SmrMessage::Type::kReply;
+  reply.from = static_cast<int>(index);
+  reply.request_id = request_id;
+  reply.payload = std::move(reply_bytes);
+  if (r.byzantine.load() && !reply.payload.empty()) {
+    reply.payload[0] ^= 0xff;  // byzantine replica lies to clients
+  }
+  return reply;
+}
+
 void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
   std::vector<SmrMessage> to_broadcast;
   std::vector<SmrMessage> to_client;
@@ -226,23 +376,37 @@ void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
     std::lock_guard<std::mutex> lock(r.mu);
     switch (msg.type) {
       case SmrMessage::Type::kRequest: {
-        auto executed_it = r.executed.find(msg.request_id);
-        if (executed_it != r.executed.end()) {
-          // Retransmission of an executed request: resend the cached reply.
-          SmrMessage reply;
-          reply.type = SmrMessage::Type::kReply;
-          reply.from = static_cast<int>(index);
-          reply.request_id = msg.request_id;
-          reply.payload = executed_it->second;
-          if (r.byzantine.load() && !reply.payload.empty()) {
-            reply.payload[0] ^= 0xff;
+        auto command = CoordCommand::Decode(msg.payload);
+        // Retransmission of an executed request: resend the cached reply
+        // from the per-client table (undecodable payloads execute under the
+        // empty client).
+        const std::string client =
+            command.ok() ? command->client : std::string();
+        auto client_it = r.client_replies.find(client);
+        if (client_it != r.client_replies.end()) {
+          auto reply_it = client_it->second.find(msg.request_id);
+          if (reply_it != client_it->second.end()) {
+            to_client.push_back(
+                MakeReply(index, r, msg.request_id, reply_it->second));
+            break;
           }
-          to_client.push_back(std::move(reply));
+        }
+        r.pending.emplace(
+            msg.request_id,
+            PendingRequest{msg.payload, client, env_->Now(), false});
+        LeaderMaybePropose(index, r, &to_broadcast);
+        break;
+      }
+      case SmrMessage::Type::kReadRequest: {
+        // Read-only fast path: evaluate against the committed state, no
+        // ordering, no side effects. Never touches pending/proposals.
+        auto command = CoordCommand::Decode(msg.payload);
+        if (!command.ok() || !command->is_read_only()) {
           break;
         }
-        r.pending.emplace(msg.request_id,
-                          PendingRequest{msg.payload, env_->Now(), false});
-        LeaderMaybePropose(index, r, &to_broadcast);
+        CoordReply reply = r.space.Query(*command);
+        to_client.push_back(
+            MakeReply(index, r, msg.request_id, reply.Encode()));
         break;
       }
       case SmrMessage::Type::kPropose: {
@@ -253,69 +417,95 @@ void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
         if (msg.seq < r.next_exec_seq) {
           // Below the execution frontier (a same-view re-propose raced us,
           // or a lagging new leader re-orders an already-executed seq). Vote
-          // accept only when the proposal matches the request this replica
+          // accept only when the proposal matches the batch this replica
           // executed at that seq — the vote helps slower replicas commit the
           // same order — and abstain on a conflict: endorsing a different
-          // request at an executed seq would help commit a divergent order.
-          // (A quorum of replicas that all lost the original assignment in
-          // the view change can still commit a conflicting one without this
-          // replica's vote — closing that window needs a view-change
-          // certificate protocol, a known simplification of this SMR; the
-          // conflicting request stays pending here, so the failure detector
-          // keeps rotating leaders until a compatible assignment appears.)
+          // batch at an executed seq would help commit a divergent order.
           auto seq_it = r.executed_seqs.find(msg.seq);
-          if (seq_it != r.executed_seqs.end() &&
-              seq_it->second == msg.request_id) {
+          bool matches = seq_it != r.executed_seqs.end() &&
+                         seq_it->second.size() == msg.batch.size();
+          if (matches) {
+            for (size_t i = 0; i < msg.batch.size(); ++i) {
+              if (seq_it->second[i] != msg.batch[i].request_id) {
+                matches = false;
+                break;
+              }
+            }
+          }
+          if (matches) {
             SmrMessage accept;
             accept.type = SmrMessage::Type::kAccept;
             accept.from = static_cast<int>(index);
             accept.view = msg.view;
             accept.seq = msg.seq;
-            accept.request_id = msg.request_id;
             to_broadcast.push_back(std::move(accept));
           }
           break;
         }
-        if (r.proposals.count(msg.seq) == 0) {
+        // Store, or replace a proposal retained from an older view: the
+        // current view's leader is authoritative for the seq, and an honest
+        // leader adopting certificates never re-assigns a committed seq
+        // (any vote quorum intersects the commit quorum in a replica that
+        // still holds — or has executed — the committed batch).
+        auto stored_it = r.proposals.find(msg.seq);
+        if (stored_it == r.proposals.end()) {
           r.proposals.emplace(msg.seq, Replica::Proposal{msg, env_->Now()});
+        } else if (stored_it->second.msg.view < msg.view) {
+          stored_it->second = Replica::Proposal{msg, env_->Now()};
         }
-        auto pending_it = r.pending.find(msg.request_id);
-        if (pending_it != r.pending.end()) {
-          pending_it->second.ordered = true;
+        for (const auto& entry : msg.batch) {
+          auto pending_it = r.pending.find(entry.request_id);
+          if (pending_it != r.pending.end()) {
+            pending_it->second.ordered = true;
+          }
         }
         SmrMessage accept;
         accept.type = SmrMessage::Type::kAccept;
         accept.from = static_cast<int>(index);
         accept.view = msg.view;
         accept.seq = msg.seq;
-        accept.request_id = msg.request_id;
         to_broadcast.push_back(std::move(accept));
         TryExecute(index, r, &to_client);
+        LeaderMaybePropose(index, r, &to_broadcast);
         break;
       }
       case SmrMessage::Type::kAccept: {
-        if (msg.view != r.view || msg.seq < r.next_exec_seq) {
-          break;  // stale view, or accept for an already-executed seq
+        if (msg.view != r.view) {
+          break;  // stale view
+        }
+        if (msg.seq < r.next_exec_seq) {
+          // Already executed here. If this replica is the leader re-sending
+          // a below-frontier catch-up proposal, count the (re-)accepts and
+          // retire the entry once EVERY replica has re-accepted — an
+          // order-quorum arrives instantly from the replicas that executed
+          // it long ago, which says nothing about the laggard the catch-up
+          // exists for. (With a permanently crashed replica full coverage
+          // never arrives; the re-send loop retires the entry after
+          // kCatchUpResendLimit paced re-sends instead.)
+          auto catch_up = r.proposals.find(msg.seq);
+          if (catch_up != r.proposals.end()) {
+            auto& votes = r.accept_votes[msg.seq];
+            votes.insert(msg.from);
+            if (votes.size() >= replica_count()) {
+              r.proposals.erase(catch_up);
+              r.accept_votes.erase(msg.seq);
+            }
+          }
+          break;
         }
         r.accept_votes[msg.seq].insert(msg.from);
         TryExecute(index, r, &to_client);
+        // Committed instances free pipeline slots: batch up the backlog.
+        LeaderMaybePropose(index, r, &to_broadcast);
         break;
       }
       case SmrMessage::Type::kViewChange: {
         if (msg.view <= r.view) {
           break;
         }
-        r.view_votes[msg.view].insert(msg.from);
+        r.view_votes[msg.view][msg.from] = std::move(msg.certs);
         if (r.view_votes[msg.view].size() >= config_.order_quorum()) {
-          r.view = msg.view;
-          r.proposals.clear();
-          r.accept_votes.clear();
-          r.next_seq = r.next_exec_seq;
-          for (auto& [id, pending] : r.pending) {
-            pending.ordered = false;
-            pending.first_seen = env_->Now();
-          }
-          LeaderMaybePropose(index, r, &to_broadcast);
+          AdoptView(index, r, msg.view, &to_broadcast);
         }
         break;
       }
@@ -331,32 +521,161 @@ void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
   }
 }
 
-// Leader: order every pending un-ordered request. Caller holds r.mu; the
-// proposals are queued into `out` and broadcast by the caller post-unlock.
+// Installs `view`, and — when this replica is its leader — adopts the
+// highest-view accepted proposal per seq from the vote quorum's certificates
+// (plus its own log) before re-proposing, so in-flight batches survive the
+// view change without reordering. Caller holds r.mu.
+void SmrCluster::AdoptView(unsigned index, Replica& r, uint64_t view,
+                           std::vector<SmrMessage>* out) {
+  // Merge certificates: the votes' accepted proposals and executed batches,
+  // plus this replica's own log (the new leader may never have voted
+  // itself). Certificates below this replica's own frontier are kept: the
+  // leader has executed them, but a lagging voter may not have —
+  // re-proposing them is the catch-up path for a replica that missed a
+  // committed seq. Because accepted proposals are retained across view
+  // changes and executed payloads are kept in the executed_batches window,
+  // any committed seq within the window has a certificate in every vote
+  // quorum (commit and vote quorums intersect in a holder), so the no-op
+  // holes below only ever cover seqs that provably did not commit.
+  std::map<uint64_t, SmrViewChangeCert> adopted;  // seq -> best cert
+  auto consider = [&](const SmrViewChangeCert& cert) {
+    auto it = adopted.find(cert.seq);
+    if (it == adopted.end() || cert.view > it->second.view) {
+      adopted[cert.seq] = cert;
+    }
+  };
+  for (const auto& [voter, certs] : r.view_votes[view]) {
+    for (const auto& cert : certs) {
+      consider(cert);
+    }
+  }
+  for (const auto& [seq, proposal] : r.proposals) {
+    consider(CertFromProposal(seq, proposal.msg));
+  }
+  for (const auto& [seq, executed] : r.executed_batches) {
+    consider(CertFromProposal(seq, executed));
+  }
+
+  r.view = view;
+  // Accepted proposals are RETAINED (they are future certificates; the
+  // current view's leader replaces them seq by seq) — only the vote
+  // tallies reset with the view.
+  r.accept_votes.clear();
+  r.next_seq = r.next_exec_seq;
+  for (auto& [id, pending] : r.pending) {
+    pending.ordered = false;
+    pending.first_seen = env_->Now();
+  }
+  r.view_votes.erase(r.view_votes.begin(),
+                     r.view_votes.upper_bound(r.view));
+
+  if (IsLeader(r, index)) {
+    // Re-propose every adopted assignment under the new view (same seq,
+    // batch and order_time, so replicas that already executed them stay
+    // deterministic). Below the frontier these are catch-up proposals for
+    // lagging replicas: stored so the failure-detector pass re-sends them
+    // until every replica has re-accepted (a one-shot send could race a
+    // laggard still gathering view votes and be dropped as stale-view).
+    // Above-frontier holes get no-op batches so execution never wedges on
+    // a seq nobody in the quorum accepted; holes are never filled below
+    // the frontier — those seqs executed real batches here.
+    uint64_t horizon = r.next_exec_seq;
+    for (const auto& [seq, cert] : adopted) {
+      horizon = std::max(horizon, seq + 1);
+    }
+    for (const auto& [seq, cert] : adopted) {
+      if (seq >= r.next_exec_seq) {
+        break;  // std::map: ordered; the loop below covers the rest
+      }
+      SmrMessage propose;
+      propose.type = SmrMessage::Type::kPropose;
+      propose.from = static_cast<int>(index);
+      propose.view = r.view;
+      propose.seq = seq;
+      propose.order_time = cert.order_time;
+      propose.batch = cert.batch;
+      r.proposals[seq] = Replica::Proposal{propose, env_->Now()};
+      out->push_back(std::move(propose));
+    }
+    for (uint64_t seq = r.next_exec_seq; seq < horizon; ++seq) {
+      SmrMessage propose;
+      propose.type = SmrMessage::Type::kPropose;
+      propose.from = static_cast<int>(index);
+      propose.view = r.view;
+      propose.seq = seq;
+      auto it = adopted.find(seq);
+      if (it != adopted.end()) {
+        propose.order_time = it->second.order_time;
+        propose.batch = it->second.batch;
+        for (const auto& entry : propose.batch) {
+          auto pending_it = r.pending.find(entry.request_id);
+          if (pending_it != r.pending.end()) {
+            pending_it->second.ordered = true;
+          }
+        }
+      } else {
+        propose.order_time = env_->Now();  // hole: no-op batch
+      }
+      r.proposals[seq] = Replica::Proposal{propose, env_->Now()};
+      out->push_back(std::move(propose));
+    }
+    r.next_seq = horizon;
+    LeaderMaybePropose(index, r, out);
+  }
+}
+
+// Leader: drain pending un-ordered requests into batched proposals, keeping
+// at most max_inflight_instances consensus instances outstanding. Caller
+// holds r.mu; the proposals are queued into `out` and broadcast by the
+// caller post-unlock.
 void SmrCluster::LeaderMaybePropose(unsigned index, Replica& r,
                                     std::vector<SmrMessage>* out) {
   if (!IsLeader(r, index)) {
     return;
   }
-  for (auto& [request_id, pending] : r.pending) {
-    if (pending.ordered || r.executed.count(request_id) > 0) {
-      continue;
+  const unsigned max_batch = config_.enable_batching
+                                 ? std::max(1u, config_.max_batch)
+                                 : 1u;
+  const unsigned max_inflight = std::max(1u, config_.max_inflight_instances);
+  auto it = r.pending.begin();
+  for (;;) {
+    const uint64_t inflight =
+        r.next_seq > r.next_exec_seq ? r.next_seq - r.next_exec_seq : 0;
+    if (inflight >= max_inflight) {
+      return;  // pipeline full; committed instances re-trigger this
     }
-    pending.ordered = true;
+    // Gather the next batch in request-id order.
+    std::vector<SmrBatchEntry> batch;
+    for (; it != r.pending.end() && batch.size() < max_batch; ++it) {
+      if (it->second.ordered) {
+        continue;
+      }
+      it->second.ordered = true;
+      batch.push_back(SmrBatchEntry{it->first, it->second.payload});
+    }
+    if (batch.empty()) {
+      return;
+    }
     SmrMessage propose;
     propose.type = SmrMessage::Type::kPropose;
     propose.from = static_cast<int>(index);
     propose.view = r.view;
     propose.seq = r.next_seq++;
-    propose.request_id = request_id;
     propose.order_time = env_->Now();
-    propose.payload = pending.payload;
+    propose.batch = std::move(batch);
+    proposed_instances_.fetch_add(1, std::memory_order_relaxed);
+    proposed_requests_.fetch_add(propose.batch.size(),
+                                 std::memory_order_relaxed);
+    // Assignment, not emplace: a proposal retained from an older view may
+    // occupy this seq (kept as a certificate); the current view's leader
+    // assignment replaces it everywhere, including here.
+    r.proposals[propose.seq] = Replica::Proposal{propose, env_->Now()};
     out->push_back(std::move(propose));
   }
 }
 
-// Executes committed commands in sequence order. Caller holds r.mu; replies
-// are queued into `out`.
+// Executes committed batches in sequence order, one reply per request.
+// Caller holds r.mu; replies are queued into `out`.
 void SmrCluster::TryExecute(unsigned index, Replica& r,
                             std::vector<SmrMessage>* out) {
   for (;;) {
@@ -370,32 +689,42 @@ void SmrCluster::TryExecute(unsigned index, Replica& r,
       break;
     }
     const SmrMessage& proposal = proposal_it->second.msg;
-    Bytes reply_bytes;
-    auto executed_it = r.executed.find(proposal.request_id);
-    if (executed_it != r.executed.end()) {
-      reply_bytes = executed_it->second;  // duplicate ordering; cached reply
-    } else {
-      auto command = CoordCommand::Decode(proposal.payload);
-      CoordReply reply;
-      if (command.ok()) {
-        reply = r.space.Apply(proposal.order_time, *command);
+    std::vector<uint64_t> batch_ids;
+    batch_ids.reserve(proposal.batch.size());
+    for (const auto& entry : proposal.batch) {
+      batch_ids.push_back(entry.request_id);
+      auto command = CoordCommand::Decode(entry.payload);
+      const std::string client = command.ok() ? command->client : std::string();
+      auto& client_log = r.client_replies[client];
+      Bytes reply_bytes;
+      auto cached_it = client_log.find(entry.request_id);
+      if (cached_it != client_log.end()) {
+        reply_bytes = cached_it->second;  // duplicate ordering; cached reply
+        // A retransmission may have re-queued the executed request (e.g. an
+        // undecodable payload skips the kRequest cache lookup); drop it so
+        // view changes never re-batch a dead entry.
+        r.pending.erase(entry.request_id);
       } else {
-        reply.code = ErrorCode::kCorruption;
+        CoordReply reply;
+        if (command.ok()) {
+          reply = r.space.Apply(proposal.order_time, *command);
+        } else {
+          reply.code = ErrorCode::kCorruption;
+        }
+        reply_bytes = reply.Encode();
+        client_log[entry.request_id] = reply_bytes;
+        // Window the per-client table: a client only ever retransmits
+        // requests it is still waiting on, which are at most its in-flight
+        // set — far fewer than the window.
+        while (client_log.size() > kClientReplyWindow) {
+          client_log.erase(client_log.begin());
+        }
+        r.executed_ops++;
+        r.pending.erase(entry.request_id);
       }
-      reply_bytes = reply.Encode();
-      r.executed[proposal.request_id] = reply_bytes;
-      r.executed_ops++;
-      r.pending.erase(proposal.request_id);
+      out->push_back(MakeReply(index, r, entry.request_id,
+                               std::move(reply_bytes)));
     }
-    SmrMessage reply;
-    reply.type = SmrMessage::Type::kReply;
-    reply.from = static_cast<int>(index);
-    reply.request_id = proposal.request_id;
-    reply.payload = reply_bytes;
-    if (r.byzantine.load() && !reply.payload.empty()) {
-      reply.payload[0] ^= 0xff;  // byzantine replica lies to clients
-    }
-    out->push_back(std::move(reply));
     // Record the committed assignment (it validates below-frontier
     // re-proposes), then prune the vote/proposal state so the leader's
     // re-propose scan stays O(in-flight), not O(history). The commit log is
@@ -403,12 +732,20 @@ void SmrCluster::TryExecute(unsigned index, Replica& r,
     // reference a seq a lagging leader still holds pending, which is
     // bounded by the client retry lifetime — far less than the window.
     // (Proposals beyond the window are simply not endorsed.)
-    constexpr uint64_t kExecutedSeqWindow = 4096;
-    r.executed_seqs[r.next_exec_seq] = proposal.request_id;
+    r.executed_seqs[r.next_exec_seq] = std::move(batch_ids);
     if (r.next_exec_seq >= kExecutedSeqWindow) {
       r.executed_seqs.erase(r.executed_seqs.begin(),
                             r.executed_seqs.lower_bound(
                                 r.next_exec_seq - kExecutedSeqWindow + 1));
+    }
+    // Retain the executed payloads on the shorter window: they are the
+    // certificates that let a view change catch up a lagging replica.
+    r.executed_batches[r.next_exec_seq] = proposal;
+    if (r.next_exec_seq >= kExecutedBatchWindow) {
+      r.executed_batches.erase(
+          r.executed_batches.begin(),
+          r.executed_batches.lower_bound(r.next_exec_seq -
+                                         kExecutedBatchWindow + 1));
     }
     r.accept_votes.erase(r.next_exec_seq);
     r.proposals.erase(proposal_it);
@@ -418,7 +755,8 @@ void SmrCluster::TryExecute(unsigned index, Replica& r,
 
 // Failure detector: a pending request left unordered past order_timeout makes
 // this replica vote for a view change (BFT-SMaRt's client-triggered
-// synchronization, simplified).
+// synchronization, simplified). The vote carries this replica's accepted
+// proposals as certificates for the new leader's adoption pass.
 void SmrCluster::CheckOrderingTimeout(unsigned index, Replica& r) {
   SmrMessage vote;
   bool send = false;
@@ -431,20 +769,37 @@ void SmrCluster::CheckOrderingTimeout(unsigned index, Replica& r) {
       // view change is dropped by followers still gathering view votes; the
       // exact original message is re-sent (same seq/order_time, so replicas
       // that already stored it stay deterministic) until it commits.
+      // Below-frontier entries are catch-up proposals: re-sent until every
+      // replica has re-accepted (an order-quorum alone proves nothing
+      // about the laggard they exist for).
       VirtualTime now = env_->Now();
-      for (auto it = r.proposals.lower_bound(r.next_exec_seq);
-           it != r.proposals.end(); ++it) {
+      for (auto it = r.proposals.begin(); it != r.proposals.end();) {
         auto& [seq, entry] = *it;
+        if (entry.msg.view != r.view) {
+          ++it;
+          continue;  // retained from an older view: certificate only
+        }
         auto votes_it = r.accept_votes.find(seq);
         unsigned votes =
             votes_it == r.accept_votes.end()
                 ? 0
                 : static_cast<unsigned>(votes_it->second.size());
-        if (votes < config_.order_quorum() &&
-            now - entry.last_sent > config_.order_timeout) {
+        if (seq < r.next_exec_seq && votes >= config_.order_quorum() &&
+            entry.resends >= kCatchUpResendLimit) {
+          // Catch-up entry that will never reach full coverage (a replica
+          // is gone): stop re-broadcasting it.
+          r.accept_votes.erase(seq);
+          it = r.proposals.erase(it);
+          continue;
+        }
+        unsigned needed = seq < r.next_exec_seq ? replica_count()
+                                                : config_.order_quorum();
+        if (votes < needed && now - entry.last_sent > config_.order_timeout) {
           entry.last_sent = now;
+          entry.resends++;
           reproposals.push_back(entry.msg);
         }
+        ++it;
       }
     }
   }
@@ -461,13 +816,25 @@ void SmrCluster::CheckOrderingTimeout(unsigned index, Replica& r) {
       if (!pending.ordered &&
           now - pending.first_seen > config_.order_timeout) {
         uint64_t proposed_view = r.view + 1;
-        if (r.view_votes[proposed_view].count(static_cast<int>(index)) > 0) {
+        auto& votes = r.view_votes[proposed_view];
+        if (votes.count(static_cast<int>(index)) > 0) {
           return;  // already voted
         }
-        r.view_votes[proposed_view].insert(static_cast<int>(index));
+        // Certificates: every accepted proposal plus the retained executed
+        // batches — the new leader adopts the highest view per seq, and
+        // below-frontier entries are its catch-up source for laggards.
+        std::vector<SmrViewChangeCert> certs;
+        for (const auto& [seq, proposal] : r.proposals) {
+          certs.push_back(CertFromProposal(seq, proposal.msg));
+        }
+        for (const auto& [seq, executed] : r.executed_batches) {
+          certs.push_back(CertFromProposal(seq, executed));
+        }
+        votes[static_cast<int>(index)] = certs;
         vote.type = SmrMessage::Type::kViewChange;
         vote.from = static_cast<int>(index);
         vote.view = proposed_view;
+        vote.certs = std::move(certs);
         send = true;
         break;
       }

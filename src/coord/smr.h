@@ -9,11 +9,36 @@
 //   - Crash mode:     n = 2f+1 replicas, ordering quorum f+1, client needs 1
 //     reply (Zookeeper-like configuration).
 //
+// The ordering pipeline is built for throughput:
+//
+//   * Leader batching — the leader drains its pending queue into one
+//     multi-command PROPOSE: one ACCEPT quorum orders up to `max_batch`
+//     requests, replicas execute the batch in sequence and reply
+//     per-request, so N concurrent clients cost ~N/max_batch consensus
+//     instances instead of N.
+//   * Pipelining — up to `max_inflight_instances` consensus instances may be
+//     outstanding (proposed but not yet executed) at once; committed
+//     instances free slots for the next batch without waiting for the
+//     previous one to finish its quorum.
+//   * Read-only fast path — read-only commands (CoordCommand::is_read_only)
+//     bypass ordering entirely: the client broadcasts a READ directly to the
+//     replicas, which evaluate it against their committed state
+//     (TupleSpace::Query — no side effects) and reply; the client accepts
+//     2f+1 matching replies (f+1 in crash mode) and falls back to the
+//     ordered path on divergence or timeout. Linearizability needs one more
+//     rule: with the fast path enabled, *mutating* commands are acknowledged
+//     only at an order-quorum of matching replies, so the executed set of
+//     every acked write intersects any fast-read matching quorum in at
+//     least one correct replica (ordered reads keep the cheap f+1 reply
+//     quorum — they create no state a later fast read must observe).
+//
 // Leader failure is handled by a client-timeout-driven view change (as in
-// BFT-SMaRt's synchronization phase, simplified): replicas that see requests
-// lingering unordered vote for view v+1; once a quorum agrees, the new leader
-// (v mod n) re-proposes pending requests. Exactly-once execution is enforced
-// with a per-client last-request table.
+// BFT-SMaRt's synchronization phase, simplified). View-change votes carry
+// the voter's accepted proposals as certificates; the new leader adopts the
+// highest-view accepted proposal per sequence number from its vote quorum
+// (plus its own log) before re-proposing, so batched proposals survive view
+// changes without reordering. Exactly-once execution is enforced with
+// per-client last-reply tables, windowed like the seq->batch commit log.
 
 #ifndef SCFS_COORD_SMR_H_
 #define SCFS_COORD_SMR_H_
@@ -22,10 +47,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/executor.h"
+#include "src/common/future.h"
 #include "src/common/rng.h"
 #include "src/coord/coordination_service.h"
 #include "src/coord/tuple_space.h"
@@ -45,14 +74,44 @@ struct SmrConfig {
   VirtualDuration order_timeout = FromMillis(800);  // failure detector
   int max_client_retries = 8;
 
+  // Throughput features; disabling all three restores the seed's
+  // one-command-per-instance lock-step ordering (the benchmark baseline).
+  bool enable_batching = true;
+  unsigned max_batch = 64;               // requests per PROPOSE
+  unsigned max_inflight_instances = 8;   // pipelined consensus instances
+  bool enable_read_fast_path = true;
+  // How long a fast-path read waits for a matching-reply quorum before
+  // falling back to the ordered path.
+  VirtualDuration fast_read_timeout = FromMillis(600);
+
   unsigned replica_count() const { return byzantine ? 3 * f + 1 : 2 * f + 1; }
   unsigned order_quorum() const { return byzantine ? 2 * f + 1 : f + 1; }
   unsigned reply_quorum() const { return byzantine ? f + 1 : 1; }
+  // Matching replies needed by the read-only fast path. Stronger than
+  // reply_quorum: the value must be vouched for by enough replicas to
+  // intersect any committed write.
+  unsigned read_quorum() const { return byzantine ? 2 * f + 1 : f + 1; }
+};
+
+// One client request inside a batched proposal.
+struct SmrBatchEntry {
+  uint64_t request_id = 0;
+  Bytes payload;  // encoded CoordCommand
+};
+
+// A voter's record of an accepted proposal, carried by view-change votes so
+// the new leader can adopt in-flight assignments instead of re-deriving them.
+struct SmrViewChangeCert {
+  uint64_t seq = 0;
+  uint64_t view = 0;  // view the proposal was accepted in
+  VirtualTime order_time = 0;
+  std::vector<SmrBatchEntry> batch;
 };
 
 struct SmrMessage {
   enum class Type : uint8_t {
     kRequest,
+    kReadRequest,  // read-only fast path, bypasses ordering
     kPropose,
     kAccept,
     kReply,
@@ -64,7 +123,44 @@ struct SmrMessage {
   uint64_t view = 0;
   uint64_t seq = 0;
   VirtualTime order_time = 0;
-  Bytes payload;  // command bytes (request/propose) or reply bytes (reply)
+  Bytes payload;  // command bytes (request) or reply bytes (reply)
+  std::vector<SmrBatchEntry> batch;        // kPropose: the ordered batch
+  std::vector<SmrViewChangeCert> certs;    // kViewChange: accepted proposals
+
+  // Wire size for latency sampling.
+  size_t ByteSize() const {
+    size_t total = payload.size();
+    for (const auto& entry : batch) {
+      total += entry.payload.size();
+    }
+    for (const auto& cert : certs) {
+      for (const auto& entry : cert.batch) {
+        total += entry.payload.size();
+      }
+    }
+    return total;
+  }
+};
+
+// Aggregate protocol counters, exposed for benchmarks and tests. Request
+// counts are tracked client-side (one per Execute), instance counts
+// leader-side (one per first PROPOSE broadcast), so neither is inflated by
+// the replica fan-out.
+struct SmrCounters {
+  uint64_t ordered_commands = 0;     // client completions via ordered path
+  uint64_t proposed_instances = 0;   // consensus instances proposed
+  uint64_t proposed_requests = 0;    // requests across those instances
+  uint64_t fast_path_reads = 0;      // reads served without ordering
+  uint64_t fast_path_fallbacks = 0;  // reads that fell back to ordering
+
+  SmrCounters& operator+=(const SmrCounters& other) {
+    ordered_commands += other.ordered_commands;
+    proposed_instances += other.proposed_instances;
+    proposed_requests += other.proposed_requests;
+    fast_path_reads += other.fast_path_reads;
+    fast_path_fallbacks += other.fast_path_fallbacks;
+    return *this;
+  }
 };
 
 class SmrCluster {
@@ -76,6 +172,7 @@ class SmrCluster {
   SmrCluster& operator=(const SmrCluster&) = delete;
 
   // Submits a command and blocks until enough matching replies arrive.
+  // Read-only commands try the fast path first when enabled.
   Result<CoordReply> Execute(const CoordCommand& command);
 
   unsigned replica_count() const { return config_.replica_count(); }
@@ -90,12 +187,14 @@ class SmrCluster {
   uint64_t reply_bytes_out() const {
     return reply_bytes_out_.load(std::memory_order_relaxed);
   }
+  SmrCounters counters() const;
 
   void Shutdown();
 
  private:
   struct PendingRequest {
     Bytes payload;
+    std::string client;  // decoded principal, for the per-client reply table
     VirtualTime first_seen = 0;
     bool ordered = false;
   };
@@ -119,20 +218,49 @@ class SmrCluster {
     struct Proposal {
       SmrMessage msg;
       VirtualTime last_sent = 0;  // leader re-propose pacing
+      int resends = 0;            // catch-up retirement bound
     };
     std::map<uint64_t, Proposal> proposals;  // seq -> stored proposal
-    std::map<uint64_t, std::set<int>> accept_votes;             // seq -> voters
-    std::map<uint64_t, Bytes> executed;       // request_id -> reply bytes
-    std::map<uint64_t, uint64_t> executed_seqs;  // seq -> request_id commit log
-    std::map<uint64_t, std::set<int>> view_votes;  // proposed view -> voters
+    std::map<uint64_t, std::set<int>> accept_votes;  // seq -> voters
+    // Per-client last-reply tables (exactly-once): request_id -> reply
+    // bytes, windowed to the most recent kClientReplyWindow requests per
+    // client so replica memory stays bounded by live clients, not history.
+    std::map<std::string, std::map<uint64_t, Bytes>> client_replies;
+    // seq -> batch request ids: the windowed commit log that validates
+    // below-frontier re-proposes.
+    std::map<uint64_t, std::vector<uint64_t>> executed_seqs;
+    // seq -> the executed proposal itself (payloads included), on a shorter
+    // window. Together with retaining accepted proposals across view
+    // changes, this guarantees that any committed seq within the window
+    // has a re-sendable certificate in every view-change vote quorum: a
+    // commit quorum intersects any vote quorum in a replica that either
+    // still holds the accepted proposal or has it here.
+    std::map<uint64_t, SmrMessage> executed_batches;
+    // proposed view -> (voter -> the voter's accepted-proposal certificates)
+    std::map<uint64_t, std::map<int, std::vector<SmrViewChangeCert>>>
+        view_votes;
     uint64_t executed_ops = 0;
     Rng rng{0};
   };
+
+  // Must exceed any single client's realistic in-flight set (the close
+  // pipeline holds up to max_depth=256 chains, each with one async lease
+  // renewal under the agent's client name; the GC bounds its tombstone
+  // fan-out below this).
+  static constexpr size_t kClientReplyWindow = 1024;
+  static constexpr uint64_t kExecutedSeqWindow = 4096;
+  // Executed payload retention (certificates for lagging-replica catch-up).
+  // A replica lagging more than this many committed seqs behind a view
+  // change can no longer be caught up and wedges — the documented residual
+  // state-transfer gap.
+  static constexpr uint64_t kExecutedBatchWindow = 256;
 
   void ReplicaLoop(unsigned index);
   void HandleMessage(unsigned index, Replica& r, SmrMessage msg);
   void LeaderMaybePropose(unsigned index, Replica& r,
                           std::vector<SmrMessage>* out);
+  void AdoptView(unsigned index, Replica& r, uint64_t view,
+                 std::vector<SmrMessage>* out);
   void TryExecute(unsigned index, Replica& r, std::vector<SmrMessage>* out);
   void CheckOrderingTimeout(unsigned index, Replica& r);
   void BroadcastFromReplica(unsigned from, const SmrMessage& msg);
@@ -140,6 +268,18 @@ class SmrCluster {
   void SendReplyToClient(unsigned from_replica, const SmrMessage& reply);
   bool IsLeader(const Replica& r, unsigned index) const {
     return r.view % replica_count() == index;
+  }
+  // Builds the kReply for one executed (or cached) batch entry.
+  SmrMessage MakeReply(unsigned index, const Replica& r, uint64_t request_id,
+                       Bytes reply_bytes) const;
+  // Fast path: broadcast, collect matching replies against the committed
+  // state of the replicas. Returns the winning reply bytes, or nullopt when
+  // the caller must fall back to the ordered path.
+  std::optional<Bytes> TryFastRead(const Bytes& encoded_command);
+  const LatencyModel& ClientLink(unsigned replica) const {
+    return config_.client_links.empty()
+               ? config_.client_link
+               : config_.client_links[replica % config_.client_links.size()];
   }
 
   Environment* env_;
@@ -150,6 +290,12 @@ class SmrCluster {
   std::map<uint64_t, std::shared_ptr<DelayedQueue<SmrMessage>>> client_queues_;
   std::atomic<uint64_t> next_request_id_{1};
   std::atomic<uint64_t> reply_bytes_out_{0};
+
+  std::atomic<uint64_t> ordered_commands_{0};
+  std::atomic<uint64_t> proposed_instances_{0};
+  std::atomic<uint64_t> proposed_requests_{0};
+  std::atomic<uint64_t> fast_path_reads_{0};
+  std::atomic<uint64_t> fast_path_fallbacks_{0};
 
   std::mutex rng_mu_;
   Rng client_rng_;
@@ -167,10 +313,23 @@ class ReplicatedCoordination : public CoordinationService {
     return cluster_.Execute(command);
   }
 
+  // Real asynchrony: the protocol round runs on the shared executor, so the
+  // caller can overlap coordination accesses with storage work. The future's
+  // charge is the round's modelled latency (recorded by Execute), delivered
+  // to whoever waits on it — never double-counted against the submitter.
+  Future<Result<CoordReply>> SubmitAsync(const CoordCommand& command) override {
+    return SubmitTracked(&inflight_, [this, command] {
+      return cluster_.Execute(command);
+    });
+  }
+
   SmrCluster& cluster() { return cluster_; }
 
  private:
   SmrCluster cluster_;
+  // Declared after cluster_: destroyed first, so the destructor waits for
+  // in-flight async submissions before the cluster shuts down.
+  InFlightTracker inflight_;
 };
 
 }  // namespace scfs

@@ -43,6 +43,17 @@ CoordReply TupleSpace::Apply(VirtualTime now, const CoordCommand& command) {
   return ErrorReply(ErrorCode::kInvalidArgument);
 }
 
+CoordReply TupleSpace::Query(const CoordCommand& command) const {
+  switch (command.op) {
+    case CoordOp::kRead:
+      return Read(command);
+    case CoordOp::kReadPrefix:
+      return ReadPrefix(command);
+    default:
+      return ErrorReply(ErrorCode::kInvalidArgument);
+  }
+}
+
 void TupleSpace::ExpireLocks(VirtualTime now) {
   for (auto it = locks_.begin(); it != locks_.end();) {
     if (it->second.expires_at <= now) {
@@ -107,7 +118,7 @@ CoordReply TupleSpace::CompareAndSwap(const CoordCommand& cmd) {
   return reply;
 }
 
-CoordReply TupleSpace::Read(const CoordCommand& cmd) {
+CoordReply TupleSpace::Read(const CoordCommand& cmd) const {
   auto it = entries_.find(cmd.key);
   if (it == entries_.end()) {
     return ErrorReply(ErrorCode::kNotFound);
@@ -122,7 +133,7 @@ CoordReply TupleSpace::Read(const CoordCommand& cmd) {
   return reply;
 }
 
-CoordReply TupleSpace::ReadPrefix(const CoordCommand& cmd) {
+CoordReply TupleSpace::ReadPrefix(const CoordCommand& cmd) const {
   CoordReply reply;
   for (auto it = entries_.lower_bound(cmd.key); it != entries_.end(); ++it) {
     if (it->first.compare(0, cmd.key.size(), cmd.key) != 0) {

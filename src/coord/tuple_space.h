@@ -24,6 +24,13 @@ class TupleSpace {
  public:
   CoordReply Apply(VirtualTime now, const CoordCommand& command);
 
+  // Evaluates a read-only command against the current committed state
+  // WITHOUT any side effect (in particular, no lock-lease expiry — expiring
+  // at a non-ordered local time would make replica states diverge). This is
+  // what replicas run for the read-only fast path; non-read-only commands
+  // get kInvalidArgument.
+  CoordReply Query(const CoordCommand& command) const;
+
   // Introspection for tests and capacity accounting (Figure 11a).
   size_t entry_count() const { return entries_.size(); }
   size_t lock_count() const { return locks_.size(); }
@@ -61,8 +68,8 @@ class TupleSpace {
   CoordReply Write(const CoordCommand& cmd);
   CoordReply ConditionalCreate(const CoordCommand& cmd);
   CoordReply CompareAndSwap(const CoordCommand& cmd);
-  CoordReply Read(const CoordCommand& cmd);
-  CoordReply ReadPrefix(const CoordCommand& cmd);
+  CoordReply Read(const CoordCommand& cmd) const;
+  CoordReply ReadPrefix(const CoordCommand& cmd) const;
   CoordReply Remove(const CoordCommand& cmd);
   CoordReply TryLock(VirtualTime now, const CoordCommand& cmd);
   CoordReply RenewLock(VirtualTime now, const CoordCommand& cmd);

@@ -420,7 +420,12 @@ Future<Status> ScfsFileSystem::SynchronizeOnCloseAsync(OpenFile&& file) {
     // stage's charge reaches the foreground waiter through the future, so
     // it is excluded from the uploader's background accounting.
     auto task = [this, md, data, hash, grants, path, written] {
+      // Extend the file lock's lease up front: the renewal's coordination
+      // round overlaps the cloud push instead of risking a mid-push expiry.
+      // Joined before Release (renew/unlock on the same path must not race).
+      Future<Status> lease = locks_->RenewAsync(path);
       auto fail = [&](Status status) {
+        lease.Join();
         (void)locks_->Release(path);
         return status;
       };
@@ -434,6 +439,7 @@ Future<Status> ScfsFileSystem::SynchronizeOnCloseAsync(OpenFile&& file) {
       if (!s.ok()) {
         return fail(s);
       }
+      lease.Join();
       s = locks_->Release(path);
       MaybeTriggerGc(written);
       return s;
@@ -470,6 +476,9 @@ Future<Status> ScfsFileSystem::SynchronizeOnCloseAsync(OpenFile&& file) {
             (void)locks_->Release(path);
             return *level1_status;
           }
+          // Lease renewal overlaps the cloud upload (see blocking mode);
+          // joined before Release.
+          Future<Status> lease = locks_->RenewAsync(path);
           if (!hash.empty()) {
             Status s = storage_->backend().WriteVersion(md.object_id, hash,
                                                         *data, grants);
@@ -491,6 +500,7 @@ Future<Status> ScfsFileSystem::SynchronizeOnCloseAsync(OpenFile&& file) {
                                 << s.ToString();
             }
           }
+          lease.Join();
           return locks_->Release(path);
         });
 
@@ -802,12 +812,31 @@ Status ScfsFileSystem::RunGarbageCollection() {
     (void)GcCollectFile(md);
   }
 
-  // Deleted files: drop entire data units and their tombstones.
+  // Deleted files: drop entire data units and their tombstones. Each
+  // object's tombstone removal (a coordination round) is fired
+  // asynchronously so it overlaps the next object's cloud deletes —
+  // per-object order (delete before tombstone removal) is preserved,
+  // different objects are independent. The fan-out is joined in bounded
+  // windows: one client's in-flight set must stay well inside the SMR's
+  // per-client reply table, or a retransmission could outlive its cached
+  // reply and re-execute.
+  constexpr size_t kGcRemovalWindow = 64;
   ASSIGN_OR_RETURN(std::vector<std::string> tombstones,
                    metadata_->ListTombstones());
+  std::vector<Future<Status>> removals;
+  removals.reserve(std::min(tombstones.size(), kGcRemovalWindow));
   for (const auto& object_id : tombstones) {
     (void)backend_->DeleteUnit(object_id);
-    (void)metadata_->RemoveTombstone(object_id);
+    removals.push_back(metadata_->RemoveTombstoneAsync(object_id));
+    if (removals.size() >= kGcRemovalWindow) {
+      for (const auto& removal : removals) {
+        removal.Join();
+      }
+      removals.clear();
+    }
+  }
+  for (const auto& removal : removals) {
+    removal.Join();
   }
   return OkStatus();
 }

@@ -59,6 +59,22 @@ Status LockService::Renew(const std::string& path) {
   return coord_->RenewLock(user_, LockKey(path), token, options_.lease);
 }
 
+Future<Status> LockService::RenewAsync(const std::string& path) {
+  if (coord_ == nullptr) {
+    return Future<Status>::Ready(OkStatus());
+  }
+  uint64_t token = 0;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = held_.find(path);
+    if (it == held_.end()) {
+      return Future<Status>::Ready(NotFoundError("lock not held: " + path));
+    }
+    token = it->second.token;
+  }
+  return coord_->RenewLockAsync(user_, LockKey(path), token, options_.lease);
+}
+
 bool LockService::Holds(const std::string& path) {
   std::lock_guard<std::mutex> guard(mu_);
   return held_.count(path) > 0;

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 
+#include "src/common/future.h"
 #include "src/coord/coordination_service.h"
 #include "src/scfs/metadata.h"
 
@@ -37,6 +38,12 @@ class LockService {
   Status Release(const std::string& path);
   // Extends the lease of a lock held by this service.
   Status Renew(const std::string& path);
+  // Asynchronous lease extension: fired at the start of a background upload
+  // so the coordination round overlaps the cloud transfer (a long upload
+  // must not lose its file lock mid-chain). Renewing commutes with
+  // everything except releasing the same path — join the future before
+  // Release. A renewal that loses that race fails benignly (kNotFound).
+  Future<Status> RenewAsync(const std::string& path);
   bool Holds(const std::string& path);
 
  private:

@@ -87,11 +87,29 @@ Status MetadataService::FlushPns() {
     encoded = pns_.Encode();
   }
   const std::string hash = HexEncode(Sha1::Hash(encoded));
-  RETURN_IF_ERROR(storage_->Push(PnsObjectId(), hash, encoded, {}));
+  // The session-lock renewal commutes with both the storage push and the
+  // tuple write (different keys), so its coordination round overlaps the
+  // cloud upload instead of serializing after it. Joined before returning:
+  // Unmount's Unlock must never race an in-flight renewal.
+  Future<Status> renewed;
   if (coord_ != nullptr) {
-    RETURN_IF_ERROR(coord_->Write(user_, PnsTupleKey(user_), ToBytes(hash)));
-    (void)coord_->RenewLock(options_.session, LockKey(PnsTupleKey(user_)),
-                            pns_lock_token_, kPnsLockLease);
+    renewed = coord_->RenewLockAsync(options_.session,
+                                     LockKey(PnsTupleKey(user_)),
+                                     pns_lock_token_, kPnsLockLease);
+  }
+  Status pushed = storage_->Push(PnsObjectId(), hash, encoded, {});
+  if (!pushed.ok()) {
+    if (renewed.valid()) {
+      renewed.Join();
+    }
+    return pushed;
+  }
+  if (coord_ != nullptr) {
+    // The tuple write is anchored after the push; only the renewal overlaps.
+    Status written =
+        coord_->WriteAsync(user_, PnsTupleKey(user_), ToBytes(hash)).Get();
+    renewed.Join();
+    RETURN_IF_ERROR(written);
   }
   return OkStatus();
 }
@@ -320,19 +338,24 @@ Result<std::vector<std::string>> MetadataService::ListTombstones() {
 }
 
 Status MetadataService::RemoveTombstone(const std::string& object_id) {
+  return RemoveTombstoneAsync(object_id).Get();
+}
+
+Future<Status> MetadataService::RemoveTombstoneAsync(
+    const std::string& object_id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = std::find(pns_.tombstones.begin(), pns_.tombstones.end(),
                         object_id);
     if (it != pns_.tombstones.end()) {
       pns_.tombstones.erase(it);
-      return OkStatus();
+      return Future<Status>::Ready(OkStatus());
     }
   }
   if (coord_ == nullptr) {
-    return NotFoundError(object_id);
+    return Future<Status>::Ready(NotFoundError(object_id));
   }
-  return coord_->Remove(user_, TombstoneKey(user_, object_id));
+  return coord_->RemoveAsync(user_, TombstoneKey(user_, object_id));
 }
 
 Status MetadataService::PromoteToShared(const FileMetadata& metadata) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/future.h"
 #include "src/coord/coordination_service.h"
 #include "src/scfs/metadata.h"
 #include "src/scfs/storage_service.h"
@@ -61,6 +62,10 @@ class MetadataService {
   Status AddTombstone(const std::string& object_id);
   Result<std::vector<std::string>> ListTombstones();
   Status RemoveTombstone(const std::string& object_id);
+  // Asynchronous variant: the garbage collector overlaps one object's
+  // tombstone-removal coordination round with the next object's cloud
+  // deletes. PNS-local tombstones complete inline (ready future).
+  Future<Status> RemoveTombstoneAsync(const std::string& object_id);
 
   // Moves a PNS entry into the coordination service when a file becomes
   // shared (and back when all grants are revoked). No-ops without PNS.

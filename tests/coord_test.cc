@@ -420,5 +420,216 @@ TEST(SmrClusterTest, LockSemanticsThroughReplication) {
   EXPECT_TRUE(coord.TryLock("bob", "L", 120 * kSecond).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Batched ordering, read-only fast path and view-change certificates.
+// ---------------------------------------------------------------------------
+
+TEST(SmrClusterTest, FastPathServesReadsWithoutOrdering) {
+  auto env = Environment::Scaled(1e-3);
+  SmrConfig config = FastSmrConfig(true);
+  // Generous: at this scale the default timeout is well under a real
+  // millisecond, and host scheduling noise must not fail the fast round.
+  config.fast_read_timeout = 5000 * kMillisecond;
+  ReplicatedCoordination coord(env.get(), config);
+  ASSERT_TRUE(coord.Write("alice", "k", ToBytes("v")).ok());
+  // Wait for every replica to execute the write: a fast read served while a
+  // straggler lags would (correctly) fall back, which is not this test.
+  auto& cluster = coord.cluster();
+  auto converged = [&] {
+    for (unsigned r = 0; r < cluster.replica_count(); ++r) {
+      if (cluster.executed_count(r) != 1u) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int spin = 0; spin < 100 && !converged(); ++spin) {
+    env->Sleep(50 * kMillisecond);
+  }
+  auto entry = coord.Read("alice", "k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(ToString(entry->value), "v");
+  SmrCounters counters = coord.cluster().counters();
+  EXPECT_EQ(counters.fast_path_reads, 1u);
+  // Only the write went through ordering.
+  EXPECT_EQ(counters.ordered_commands, 1u);
+}
+
+TEST(SmrClusterTest, BatchingOrdersConcurrentClientsInOneInstance) {
+  auto env = Environment::Scaled(1e-3);
+  SmrConfig config = FastSmrConfig(true);
+  config.max_batch = 16;
+  // One instance at a time: requests arriving while it is in flight must
+  // accumulate and ride the next PROPOSE together.
+  config.max_inflight_instances = 1;
+  ReplicatedCoordination coord(env.get(), config);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "b" + std::to_string(t) + "i" + std::to_string(i);
+        if (!coord.Write("c" + std::to_string(t), key, ToBytes("v")).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  SmrCounters counters = coord.cluster().counters();
+  EXPECT_EQ(counters.ordered_commands, kThreads * kOps);
+  // Batching must have amortized instances: strictly fewer instances than
+  // requests (40 concurrent requests cannot all have ridden alone).
+  EXPECT_LT(counters.proposed_instances, counters.proposed_requests);
+}
+
+TEST(SmrClusterTest, BatchedOrderingSurvivesLeaderCrashMidBatch) {
+  auto env = Environment::Scaled(1e-3);
+  SmrConfig config = FastSmrConfig(true);
+  config.max_batch = 8;
+  ReplicatedCoordination coord(env.get(), config);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "v" + std::to_string(t) + "i" + std::to_string(i);
+        if (!coord.Write("c" + std::to_string(t), key, ToBytes("x")).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Crash the view-0 leader while batches are in flight. The view-change
+  // votes carry the followers' accepted proposals; the new leader adopts
+  // them, so in-flight batches commit under the new view without
+  // reordering or re-execution.
+  env->Sleep(20 * kMillisecond);
+  coord.cluster().CrashReplica(0);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(coord.cluster().current_view(), 1u);
+  // Surviving replicas converge to exactly one execution per request —
+  // checked BEFORE the verification reads, whose ordered fallbacks would
+  // themselves add executed commands. A lagging replica catching up relies
+  // on the new leader re-broadcasting below-frontier certificates.
+  auto& cluster = coord.cluster();
+  auto converged = [&] {
+    for (unsigned r = 1; r < cluster.replica_count(); ++r) {
+      if (cluster.executed_count(r) != kThreads * kOps) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int spin = 0; spin < 100 && !converged(); ++spin) {
+    env->Sleep(200 * kMillisecond);
+  }
+  for (unsigned r = 1; r < cluster.replica_count(); ++r) {
+    EXPECT_EQ(cluster.executed_count(r), kThreads * kOps) << "replica " << r;
+  }
+  // Every write is present with version 1: executed exactly once despite
+  // the crash, retransmissions and re-proposals.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kOps; ++i) {
+      std::string key = "v" + std::to_string(t) + "i" + std::to_string(i);
+      auto entry = coord.Read("c" + std::to_string(t), key);
+      ASSERT_TRUE(entry.ok()) << key;
+      EXPECT_EQ(ToString(entry->value), "x") << key;
+      EXPECT_EQ(entry->version, 1u) << key;
+    }
+  }
+}
+
+TEST(SmrClusterTest, FastReadFallsBackOnByzantineDivergence) {
+  auto env = Environment::Scaled(1e-3);
+  SmrConfig config = FastSmrConfig(true);
+  config.fast_read_timeout = 200 * kMillisecond;
+  ReplicatedCoordination coord(env.get(), config);
+  ASSERT_TRUE(coord.Write("alice", "k", ToBytes("v")).ok());
+  // One replica silent, one lying: the fast path can never assemble 2f+1
+  // matching replies, so reads must fall back to the ordered path — and
+  // still return the correct value (f+1 matching there).
+  coord.cluster().CrashReplica(3);
+  coord.cluster().SetReplicaByzantine(2, true);
+  for (int i = 0; i < 3; ++i) {
+    auto entry = coord.Read("alice", "k");
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(ToString(entry->value), "v");
+  }
+  SmrCounters counters = coord.cluster().counters();
+  EXPECT_EQ(counters.fast_path_fallbacks, 3u);
+  EXPECT_EQ(counters.fast_path_reads, 0u);
+}
+
+TEST(SmrClusterTest, AsyncSubmitStormExecutesExactlyOnce) {
+  // Coarser time scale than the other SMR tests: the storm runs ~50
+  // executor threads on however few cores the host has, and the client
+  // timeout must stay large against real scheduling noise once mapped to
+  // real time.
+  auto env = Environment::Scaled(1e-2);
+  SmrConfig config = FastSmrConfig(true);
+  // Throttle the pipeline and shorten the client timeout so the storm
+  // queues behind the inflight cap and retransmissions exercise the
+  // per-client reply tables.
+  config.max_batch = 2;
+  config.max_inflight_instances = 1;
+  config.client_timeout = 500 * kMillisecond;
+  config.order_timeout = 4000 * kMillisecond;
+  ReplicatedCoordination coord(env.get(), config);
+
+  constexpr int kWrites = 40;
+  constexpr int kCreates = 10;
+  std::vector<Future<Result<CoordReply>>> futures;
+  for (int i = 0; i < kWrites; ++i) {
+    CoordCommand cmd;
+    cmd.op = CoordOp::kWrite;
+    cmd.client = "w" + std::to_string(i % 4);
+    cmd.key = "s" + std::to_string(i);
+    cmd.value = ToBytes("v");
+    futures.push_back(coord.SubmitAsync(cmd));
+  }
+  // Concurrent conditional creates on one key: exactly one may win.
+  for (int i = 0; i < kCreates; ++i) {
+    CoordCommand cmd;
+    cmd.op = CoordOp::kConditionalCreate;
+    cmd.client = "creator";
+    cmd.key = "the-one";
+    cmd.value = ToBytes("c" + std::to_string(i));
+    futures.push_back(coord.SubmitAsync(cmd));
+  }
+
+  int create_wins = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<CoordReply> reply = futures[i].Get();
+    ASSERT_TRUE(reply.ok()) << "submission " << i;
+    if (i < kWrites) {
+      EXPECT_EQ(reply->code, ErrorCode::kOk) << "write " << i;
+    } else if (reply->code == ErrorCode::kOk) {
+      ++create_wins;
+    } else {
+      EXPECT_EQ(reply->code, ErrorCode::kAlreadyExists);
+    }
+  }
+  EXPECT_EQ(create_wins, 1);
+  // Version 1 everywhere: despite retransmissions under the short client
+  // timeout, no write was applied twice.
+  for (int i = 0; i < kWrites; ++i) {
+    auto entry = coord.Read("w" + std::to_string(i % 4),
+                            "s" + std::to_string(i));
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(entry->version, 1u) << "key s" << i;
+  }
+}
+
 }  // namespace
 }  // namespace scfs

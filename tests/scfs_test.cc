@@ -512,6 +512,37 @@ TEST_F(ScfsCocTest, AnchoredStorageAlgorithm) {
   EXPECT_EQ(*anchored.Read("obj"), v2);
 }
 
+TEST_F(ScfsCocTest, AnchoredStorageAsyncPipeline) {
+  // The async variants preserve the anchored order (SS write before CA
+  // publish, CA read before SS fetch) while letting callers overlap whole
+  // anchored operations: fan out writes to distinct ids, then read them all
+  // back through futures.
+  SingleCloudBackend backend(deployment_->cloud(0),
+                             CloudCredentials{"amazon-s3:alice"});
+  AnchorOptions anchor_options;
+  anchor_options.retry_delay = 10 * kMillisecond;
+  AnchoredStorage anchored(env_.get(), deployment_->coord(), "alice",
+                           &backend, anchor_options);
+  constexpr int kObjects = 6;
+  std::vector<Future<Status>> writes;
+  for (int i = 0; i < kObjects; ++i) {
+    Bytes value = ToBytes("async v" + std::to_string(i));
+    writes.push_back(anchored.WriteAsync("obj" + std::to_string(i), value));
+  }
+  for (auto& write : writes) {
+    EXPECT_TRUE(write.Get().ok());
+  }
+  std::vector<Future<Result<Bytes>>> reads;
+  for (int i = 0; i < kObjects; ++i) {
+    reads.push_back(anchored.ReadAsync("obj" + std::to_string(i)));
+  }
+  for (int i = 0; i < kObjects; ++i) {
+    Result<Bytes> value = reads[i].Get();
+    ASSERT_TRUE(value.ok()) << value.status().ToString();
+    EXPECT_EQ(ToString(*value), "async v" + std::to_string(i));
+  }
+}
+
 TEST_F(ScfsCocTest, AnchoredReadLoopsUntilVisible) {
   // Non-zero consistency window: the anchor hash is immediately current, but
   // the data appears only later; Read must spin, not return stale data.
