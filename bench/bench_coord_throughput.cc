@@ -2,7 +2,7 @@
 // the replicated SMR cluster (the consistency anchor of every shared-file
 // metadata operation, paper §3.2 / Table 3).
 //
-// Three workloads, each run twice on the same in-binary cluster code:
+// Workloads 1-3 run twice on the same in-binary cluster code:
 //
 //   seed      batching + read fast path disabled, one consensus instance at
 //             a time (the pre-batching lock-step configuration)
@@ -12,6 +12,12 @@
 //   2. reads      32 closed-loop clients issuing reads of their own keys
 //   3. mixed      Table-3-style metadata loop per client: create + getattr
 //                 burst (3 reads) + lock/unlock + publish
+//   4. recovery   a replica lags far beyond the executed-batch window while
+//                 crashed, restarts, and rejoins via snapshot state
+//                 transfer; reports the rejoin latency
+//   5. accum      ordered workload swept over the leader's batch
+//                 accumulation delay (0 / half / one replica one-way):
+//                 batch factor vs added write latency
 //
 // Elapsed time is virtual (the environment clock), so results measure the
 // modelled protocol and queueing delays, not host speed. Emits
@@ -19,6 +25,7 @@
 //
 // Usage: bench_coord_throughput [--quick] [--json PATH]
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -89,25 +96,46 @@ void RunClients(int clients, const std::function<void(int)>& per_client) {
 
 struct Throughput {
   double ops_per_s = 0;
+  double mean_latency_ms = 0;
   SmrCounters counters;
+
+  double batch_factor() const {
+    return counters.proposed_instances > 0
+               ? static_cast<double>(counters.proposed_requests) /
+                     counters.proposed_instances
+               : 0;
+  }
 };
 
 // Workload 1: totally-ordered writes, distinct keys per client.
-Throughput RunOrdered(Environment* env, bool seed_mode, int clients, int ops) {
-  ReplicatedCoordination coord(env, MakeConfig(seed_mode));
+Throughput RunOrderedConfig(Environment* env, const SmrConfig& config,
+                            int clients, int ops) {
+  ReplicatedCoordination coord(env, config);
+  std::vector<double> latencies_ms(clients, 0);
   VirtualTime t0 = env->Now();
   RunClients(clients, [&](int c) {
     const std::string client = ClientName(c);
     for (int i = 0; i < ops; ++i) {
       std::string key = "k" + std::to_string(c) + ":" + std::to_string(i);
+      VirtualTime start = env->Now();
       (void)coord.Write(client, key, ToBytes("v"));
+      latencies_ms[c] += ToSeconds(env->Now() - start) * 1e3;
     }
   });
   double seconds = ToSeconds(env->Now() - t0);
   Throughput out;
   out.ops_per_s = seconds > 0 ? clients * ops / seconds : 0;
+  double total_ms = 0;
+  for (double ms : latencies_ms) {
+    total_ms += ms;
+  }
+  out.mean_latency_ms = clients * ops > 0 ? total_ms / (clients * ops) : 0;
   out.counters = coord.cluster().counters();
   return out;
+}
+
+Throughput RunOrdered(Environment* env, bool seed_mode, int clients, int ops) {
+  return RunOrderedConfig(env, MakeConfig(seed_mode), clients, ops);
 }
 
 struct ReadLatency {
@@ -181,6 +209,68 @@ Throughput RunMixed(Environment* env, bool seed_mode, int clients,
   return out;
 }
 
+struct Rejoin {
+  double rejoin_ms = 0;     // restart -> frontier + digest convergence
+  bool converged = false;
+  SmrCounters counters;
+};
+
+// Workload 4: recovery. A replica is crashed while the quorum advances far
+// beyond the executed-batch window, then restarted; before snapshot state
+// transfer it wedged at its gap forever. The scenario uses a scaled-down
+// window/checkpoint geometry (64/16 instead of 256/64) so the lag phase
+// stays cheap, and a tighter failure detector so the wedge is noticed at a
+// recovery-relevant cadence; rejoin latency is dominated by the detector
+// timeout plus one snapshot round, so it is reported against that config.
+Rejoin RunRecovery(Environment* env, bool quick) {
+  SmrConfig config = MakeConfig(false);
+  config.executed_batch_window = 64;
+  config.checkpoint_interval = 16;
+  config.order_timeout = 1500 * kMillisecond;
+  ReplicatedCoordination coord(env, config);
+  auto& cluster = coord.cluster();
+  cluster.CrashReplica(3);
+  // One closed-loop client: each write rides its own instance, so the
+  // frontier advances past the 64-seq window.
+  const int lag_ops = quick ? 80 : 100;
+  for (int i = 0; i < lag_ops; ++i) {
+    (void)coord.Write(ClientName(0), "lag:" + std::to_string(i),
+                      ToBytes("v"));
+  }
+  const uint64_t target = cluster.exec_frontier(0);
+  cluster.RestartReplica(3);
+  VirtualTime t0 = env->Now();
+  // Light background traffic: the restarted replica learns the live
+  // frontier from it (evidence for the wedge detector).
+  std::atomic<bool> stop{false};
+  std::thread traffic([&] {
+    int i = 0;
+    while (!stop.load()) {
+      (void)coord.Write(ClientName(1), "post:" + std::to_string(i++),
+                        ToBytes("v"));
+    }
+  });
+  Rejoin out;
+  const VirtualTime deadline = env->Now() + 120 * kSecond;
+  while (env->Now() < deadline && cluster.exec_frontier(3) < target) {
+    env->Sleep(100 * kMillisecond);
+  }
+  out.rejoin_ms = ToSeconds(env->Now() - t0) * 1e3;
+  stop.store(true);
+  traffic.join();
+  // Validation after quiescence: the rejoined replica's state digest must
+  // match the quorum's.
+  for (int spin = 0; spin < 100 && !out.converged; ++spin) {
+    out.converged = cluster.exec_frontier(3) >= target &&
+                    cluster.state_digest(3) == cluster.state_digest(1);
+    if (!out.converged) {
+      env->Sleep(100 * kMillisecond);
+    }
+  }
+  out.counters = cluster.counters();
+  return out;
+}
+
 void RunAll(const Options& options) {
   auto env = Environment::Scaled(CoordTimeScale());
   const int kClients = 32;
@@ -250,11 +340,63 @@ void RunAll(const Options& options) {
   json.Add("coord_mixed_batched", mixed_fast.ops_per_s, "ops/s");
   json.Add("coord_mixed_speedup", mixed_speedup, "x");
 
+  PrintHeader("Coordination plane: recovery (rejoin via snapshot)");
+  Rejoin rejoin = RunRecovery(env.get(), options.quick);
+  PrintRow({"metric", "value", "", ""}, widths);
+  PrintRow({"rejoin latency (ms)", FormatSeconds(rejoin.rejoin_ms),
+            rejoin.converged ? "converged" : "NOT CONVERGED", ""},
+           widths);
+  PrintRow({"snapshots installed",
+            std::to_string(rejoin.counters.snapshots_installed), "", ""},
+           widths);
+  PrintRow({"checkpoints taken",
+            std::to_string(rejoin.counters.checkpoints_taken), "", ""},
+           widths);
+  json.Add("coord_rejoin_ms", rejoin.rejoin_ms, "ms");
+  json.Add("coord_rejoin_converged", rejoin.converged ? 1 : 0, "bool");
+  json.Add("coord_rejoin_snapshot_installs",
+           static_cast<double>(rejoin.counters.snapshots_installed), "count");
+
+  // Batch accumulation delay sweep (ROADMAP question): hold partial batches
+  // for 0 / 0.5 / 1 replica one-way delays and report batch factor vs
+  // added write latency under the 32-client ordered workload.
+  PrintHeader("Coordination plane: batch accumulation delay sweep");
+  const VirtualDuration one_way = FromMillis(9);  // replica link mean
+  const struct {
+    const char* name;
+    const char* key;
+    VirtualDuration delay;
+  } sweep[] = {
+      {"delay 0 (time-less)", "coord_accum0", 0},
+      {"delay 0.5 one-way", "coord_accum_half", one_way / 2},
+      {"delay 1 one-way", "coord_accum_one", one_way},
+  };
+  PrintRow({"config", "batch factor", "ops/s", "mean ms"}, widths);
+  for (const auto& point : sweep) {
+    SmrConfig config = MakeConfig(false);
+    config.batch_accumulation_delay = point.delay;
+    Throughput result =
+        RunOrderedConfig(env.get(), config, kClients, ordered_ops);
+    PrintRow({point.name, FormatSeconds(result.batch_factor()),
+              std::to_string(static_cast<int>(result.ops_per_s)),
+              FormatSeconds(result.mean_latency_ms)},
+             widths);
+    json.Add(std::string(point.key) + "_batch", result.batch_factor(),
+             "reqs/instance");
+    json.Add(std::string(point.key) + "_ops", result.ops_per_s, "ops/s");
+    json.Add(std::string(point.key) + "_latency_ms", result.mean_latency_ms,
+             "ms");
+  }
+
   std::printf(
       "\nShape check: batching+pipelining must give >=5x ordered throughput\n"
       "at 32 clients, the read fast path >=3x lower read latency; the mixed\n"
       "workload sits in between. Avg batch %.1f reqs/instance; %llu fast\n"
-      "reads, %llu fallbacks.\n",
+      "reads, %llu fallbacks. The recovery scenario must converge with >=1\n"
+      "snapshot install; its rejoin latency is at most one failure-detector\n"
+      "timeout plus a snapshot round. The accumulation sweep trades\n"
+      "batch factor against mean write latency; the verdict is recorded in\n"
+      "ROADMAP.md.\n",
       batch_avg,
       static_cast<unsigned long long>(read_fast.counters.fast_path_reads),
       static_cast<unsigned long long>(

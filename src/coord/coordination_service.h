@@ -42,6 +42,13 @@ class CoordinationService {
     return Future<Result<CoordReply>>::Ready(Submit(command));
   }
 
+  // Operations surface: a SHA-256 fingerprint of the coordination state
+  // (deterministic snapshot serialization), comparable across replicas and
+  // restarts of the same deployment kind. Empty when the implementation
+  // has no snapshot support, or (replicated) while no digest has quorum
+  // backing.
+  virtual Bytes StateDigest() { return {}; }
+
   // -- Typed wrappers ------------------------------------------------------
 
   Status Write(const std::string& client, const std::string& key,

@@ -21,4 +21,9 @@ Result<CoordReply> LocalCoordination::Submit(const CoordCommand& command) {
   return reply;
 }
 
+Bytes LocalCoordination::StateDigest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return space_.StateDigest();
+}
+
 }  // namespace scfs

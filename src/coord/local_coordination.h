@@ -34,6 +34,13 @@ class LocalCoordination : public CoordinationService {
     });
   }
 
+  // Digest of the single server's tuple space, comparable across local
+  // deployments and restarts. NOTE: the replicated deployment's digest
+  // additionally covers its per-client reply tables (exactly-once state a
+  // single server does not keep), so local-vs-replicated comparison tracks
+  // digest *changes*, not byte equality.
+  Bytes StateDigest() override;
+
   FaultInjector& faults() { return faults_; }
   TupleSpace& space() { return space_; }
 

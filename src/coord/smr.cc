@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/logging.h"
+#include "src/crypto/sha256.h"
 
 namespace scfs {
 
@@ -18,6 +19,22 @@ SmrViewChangeCert CertFromProposal(uint64_t seq, const SmrMessage& msg) {
   return cert;
 }
 
+// Canonical encoding of a certificate's committed content — the equality
+// key for f+1 tail-certificate matching during state transfer. The accepted
+// view is deliberately excluded: replicas may have committed the same batch
+// at the same seq under different views (an original propose vs. a
+// view-change re-propose), and both vouch for the same execution.
+Bytes CertContentKey(const SmrViewChangeCert& cert) {
+  Bytes out;
+  AppendU64(&out, static_cast<uint64_t>(cert.order_time));
+  AppendU32(&out, static_cast<uint32_t>(cert.batch.size()));
+  for (const auto& entry : cert.batch) {
+    AppendU64(&out, entry.request_id);
+    AppendBytes(&out, entry.payload);
+  }
+  return out;
+}
+
 // A below-frontier catch-up proposal retires once every replica re-accepted
 // it, or after this many re-sends with an order-quorum of re-accepts — a
 // live laggard has received one of them (delivery is reliable; only the
@@ -25,10 +42,58 @@ SmrViewChangeCert CertFromProposal(uint64_t seq, const SmrMessage& msg) {
 // keep the entry re-broadcasting forever.
 constexpr int kCatchUpResendLimit = 8;
 
+// Caps on the state-transfer collection buffers. The payload-vs-digest
+// check catches a forged snapshot, but a self-consistent lie — garbage
+// hashed honestly — can only be rejected by never reaching the vouch
+// quorum, so such buckets must not accumulate without bound. When a map is
+// full, a new bucket may evict one with strictly fewer voters (a genuine
+// bucket gains its second voucher quickly and becomes unevictable; a
+// single-voucher bucket is re-offerable on the next request round).
+constexpr size_t kMaxSnapshotOffers = 8;
+constexpr size_t kMaxTailOffers = 4096;
+
+// Inserts into a capped offer map: returns the bucket for `key`, evicting
+// the fewest-voter bucket when full, or nullptr when the newcomer loses.
+template <typename Map>
+typename Map::mapped_type* EmplaceCapped(Map* map,
+                                         const typename Map::key_type& key,
+                                         size_t cap) {
+  auto it = map->find(key);
+  if (it != map->end()) {
+    return &it->second;
+  }
+  if (map->size() >= cap) {
+    auto victim = map->end();
+    for (auto candidate = map->begin(); candidate != map->end();
+         ++candidate) {
+      if (victim == map->end() ||
+          candidate->second.voters.size() < victim->second.voters.size()) {
+        victim = candidate;
+      }
+    }
+    if (victim == map->end() || victim->second.voters.size() > 1) {
+      return nullptr;  // every resident bucket is better-vouched
+    }
+    map->erase(victim);
+  }
+  return &(*map)[key];
+}
+
 }  // namespace
 
 SmrCluster::SmrCluster(Environment* env, SmrConfig config, uint64_t seed)
     : env_(env), config_(config), client_rng_(seed ^ 0xc11e47ULL) {
+  // Enforce the state-transfer soundness requirement (smr.h): every
+  // servable checkpoint must leave a gap the retained executed batches can
+  // cover, i.e. checkpoint_interval * kRetainedCheckpoints <=
+  // executed_batch_window. A config that violates it silently reintroduces
+  // the beyond-window wedge, so the interval is clamped down instead.
+  if (config_.checkpoint_interval > 0) {
+    const uint64_t max_interval = std::max<uint64_t>(
+        1, config_.executed_batch_window / kRetainedCheckpoints);
+    config_.checkpoint_interval =
+        std::min(config_.checkpoint_interval, max_interval);
+  }
   const unsigned n = config_.replica_count();
   replicas_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -65,6 +130,12 @@ void SmrCluster::CrashReplica(unsigned index) {
   replicas_[index]->crashed.store(true);
 }
 
+void SmrCluster::RestartReplica(unsigned index) {
+  // Crash-recovery restart: the replica resumes from its state as of the
+  // crash (it dropped everything delivered in between) and rejoins lagging.
+  replicas_[index]->crashed.store(false);
+}
+
 void SmrCluster::SetReplicaByzantine(unsigned index, bool byzantine) {
   replicas_[index]->byzantine.store(byzantine);
 }
@@ -83,6 +154,33 @@ uint64_t SmrCluster::executed_count(unsigned replica) const {
   return replicas_[replica]->executed_ops;
 }
 
+uint64_t SmrCluster::exec_frontier(unsigned replica) const {
+  std::lock_guard<std::mutex> lock(replicas_[replica]->mu);
+  return replicas_[replica]->next_exec_seq;
+}
+
+Bytes SmrCluster::state_digest(unsigned replica) const {
+  std::lock_guard<std::mutex> lock(replicas_[replica]->mu);
+  return Sha256::Hash(EncodeReplicaSnapshot(*replicas_[replica]));
+}
+
+Bytes SmrCluster::quorum_state_digest() const {
+  // Only a digest an order-quorum of replicas agrees on is the cluster's
+  // fingerprint — a plurality could be a single (possibly faulty) replica.
+  // Empty means "not converged right now": replicas are mid-execution at
+  // different frontiers, or genuinely diverged.
+  std::map<Bytes, unsigned> tally;
+  for (unsigned i = 0; i < replicas_.size(); ++i) {
+    tally[state_digest(i)]++;
+  }
+  for (const auto& [digest, count] : tally) {
+    if (count >= config_.order_quorum()) {
+      return digest;
+    }
+  }
+  return {};
+}
+
 SmrCounters SmrCluster::counters() const {
   SmrCounters out;
   out.ordered_commands = ordered_commands_.load(std::memory_order_relaxed);
@@ -91,7 +189,57 @@ SmrCounters SmrCluster::counters() const {
   out.fast_path_reads = fast_path_reads_.load(std::memory_order_relaxed);
   out.fast_path_fallbacks =
       fast_path_fallbacks_.load(std::memory_order_relaxed);
+  out.checkpoints_taken = checkpoints_taken_.load(std::memory_order_relaxed);
+  out.state_requests = state_requests_.load(std::memory_order_relaxed);
+  out.snapshots_installed =
+      snapshots_installed_.load(std::memory_order_relaxed);
+  out.snapshot_payload_rejects =
+      snapshot_payload_rejects_.load(std::memory_order_relaxed);
   return out;
+}
+
+Bytes SmrCluster::EncodeReplicaSnapshot(const Replica& r) const {
+  Bytes out;
+  AppendBytes(&out, r.space.Snapshot());
+  AppendU32(&out, static_cast<uint32_t>(r.client_replies.size()));
+  for (const auto& [client, replies] : r.client_replies) {
+    AppendString(&out, client);
+    AppendU32(&out, static_cast<uint32_t>(replies.size()));
+    for (const auto& [request_id, reply] : replies) {
+      AppendU64(&out, request_id);
+      AppendBytes(&out, reply);
+    }
+  }
+  return out;
+}
+
+bool SmrCluster::DecodeReplicaSnapshot(
+    ConstByteSpan payload, TupleSpace* space,
+    std::map<std::string, std::map<uint64_t, Bytes>>* client_replies) {
+  ByteReader reader(payload);
+  Bytes space_bytes;
+  uint32_t client_count = 0;
+  if (!reader.ReadBytes(&space_bytes) || !space->Restore(space_bytes) ||
+      !reader.ReadU32(&client_count)) {
+    return false;
+  }
+  for (uint32_t c = 0; c < client_count; ++c) {
+    std::string client;
+    uint32_t reply_count = 0;
+    if (!reader.ReadString(&client) || !reader.ReadU32(&reply_count)) {
+      return false;
+    }
+    auto& table = (*client_replies)[client];
+    for (uint32_t i = 0; i < reply_count; ++i) {
+      uint64_t request_id = 0;
+      Bytes reply;
+      if (!reader.ReadU64(&request_id) || !reader.ReadBytes(&reply)) {
+        return false;
+      }
+      table.emplace(request_id, std::move(reply));
+    }
+  }
+  return reader.AtEnd();
 }
 
 void SmrCluster::SendToReplica(unsigned from_replica, unsigned to,
@@ -330,7 +478,29 @@ Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
 void SmrCluster::ReplicaLoop(unsigned index) {
   Replica& r = *replicas_[index];
   for (;;) {
-    auto msg = r.inbox.PopFor(config_.order_timeout);
+    // The leader's wake-up must not overshoot a pending batch's
+    // accumulation deadline, or a held partial batch would wait a full
+    // order timeout instead of the configured delay.
+    VirtualDuration wait = config_.order_timeout;
+    if (config_.enable_batching && config_.batch_accumulation_delay > 0) {
+      std::lock_guard<std::mutex> lock(r.mu);
+      if (IsLeader(r, index)) {
+        VirtualTime oldest = -1;
+        for (const auto& [id, pending] : r.pending) {
+          if (!pending.ordered &&
+              (oldest < 0 || pending.first_seen < oldest)) {
+            oldest = pending.first_seen;
+          }
+        }
+        if (oldest >= 0) {
+          VirtualTime due = oldest + config_.batch_accumulation_delay;
+          wait = std::min<VirtualDuration>(
+              wait, std::max<VirtualDuration>(due - env_->Now(),
+                                              kMillisecond));
+        }
+      }
+    }
+    auto msg = r.inbox.PopFor(wait);
     if (shutdown_.load()) {
       return;
     }
@@ -372,8 +542,41 @@ SmrMessage SmrCluster::MakeReply(unsigned index, const Replica& r,
 void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
   std::vector<SmrMessage> to_broadcast;
   std::vector<SmrMessage> to_client;
+  std::vector<std::pair<unsigned, SmrMessage>> to_peer;
   {
     std::lock_guard<std::mutex> lock(r.mu);
+    // Higher-view evidence: ordering traffic from views ahead of ours means
+    // the cluster moved on (e.g. a view change completed while this replica
+    // was down). One forged message must not drag us forward, but f+1
+    // distinct senders claiming the SAME higher view include a correct
+    // one, and a correct replica only operates in a view a vote quorum
+    // adopted — so that view is safe to adopt. The count is strictly
+    // per-view (unioning across views would let f forgers ride one
+    // unrelated correct sender's traffic into a view no correct replica
+    // vouched for), and each sender holds exactly one claim slot (its
+    // latest), so a forger inventing views — many, ascending, whatever —
+    // only ever occupies one entry. A live view always clears the
+    // threshold: its leader proposes, a quorum of followers accepts, all
+    // broadcast.
+    if ((msg.type == SmrMessage::Type::kPropose ||
+         msg.type == SmrMessage::Type::kAccept) &&
+        msg.from >= 0 && msg.view > r.view) {
+      r.view_claims[msg.from] = msg.view;
+      const unsigned needed = config_.byzantine ? config_.f + 1 : 1;
+      std::map<uint64_t, unsigned> claim_counts;
+      for (const auto& [sender, view] : r.view_claims) {
+        claim_counts[view]++;
+      }
+      uint64_t adopt = 0;
+      for (const auto& [view, count] : claim_counts) {
+        if (view > r.view && count >= needed) {
+          adopt = std::max(adopt, view);
+        }
+      }
+      if (adopt > r.view) {
+        AdoptView(index, r, adopt, &to_broadcast);
+      }
+    }
     switch (msg.type) {
       case SmrMessage::Type::kRequest: {
         auto command = CoordCommand::Decode(msg.payload);
@@ -503,10 +706,110 @@ void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
         if (msg.view <= r.view) {
           break;
         }
-        r.view_votes[msg.view][msg.from] = std::move(msg.certs);
+        Replica::ViewVote vote;
+        vote.certs = std::move(msg.certs);
+        vote.checkpoint_seq = msg.seq;
+        vote.checkpoint_digest = std::move(msg.digest);
+        r.view_votes[msg.view][msg.from] = std::move(vote);
         if (r.view_votes[msg.view].size() >= config_.order_quorum()) {
           AdoptView(index, r, msg.view, &to_broadcast);
         }
+        break;
+      }
+      case SmrMessage::Type::kStateRequest: {
+        if (msg.from < 0 || msg.from == static_cast<int>(index) ||
+            config_.checkpoint_interval == 0) {
+          break;
+        }
+        // Serve the OLDEST retained checkpoint beyond the requester's
+        // frontier, plus the executed-batch tail above it (the committed
+        // seqs between the checkpoint and this replica's frontier). Oldest,
+        // not newest: during a checkpoint roll peers disagree on the
+        // newest, but a peer that already rolled still retains the
+        // previous one — offering it is what lets the requester assemble
+        // f+1 matching vouchers in one round (the reason checkpoints are
+        // retained at depth 2 at all). The longer tail is always covered:
+        // the interval clamp keeps every retained checkpoint within the
+        // executed-batch window of the frontier.
+        const uint64_t requester_frontier = msg.seq;
+        SmrMessage reply;
+        reply.type = SmrMessage::Type::kStateReply;
+        reply.from = static_cast<int>(index);
+        for (const auto& cp : r.checkpoints) {
+          if (cp.seq > requester_frontier) {
+            reply.seq = cp.seq;
+            reply.digest = cp.digest;
+            reply.payload = cp.payload;
+            break;
+          }
+        }
+        const uint64_t tail_from = std::max(requester_frontier, reply.seq);
+        for (auto it = r.executed_batches.lower_bound(tail_from);
+             it != r.executed_batches.end(); ++it) {
+          reply.certs.push_back(CertFromProposal(it->first, it->second));
+        }
+        if (reply.payload.empty() && reply.certs.empty()) {
+          break;  // nothing to offer
+        }
+        if (r.byzantine.load()) {
+          // A lying replica forges the snapshot (the payload no longer
+          // hashes to the vouched digest) and skews its tail certificates
+          // so they can never reach f+1 matching offers.
+          if (!reply.payload.empty()) {
+            reply.payload[0] ^= 0xff;
+          }
+          for (auto& cert : reply.certs) {
+            cert.order_time += 1;
+          }
+        }
+        to_peer.emplace_back(static_cast<unsigned>(msg.from),
+                             std::move(reply));
+        break;
+      }
+      case SmrMessage::Type::kStateReply: {
+        if (msg.from < 0 || msg.from == static_cast<int>(index)) {
+          break;
+        }
+        if (!msg.payload.empty()) {
+          if (Sha256::Hash(msg.payload) != msg.digest) {
+            // Proven forgery: the payload does not hash to the claimed
+            // digest. Drop the whole reply — a peer caught lying about the
+            // snapshot cannot be trusted for tail certificates either.
+            snapshot_payload_rejects_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          if (msg.seq > r.next_exec_seq) {
+            auto* offer = EmplaceCapped(&r.state_offers,
+                                        std::make_pair(msg.seq, msg.digest),
+                                        kMaxSnapshotOffers);
+            if (offer != nullptr) {
+              if (offer->payload.empty()) {
+                offer->payload = std::move(msg.payload);
+              }
+              offer->voters.insert(msg.from);
+              if (offer->voters.size() >= config_.vouch_quorum()) {
+                InstallSnapshot(index, r, msg.seq, msg.digest,
+                                offer->payload);
+              }
+            }
+          }
+        }
+        for (auto& cert : msg.certs) {
+          if (cert.seq < r.next_exec_seq) {
+            continue;
+          }
+          auto* offer = EmplaceCapped(
+              &r.tail_offers, std::make_pair(cert.seq, CertContentKey(cert)),
+              kMaxTailOffers);
+          if (offer == nullptr) {
+            continue;
+          }
+          if (offer->voters.empty()) {
+            offer->cert = std::move(cert);
+          }
+          offer->voters.insert(msg.from);
+        }
+        DrainStateTransfer(index, r, &to_client);
         break;
       }
       case SmrMessage::Type::kReply:
@@ -518,6 +821,9 @@ void SmrCluster::HandleMessage(unsigned index, Replica& r, SmrMessage msg) {
   }
   for (const auto& out : to_client) {
     SendReplyToClient(index, out);
+  }
+  for (auto& [target, out] : to_peer) {
+    SendToReplica(index, target, std::move(out));
   }
 }
 
@@ -544,8 +850,8 @@ void SmrCluster::AdoptView(unsigned index, Replica& r, uint64_t view,
       adopted[cert.seq] = cert;
     }
   };
-  for (const auto& [voter, certs] : r.view_votes[view]) {
-    for (const auto& cert : certs) {
+  for (const auto& [voter, vote] : r.view_votes[view]) {
+    for (const auto& cert : vote.certs) {
       consider(cert);
     }
   }
@@ -554,6 +860,28 @@ void SmrCluster::AdoptView(unsigned index, Replica& r, uint64_t view,
   }
   for (const auto& [seq, executed] : r.executed_batches) {
     consider(CertFromProposal(seq, executed));
+  }
+
+  // The collective checkpoint: the highest (seq, digest) checkpoint pair
+  // vouched by f+1 vote-quorum members (this replica's own retained
+  // checkpoints included). A laggard below it recovers via snapshot state
+  // transfer from those holders; re-proposing below it is useless at best
+  // (replicas at or past it abstain) and the new leader never does.
+  std::map<std::pair<uint64_t, Bytes>, std::set<int>> checkpoint_vouchers;
+  for (const auto& [voter, vote] : r.view_votes[view]) {
+    if (vote.checkpoint_seq > 0) {
+      checkpoint_vouchers[{vote.checkpoint_seq, vote.checkpoint_digest}]
+          .insert(voter);
+    }
+  }
+  for (const auto& cp : r.checkpoints) {
+    checkpoint_vouchers[{cp.seq, cp.digest}].insert(static_cast<int>(index));
+  }
+  uint64_t collective_checkpoint = 0;
+  for (const auto& [pair, vouchers] : checkpoint_vouchers) {
+    if (vouchers.size() >= config_.vouch_quorum()) {
+      collective_checkpoint = std::max(collective_checkpoint, pair.first);
+    }
   }
 
   r.view = view;
@@ -568,6 +896,9 @@ void SmrCluster::AdoptView(unsigned index, Replica& r, uint64_t view,
   }
   r.view_votes.erase(r.view_votes.begin(),
                      r.view_votes.upper_bound(r.view));
+  for (auto it = r.view_claims.begin(); it != r.view_claims.end();) {
+    it = it->second <= r.view ? r.view_claims.erase(it) : std::next(it);
+  }
 
   if (IsLeader(r, index)) {
     // Re-propose every adopted assignment under the new view (same seq,
@@ -579,13 +910,17 @@ void SmrCluster::AdoptView(unsigned index, Replica& r, uint64_t view,
     // Above-frontier holes get no-op batches so execution never wedges on
     // a seq nobody in the quorum accepted; holes are never filled below
     // the frontier — those seqs executed real batches here.
-    uint64_t horizon = r.next_exec_seq;
+    uint64_t horizon = std::max(r.next_exec_seq, collective_checkpoint);
     for (const auto& [seq, cert] : adopted) {
       horizon = std::max(horizon, seq + 1);
     }
     for (const auto& [seq, cert] : adopted) {
       if (seq >= r.next_exec_seq) {
         break;  // std::map: ordered; the loop below covers the rest
+      }
+      if (seq < collective_checkpoint) {
+        continue;  // superseded by the collective checkpoint: never
+                   // re-proposed; that laggard snapshots instead
       }
       SmrMessage propose;
       propose.type = SmrMessage::Type::kPropose;
@@ -597,7 +932,12 @@ void SmrCluster::AdoptView(unsigned index, Replica& r, uint64_t view,
       r.proposals[seq] = Replica::Proposal{propose, env_->Now()};
       out->push_back(std::move(propose));
     }
-    for (uint64_t seq = r.next_exec_seq; seq < horizon; ++seq) {
+    // A leader elected below the collective checkpoint (it lagged, but its
+    // vote landed in the quorum) must not invent no-op holes for seqs that
+    // committed past it elsewhere: proposing starts at the checkpoint and
+    // the leader recovers its own gap via snapshot state transfer.
+    for (uint64_t seq = std::max(r.next_exec_seq, collective_checkpoint);
+         seq < horizon; ++seq) {
       SmrMessage propose;
       propose.type = SmrMessage::Type::kPropose;
       propose.from = static_cast<int>(index);
@@ -637,7 +977,12 @@ void SmrCluster::LeaderMaybePropose(unsigned index, Replica& r,
                                  ? std::max(1u, config_.max_batch)
                                  : 1u;
   const unsigned max_inflight = std::max(1u, config_.max_inflight_instances);
-  auto it = r.pending.begin();
+  const VirtualDuration accumulation =
+      config_.enable_batching ? config_.batch_accumulation_delay : 0;
+  const VirtualTime now = env_->Now();
+  // One persistent scan position across batches: each pending entry is
+  // visited once per call, not once per batch formed.
+  auto scan = r.pending.begin();
   for (;;) {
     const uint64_t inflight =
         r.next_seq > r.next_exec_seq ? r.next_seq - r.next_exec_seq : 0;
@@ -645,16 +990,31 @@ void SmrCluster::LeaderMaybePropose(unsigned index, Replica& r,
       return;  // pipeline full; committed instances re-trigger this
     }
     // Gather the next batch in request-id order.
-    std::vector<SmrBatchEntry> batch;
-    for (; it != r.pending.end() && batch.size() < max_batch; ++it) {
-      if (it->second.ordered) {
+    std::vector<std::map<uint64_t, PendingRequest>::iterator> chosen;
+    VirtualTime oldest = now;
+    for (; scan != r.pending.end() && chosen.size() < max_batch; ++scan) {
+      if (scan->second.ordered) {
         continue;
       }
+      oldest = std::min(oldest, scan->second.first_seen);
+      chosen.push_back(scan);
+    }
+    if (chosen.empty()) {
+      return;
+    }
+    // Accumulation: hold a partial batch until its oldest request has
+    // waited the configured delay, so requests arriving within the window
+    // ride one instance. The replica loop's wake hint and the
+    // failure-detector pass guarantee a timely flush once it falls due.
+    if (accumulation > 0 && chosen.size() < max_batch &&
+        now - oldest < accumulation) {
+      return;
+    }
+    std::vector<SmrBatchEntry> batch;
+    batch.reserve(chosen.size());
+    for (auto it : chosen) {
       it->second.ordered = true;
       batch.push_back(SmrBatchEntry{it->first, it->second.payload});
-    }
-    if (batch.empty()) {
-      return;
     }
     SmrMessage propose;
     propose.type = SmrMessage::Type::kPropose;
@@ -688,68 +1048,190 @@ void SmrCluster::TryExecute(unsigned index, Replica& r,
         votes_it->second.size() < config_.order_quorum()) {
       break;
     }
-    const SmrMessage& proposal = proposal_it->second.msg;
-    std::vector<uint64_t> batch_ids;
-    batch_ids.reserve(proposal.batch.size());
-    for (const auto& entry : proposal.batch) {
-      batch_ids.push_back(entry.request_id);
-      auto command = CoordCommand::Decode(entry.payload);
-      const std::string client = command.ok() ? command->client : std::string();
-      auto& client_log = r.client_replies[client];
-      Bytes reply_bytes;
-      auto cached_it = client_log.find(entry.request_id);
-      if (cached_it != client_log.end()) {
-        reply_bytes = cached_it->second;  // duplicate ordering; cached reply
-        // A retransmission may have re-queued the executed request (e.g. an
-        // undecodable payload skips the kRequest cache lookup); drop it so
-        // view changes never re-batch a dead entry.
-        r.pending.erase(entry.request_id);
-      } else {
-        CoordReply reply;
-        if (command.ok()) {
-          reply = r.space.Apply(proposal.order_time, *command);
-        } else {
-          reply.code = ErrorCode::kCorruption;
-        }
-        reply_bytes = reply.Encode();
-        client_log[entry.request_id] = reply_bytes;
-        // Window the per-client table: a client only ever retransmits
-        // requests it is still waiting on, which are at most its in-flight
-        // set — far fewer than the window.
-        while (client_log.size() > kClientReplyWindow) {
-          client_log.erase(client_log.begin());
-        }
-        r.executed_ops++;
-        r.pending.erase(entry.request_id);
-      }
-      out->push_back(MakeReply(index, r, entry.request_id,
-                               std::move(reply_bytes)));
-    }
-    // Record the committed assignment (it validates below-frontier
-    // re-proposes), then prune the vote/proposal state so the leader's
-    // re-propose scan stays O(in-flight), not O(history). The commit log is
-    // itself a sliding window: a below-frontier re-propose can only
-    // reference a seq a lagging leader still holds pending, which is
-    // bounded by the client retry lifetime — far less than the window.
-    // (Proposals beyond the window are simply not endorsed.)
-    r.executed_seqs[r.next_exec_seq] = std::move(batch_ids);
-    if (r.next_exec_seq >= kExecutedSeqWindow) {
-      r.executed_seqs.erase(r.executed_seqs.begin(),
-                            r.executed_seqs.lower_bound(
-                                r.next_exec_seq - kExecutedSeqWindow + 1));
-    }
-    // Retain the executed payloads on the shorter window: they are the
-    // certificates that let a view change catch up a lagging replica.
-    r.executed_batches[r.next_exec_seq] = proposal;
-    if (r.next_exec_seq >= kExecutedBatchWindow) {
-      r.executed_batches.erase(
-          r.executed_batches.begin(),
-          r.executed_batches.lower_bound(r.next_exec_seq -
-                                         kExecutedBatchWindow + 1));
-    }
-    r.accept_votes.erase(r.next_exec_seq);
+    // Prune the vote/proposal state before executing so the leader's
+    // re-propose scan stays O(in-flight), not O(history).
+    const uint64_t seq = r.next_exec_seq;
+    SmrMessage proposal = std::move(proposal_it->second.msg);
     r.proposals.erase(proposal_it);
-    r.next_exec_seq++;
+    r.accept_votes.erase(seq);
+    ExecuteCommitted(index, r, proposal, out);
+  }
+}
+
+void SmrCluster::ExecuteCommitted(unsigned index, Replica& r,
+                                  const SmrMessage& proposal,
+                                  std::vector<SmrMessage>* out) {
+  std::vector<uint64_t> batch_ids;
+  batch_ids.reserve(proposal.batch.size());
+  for (const auto& entry : proposal.batch) {
+    batch_ids.push_back(entry.request_id);
+    auto command = CoordCommand::Decode(entry.payload);
+    const std::string client = command.ok() ? command->client : std::string();
+    auto& client_log = r.client_replies[client];
+    Bytes reply_bytes;
+    auto cached_it = client_log.find(entry.request_id);
+    if (cached_it != client_log.end()) {
+      reply_bytes = cached_it->second;  // duplicate ordering; cached reply
+      // A retransmission may have re-queued the executed request (e.g. an
+      // undecodable payload skips the kRequest cache lookup); drop it so
+      // view changes never re-batch a dead entry.
+      r.pending.erase(entry.request_id);
+    } else {
+      CoordReply reply;
+      if (command.ok()) {
+        reply = r.space.Apply(proposal.order_time, *command);
+      } else {
+        reply.code = ErrorCode::kCorruption;
+      }
+      reply_bytes = reply.Encode();
+      client_log[entry.request_id] = reply_bytes;
+      // Window the per-client table: a client only ever retransmits
+      // requests it is still waiting on, which are at most its in-flight
+      // set — far fewer than the window.
+      while (client_log.size() > kClientReplyWindow) {
+        client_log.erase(client_log.begin());
+      }
+      r.executed_ops++;
+      r.pending.erase(entry.request_id);
+    }
+    out->push_back(MakeReply(index, r, entry.request_id,
+                             std::move(reply_bytes)));
+  }
+  // Record the committed assignment (it validates below-frontier
+  // re-proposes). The commit log is a sliding window: a below-frontier
+  // re-propose can only reference a seq a lagging leader still holds
+  // pending, which is bounded by the client retry lifetime — far less than
+  // the window. (Proposals beyond the window are simply not endorsed.)
+  r.executed_seqs[r.next_exec_seq] = std::move(batch_ids);
+  if (r.next_exec_seq >= kExecutedSeqWindow) {
+    r.executed_seqs.erase(r.executed_seqs.begin(),
+                          r.executed_seqs.lower_bound(
+                              r.next_exec_seq - kExecutedSeqWindow + 1));
+  }
+  // Retain the executed payloads on the shorter window: they are the
+  // certificates that let a view change catch up a lagging replica, and
+  // the tail certificates of snapshot state transfer.
+  const uint64_t batch_window =
+      std::max<uint64_t>(1, config_.executed_batch_window);
+  r.executed_batches[r.next_exec_seq] = proposal;
+  if (r.next_exec_seq >= batch_window) {
+    r.executed_batches.erase(
+        r.executed_batches.begin(),
+        r.executed_batches.lower_bound(r.next_exec_seq - batch_window + 1));
+  }
+  r.next_exec_seq++;
+  r.last_exec_advance = env_->Now();
+  MaybeTakeCheckpoint(index, r);
+}
+
+void SmrCluster::MaybeTakeCheckpoint(unsigned index, Replica& r) {
+  (void)index;
+  if (config_.checkpoint_interval == 0 ||
+      r.next_exec_seq % config_.checkpoint_interval != 0) {
+    return;
+  }
+  if (!r.checkpoints.empty() && r.checkpoints.back().seq >= r.next_exec_seq) {
+    return;  // an installed snapshot already covers this frontier
+  }
+  Replica::Checkpoint cp;
+  cp.seq = r.next_exec_seq;
+  cp.payload = EncodeReplicaSnapshot(r);
+  cp.digest = Sha256::Hash(cp.payload);
+  r.checkpoints.push_back(std::move(cp));
+  while (r.checkpoints.size() > kRetainedCheckpoints) {
+    r.checkpoints.pop_front();
+  }
+  checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+  // Log GC — the payoff of checkpointing: accepted proposals retained as
+  // certificates below the checkpoint are superseded by the snapshot as a
+  // catch-up source, so replica memory is bounded by the checkpoint
+  // interval and the retained windows instead of growing with history.
+  r.proposals.erase(r.proposals.begin(),
+                    r.proposals.lower_bound(r.next_exec_seq));
+  r.accept_votes.erase(r.accept_votes.begin(),
+                       r.accept_votes.lower_bound(r.next_exec_seq));
+}
+
+void SmrCluster::InstallSnapshot(unsigned index, Replica& r, uint64_t frontier,
+                                 const Bytes& digest, const Bytes& payload) {
+  (void)index;
+  TupleSpace space;
+  std::map<std::string, std::map<uint64_t, Bytes>> client_replies;
+  if (!DecodeReplicaSnapshot(payload, &space, &client_replies)) {
+    // Digest-vouched payloads decode by construction (the encoder is ours);
+    // treat a failure as a rejected offer rather than wedging on it.
+    snapshot_payload_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  r.space = std::move(space);
+  r.client_replies = std::move(client_replies);
+  r.next_exec_seq = frontier;
+  r.next_seq = std::max(r.next_seq, frontier);
+  r.last_exec_advance = env_->Now();
+  // Truncate the below-frontier proposal/commit logs: everything below the
+  // installed checkpoint is superseded by it.
+  r.proposals.erase(r.proposals.begin(), r.proposals.lower_bound(frontier));
+  r.accept_votes.erase(r.accept_votes.begin(),
+                       r.accept_votes.lower_bound(frontier));
+  r.executed_seqs.erase(r.executed_seqs.begin(),
+                        r.executed_seqs.lower_bound(frontier));
+  r.executed_batches.erase(r.executed_batches.begin(),
+                           r.executed_batches.lower_bound(frontier));
+  // The installed snapshot becomes this replica's own checkpoint: it can
+  // vouch for it and serve it onward, and its view-change votes carry it.
+  if (r.checkpoints.empty() || r.checkpoints.back().seq < frontier) {
+    r.checkpoints.push_back(Replica::Checkpoint{frontier, digest, payload});
+    while (r.checkpoints.size() > kRetainedCheckpoints) {
+      r.checkpoints.pop_front();
+    }
+  }
+  snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SmrCluster::DrainStateTransfer(unsigned index, Replica& r,
+                                    std::vector<SmrMessage>* out) {
+  for (;;) {
+    // Replay a tail certificate at the frontier once f+1 repliers agree on
+    // its content — at least one of them is correct and executed exactly
+    // this batch at this seq, so it is committed.
+    bool advanced = false;
+    for (auto it = r.tail_offers.lower_bound({r.next_exec_seq, Bytes()});
+         it != r.tail_offers.end() && it->first.first == r.next_exec_seq;
+         ++it) {
+      if (it->second.voters.size() < config_.vouch_quorum()) {
+        continue;
+      }
+      SmrMessage proposal;
+      proposal.type = SmrMessage::Type::kPropose;
+      proposal.view = r.view;
+      proposal.seq = it->second.cert.seq;
+      proposal.order_time = it->second.cert.order_time;
+      proposal.batch = it->second.cert.batch;
+      const uint64_t seq = r.next_exec_seq;
+      r.proposals.erase(seq);
+      r.accept_votes.erase(seq);
+      ExecuteCommitted(index, r, proposal, out);
+      advanced = true;
+      break;  // maps mutated; restart the scan at the new frontier
+    }
+    // The ordered path may now connect: live proposals stored while we
+    // lagged execute as soon as the frontier reaches them.
+    TryExecute(index, r, out);
+    PruneTransferState(r);
+    if (!advanced) {
+      break;
+    }
+  }
+}
+
+void SmrCluster::PruneTransferState(Replica& r) {
+  for (auto it = r.state_offers.begin();
+       it != r.state_offers.end() && it->first.first <= r.next_exec_seq;) {
+    it = r.state_offers.erase(it);
+  }
+  for (auto it = r.tail_offers.begin();
+       it != r.tail_offers.end() && it->first.first < r.next_exec_seq;) {
+    it = r.tail_offers.erase(it);
   }
 }
 
@@ -801,10 +1283,47 @@ void SmrCluster::CheckOrderingTimeout(unsigned index, Replica& r) {
         }
         ++it;
       }
+      // Flush accumulation-due batches: with a batch_accumulation_delay a
+      // partial batch may have been held at arrival time; this pass (and
+      // the replica loop's wake hint) proposes it once the delay elapses.
+      LeaderMaybePropose(index, r, &reproposals);
     }
   }
   for (const auto& proposal : reproposals) {
     BroadcastFromReplica(index, proposal);
+  }
+  // Wedge detection: evidence of ordering activity at or above our frontier
+  // with no execution progress for an order timeout. The ordered path can
+  // no longer supply what is missing (proposals below the live window are
+  // not re-sent to us), so ask the peers for a checkpoint and tail.
+  SmrMessage state_request;
+  bool request_state = false;
+  if (config_.checkpoint_interval > 0) {
+    std::lock_guard<std::mutex> lock(r.mu);
+    VirtualTime now = env_->Now();
+    // Drop transfer state the ordered path caught up past (DrainStateTransfer
+    // prunes too, but only runs on state replies — a replica unwedged by
+    // view-change re-proposes would otherwise hold stale offers forever and
+    // keep re-requesting on their evidence).
+    PruneTransferState(r);
+    const bool evidence =
+        (!r.proposals.empty() &&
+         r.proposals.rbegin()->first >= r.next_exec_seq) ||
+        (!r.accept_votes.empty() &&
+         r.accept_votes.rbegin()->first >= r.next_exec_seq) ||
+        !r.state_offers.empty() || !r.tail_offers.empty();
+    if (evidence && now - r.last_exec_advance > config_.order_timeout &&
+        now - r.last_state_request > config_.order_timeout) {
+      r.last_state_request = now;
+      state_request.type = SmrMessage::Type::kStateRequest;
+      state_request.from = static_cast<int>(index);
+      state_request.seq = r.next_exec_seq;
+      request_state = true;
+    }
+  }
+  if (request_state) {
+    state_requests_.fetch_add(1, std::memory_order_relaxed);
+    BroadcastFromReplica(index, state_request);
   }
   {
     std::lock_guard<std::mutex> lock(r.mu);
@@ -822,19 +1341,28 @@ void SmrCluster::CheckOrderingTimeout(unsigned index, Replica& r) {
         }
         // Certificates: every accepted proposal plus the retained executed
         // batches — the new leader adopts the highest view per seq, and
-        // below-frontier entries are its catch-up source for laggards.
-        std::vector<SmrViewChangeCert> certs;
+        // below-frontier entries are its catch-up source for laggards. The
+        // vote also carries this replica's latest checkpoint, from which
+        // the new leader derives the collective checkpoint it must never
+        // re-propose below.
+        Replica::ViewVote my_vote;
         for (const auto& [seq, proposal] : r.proposals) {
-          certs.push_back(CertFromProposal(seq, proposal.msg));
+          my_vote.certs.push_back(CertFromProposal(seq, proposal.msg));
         }
         for (const auto& [seq, executed] : r.executed_batches) {
-          certs.push_back(CertFromProposal(seq, executed));
+          my_vote.certs.push_back(CertFromProposal(seq, executed));
         }
-        votes[static_cast<int>(index)] = certs;
+        if (!r.checkpoints.empty()) {
+          my_vote.checkpoint_seq = r.checkpoints.back().seq;
+          my_vote.checkpoint_digest = r.checkpoints.back().digest;
+        }
         vote.type = SmrMessage::Type::kViewChange;
         vote.from = static_cast<int>(index);
         vote.view = proposed_view;
-        vote.certs = std::move(certs);
+        vote.seq = my_vote.checkpoint_seq;
+        vote.digest = my_vote.checkpoint_digest;
+        vote.certs = my_vote.certs;
+        votes[static_cast<int>(index)] = std::move(my_vote);
         send = true;
         break;
       }

@@ -39,11 +39,29 @@
 // (plus its own log) before re-proposing, so batched proposals survive view
 // changes without reordering. Exactly-once execution is enforced with
 // per-client last-reply tables, windowed like the seq->batch commit log.
+//
+// Snapshot-based state transfer removes the bounded catch-up window's wedge
+// (see DESIGN.md "State transfer & checkpoints"): replicas checkpoint the
+// replicated state (TupleSpace + per-client reply tables) every
+// `checkpoint_interval` committed seqs with a SHA-256 digest. A replica
+// whose execution frontier stalls while evidence of higher committed seqs
+// accumulates broadcasts a STATE_REQUEST; peers answer with their latest
+// checkpoint beyond the requester's frontier plus "tail certificates" (the
+// executed batches they retain above it). The requester installs a snapshot
+// only once f+1 peers vouch for the same (frontier, digest) pair — so at
+// least one voucher is correct — verifies each offered payload against the
+// vouched digest, truncates its below-frontier proposal/commit logs, and
+// replays tail certificates that f+1 peers agree on until it reconnects
+// with the live proposal stream. Checkpoints also bound replica memory:
+// accepted proposals below a replica's own latest checkpoint are GC'd (the
+// snapshot supersedes them as a catch-up source), and a new leader never
+// re-proposes below the vote quorum's collective checkpoint.
 
 #ifndef SCFS_COORD_SMR_H_
 #define SCFS_COORD_SMR_H_
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +69,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/executor.h"
@@ -83,10 +102,32 @@ struct SmrConfig {
   // How long a fast-path read waits for a matching-reply quorum before
   // falling back to the ordered path.
   VirtualDuration fast_read_timeout = FromMillis(600);
+  // Accumulation delay for leader batching: a batch smaller than max_batch
+  // is held until its oldest request has waited this long, trading a bounded
+  // latency increase for a higher batch factor at moderate load. 0 (default)
+  // proposes immediately from whatever is queued (the time-less policy).
+  VirtualDuration batch_accumulation_delay = 0;
+
+  // Executed-payload retention (the certificates that catch up a lagging
+  // replica without a snapshot). A replica lagging further than this behind
+  // the quorum recovers via snapshot state transfer instead.
+  uint64_t executed_batch_window = 256;
+  // Checkpoint cadence for snapshot state transfer: every this many
+  // committed seqs a replica snapshots TupleSpace + reply tables and hashes
+  // it. Soundness requires interval * kRetainedCheckpoints <=
+  // executed_batch_window (the post-install tail must be within the
+  // retained-batch range); SmrCluster clamps the interval down to enforce
+  // it. 0 disables checkpoints (and with them snapshot state transfer —
+  // the pre-snapshot wedge behavior).
+  uint64_t checkpoint_interval = 64;
 
   unsigned replica_count() const { return byzantine ? 3 * f + 1 : 2 * f + 1; }
   unsigned order_quorum() const { return byzantine ? 2 * f + 1 : f + 1; }
   unsigned reply_quorum() const { return byzantine ? f + 1 : 1; }
+  // Vouchers needed before trusting state-transfer material (a snapshot's
+  // (frontier, digest) pair, a tail certificate's batch): f+1 matching
+  // offers include at least one correct replica.
+  unsigned vouch_quorum() const { return reply_quorum(); }
   // Matching replies needed by the read-only fast path. Stronger than
   // reply_quorum: the value must be vouched for by enough replicas to
   // intersect any committed write.
@@ -116,20 +157,27 @@ struct SmrMessage {
     kAccept,
     kReply,
     kViewChange,
+    kStateRequest,  // lagging replica asks peers for checkpoint + tail
+    kStateReply,    // checkpoint (seq, digest, payload) + tail certificates
   };
   Type type = Type::kRequest;
   int from = -1;  // replica index, or -1 for a client
   uint64_t request_id = 0;
   uint64_t view = 0;
+  // kPropose/kAccept: instance seq. kViewChange: the voter's latest
+  // checkpoint seq. kStateRequest: the requester's execution frontier.
+  // kStateReply: the offered checkpoint's frontier.
   uint64_t seq = 0;
   VirtualTime order_time = 0;
-  Bytes payload;  // command bytes (request) or reply bytes (reply)
+  Bytes payload;  // command/reply bytes, or the kStateReply snapshot
+  Bytes digest;   // kStateReply/kViewChange: SHA-256 of the checkpoint
   std::vector<SmrBatchEntry> batch;        // kPropose: the ordered batch
-  std::vector<SmrViewChangeCert> certs;    // kViewChange: accepted proposals
+  // kViewChange: accepted proposals; kStateReply: executed-batch tail.
+  std::vector<SmrViewChangeCert> certs;
 
   // Wire size for latency sampling.
   size_t ByteSize() const {
-    size_t total = payload.size();
+    size_t total = payload.size() + digest.size();
     for (const auto& entry : batch) {
       total += entry.payload.size();
     }
@@ -152,6 +200,12 @@ struct SmrCounters {
   uint64_t proposed_requests = 0;    // requests across those instances
   uint64_t fast_path_reads = 0;      // reads served without ordering
   uint64_t fast_path_fallbacks = 0;  // reads that fell back to ordering
+  uint64_t checkpoints_taken = 0;    // periodic snapshots across replicas
+  uint64_t state_requests = 0;       // STATE_REQUEST broadcasts (wedges)
+  uint64_t snapshots_installed = 0;  // f+1-vouched snapshot installs
+  // State replies whose snapshot payload did not hash to the claimed
+  // digest (a Byzantine peer's forged snapshot), dropped at receipt.
+  uint64_t snapshot_payload_rejects = 0;
 
   SmrCounters& operator+=(const SmrCounters& other) {
     ordered_commands += other.ordered_commands;
@@ -159,6 +213,10 @@ struct SmrCounters {
     proposed_requests += other.proposed_requests;
     fast_path_reads += other.fast_path_reads;
     fast_path_fallbacks += other.fast_path_fallbacks;
+    checkpoints_taken += other.checkpoints_taken;
+    state_requests += other.state_requests;
+    snapshots_installed += other.snapshots_installed;
+    snapshot_payload_rejects += other.snapshot_payload_rejects;
     return *this;
   }
 };
@@ -177,13 +235,29 @@ class SmrCluster {
 
   unsigned replica_count() const { return config_.replica_count(); }
 
-  // Fault injection.
+  // Fault injection. A crashed replica consumes and drops every message;
+  // RestartReplica models a crash-recovery restart with the replica's
+  // durable state as of the crash — it rejoins lagging and catches up via
+  // the certificate window or, beyond it, snapshot state transfer.
   void CrashReplica(unsigned index);
+  void RestartReplica(unsigned index);
   void SetReplicaByzantine(unsigned index, bool byzantine);
 
   // Introspection for tests.
   uint64_t current_view() const;
   uint64_t executed_count(unsigned replica) const;
+  // The replica's execution frontier (next seq to execute).
+  uint64_t exec_frontier(unsigned replica) const;
+  // SHA-256 digest of the replica's replicated state (TupleSpace + reply
+  // tables). Converged replicas report identical digests. Costs one full
+  // state serialization under the replica's mutex — an operations poll /
+  // test probe, not a hot path.
+  Bytes state_digest(unsigned replica) const;
+  // The digest an order-quorum of replicas agrees on, or empty when no
+  // digest has quorum backing (replicas mid-execution at different
+  // frontiers, or diverged) — the operations surface for "is the cluster
+  // state-converged and what is its fingerprint".
+  Bytes quorum_state_digest() const;
   uint64_t reply_bytes_out() const {
     return reply_bytes_out_.load(std::memory_order_relaxed);
   }
@@ -230,15 +304,59 @@ class SmrCluster {
     // below-frontier re-proposes.
     std::map<uint64_t, std::vector<uint64_t>> executed_seqs;
     // seq -> the executed proposal itself (payloads included), on a shorter
-    // window. Together with retaining accepted proposals across view
-    // changes, this guarantees that any committed seq within the window
-    // has a re-sendable certificate in every view-change vote quorum: a
-    // commit quorum intersects any vote quorum in a replica that either
-    // still holds the accepted proposal or has it here.
+    // window (SmrConfig::executed_batch_window). Together with retaining
+    // accepted proposals across view changes, this guarantees that any
+    // committed seq within the window has a re-sendable certificate in
+    // every view-change vote quorum: a commit quorum intersects any vote
+    // quorum in a replica that either still holds the accepted proposal or
+    // has it here. It also serves the tail certificates of STATE replies.
     std::map<uint64_t, SmrMessage> executed_batches;
-    // proposed view -> (voter -> the voter's accepted-proposal certificates)
-    std::map<uint64_t, std::map<int, std::vector<SmrViewChangeCert>>>
-        view_votes;
+    // One view-change vote: the voter's accepted-proposal certificates plus
+    // its latest checkpoint, from which the new leader derives the
+    // collective checkpoint it must never re-propose below.
+    struct ViewVote {
+      std::vector<SmrViewChangeCert> certs;
+      uint64_t checkpoint_seq = 0;
+      Bytes checkpoint_digest;
+    };
+    // proposed view -> (voter -> vote)
+    std::map<uint64_t, std::map<int, ViewVote>> view_votes;
+    // Per-sender view claims: the view each peer was last observed sending
+    // ordering traffic in, kept only while above ours. A restarted replica
+    // stranded in an old view adopts a higher view once f+1 distinct peers
+    // (one correct) claim the SAME view. One slot per sender — a forger
+    // can occupy exactly one entry no matter how many views it invents, so
+    // the map is bounded by the replica count with no eviction policy.
+    std::map<int, uint64_t> view_claims;
+
+    // Periodic checkpoint: the serialized replicated state at `seq` and its
+    // SHA-256. Recent ones are retained so peers at slightly different
+    // frontiers can still assemble f+1 vouchers for a common pair.
+    struct Checkpoint {
+      uint64_t seq = 0;
+      Bytes digest;
+      Bytes payload;
+    };
+    std::deque<Checkpoint> checkpoints;
+
+    // State-transfer collection (requester side): snapshot offers bucketed
+    // by the vouched (frontier, digest) pair, and tail-certificate offers
+    // bucketed by (seq, canonical batch encoding). Payload equality inside
+    // a snapshot bucket is implied — every stored payload already hashed to
+    // the bucket's digest at receipt.
+    struct StateOffer {
+      Bytes payload;
+      std::set<int> voters;
+    };
+    std::map<std::pair<uint64_t, Bytes>, StateOffer> state_offers;
+    struct TailOffer {
+      SmrViewChangeCert cert;
+      std::set<int> voters;
+    };
+    std::map<std::pair<uint64_t, Bytes>, TailOffer> tail_offers;
+    VirtualTime last_exec_advance = 0;  // wedge detection
+    VirtualTime last_state_request = 0;
+
     uint64_t executed_ops = 0;
     Rng rng{0};
   };
@@ -249,11 +367,10 @@ class SmrCluster {
   // fan-out below this).
   static constexpr size_t kClientReplyWindow = 1024;
   static constexpr uint64_t kExecutedSeqWindow = 4096;
-  // Executed payload retention (certificates for lagging-replica catch-up).
-  // A replica lagging more than this many committed seqs behind a view
-  // change can no longer be caught up and wedges — the documented residual
-  // state-transfer gap.
-  static constexpr uint64_t kExecutedBatchWindow = 256;
+  // Checkpoints retained per replica: two, so a peer that just rolled its
+  // checkpoint forward can still vouch for the previous one while slower
+  // replicas reach it.
+  static constexpr size_t kRetainedCheckpoints = 2;
 
   void ReplicaLoop(unsigned index);
   void HandleMessage(unsigned index, Replica& r, SmrMessage msg);
@@ -262,6 +379,33 @@ class SmrCluster {
   void AdoptView(unsigned index, Replica& r, uint64_t view,
                  std::vector<SmrMessage>* out);
   void TryExecute(unsigned index, Replica& r, std::vector<SmrMessage>* out);
+  // Applies one committed batch at the execution frontier: executes (or
+  // replays cached replies), records the commit logs, advances the
+  // frontier, and takes the periodic checkpoint. Shared by the ordered
+  // path (TryExecute) and the state-transfer tail replay.
+  void ExecuteCommitted(unsigned index, Replica& r, const SmrMessage& proposal,
+                        std::vector<SmrMessage>* out);
+  // Replays f+1-vouched tail certificates at the frontier, then lets the
+  // ordered path drain whatever stored proposals now connect.
+  void DrainStateTransfer(unsigned index, Replica& r,
+                          std::vector<SmrMessage>* out);
+  // Drops snapshot/tail offers the execution frontier has passed (an offer
+  // AT the frontier is useless for snapshots but is the next tail replay).
+  static void PruneTransferState(Replica& r);
+  // Installs an f+1-vouched snapshot: restores the replicated state, moves
+  // the frontier, truncates below-frontier logs, and records the snapshot
+  // as this replica's own checkpoint.
+  void InstallSnapshot(unsigned index, Replica& r, uint64_t frontier,
+                       const Bytes& digest, const Bytes& payload);
+  void MaybeTakeCheckpoint(unsigned index, Replica& r);
+  // The replicated state a checkpoint captures: the TupleSpace plus the
+  // per-client reply tables (so exactly-once survives a snapshot install).
+  // Both are deterministic functions of the executed command sequence, so
+  // replicas at the same frontier encode byte-identical snapshots.
+  Bytes EncodeReplicaSnapshot(const Replica& r) const;
+  static bool DecodeReplicaSnapshot(
+      ConstByteSpan payload, TupleSpace* space,
+      std::map<std::string, std::map<uint64_t, Bytes>>* client_replies);
   void CheckOrderingTimeout(unsigned index, Replica& r);
   void BroadcastFromReplica(unsigned from, const SmrMessage& msg);
   void SendToReplica(unsigned from_replica, unsigned to, SmrMessage msg);
@@ -296,6 +440,10 @@ class SmrCluster {
   std::atomic<uint64_t> proposed_requests_{0};
   std::atomic<uint64_t> fast_path_reads_{0};
   std::atomic<uint64_t> fast_path_fallbacks_{0};
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  std::atomic<uint64_t> state_requests_{0};
+  std::atomic<uint64_t> snapshots_installed_{0};
+  std::atomic<uint64_t> snapshot_payload_rejects_{0};
 
   std::mutex rng_mu_;
   Rng client_rng_;
@@ -322,6 +470,11 @@ class ReplicatedCoordination : public CoordinationService {
       return cluster_.Execute(command);
     });
   }
+
+  // The order-quorum-vouched digest across replicas (empty while not
+  // converged) — the fingerprint an operator compares against other
+  // deployments or across restarts.
+  Bytes StateDigest() override { return cluster_.quorum_state_digest(); }
 
   SmrCluster& cluster() { return cluster_; }
 

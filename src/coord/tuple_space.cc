@@ -1,6 +1,9 @@
 #include "src/coord/tuple_space.h"
 
+#include <utility>
 #include <vector>
+
+#include "src/crypto/sha256.h"
 
 namespace scfs {
 
@@ -10,7 +13,102 @@ CoordReply ErrorReply(ErrorCode code) {
   reply.code = code;
   return reply;
 }
+
+void AppendStringSet(Bytes* out, const std::set<std::string>& strings) {
+  AppendU32(out, static_cast<uint32_t>(strings.size()));
+  for (const std::string& s : strings) {
+    AppendString(out, s);
+  }
+}
+
+bool ReadStringSet(ByteReader* reader, std::set<std::string>* out) {
+  uint32_t count = 0;
+  if (!reader->ReadU32(&count)) {
+    return false;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string s;
+    if (!reader->ReadString(&s)) {
+      return false;
+    }
+    out->insert(std::move(s));
+  }
+  return true;
+}
 }  // namespace
+
+Bytes TupleSpace::Snapshot() const {
+  Bytes out;
+  AppendU64(&out, next_token_);
+  AppendU64(&out, stored_bytes_);
+  AppendU32(&out, static_cast<uint32_t>(entries_.size()));
+  for (const auto& [key, entry] : entries_) {
+    AppendString(&out, key);
+    AppendBytes(&out, entry.value);
+    AppendU64(&out, entry.version);
+    AppendString(&out, entry.acl.owner);
+    AppendStringSet(&out, entry.acl.readers);
+    AppendStringSet(&out, entry.acl.writers);
+  }
+  AppendU32(&out, static_cast<uint32_t>(locks_.size()));
+  for (const auto& [key, lock] : locks_) {
+    AppendString(&out, key);
+    AppendString(&out, lock.owner);
+    AppendU64(&out, lock.token);
+    AppendU64(&out, static_cast<uint64_t>(lock.expires_at));
+  }
+  return out;
+}
+
+bool TupleSpace::Restore(ConstByteSpan snapshot) {
+  ByteReader reader(snapshot);
+  uint64_t next_token = 0;
+  uint64_t stored_bytes = 0;
+  uint32_t entry_count = 0;
+  if (!reader.ReadU64(&next_token) || !reader.ReadU64(&stored_bytes) ||
+      !reader.ReadU32(&entry_count)) {
+    return false;
+  }
+  std::map<std::string, Entry> entries;
+  for (uint32_t i = 0; i < entry_count; ++i) {
+    std::string key;
+    Entry entry;
+    if (!reader.ReadString(&key) || !reader.ReadBytes(&entry.value) ||
+        !reader.ReadU64(&entry.version) ||
+        !reader.ReadString(&entry.acl.owner) ||
+        !ReadStringSet(&reader, &entry.acl.readers) ||
+        !ReadStringSet(&reader, &entry.acl.writers)) {
+      return false;
+    }
+    entries.emplace(std::move(key), std::move(entry));
+  }
+  uint32_t lock_count = 0;
+  if (!reader.ReadU32(&lock_count)) {
+    return false;
+  }
+  std::map<std::string, Lock> locks;
+  for (uint32_t i = 0; i < lock_count; ++i) {
+    std::string key;
+    Lock lock;
+    uint64_t expires_at = 0;
+    if (!reader.ReadString(&key) || !reader.ReadString(&lock.owner) ||
+        !reader.ReadU64(&lock.token) || !reader.ReadU64(&expires_at)) {
+      return false;
+    }
+    lock.expires_at = static_cast<VirtualTime>(expires_at);
+    locks.emplace(std::move(key), lock);
+  }
+  if (!reader.AtEnd()) {
+    return false;
+  }
+  entries_ = std::move(entries);
+  locks_ = std::move(locks);
+  next_token_ = next_token;
+  stored_bytes_ = stored_bytes;
+  return true;
+}
+
+Bytes TupleSpace::StateDigest() const { return Sha256::Hash(Snapshot()); }
 
 CoordReply TupleSpace::Apply(VirtualTime now, const CoordCommand& command) {
   ExpireLocks(now);

@@ -7,6 +7,13 @@
 // client's locks vanish automatically (§2.5.1, locking service requirement).
 // All mutation goes through Apply(now, command); replicas that execute the
 // same command sequence with the same timestamps reach identical states.
+//
+// Snapshot()/Restore() serialize that replicated state deterministically
+// (std::map iteration order is the serialization order), so two replicas at
+// the same execution frontier produce byte-identical snapshots and therefore
+// identical SHA-256 state digests — the property the SMR snapshot state
+// transfer's f+1 digest-vouching rule rests on (see DESIGN.md, "State
+// transfer & checkpoints").
 
 #ifndef SCFS_COORD_TUPLE_SPACE_H_
 #define SCFS_COORD_TUPLE_SPACE_H_
@@ -30,6 +37,19 @@ class TupleSpace {
   // what replicas run for the read-only fast path; non-read-only commands
   // get kInvalidArgument.
   CoordReply Query(const CoordCommand& command) const;
+
+  // Deterministic serialization of the full replicated state (entries with
+  // ACLs and versions, locks with leases, the token counter). Replicas at
+  // the same execution frontier produce byte-identical snapshots.
+  Bytes Snapshot() const;
+
+  // Replaces the current state with a previously serialized snapshot.
+  // Returns false (leaving the state untouched) on a malformed payload.
+  bool Restore(ConstByteSpan snapshot);
+
+  // SHA-256 over Snapshot(): the state digest replicas vouch with during
+  // snapshot-based state transfer.
+  Bytes StateDigest() const;
 
   // Introspection for tests and capacity accounting (Figure 11a).
   size_t entry_count() const { return entries_.size(); }

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for this repository.
+
+Scans every *.md file (skipping build trees) and verifies that
+
+  - relative link targets exist on disk, and
+  - fragment anchors (#heading) resolve to a heading in the target file,
+    using GitHub's heading-slug rules.
+
+External links (http/https/mailto) are deliberately not fetched: CI must
+not flake on the network. Exit status is non-zero when any link is broken,
+with one report line per offense.
+
+Usage: python3 tools/check_markdown_links.py [root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "node_modules", "__pycache__"}
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, mailto:, etc.
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code_spans(line):
+    return re.sub(r"`[^`]*`", "", line)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap code spans
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # unwrap links
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path):
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else "%s-%d" % (slug, n))
+    return slugs
+
+
+def iter_links(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in INLINE_LINK.finditer(strip_code_spans(line)):
+                yield lineno, match.group(1)
+
+
+def check(root):
+    errors = []
+    slug_cache = {}
+    for md in markdown_files(root):
+        for lineno, target in iter_links(md):
+            if EXTERNAL.match(target):
+                continue  # external: not fetched by design
+            target_path, _, fragment = target.partition("#")
+            if target_path:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md), target_path))
+            else:
+                resolved = md  # same-file anchor
+            rel = os.path.relpath(md, root)
+            if not os.path.exists(resolved):
+                errors.append("%s:%d: broken link: %s (no such file)" %
+                              (rel, lineno, target))
+                continue
+            if fragment and resolved.endswith(".md"):
+                if resolved not in slug_cache:
+                    slug_cache[resolved] = heading_slugs(resolved)
+                if fragment.lower() not in slug_cache[resolved]:
+                    errors.append("%s:%d: broken anchor: %s (no heading "
+                                  "slug '%s' in %s)" %
+                                  (rel, lineno, target, fragment,
+                                   os.path.relpath(resolved, root)))
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    errors = check(root)
+    for error in errors:
+        print(error)
+    if errors:
+        print("%d broken markdown link(s)" % len(errors))
+        return 1
+    print("markdown links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
