@@ -30,6 +30,12 @@ enum class CoordOp : uint8_t {
   kRenamePrefix,         // key=old prefix, aux=new prefix (trigger extension)
   kSetEntryAcl,          // aux=grantee, a=permission bits
   kNoop,                 // used by view changes / heartbeats
+  // Cross-partition move primitives (the partitioned coordination plane's
+  // rename building blocks — see src/coord/partitioned_coordination.h).
+  // Both are always totally ordered, never fast-path reads: an export is a
+  // linearization point of a multi-key move, and an import mutates.
+  kExportPrefix,         // entries under key prefix, full ACL+version payload
+  kImportEntry,          // key=new key, value=an exported entry payload
 };
 
 struct CoordCommand {

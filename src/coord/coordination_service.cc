@@ -120,6 +120,29 @@ Status CoordinationService::RenamePrefix(const std::string& client,
   return reply.ToStatus("coord rename " + old_prefix);
 }
 
+Result<std::vector<CoordEntryView>> CoordinationService::ExportPrefix(
+    const std::string& client, const std::string& prefix) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kExportPrefix;
+  cmd.client = client;
+  cmd.key = prefix;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  RETURN_IF_ERROR(reply.ToStatus("coord export prefix " + prefix));
+  return reply.entries;
+}
+
+Status CoordinationService::ImportEntry(const std::string& client,
+                                        const std::string& key,
+                                        const Bytes& payload) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kImportEntry;
+  cmd.client = client;
+  cmd.key = key;
+  cmd.value = payload;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  return reply.ToStatus("coord import " + key);
+}
+
 Status CoordinationService::GrantEntryAccess(const std::string& owner,
                                              const std::string& key,
                                              const std::string& grantee,
@@ -216,6 +239,26 @@ Future<Status> CoordinationService::UnlockAsync(const std::string& client,
   cmd.key = name;
   cmd.b = token;
   return AsStatus(SubmitAsync(cmd), "coord unlock " + name);
+}
+
+Future<Status> CoordinationService::ImportEntryAsync(const std::string& client,
+                                                     const std::string& key,
+                                                     const Bytes& payload) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kImportEntry;
+  cmd.client = client;
+  cmd.key = key;
+  cmd.value = payload;
+  return AsStatus(SubmitAsync(cmd), "coord import " + key);
+}
+
+std::string PartitionRoutingKey(const std::string& key) {
+  for (const char* prefix : {"ri:", "rc:"}) {
+    if (key.compare(0, 3, prefix) == 0) {
+      return key.substr(3);
+    }
+  }
+  return key;
 }
 
 }  // namespace scfs

@@ -46,8 +46,21 @@ class CoordinationService {
   // (deterministic snapshot serialization), comparable across replicas and
   // restarts of the same deployment kind. Empty when the implementation
   // has no snapshot support, or (replicated) while no digest has quorum
-  // backing.
+  // backing. The partitioned implementation combines per-partition quorum
+  // digests deterministically (sorted by partition index).
   virtual Bytes StateDigest() { return {}; }
+
+  // Partition topology. A single-server or single-cluster service is one
+  // partition holding every key; PartitionedCoordination overrides these
+  // with its routing map. Callers that perform multi-key operations (the
+  // metadata service's subtree rename) consult partition_count() to decide
+  // between the atomic single-partition path and the cross-partition
+  // intent-record protocol.
+  virtual unsigned partition_count() const { return 1; }
+  virtual unsigned PartitionOf(const std::string& key) const {
+    (void)key;
+    return 0;
+  }
 
   // -- Typed wrappers ------------------------------------------------------
 
@@ -75,6 +88,15 @@ class CoordinationService {
                       const std::string& new_prefix);
   Status GrantEntryAccess(const std::string& owner, const std::string& key,
                           const std::string& grantee, bool read, bool write);
+  // Cross-partition move primitives (see src/coord/partitioned_coordination.h
+  // and the metadata service's intent-record rename). Export returns, for
+  // every entry under `prefix`, an opaque payload preserving value, version
+  // and ACL; Import installs such a payload under a new key, idempotently.
+  // Both are always totally ordered.
+  Result<std::vector<CoordEntryView>> ExportPrefix(const std::string& client,
+                                                   const std::string& prefix);
+  Status ImportEntry(const std::string& client, const std::string& key,
+                     const Bytes& payload);
 
   // -- Asynchronous typed wrappers -----------------------------------------
   // Futures over SubmitAsync; the charge semantics follow the future
@@ -93,7 +115,18 @@ class CoordinationService {
                                 VirtualDuration lease);
   Future<Status> UnlockAsync(const std::string& client, const std::string& name,
                              uint64_t token);
+  Future<Status> ImportEntryAsync(const std::string& client,
+                                  const std::string& key,
+                                  const Bytes& payload);
 };
+
+// The key a partitioned router hashes to place `key`. Keys carrying a
+// co-location prefix — "ri:" (rename intent) or "rc:" (rename commit) —
+// route as if the prefix were absent, so an auxiliary record lands on the
+// partition of the key range it describes: the intent record shares the
+// source subtree's partition ("prepare on the source partition"), the
+// commit marker the destination's.
+std::string PartitionRoutingKey(const std::string& key);
 
 }  // namespace scfs
 

@@ -1,0 +1,146 @@
+#include "src/coord/partitioned_coordination.h"
+
+#include <algorithm>
+
+#include "src/crypto/sha256.h"
+
+namespace scfs {
+
+namespace {
+
+// FNV-1a 64-bit: stable across platforms and processes, so a key's
+// partition is a pure function of the key and the partition count —
+// clients, replayed intents and restarted deployments all agree on it.
+uint64_t Fnv1a64(const std::string& key) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+PartitionedCoordination::PartitionedCoordination(
+    Environment* env, PartitionedCoordinationConfig config, uint64_t seed)
+    : env_(env), config_(config) {
+  const unsigned n = std::max(1u, config_.partitions);
+  partitions_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    // Distinct seeds per partition: independent leaders, link jitter and
+    // client rngs, as physically separate clusters would have.
+    partitions_.push_back(std::make_unique<SmrCluster>(
+        env_, config_.smr, seed + i * 7776151ull));
+  }
+}
+
+unsigned PartitionedCoordination::PartitionOf(const std::string& key) const {
+  return static_cast<unsigned>(Fnv1a64(PartitionRoutingKey(key)) %
+                               partitions_.size());
+}
+
+Result<CoordReply> PartitionedCoordination::Submit(
+    const CoordCommand& command) {
+  switch (command.op) {
+    case CoordOp::kReadPrefix:
+    case CoordOp::kExportPrefix:
+      return ScatterGather(command);
+    case CoordOp::kRenamePrefix:
+      if (partitions_.size() > 1) {
+        // A prefix's keys hash across partitions; an in-place rename cannot
+        // be atomic. Callers use the intent-record protocol built on
+        // ExportPrefix/ImportEntry (MetadataService::RenameSubtree).
+        return NotSupportedError(
+            "kRenamePrefix spans partitions; use the intent-record rename");
+      }
+      break;
+    default:
+      break;
+  }
+  return partitions_[PartitionOf(command.key)]->Execute(command);
+}
+
+Result<CoordReply> PartitionedCoordination::ScatterGather(
+    const CoordCommand& command) {
+  if (partitions_.size() == 1) {
+    return partitions_[0]->Execute(command);
+  }
+  // Concurrent fan-out on the shared executor; the WhenAll join charges the
+  // caller the slowest partition's round, not the sum — the scatter is one
+  // parallel round, exactly like a DepSky cloud fan-out.
+  std::vector<Future<Result<CoordReply>>> rounds;
+  rounds.reserve(partitions_.size());
+  for (auto& partition : partitions_) {
+    SmrCluster* cluster = partition.get();
+    rounds.push_back(SubmitTracked(
+        &inflight_, [cluster, command] { return cluster->Execute(command); }));
+  }
+  std::vector<Result<CoordReply>> results = WhenAll(std::move(rounds)).Get();
+
+  CoordReply merged;
+  for (auto& result : results) {
+    if (!result.ok()) {
+      return result.status();  // transport-level failure of one partition
+    }
+    if (!result->ok()) {
+      // A state-machine error (e.g. kPermissionDenied from an export)
+      // poisons the whole scatter: the caller must not see a partial view.
+      return *result;
+    }
+    merged.entries.insert(merged.entries.end(),
+                          std::make_move_iterator(result->entries.begin()),
+                          std::make_move_iterator(result->entries.end()));
+  }
+  // Partitions return their slices sorted (TupleSpace iterates an ordered
+  // map); the merged view restores the global order a single cluster would
+  // have returned.
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const CoordEntryView& a, const CoordEntryView& b) {
+              return a.key < b.key;
+            });
+  merged.a = merged.entries.size();
+  return merged;
+}
+
+Future<Result<CoordReply>> PartitionedCoordination::SubmitAsync(
+    const CoordCommand& command) {
+  return SubmitTracked(&inflight_,
+                       [this, command] { return Submit(command); });
+}
+
+Bytes PartitionedCoordination::StateDigest() {
+  // Deterministic combination, sorted by partition index: hash the
+  // concatenation of (index, per-partition order-quorum digest). Two
+  // deployments (or one across a restart) that executed the same per-key
+  // command history report the same combined fingerprint; any partition
+  // without quorum backing makes the whole digest empty ("not converged").
+  Bytes combined;
+  for (unsigned i = 0; i < partitions_.size(); ++i) {
+    Bytes digest = partitions_[i]->quorum_state_digest();
+    if (digest.empty()) {
+      return {};
+    }
+    AppendU32(&combined, i);
+    AppendBytes(&combined, digest);
+  }
+  return Sha256::Hash(combined);
+}
+
+SmrCounters PartitionedCoordination::counters() const {
+  SmrCounters out;
+  for (const auto& partition : partitions_) {
+    out += partition->counters();
+  }
+  return out;
+}
+
+uint64_t PartitionedCoordination::reply_bytes_out() const {
+  uint64_t out = 0;
+  for (const auto& partition : partitions_) {
+    out += partition->reply_bytes_out();
+  }
+  return out;
+}
+
+}  // namespace scfs

@@ -1,0 +1,94 @@
+// PartitionedCoordination: the sharded coordination plane. N independent
+// SmrCluster partitions — each a full BFT-SMaRt-style pipeline with its own
+// leader, batching, read fast path, checkpoints and state transfer — behind
+// a router that places every tuple key on exactly one partition by a stable
+// hash. Ordered throughput then scales with the number of partitions
+// instead of capping out at one consensus pipeline, while every single-key
+// operation keeps exactly the semantics of the unsharded cluster:
+//
+//   * Routing — partition = FNV-1a(PartitionRoutingKey(key)) mod N. The
+//     routing key is the tuple key itself, except for the "ri:"/"rc:"
+//     co-location prefixes (see coordination_service.h), which route by
+//     their suffix so rename intent/commit records land on the partition of
+//     the key range they describe.
+//   * Per-key linearizability — a key lives on exactly one partition, so
+//     single-key commands (metadata writes, consistency-anchor publishes,
+//     the whole lock recipe) inherit the partition's total order unchanged.
+//     There is NO cross-partition total order: commands on different keys
+//     routed to different partitions are concurrent, exactly like the
+//     commuting-commands contract SubmitAsync already imposes.
+//   * Scatter-gather prefix operations — kReadPrefix and kExportPrefix fan
+//     out to every partition concurrently (max-of-children charge, like a
+//     DepSky quorum fan-out) and merge the per-partition results sorted by
+//     key. A prefix read is therefore not a cross-partition snapshot; each
+//     partition's slice is individually linearizable.
+//   * Cross-partition writes — kRenamePrefix cannot be atomic across
+//     partitions and is rejected with kNotSupported when N > 1; the
+//     metadata service layers a crash-recoverable intent-record protocol
+//     over ExportPrefix/ImportEntry instead (see DESIGN.md "Partitioned
+//     coordination").
+//   * Operations surface — StateDigest() combines the per-partition
+//     order-quorum digests deterministically, sorted by partition index, so
+//     operators can compare partitioned deployments across restarts exactly
+//     like single-cluster ones; empty while any partition lacks quorum
+//     backing.
+//
+// With N = 1 the router degenerates to a pass-through around one SmrCluster
+// and behaves identically to ReplicatedCoordination (Deployment constructs
+// ReplicatedCoordination directly in that case, keeping the single-cluster
+// code path byte-identical to the unpartitioned deployment).
+
+#ifndef SCFS_COORD_PARTITIONED_COORDINATION_H_
+#define SCFS_COORD_PARTITIONED_COORDINATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/coord/smr.h"
+
+namespace scfs {
+
+struct PartitionedCoordinationConfig {
+  unsigned partitions = 2;
+  // Per-partition SMR geometry; every partition is configured identically.
+  SmrConfig smr;
+};
+
+class PartitionedCoordination : public CoordinationService {
+ public:
+  PartitionedCoordination(Environment* env,
+                          PartitionedCoordinationConfig config,
+                          uint64_t seed = 29);
+
+  Result<CoordReply> Submit(const CoordCommand& command) override;
+  Future<Result<CoordReply>> SubmitAsync(const CoordCommand& command) override;
+  Bytes StateDigest() override;
+
+  unsigned partition_count() const override {
+    return static_cast<unsigned>(partitions_.size());
+  }
+  unsigned PartitionOf(const std::string& key) const override;
+
+  // Per-partition introspection and fault injection for tests/benchmarks.
+  SmrCluster& cluster(unsigned partition) { return *partitions_[partition]; }
+  // Aggregate protocol counters across all partitions.
+  SmrCounters counters() const;
+  uint64_t reply_bytes_out() const;
+
+ private:
+  // Fan a prefix command out to every partition, merge entries by key.
+  Result<CoordReply> ScatterGather(const CoordCommand& command);
+
+  Environment* env_;
+  PartitionedCoordinationConfig config_;
+  std::vector<std::unique_ptr<SmrCluster>> partitions_;
+  // Declared after partitions_: destroyed first, so in-flight async
+  // submissions drain before any partition shuts down.
+  InFlightTracker inflight_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_COORD_PARTITIONED_COORDINATION_H_

@@ -35,6 +35,16 @@ Bytes CertContentKey(const SmrViewChangeCert& cert) {
   return out;
 }
 
+// The frontier a matching reply set vouches for: the q-th highest among the
+// repliers' committed-frontier tags, q = the reply quorum (f+1 byzantine, 1
+// crash). At least one correct replica sits at or beyond it, so a lying
+// replica can inflate its own tag without dragging the watermark past what
+// a correct replica actually committed.
+uint64_t VouchedFrontier(std::vector<uint64_t> frontiers, unsigned quorum) {
+  std::sort(frontiers.begin(), frontiers.end(), std::greater<uint64_t>());
+  return frontiers[std::min<size_t>(frontiers.size(), quorum) - 1];
+}
+
 // A below-frontier catch-up proposal retires once every replica re-accepted
 // it, or after this many re-sends with an order-quorum of re-accepts — a
 // live laggard has received one of them (delivery is reliable; only the
@@ -189,6 +199,10 @@ SmrCounters SmrCluster::counters() const {
   out.fast_path_reads = fast_path_reads_.load(std::memory_order_relaxed);
   out.fast_path_fallbacks =
       fast_path_fallbacks_.load(std::memory_order_relaxed);
+  out.fast_path_cooldown_bypasses =
+      fast_path_cooldown_bypasses_.load(std::memory_order_relaxed);
+  out.fast_path_stale_quorums =
+      fast_path_stale_quorums_.load(std::memory_order_relaxed);
   out.checkpoints_taken = checkpoints_taken_.load(std::memory_order_relaxed);
   out.state_requests = state_requests_.load(std::memory_order_relaxed);
   out.snapshots_installed =
@@ -307,7 +321,9 @@ std::optional<Bytes> SmrCluster::TryFastRead(const Bytes& encoded_command) {
   }
 
   const VirtualTime deadline = env_->Now() + config_.fast_read_timeout;
-  std::map<int, Bytes> replies;  // replica -> reply payload
+  // replica -> (reply payload, committed-frontier tag)
+  std::map<int, std::pair<Bytes, uint64_t>> replies;
+  bool saw_stale_quorum = false;
   for (;;) {
     VirtualTime now = env_->Now();
     if (now >= deadline) {
@@ -324,14 +340,37 @@ std::optional<Bytes> SmrCluster::TryFastRead(const Bytes& encoded_command) {
         msg->request_id != request_id) {
       continue;
     }
-    replies[msg->from] = msg->payload;
+    replies[msg->from] = {msg->payload, msg->seq};
     unsigned votes = 0;
-    for (const auto& [from, payload] : replies) {
-      if (payload == msg->payload) {
+    std::vector<uint64_t> match_frontiers;
+    for (const auto& [from, reply] : replies) {
+      if (reply.first == msg->payload) {
         ++votes;
+        match_frontiers.push_back(reply.second);
       }
     }
-    if (votes >= config_.read_quorum()) {
+    // Frontier gate: besides the matching quorum, f+1 of the matching
+    // replies must be at or beyond the client's watermark — otherwise the
+    // quorum, though internally consistent, describes a state older than
+    // one this stub already observed (the read-read inversion), and
+    // accepting it would move reads backwards in time.
+    const uint64_t observed =
+        observed_frontier_.load(std::memory_order_relaxed);
+    unsigned fresh = 0;
+    for (uint64_t frontier : match_frontiers) {
+      if (frontier >= observed) {
+        ++fresh;
+      }
+    }
+    if (votes >= config_.read_quorum() &&
+        fresh < config_.reply_quorum()) {
+      saw_stale_quorum = true;  // keep collecting; fresher replies may come
+    }
+    if (votes >= config_.read_quorum() &&
+        fresh >= config_.reply_quorum()) {
+      AdvanceObservedFrontier(
+          VouchedFrontier(std::move(match_frontiers),
+                          config_.reply_quorum()));
       cleanup();
       queue->Close();
       // Charge the modelled round latency: request one-way + reply one-way
@@ -352,6 +391,9 @@ std::optional<Bytes> SmrCluster::TryFastRead(const Bytes& encoded_command) {
   }
   cleanup();
   queue->Close();
+  if (saw_stale_quorum) {
+    fast_path_stale_quorums_.fetch_add(1, std::memory_order_relaxed);
+  }
   // The failed round is not free: before falling back the caller waited for
   // the divergence to become evident (a full round trip to the slowest
   // replier), and the ordered round's charge comes on top. Charged as one
@@ -369,20 +411,44 @@ std::optional<Bytes> SmrCluster::TryFastRead(const Bytes& encoded_command) {
   return std::nullopt;
 }
 
+void SmrCluster::AdvanceObservedFrontier(uint64_t vouched) {
+  uint64_t current = observed_frontier_.load(std::memory_order_relaxed);
+  while (vouched > current &&
+         !observed_frontier_.compare_exchange_weak(
+             current, vouched, std::memory_order_relaxed)) {
+  }
+}
+
 Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
   if (shutdown_.load()) {
     return UnavailableError("smr cluster shut down");
   }
   Bytes encoded = command.Encode();
   if (config_.enable_read_fast_path && command.is_read_only()) {
-    auto fast = TryFastRead(encoded);
-    if (shutdown_.load()) {
-      return UnavailableError("smr cluster shut down");
+    // Fallback cooldown: a recent failed fast round means the fast path is
+    // currently not assembling quorums (a fault is in progress, or the
+    // replicas are transiently divergent); skipping the doomed round saves
+    // the fast_read_timeout every read would otherwise pay.
+    if (config_.fast_read_fallback_cooldown > 0 &&
+        env_->Now() < fast_path_bypass_until_.load(
+                          std::memory_order_relaxed)) {
+      fast_path_cooldown_bypasses_.fetch_add(1, std::memory_order_relaxed);
+      fast_path_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      auto fast = TryFastRead(encoded);
+      if (shutdown_.load()) {
+        return UnavailableError("smr cluster shut down");
+      }
+      if (fast.has_value()) {
+        return CoordReply::Decode(*fast);
+      }
+      fast_path_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.fast_read_fallback_cooldown > 0) {
+        fast_path_bypass_until_.store(
+            env_->Now() + config_.fast_read_fallback_cooldown,
+            std::memory_order_relaxed);
+      }
     }
-    if (fast.has_value()) {
-      return CoordReply::Decode(*fast);
-    }
-    fast_path_fallbacks_.fetch_add(1, std::memory_order_relaxed);
   }
 
   const uint64_t request_id = next_request_id_.fetch_add(1);
@@ -422,7 +488,8 @@ Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
       (config_.enable_read_fast_path && !command.is_read_only())
           ? config_.order_quorum()
           : config_.reply_quorum();
-  std::map<int, Bytes> replies;  // replica -> reply payload
+  // replica -> (reply payload, committed-frontier tag)
+  std::map<int, std::pair<Bytes, uint64_t>> replies;
   int retries = 0;
   for (;;) {
     auto msg = queue->PopFor(config_.client_timeout);
@@ -442,14 +509,21 @@ Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
         msg->request_id != request_id) {
       continue;
     }
-    replies[msg->from] = msg->payload;
+    replies[msg->from] = {msg->payload, msg->seq};
     unsigned votes = 0;
-    for (const auto& [from, payload] : replies) {
-      if (payload == msg->payload) {
+    std::vector<uint64_t> match_frontiers;
+    for (const auto& [from, reply] : replies) {
+      if (reply.first == msg->payload) {
         ++votes;
+        match_frontiers.push_back(reply.second);
       }
     }
     if (votes >= needed_matching) {
+      // Ordered acks advance the frontier watermark too, so a write (or
+      // fallback read) that exposes new state raises the bar for every
+      // subsequent fast read.
+      AdvanceObservedFrontier(VouchedFrontier(std::move(match_frontiers),
+                                              config_.reply_quorum()));
       {
         std::lock_guard<std::mutex> lock(clients_mu_);
         client_queues_.erase(request_id);
@@ -532,6 +606,9 @@ SmrMessage SmrCluster::MakeReply(unsigned index, const Replica& r,
   reply.type = SmrMessage::Type::kReply;
   reply.from = static_cast<int>(index);
   reply.request_id = request_id;
+  // Frontier tag: the replica's committed frontier rides every reply so
+  // clients can reject matching-but-stale fast-read quorums.
+  reply.seq = r.next_exec_seq;
   reply.payload = std::move(reply_bytes);
   if (r.byzantine.load() && !reply.payload.empty()) {
     reply.payload[0] ^= 0xff;  // byzantine replica lies to clients

@@ -31,6 +31,19 @@
 //     every acked write intersects any fast-read matching quorum in at
 //     least one correct replica (ordered reads keep the cheap f+1 reply
 //     quorum — they create no state a later fast read must observe).
+//   * Frontier-tagged replies — every reply carries the replica's committed
+//     frontier. The client keeps a monotone watermark of the frontier
+//     vouched by its accepted reply sets (the (f+1)-th highest among the
+//     matching replies, so at least one correct replica backs it) and
+//     accepts a fast quorum only when f+1 of its matching replies are at or
+//     beyond the watermark — a matching-but-stale quorum (the read-read
+//     inversion of the PBFT read-only optimization) is rejected and the
+//     read retried through the ordered path instead of silently going
+//     backwards in time.
+//   * Fallback cooldown — a failed fast round (divergence, stale quorum or
+//     timeout) optionally suppresses the fast path for
+//     `fast_read_fallback_cooldown`, so a persistent silent+lying replica
+//     pair costs one fast_read_timeout per window instead of per read.
 //
 // Leader failure is handled by a client-timeout-driven view change (as in
 // BFT-SMaRt's synchronization phase, simplified). View-change votes carry
@@ -102,6 +115,15 @@ struct SmrConfig {
   // How long a fast-path read waits for a matching-reply quorum before
   // falling back to the ordered path.
   VirtualDuration fast_read_timeout = FromMillis(600);
+  // Fallback cooldown: after a failed fast-read round (divergence, stale
+  // quorum or timeout), bypass the fast path entirely for this window and
+  // go straight to the ordered path. While a fault persists (the classic
+  // one-silent-plus-one-lying replica pair), reads then cost one
+  // fast_read_timeout per window instead of one per read. 0 (default)
+  // disables the cooldown; the CoC deployment enables it. Bypasses are
+  // counted in SmrCounters::fast_path_cooldown_bypasses (and as
+  // fallbacks, since the read is served by the ordered path).
+  VirtualDuration fast_read_fallback_cooldown = 0;
   // Accumulation delay for leader batching: a batch smaller than max_batch
   // is held until its oldest request has waited this long, trading a bounded
   // latency increase for a higher batch factor at moderate load. 0 (default)
@@ -166,7 +188,8 @@ struct SmrMessage {
   uint64_t view = 0;
   // kPropose/kAccept: instance seq. kViewChange: the voter's latest
   // checkpoint seq. kStateRequest: the requester's execution frontier.
-  // kStateReply: the offered checkpoint's frontier.
+  // kStateReply: the offered checkpoint's frontier. kReply: the replying
+  // replica's committed frontier (the fast-read staleness tag).
   uint64_t seq = 0;
   VirtualTime order_time = 0;
   Bytes payload;  // command/reply bytes, or the kStateReply snapshot
@@ -200,6 +223,13 @@ struct SmrCounters {
   uint64_t proposed_requests = 0;    // requests across those instances
   uint64_t fast_path_reads = 0;      // reads served without ordering
   uint64_t fast_path_fallbacks = 0;  // reads that fell back to ordering
+  // Reads that skipped the fast round because a recent failure put the
+  // fast path in its fallback cooldown (each also counts as a fallback).
+  uint64_t fast_path_cooldown_bypasses = 0;
+  // Fast rounds where a value assembled a matching quorum whose committed
+  // frontiers were stale relative to the client's previously observed
+  // frontier — rejected instead of silently inverting reads.
+  uint64_t fast_path_stale_quorums = 0;
   uint64_t checkpoints_taken = 0;    // periodic snapshots across replicas
   uint64_t state_requests = 0;       // STATE_REQUEST broadcasts (wedges)
   uint64_t snapshots_installed = 0;  // f+1-vouched snapshot installs
@@ -213,6 +243,8 @@ struct SmrCounters {
     proposed_requests += other.proposed_requests;
     fast_path_reads += other.fast_path_reads;
     fast_path_fallbacks += other.fast_path_fallbacks;
+    fast_path_cooldown_bypasses += other.fast_path_cooldown_bypasses;
+    fast_path_stale_quorums += other.fast_path_stale_quorums;
     checkpoints_taken += other.checkpoints_taken;
     state_requests += other.state_requests;
     snapshots_installed += other.snapshots_installed;
@@ -262,6 +294,16 @@ class SmrCluster {
     return reply_bytes_out_.load(std::memory_order_relaxed);
   }
   SmrCounters counters() const;
+
+  // The highest committed frontier this client stub has observed vouched by
+  // enough matching replies (the read-read-inversion guard's watermark);
+  // the setter is a test hook for forcing the stale-quorum path.
+  uint64_t client_observed_frontier() const {
+    return observed_frontier_.load(std::memory_order_relaxed);
+  }
+  void set_client_observed_frontier(uint64_t frontier) {
+    observed_frontier_.store(frontier, std::memory_order_relaxed);
+  }
 
   void Shutdown();
 
@@ -420,6 +462,8 @@ class SmrCluster {
   // state of the replicas. Returns the winning reply bytes, or nullopt when
   // the caller must fall back to the ordered path.
   std::optional<Bytes> TryFastRead(const Bytes& encoded_command);
+  // Monotone CAS-max on the client frontier watermark.
+  void AdvanceObservedFrontier(uint64_t vouched);
   const LatencyModel& ClientLink(unsigned replica) const {
     return config_.client_links.empty()
                ? config_.client_link
@@ -440,6 +484,17 @@ class SmrCluster {
   std::atomic<uint64_t> proposed_requests_{0};
   std::atomic<uint64_t> fast_path_reads_{0};
   std::atomic<uint64_t> fast_path_fallbacks_{0};
+  std::atomic<uint64_t> fast_path_cooldown_bypasses_{0};
+  std::atomic<uint64_t> fast_path_stale_quorums_{0};
+  // Fallback cooldown: until this virtual time, read-only commands skip the
+  // fast round and go straight to ordering.
+  std::atomic<VirtualTime> fast_path_bypass_until_{0};
+  // Frontier watermark shared by this stub's clients: the committed
+  // frontier vouched by at least a reply quorum of a previously accepted
+  // matching set. Monotone; coarser than per-client tracking (any client's
+  // observation guards every other's reads), which only errs toward more
+  // fallbacks, never toward inversion.
+  std::atomic<uint64_t> observed_frontier_{0};
   std::atomic<uint64_t> checkpoints_taken_{0};
   std::atomic<uint64_t> state_requests_{0};
   std::atomic<uint64_t> snapshots_installed_{0};

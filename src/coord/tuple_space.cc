@@ -135,6 +135,10 @@ CoordReply TupleSpace::Apply(VirtualTime now, const CoordCommand& command) {
       return RenamePrefix(command);
     case CoordOp::kSetEntryAcl:
       return SetEntryAcl(command);
+    case CoordOp::kExportPrefix:
+      return ExportPrefix(command);
+    case CoordOp::kImportEntry:
+      return ImportEntry(command);
     case CoordOp::kNoop:
       return CoordReply{};
   }
@@ -328,6 +332,82 @@ CoordReply TupleSpace::RenamePrefix(const CoordCommand& cmd) {
     entry.version++;
     entries_[key] = std::move(entry);
   }
+  return reply;
+}
+
+Bytes TupleSpace::EncodeEntryPayload(const Entry& entry) {
+  Bytes out;
+  AppendBytes(&out, entry.value);
+  AppendU64(&out, entry.version);
+  AppendString(&out, entry.acl.owner);
+  AppendStringSet(&out, entry.acl.readers);
+  AppendStringSet(&out, entry.acl.writers);
+  return out;
+}
+
+bool TupleSpace::DecodeEntryPayload(ConstByteSpan payload, Entry* out) {
+  ByteReader reader(payload);
+  return reader.ReadBytes(&out->value) && reader.ReadU64(&out->version) &&
+         reader.ReadString(&out->acl.owner) &&
+         ReadStringSet(&reader, &out->acl.readers) &&
+         ReadStringSet(&reader, &out->acl.writers) && reader.AtEnd();
+}
+
+CoordReply TupleSpace::ExportPrefix(const CoordCommand& cmd) const {
+  // The read half of a cross-partition move. Like RenamePrefix it demands
+  // write access on every matching entry (a move rewrites them all); unlike
+  // ReadPrefix an empty result is not an error — with the key space hashed
+  // across partitions, most partitions legitimately hold no piece of a
+  // given subtree, and the router's caller decides what "nothing anywhere"
+  // means. Always ordered (never the read fast path): the export is the
+  // linearization point the intent-record protocol builds on.
+  CoordReply reply;
+  for (auto it = entries_.lower_bound(cmd.key); it != entries_.end(); ++it) {
+    if (it->first.compare(0, cmd.key.size(), cmd.key) != 0) {
+      break;
+    }
+    if (!it->second.acl.AllowsWrite(cmd.client)) {
+      return ErrorReply(ErrorCode::kPermissionDenied);
+    }
+    reply.entries.push_back(CoordEntryView{
+        it->first, EncodeEntryPayload(it->second), it->second.version});
+  }
+  reply.a = reply.entries.size();
+  return reply;
+}
+
+CoordReply TupleSpace::ImportEntry(const CoordCommand& cmd) {
+  // The write half of a cross-partition move: installs an exported entry —
+  // value, ACL and all — under a new key, bumping the tuple version exactly
+  // like the rename trigger does. Deliberately idempotent: the new version
+  // is derived from the payload, not the current entry, so a crash-recovery
+  // replay that re-imports lands on the identical state. The importing
+  // client must hold write permission under the imported ACL itself (the
+  // same trust RenamePrefix extends to writers), and overwriting an
+  // existing entry additionally requires write access to it.
+  Entry imported;
+  if (!DecodeEntryPayload(cmd.value, &imported)) {
+    return ErrorReply(ErrorCode::kInvalidArgument);
+  }
+  if (!imported.acl.AllowsWrite(cmd.client)) {
+    return ErrorReply(ErrorCode::kPermissionDenied);
+  }
+  imported.version++;
+  const uint64_t new_version = imported.version;
+  auto it = entries_.find(cmd.key);
+  if (it != entries_.end()) {
+    if (!it->second.acl.AllowsWrite(cmd.client)) {
+      return ErrorReply(ErrorCode::kPermissionDenied);
+    }
+    stored_bytes_ -= it->second.value.size();
+    stored_bytes_ += imported.value.size();
+    it->second = std::move(imported);
+  } else {
+    stored_bytes_ += cmd.key.size() + imported.value.size();
+    entries_.emplace(cmd.key, std::move(imported));
+  }
+  CoordReply reply;
+  reply.a = new_version;
   return reply;
 }
 

@@ -96,6 +96,14 @@ class TupleSpace {
   CoordReply Unlock(const CoordCommand& cmd);
   CoordReply RenamePrefix(const CoordCommand& cmd);
   CoordReply SetEntryAcl(const CoordCommand& cmd);
+  CoordReply ExportPrefix(const CoordCommand& cmd) const;
+  CoordReply ImportEntry(const CoordCommand& cmd);
+
+  // Entry payload carried between ExportPrefix and ImportEntry: the value,
+  // tuple version and full ACL, so a cross-partition move preserves grants
+  // exactly like the single-partition rename trigger does.
+  static Bytes EncodeEntryPayload(const Entry& entry);
+  static bool DecodeEntryPayload(ConstByteSpan payload, Entry* out);
 
   std::map<std::string, Entry> entries_;
   std::map<std::string, Lock> locks_;

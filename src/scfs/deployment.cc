@@ -68,10 +68,24 @@ std::unique_ptr<Deployment> Deployment::Create(Environment* env,
     // SmrConfig).
     config.client_timeout = 20 * kSecond;
     config.order_timeout = 8 * kSecond;
-    auto coord =
-        std::make_unique<ReplicatedCoordination>(env, config, options.seed);
-    deployment->replicated_coord_ = coord.get();
-    deployment->coord_ = std::move(coord);
+    // Fallback cooldown (off in SmrConfig's default): a deployment's read
+    // path must not pay one fast_read_timeout per read while a fault
+    // persists — one per window is the contract.
+    config.fast_read_fallback_cooldown = 5 * kSecond;
+    if (options.coord_partitions > 1) {
+      PartitionedCoordinationConfig pconfig;
+      pconfig.partitions = options.coord_partitions;
+      pconfig.smr = config;
+      auto coord = std::make_unique<PartitionedCoordination>(env, pconfig,
+                                                             options.seed);
+      deployment->partitioned_coord_ = coord.get();
+      deployment->coord_ = std::move(coord);
+    } else {
+      auto coord =
+          std::make_unique<ReplicatedCoordination>(env, config, options.seed);
+      deployment->replicated_coord_ = coord.get();
+      deployment->coord_ = std::move(coord);
+    }
   }
   return deployment;
 }
@@ -82,6 +96,9 @@ uint64_t Deployment::CoordReplyBytes() const {
   }
   if (replicated_coord_ != nullptr) {
     return replicated_coord_->cluster().reply_bytes_out();
+  }
+  if (partitioned_coord_ != nullptr) {
+    return partitioned_coord_->reply_bytes_out();
   }
   return 0;
 }

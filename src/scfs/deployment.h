@@ -18,6 +18,7 @@
 
 #include "src/cloud/providers.h"
 #include "src/coord/local_coordination.h"
+#include "src/coord/partitioned_coordination.h"
 #include "src/coord/smr.h"
 #include "src/scfs/file_system.h"
 
@@ -31,6 +32,13 @@ struct DeploymentOptions {
   // for semantic tests where timing is irrelevant.
   bool zero_latency = false;
   unsigned f = 1;
+  // Coordination-plane partitions (kCoc only). 1 constructs the single
+  // SmrCluster exactly as before — byte-identical behavior to the
+  // unsharded deployment; N > 1 shards the tuple keys over N independent
+  // SMR clusters behind PartitionedCoordination (metadata renames then use
+  // the cross-partition intent-record protocol). Ignored for kAws and
+  // zero-latency deployments, which run a single local server.
+  unsigned coord_partitions = 1;
   uint64_t seed = 42;
 };
 
@@ -53,6 +61,7 @@ class Deployment {
   CoordinationService* coord() { return coord_.get(); }
   LocalCoordination* local_coord() { return local_coord_; }
   ReplicatedCoordination* replicated_coord() { return replicated_coord_; }
+  PartitionedCoordination* partitioned_coord() { return partitioned_coord_; }
 
   // Bytes shipped from the coordination service to clients so far (drives
   // the coordination share of Figure 11(b) costs).
@@ -72,7 +81,8 @@ class Deployment {
   std::vector<std::unique_ptr<SimulatedCloud>> clouds_;
   std::unique_ptr<CoordinationService> coord_;
   LocalCoordination* local_coord_ = nullptr;  // set for kAws / zero-latency
-  ReplicatedCoordination* replicated_coord_ = nullptr;  // set for kCoc
+  ReplicatedCoordination* replicated_coord_ = nullptr;  // kCoc, 1 partition
+  PartitionedCoordination* partitioned_coord_ = nullptr;  // kCoc, N > 1
   // Backends must outlive the agents that use them.
   std::vector<std::unique_ptr<BlobBackend>> backends_;
 };

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <set>
 #include <thread>
 
 #include "src/coord/command.h"
 #include "src/coord/local_coordination.h"
+#include "src/coord/partitioned_coordination.h"
 #include "src/coord/smr.h"
 #include "src/coord/tuple_space.h"
 
@@ -845,6 +848,174 @@ TEST(SmrClusterTest, ByzantineSnapshotOfferRejected) {
     ASSERT_TRUE(entry.ok()) << "k" << i;
     EXPECT_EQ(ToString(entry->value), "v") << "k" << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path fallback cooldown and frontier-tagged replies.
+// ---------------------------------------------------------------------------
+
+TEST(SmrClusterTest, FallbackCooldownBypassesDoomedFastRounds) {
+  auto env = Environment::Scaled(1e-3);
+  SmrConfig config = FastSmrConfig(true);
+  config.fast_read_timeout = 200 * kMillisecond;
+  config.fast_read_fallback_cooldown = 60 * kSecond;
+  ReplicatedCoordination coord(env.get(), config);
+  ASSERT_TRUE(coord.Write("alice", "k", ToBytes("v")).ok());
+  // One silent + one lying replica: no fast round can assemble 2f+1
+  // matching replies, so the first read pays the fast_read_timeout and
+  // arms the cooldown; the remaining reads skip the doomed round and go
+  // straight to the ordered path (where f+1 honest matches suffice).
+  coord.cluster().CrashReplica(3);
+  coord.cluster().SetReplicaByzantine(2, true);
+  for (int i = 0; i < 5; ++i) {
+    auto entry = coord.Read("alice", "k");
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(ToString(entry->value), "v");
+  }
+  SmrCounters counters = coord.cluster().counters();
+  EXPECT_EQ(counters.fast_path_reads, 0u);
+  EXPECT_EQ(counters.fast_path_fallbacks, 5u);
+  EXPECT_EQ(counters.fast_path_cooldown_bypasses, 4u);
+}
+
+TEST(SmrClusterTest, FastReadRejectsStaleQuorumAgainstWatermark) {
+  auto env = Environment::Scaled(1e-3);
+  SmrConfig config = FastSmrConfig(true);
+  config.fast_read_timeout = 5000 * kMillisecond;
+  ReplicatedCoordination coord(env.get(), config);
+  ASSERT_TRUE(coord.Write("alice", "k", ToBytes("v")).ok());
+  auto& cluster = coord.cluster();
+  // Let every replica execute the write so the first read rides the fast
+  // path and establishes a vouched frontier watermark.
+  auto converged = [&] {
+    for (unsigned r = 0; r < cluster.replica_count(); ++r) {
+      if (cluster.executed_count(r) != 1u) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int spin = 0; spin < 100 && !converged(); ++spin) {
+    env->Sleep(50 * kMillisecond);
+  }
+  auto entry = coord.Read("alice", "k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(coord.cluster().counters().fast_path_reads, 1u);
+  EXPECT_GE(cluster.client_observed_frontier(), 1u);
+  // Force the watermark beyond every replica's committed frontier — the
+  // state a client is in right after an ordered read exposed a write the
+  // replicas it is about to hear from have not executed. The fast round
+  // assembles a matching quorum, but a stale one: it must be rejected and
+  // the read served through the ordered path instead of inverting.
+  cluster.set_client_observed_frontier(1u << 20);
+  auto guarded = coord.Read("alice", "k");
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_EQ(ToString(guarded->value), "v");
+  SmrCounters counters = cluster.counters();
+  EXPECT_EQ(counters.fast_path_reads, 1u);  // only the pre-inflation read
+  EXPECT_GE(counters.fast_path_stale_quorums, 1u);
+  EXPECT_GE(counters.fast_path_fallbacks, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned coordination: routing, scatter-gather, combined digests.
+// ---------------------------------------------------------------------------
+
+PartitionedCoordinationConfig FastPartitionedConfig(unsigned partitions) {
+  PartitionedCoordinationConfig config;
+  config.partitions = partitions;
+  config.smr = FastSmrConfig(true);
+  return config;
+}
+
+TEST(PartitionedCoordinationTest, RoutesKeysAcrossIndependentPartitions) {
+  auto env = Environment::Scaled(1e-3);
+  PartitionedCoordination coord(env.get(), FastPartitionedConfig(4));
+  EXPECT_EQ(coord.partition_count(), 4u);
+  std::set<unsigned> used;
+  for (int i = 0; i < 16; ++i) {
+    std::string key = "spread:" + std::to_string(i);
+    ASSERT_LT(coord.PartitionOf(key), 4u);
+    used.insert(coord.PartitionOf(key));
+    ASSERT_TRUE(
+        coord.Write("alice", key, ToBytes("v" + std::to_string(i))).ok());
+  }
+  EXPECT_GT(used.size(), 1u);  // the hash actually spreads keys
+  for (int i = 0; i < 16; ++i) {
+    auto entry = coord.Read("alice", "spread:" + std::to_string(i));
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(ToString(entry->value), "v" + std::to_string(i));
+    EXPECT_EQ(entry->version, 1u);
+  }
+  // Scatter-gather prefix read: every key, globally sorted, regardless of
+  // which partition holds which.
+  auto listed = coord.ReadPrefix("alice", "spread:");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 16u);
+  EXPECT_TRUE(std::is_sorted(
+      listed->begin(), listed->end(),
+      [](const CoordEntryView& a, const CoordEntryView& b) {
+        return a.key < b.key;
+      }));
+  // The lock recipe keeps per-key linearizability: a lock name lives on
+  // exactly one partition, so exclusion is exactly the unsharded one.
+  auto lock = coord.TryLock("alice", "L", 120 * kSecond);
+  ASSERT_TRUE(lock.ok());
+  EXPECT_EQ(coord.TryLock("bob", "L", 120 * kSecond).status().code(),
+            ErrorCode::kBusy);
+  ASSERT_TRUE(coord.Unlock("alice", "L", lock->token).ok());
+}
+
+TEST(PartitionedCoordinationTest, RenamePrefixRejectedAcrossPartitions) {
+  auto env = Environment::Scaled(1e-3);
+  PartitionedCoordination coord(env.get(), FastPartitionedConfig(2));
+  ASSERT_TRUE(coord.Write("alice", "m:/d/x", ToBytes("v")).ok());
+  EXPECT_EQ(coord.RenamePrefix("alice", "m:/d", "m:/e").code(),
+            ErrorCode::kNotSupported);
+}
+
+TEST(PartitionedCoordinationTest, CoLocationPrefixesRouteWithTheirSuffix) {
+  auto env = Environment::Scaled(1e-3);
+  PartitionedCoordination coord(env.get(), FastPartitionedConfig(8));
+  for (const std::string key : {"m:/a/dir/", "m:/b/other/"}) {
+    EXPECT_EQ(coord.PartitionOf("ri:" + key), coord.PartitionOf(key));
+    EXPECT_EQ(coord.PartitionOf("rc:" + key), coord.PartitionOf(key));
+  }
+}
+
+TEST(PartitionedCoordinationTest, StateDigestCombinesDeterministically) {
+  auto env = Environment::Scaled(1e-3);
+  auto drive = [&](PartitionedCoordination& coord) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(
+          coord.Write("alice", "sd:" + std::to_string(i), ToBytes("v")).ok());
+    }
+  };
+  auto quorum_digest = [&](PartitionedCoordination& coord) {
+    Bytes digest;
+    for (int spin = 0; spin < 200 && digest.empty(); ++spin) {
+      digest = coord.StateDigest();
+      if (digest.empty()) {
+        env->Sleep(50 * kMillisecond);
+      }
+    }
+    return digest;
+  };
+  PartitionedCoordination a(env.get(), FastPartitionedConfig(4), 7);
+  PartitionedCoordination b(env.get(), FastPartitionedConfig(4), 7);
+  drive(a);
+  drive(b);
+  // Same per-key history -> same combined fingerprint: the per-partition
+  // quorum digests are concatenated sorted by partition index, so the
+  // combination is stable across deployments and restarts.
+  Bytes da = quorum_digest(a);
+  Bytes db = quorum_digest(b);
+  ASSERT_FALSE(da.empty());
+  EXPECT_EQ(da, db);
+  ASSERT_TRUE(a.Write("alice", "sd:extra", ToBytes("w")).ok());
+  Bytes da2 = quorum_digest(a);
+  ASSERT_FALSE(da2.empty());
+  EXPECT_NE(da2, da);  // and state-sensitive
 }
 
 TEST(SmrClusterTest, AccumulationDelayAmortizesAndStaysExactlyOnce) {

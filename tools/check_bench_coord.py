@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_coord.json's partition sweep.
+
+The sharded coordination plane exists to multiply ordered throughput; if the
+4-partition aggregate ever drops below the 1-partition baseline, the router
+is costing more than the partitions buy and the job must fail. Stdlib only,
+like tools/check_markdown_links.py.
+
+Usage: check_bench_coord.py [path-to-BENCH_coord.json]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_coord.json"
+    with open(path) as f:
+        metrics = {record["name"]: record["value"] for record in json.load(f)}
+
+    missing = [
+        name
+        for name in ("coord_part1_ordered_agg", "coord_part4_ordered_agg")
+        if name not in metrics
+    ]
+    if missing:
+        print(f"FAIL: {path} lacks partition-sweep metrics: {missing}")
+        return 1
+
+    part1 = metrics["coord_part1_ordered_agg"]
+    part4 = metrics["coord_part4_ordered_agg"]
+    ratio = part4 / part1 if part1 > 0 else 0.0
+    print(
+        f"partition sweep: 1 partition {part1:.1f} ops/s, "
+        f"4 partitions {part4:.1f} ops/s ({ratio:.2f}x)"
+    )
+    if part1 <= 0:
+        # A zero baseline means the sweep measured nothing (a wedged
+        # cluster or broken elapsed-time accounting) — that must not read
+        # as "no regression".
+        print("FAIL: 1-partition baseline throughput is zero")
+        return 1
+    if part4 < part1:
+        print(
+            "FAIL: 4-partition aggregate ordered throughput regressed below "
+            "the 1-partition baseline"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
