@@ -55,11 +55,7 @@ struct Options {
 // at a scale where scheduler wakeup noise (tens of real microseconds) stays
 // ~1% of the signal. Overridable like the other benches.
 double CoordTimeScale() {
-  const char* scale = std::getenv("SCFS_TIME_SCALE");
-  if (scale != nullptr && *scale != '\0') {
-    return std::atof(scale);
-  }
-  return 0.05;  // 1 virtual second = 50 real ms
+  return BenchTimeScale(0.05);  // 1 virtual second = 50 real ms
 }
 
 SmrConfig MakeConfig(bool seed_mode) {
@@ -174,14 +170,9 @@ ReadLatency RunReads(Environment* env, bool seed_mode, int clients, int ops) {
     all.insert(all.end(), per_client.begin(), per_client.end());
   }
   ReadLatency out;
-  if (!all.empty()) {
-    double sum = 0;
-    for (double ms : all) {
-      sum += ms;
-    }
-    out.mean_ms = sum / all.size();
-    out.p95_ms = Percentile(all, 95.0);
-  }
+  LatencySummary summary = Summarize(std::move(all));
+  out.mean_ms = summary.mean;
+  out.p95_ms = summary.p95;
   out.counters = coord.cluster().counters();
   return out;
 }

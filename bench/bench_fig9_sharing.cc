@@ -127,11 +127,11 @@ void Run() {
   for (const auto& system : systems) {
     std::vector<std::string> cells = {system.name};
     for (size_t size : kSizes) {
-      auto latencies = system.measure(size);
+      LatencySummary summary = Summarize(system.measure(size));
       char buffer[48];
       std::snprintf(buffer, sizeof(buffer), "%s / %s",
-                    FormatSeconds(Percentile(latencies, 50)).c_str(),
-                    FormatSeconds(Percentile(latencies, 90)).c_str());
+                    FormatSeconds(summary.p50).c_str(),
+                    FormatSeconds(summary.p90).c_str());
       cells.push_back(buffer);
     }
     PrintRow(cells, widths);

@@ -8,15 +8,26 @@
 
 namespace scfs {
 
-double BenchTimeScale() {
+double BenchTimeScale(double default_scale) {
   const char* override_scale = std::getenv("SCFS_TIME_SCALE");
-  if (override_scale != nullptr) {
-    double scale = std::atof(override_scale);
-    if (scale > 0) {
-      return scale;
-    }
+  if (override_scale == nullptr || *override_scale == '\0') {
+    return default_scale;
   }
-  return 2e-4;  // 1 virtual second = 0.2 real milliseconds
+  char* end = nullptr;
+  double scale = std::strtod(override_scale, &end);
+  if (end == override_scale || *end != '\0' || !std::isfinite(scale) ||
+      scale <= 0) {
+    std::fprintf(stderr,
+                 "error: SCFS_TIME_SCALE='%s' is not a positive number; "
+                 "refusing to run at an unintended time scale\n",
+                 override_scale);
+    std::exit(2);
+  }
+  return scale;
+}
+
+double BenchTimeScale() {
+  return BenchTimeScale(2e-4);  // 1 virtual second = 0.2 real milliseconds
 }
 
 namespace {
@@ -312,16 +323,43 @@ bool BenchJsonWriter::WriteFile(const std::string& path) const {
 // Statistics & printing.
 // ---------------------------------------------------------------------------
 
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) {
+namespace {
+// Interpolated rank over an already-sorted sample.
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
     return 0;
   }
-  std::sort(values.begin(), values.end());
-  double rank = p / 100.0 * (static_cast<double>(values.size()) - 1);
+  double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1);
   size_t low = static_cast<size_t>(std::floor(rank));
   size_t high = static_cast<size_t>(std::ceil(rank));
   double fraction = rank - static_cast<double>(low);
-  return values[low] + (values[high] - values[low]) * fraction;
+  return sorted[low] + (sorted[high] - sorted[low]) * fraction;
+}
+}  // namespace
+
+double Percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return SortedPercentile(values, p);
+}
+
+LatencySummary Summarize(std::vector<double> values) {
+  LatencySummary out;
+  if (values.empty()) {
+    return out;
+  }
+  std::sort(values.begin(), values.end());
+  out.count = values.size();
+  double sum = 0;
+  for (double v : values) {
+    sum += v;
+  }
+  out.mean = sum / static_cast<double>(values.size());
+  out.p50 = SortedPercentile(values, 50);
+  out.p90 = SortedPercentile(values, 90);
+  out.p95 = SortedPercentile(values, 95);
+  out.p99 = SortedPercentile(values, 99);
+  out.max = values.back();
+  return out;
 }
 
 void PrintHeader(const std::string& title) {
@@ -340,6 +378,9 @@ void PrintRow(const std::vector<std::string>& cells,
 void AccumulateCoordCounters(Deployment* deployment, SmrCounters* into) {
   if (deployment->replicated_coord() != nullptr) {
     *into += deployment->replicated_coord()->cluster().counters();
+  }
+  if (deployment->partitioned_coord() != nullptr) {
+    *into += deployment->partitioned_coord()->counters();
   }
 }
 

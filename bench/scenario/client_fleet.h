@@ -1,0 +1,190 @@
+// ClientFleet: open-loop execution of a workload personality against a
+// deployed SCFS instance, multiplexing thousands to millions of simulated
+// clients without a thread per client.
+//
+// Clients are *virtual*: a client is an id. The fleet draws an aggregate
+// arrival schedule (OpenLoopArrivals) on the virtual clock; each arrival is
+// attributed to a uniformly chosen client id, and everything that client
+// "decides" — which op, which file, which offset — comes from a
+// deterministic per-(client, op-counter) RNG stream (Rng::ForStream /
+// MixSeed), so a million-client run touches memory only for the clients
+// that actually issued ops and replays bit-identically under a fixed seed.
+//
+// Execution is a bounded pool of worker threads popping pending operations
+// FIFO and running them against a small set of mounted SCFS agents.
+// Latency is measured from the operation's *scheduled arrival time*, not
+// from when a worker got to it — queueing delay under overload lands in
+// the tail percentiles instead of silently throttling the load
+// (coordinated omission). Arrivals never block on completions; a saturated
+// deployment shows up as backlog growth, drain drops and p99 inflation.
+
+#ifndef SCFS_BENCH_SCENARIO_CLIENT_FLEET_H_
+#define SCFS_BENCH_SCENARIO_CLIENT_FLEET_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/scenario/latency_recorder.h"
+#include "bench/scenario/personality.h"
+#include "bench/scenario/samplers.h"
+#include "src/common/status.h"
+#include "src/coord/smr.h"
+#include "src/fsapi/file_system.h"
+#include "src/sim/arrivals.h"
+#include "src/sim/environment.h"
+
+namespace scfs {
+
+class Deployment;
+
+struct FleetConfig {
+  // Simulated client population (ids; memory is O(clients that issued)).
+  uint64_t clients = 1000;
+  // Aggregate offered load across the population, in ops per virtual
+  // second.
+  double offered_ops_per_s = 100;
+  // Arrival window (virtual time). Ops scheduled inside the window may
+  // complete after it; see drain_grace.
+  VirtualDuration duration = 8 * kSecond;
+  // Worker threads executing pending ops (the agent-side concurrency).
+  unsigned workers = 64;
+  // After the arrival window, how long to keep draining the backlog before
+  // counting the remainder as dropped.
+  VirtualDuration drain_grace = 4 * kSecond;
+  uint64_t seed = 42;
+};
+
+struct FleetResult {
+  uint64_t issued = 0;     // ops scheduled
+  uint64_t executed = 0;   // ops a worker ran (success or error)
+  uint64_t errors = 0;     // ops that returned non-OK (e.g. BUSY lock race)
+  uint64_t dropped = 0;    // backlog discarded when drain_grace expired
+  uint64_t touched_clients = 0;
+
+  double offered_ops_per_s = 0;
+  // Successful ops per virtual second over the whole run (arrivals +
+  // drain). Tracks offered until the knee, then flattens at saturation.
+  double achieved_ops_per_s = 0;
+  double duration_s = 0;
+  size_t max_backlog = 0;
+
+  LatencyRecorder latency;  // all executed ops, from scheduled arrival
+  std::array<LatencyRecorder, kScenarioOpCount> per_op_latency;
+  std::array<uint64_t, kScenarioOpCount> per_op_issued{};
+  std::array<uint64_t, kScenarioOpCount> per_op_errors{};
+
+  // Coordination-plane work attributable to this run (counter deltas; zero
+  // for deployments without an SMR coordination service).
+  SmrCounters coord;
+  double coord_msgs_per_op = 0;        // total SMR messages / successful op
+  double coord_ordered_per_op = 0;     // ordered commands / successful op
+  double coord_fast_reads_per_op = 0;  // fast-path reads / successful op
+
+  // Partitioned deployments only: per-partition coordination ops/s over the
+  // run and the busiest partition's share of that total.
+  std::vector<double> partition_ops_per_s;
+  double hot_partition_share = 0;
+};
+
+class ClientFleet {
+ public:
+  // `mounts` are SCFS agents (or any FileSystem) the workers execute
+  // against, round-robin by worker index; they must outlive the fleet.
+  // `deployment` is optional and only used for coordination-plane
+  // accounting and the partition-skew fileset layout.
+  ClientFleet(Environment* env, PersonalitySpec spec,
+              std::vector<FileSystem*> mounts, Deployment* deployment);
+
+  // Creates the directory tree and the personality's fileset (in parallel
+  // across mounts), then waits for the agents' write pipelines to settle.
+  // With spec.partition_skew, fileset names are generated so each file's
+  // metadata key AND lock key land on the same coordination partition, and
+  // files are grouped per partition (Zipf rank r = partition r).
+  Status Setup();
+
+  // One open-loop run. Setup() must have succeeded; multiple Runs against
+  // one fleet reuse the fileset (a rate sweep).
+  FleetResult Run(const FleetConfig& config);
+
+  const PersonalitySpec& spec() const { return spec_; }
+
+ private:
+  struct PendingOp {
+    VirtualTime scheduled = 0;
+    ScenarioOp op = ScenarioOp::kStat;
+    // Index into fileset_, or kNoFile for ops that resolve their own path
+    // (per-worker append logs, create, delete).
+    uint32_t file = 0;
+    uint64_t offset = 0;
+    uint64_t unique = 0;  // distinct id for created files
+  };
+  static constexpr uint32_t kNoFile = 0xffffffffu;
+
+  struct WorkerStats {
+    LatencyRecorder latency;
+    std::array<LatencyRecorder, kScenarioOpCount> per_op_latency;
+    std::array<uint64_t, kScenarioOpCount> per_op_errors{};
+    uint64_t executed = 0;
+    uint64_t errors = 0;
+  };
+
+  Status SetupFileset();
+  Status SetupPartitionSkewFileset();
+  PendingOp MakeOp(VirtualTime scheduled, Rng* rng);
+  Status ExecuteOp(FileSystem* fs, unsigned worker, const PendingOp& op);
+  Status DoAppend(FileSystem* fs, const std::string& path);
+  void WorkerLoop(unsigned worker, WorkerStats* stats);
+
+  Environment* env_;
+  PersonalitySpec spec_;
+  std::vector<FileSystem*> mounts_;
+  Deployment* deployment_;
+
+  std::vector<std::string> fileset_;
+  // partition_skew: fileset_ is grouped by partition rank; group r is
+  // fileset_[group_start_[r] .. group_start_[r + 1]).
+  std::vector<size_t> group_start_;
+  std::unique_ptr<ZipfSampler> file_sampler_;   // over fileset_ (or groups)
+  std::array<double, kScenarioOpCount> mix_cdf_{};
+
+  // Paths created by kCreate and not yet consumed by kDelete.
+  std::mutex pool_mu_;
+  std::vector<std::string> deletable_;
+  std::atomic<uint64_t> create_seq_{0};
+
+  // Pre-built payloads, shared read-only by all workers.
+  Bytes file_data_;
+  Bytes io_data_;
+  Bytes append_data_;
+
+  // Run state (rebuilt per Run).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingOp> queue_;
+  bool done_ = false;
+  size_t max_backlog_ = 0;
+};
+
+// Sweeps offered load over `rates` (one Run per rate against the same
+// fleet/fileset) and reports the knee — the largest offered rate at which
+// the arrival queue stayed bounded (no drops, backlog within two service
+// rounds) — and the saturation throughput (max achieved rate seen).
+struct RateSweepResult {
+  std::vector<FleetResult> points;
+  double knee_offered_ops_s = 0;
+  double saturation_ops_s = 0;
+};
+
+RateSweepResult RunRateSweep(ClientFleet* fleet, FleetConfig base,
+                             const std::vector<double>& rates);
+
+}  // namespace scfs
+
+#endif  // SCFS_BENCH_SCENARIO_CLIENT_FLEET_H_

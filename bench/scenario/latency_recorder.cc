@@ -1,0 +1,80 @@
+#include "bench/scenario/latency_recorder.h"
+
+#include <cmath>
+
+namespace scfs {
+
+size_t LatencyRecorder::BucketIndex(uint64_t value_us) {
+  if (value_us < kExactBuckets) {
+    return static_cast<size_t>(value_us);
+  }
+  // Highest set bit position; value >= 128 so msb >= kExactBits.
+  const int msb = 63 - __builtin_clzll(value_us);
+  // Octave [2^msb, 2^msb+1) has kSubBuckets buckets of width 2^(msb-6):
+  // the sub-bucket is the 6 bits below the leading one.
+  const int shift = msb - (kExactBits - 1);
+  const size_t sub = static_cast<size_t>(value_us >> shift) - kSubBuckets;
+  return kExactBuckets + static_cast<size_t>(msb - kExactBits) * kSubBuckets +
+         sub;
+}
+
+uint64_t LatencyRecorder::BucketUpperEdge(size_t index) {
+  if (index < kExactBuckets) {
+    return index;  // exact bucket: holds exactly this value
+  }
+  const size_t octave = (index - kExactBuckets) / kSubBuckets;
+  const size_t sub = (index - kExactBuckets) % kSubBuckets;
+  const int msb = static_cast<int>(octave) + kExactBits;
+  const int shift = msb - (kExactBits - 1);
+  const uint64_t lower = (kSubBuckets + sub) << shift;
+  const uint64_t width = 1ull << shift;
+  return lower + width - 1;
+}
+
+void LatencyRecorder::Record(uint64_t value_us) {
+  ++buckets_[BucketIndex(value_us)];
+  ++count_;
+  sum_us_ += value_us;
+  if (value_us > max_us_) {
+    max_us_ = value_us;
+  }
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+  if (other.max_us_ > max_us_) {
+    max_us_ = other.max_us_;
+  }
+}
+
+double LatencyRecorder::MeanUs() const {
+  return count_ > 0 ? static_cast<double>(sum_us_) / count_ : 0.0;
+}
+
+uint64_t LatencyRecorder::PercentileUs(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p >= 100.0) {
+    return max_us_;
+  }
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return BucketUpperEdge(i);
+    }
+  }
+  return max_us_;  // unreachable: counts sum to count_
+}
+
+}  // namespace scfs

@@ -1,0 +1,197 @@
+#include "bench/scenario/personality.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace scfs {
+
+namespace {
+
+constexpr const char* kOpNames[kScenarioOpCount] = {
+    "wholeread", "blockread", "blockwrite", "append",
+    "create",    "delete",    "stat",
+};
+
+void SetMix(PersonalitySpec* spec, ScenarioOp op, double weight) {
+  spec->mix[static_cast<size_t>(op)] = weight;
+}
+
+Result<double> ParseDouble(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return InvalidArgumentError("personality: bad number for " + key + ": '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+Result<uint64_t> ParseSize(const std::string& key, const std::string& value) {
+  // Plain integers plus K/M suffixes (file.size=64K, io.size=1M).
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  uint64_t multiplier = 1;
+  if (*end == 'K' || *end == 'k') {
+    multiplier = 1024;
+    ++end;
+  } else if (*end == 'M' || *end == 'm') {
+    multiplier = 1024 * 1024;
+    ++end;
+  }
+  if (end == value.c_str() || *end != '\0') {
+    return InvalidArgumentError("personality: bad size for " + key + ": '" +
+                                value + "'");
+  }
+  return static_cast<uint64_t>(parsed) * multiplier;
+}
+
+}  // namespace
+
+const char* ScenarioOpName(ScenarioOp op) {
+  return kOpNames[static_cast<size_t>(op)];
+}
+
+Result<PersonalitySpec> BuiltinPersonality(const std::string& name) {
+  PersonalitySpec spec;
+  spec.name = name;
+  if (name == "webserver") {
+    // Serve popular static pages, append to the shared access log.
+    SetMix(&spec, ScenarioOp::kWholeFileRead, 0.91);
+    SetMix(&spec, ScenarioOp::kAppend, 0.09);
+    spec.fileset_files = 1000;
+    spec.file_size = 16 * 1024;
+    spec.append_size = 8 * 1024;
+    spec.zipf_theta = 0.99;
+  } else if (name == "varmail") {
+    // Mail spool: message create/delete churn plus mailbox reads/appends.
+    SetMix(&spec, ScenarioOp::kCreate, 0.25);
+    SetMix(&spec, ScenarioOp::kDelete, 0.25);
+    SetMix(&spec, ScenarioOp::kWholeFileRead, 0.25);
+    SetMix(&spec, ScenarioOp::kAppend, 0.25);
+    spec.fileset_files = 1000;
+    spec.file_size = 16 * 1024;
+    spec.append_size = 8 * 1024;
+    spec.appends_to_fileset = true;
+  } else if (name == "fileserver") {
+    // Home-directory server: mixed namespace + data traffic.
+    SetMix(&spec, ScenarioOp::kWholeFileRead, 0.33);
+    SetMix(&spec, ScenarioOp::kAppend, 0.20);
+    SetMix(&spec, ScenarioOp::kCreate, 0.12);
+    SetMix(&spec, ScenarioOp::kDelete, 0.10);
+    SetMix(&spec, ScenarioOp::kStat, 0.25);
+    spec.fileset_files = 512;
+    spec.file_size = 64 * 1024;
+    spec.append_size = 16 * 1024;
+  } else if (name == "oltp") {
+    // Database-style small random reads/writes in large files.
+    SetMix(&spec, ScenarioOp::kBlockRead, 0.70);
+    SetMix(&spec, ScenarioOp::kBlockWrite, 0.26);
+    SetMix(&spec, ScenarioOp::kStat, 0.04);
+    spec.fileset_files = 64;
+    spec.file_size = 64 * 1024;
+    spec.io_size = 4 * 1024;
+    spec.zipf_theta = 0.8;
+  } else if (name == "videoserver") {
+    // Few large hot objects, streamed whole; occasional new uploads.
+    SetMix(&spec, ScenarioOp::kWholeFileRead, 0.96);
+    SetMix(&spec, ScenarioOp::kCreate, 0.04);
+    spec.fileset_files = 64;
+    spec.file_size = 256 * 1024;
+    spec.zipf_theta = 0.99;
+  } else {
+    return InvalidArgumentError(
+        "unknown personality '" + name +
+        "' (expected webserver|varmail|fileserver|oltp|videoserver)");
+  }
+  return spec;
+}
+
+Status ApplyPersonalityOverride(PersonalitySpec* spec,
+                                const std::string& line) {
+  const size_t eq = line.find('=');
+  if (eq == std::string::npos) {
+    return InvalidArgumentError("personality: expected key=value, got '" +
+                                line + "'");
+  }
+  const std::string key = line.substr(0, eq);
+  const std::string value = line.substr(eq + 1);
+
+  if (key == "name") {
+    spec->name = value;
+    return OkStatus();
+  }
+  if (key == "arrival") {
+    if (value == "poisson") {
+      spec->arrival = ArrivalProcess::kPoisson;
+    } else if (value == "deterministic") {
+      spec->arrival = ArrivalProcess::kDeterministic;
+    } else {
+      return InvalidArgumentError(
+          "personality: arrival must be poisson|deterministic, got '" + value +
+          "'");
+    }
+    return OkStatus();
+  }
+  if (key == "files") {
+    ASSIGN_OR_RETURN(spec->fileset_files, ParseSize(key, value));
+    return OkStatus();
+  }
+  if (key == "file.size") {
+    ASSIGN_OR_RETURN(spec->file_size, ParseSize(key, value));
+    return OkStatus();
+  }
+  if (key == "io.size") {
+    ASSIGN_OR_RETURN(spec->io_size, ParseSize(key, value));
+    return OkStatus();
+  }
+  if (key == "append.size") {
+    ASSIGN_OR_RETURN(spec->append_size, ParseSize(key, value));
+    return OkStatus();
+  }
+  if (key == "skew.theta") {
+    ASSIGN_OR_RETURN(spec->zipf_theta, ParseDouble(key, value));
+    return OkStatus();
+  }
+  if (key == "skew.partition") {
+    spec->partition_skew = value != "0";
+    return OkStatus();
+  }
+  if (key == "append.to_fileset") {
+    spec->appends_to_fileset = value != "0";
+    return OkStatus();
+  }
+  if (key.rfind("mix.", 0) == 0) {
+    const std::string op_name = key.substr(4);
+    for (size_t i = 0; i < kScenarioOpCount; ++i) {
+      if (op_name == kOpNames[i]) {
+        ASSIGN_OR_RETURN(spec->mix[i], ParseDouble(key, value));
+        return OkStatus();
+      }
+    }
+    return InvalidArgumentError("personality: unknown op in '" + key + "'");
+  }
+  return InvalidArgumentError("personality: unknown key '" + key + "'");
+}
+
+Status ApplyPersonalityText(PersonalitySpec* spec, const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim trailing CR and surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) {
+      continue;
+    }
+    line = line.substr(start);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    RETURN_IF_ERROR(ApplyPersonalityOverride(spec, line));
+  }
+  return OkStatus();
+}
+
+}  // namespace scfs

@@ -1,0 +1,95 @@
+// Workload personalities: declarative specs in the style of filebench's
+// personality files, describing *what* a population of clients does —
+// operation mix, fileset shape, I/O sizes, popularity skew — while the
+// ClientFleet decides *how* it is executed (arrival process, client
+// multiplexing, latency accounting).
+//
+// The five classic filebench personalities are built in; any field can be
+// overridden with "key=value" lines, either from a spec file
+// (ApplyPersonalityText) or from --set flags (ApplyPersonalityOverride), so
+// a sweep can say `--personality webserver --set files=200 --set
+// skew.theta=1.2` without recompiling.
+
+#ifndef SCFS_BENCH_SCENARIO_PERSONALITY_H_
+#define SCFS_BENCH_SCENARIO_PERSONALITY_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/sim/arrivals.h"
+
+namespace scfs {
+
+enum class ScenarioOp {
+  kWholeFileRead = 0,  // open + read whole file + close
+  kBlockRead,          // open + one io_size read at a random offset + close
+  kBlockWrite,         // open(write) + one io_size write + close
+  kAppend,             // open(write) + append append_size + close
+  kCreate,             // create a new file of file_size bytes
+  kDelete,             // unlink a previously created file
+  kStat,               // getattr
+};
+constexpr size_t kScenarioOpCount = 7;
+
+const char* ScenarioOpName(ScenarioOp op);
+
+struct PersonalitySpec {
+  std::string name;
+  // Relative weights per ScenarioOp (need not sum to 1; zero weight = op
+  // not issued).
+  std::array<double, kScenarioOpCount> mix{};
+
+  // Fileset: `fileset_files` files of `file_size` bytes, created at setup.
+  uint64_t fileset_files = 1000;
+  uint64_t file_size = 16 * 1024;
+  // Block read/write transfer size.
+  uint64_t io_size = 4 * 1024;
+  // Bytes appended per kAppend.
+  uint64_t append_size = 8 * 1024;
+
+  // Popularity skew across the fileset (0 = uniform).
+  double zipf_theta = 0;
+  // When true, the Zipfian choice ranks coordination *partitions* instead
+  // of files (uniform within a partition's files), and setup generates
+  // fileset names whose metadata and lock keys co-locate per partition —
+  // the hot-partition experiment. Requires a partitioned deployment.
+  bool partition_skew = false;
+  // kAppend targets: false appends to a per-worker log file (webserver's
+  // access log); true appends to the Zipf-chosen fileset file (varmail
+  // mailboxes) — shared-file append contention included.
+  bool appends_to_fileset = false;
+
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+
+  double mix_weight(ScenarioOp op) const {
+    return mix[static_cast<size_t>(op)];
+  }
+  double mix_total() const {
+    double total = 0;
+    for (double w : mix) {
+      total += w;
+    }
+    return total;
+  }
+};
+
+// One of: webserver, varmail, fileserver, oltp, videoserver.
+Result<PersonalitySpec> BuiltinPersonality(const std::string& name);
+
+// Applies one "key=value" override. Keys: name, arrival (poisson |
+// deterministic), files, file.size, io.size, append.size, skew.theta,
+// skew.partition (0|1), append.to_fileset (0|1), mix.<op> where <op> is a
+// ScenarioOpName (wholeread, blockread, blockwrite, append, create, delete,
+// stat). Unknown keys and unparsable values are errors.
+Status ApplyPersonalityOverride(PersonalitySpec* spec, const std::string& line);
+
+// Applies a whole spec text: one key=value per line; blank lines and lines
+// starting with '#' are skipped.
+Status ApplyPersonalityText(PersonalitySpec* spec, const std::string& text);
+
+}  // namespace scfs
+
+#endif  // SCFS_BENCH_SCENARIO_PERSONALITY_H_

@@ -1,0 +1,62 @@
+#include "bench/scenario/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scfs {
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta)
+    : n_(n > 0 ? n : 1), theta_(theta > 0 ? theta : 0) {
+  if (theta_ == 0) {
+    return;  // uniform: no tables needed
+  }
+  if (n_ <= kExactLimit) {
+    cdf_.resize(static_cast<size_t>(n_));
+    double sum = 0;
+    for (uint64_t k = 0; k < n_; ++k) {
+      sum += std::pow(static_cast<double>(k + 1), -theta_);
+      cdf_[static_cast<size_t>(k)] = sum;
+    }
+    for (double& c : cdf_) {
+      c /= sum;
+    }
+    return;
+  }
+  // Gray-path closed form needs theta < 1.
+  if (theta_ >= 1.0) {
+    theta_ = 0.99;
+  }
+  for (uint64_t k = 1; k <= n_; ++k) {
+    zetan_ += std::pow(static_cast<double>(k), -theta_);
+  }
+  zeta2_ = 1.0 + std::pow(2.0, -theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  if (theta_ == 0) {
+    return rng->UniformU64(n_);
+  }
+  const double u = rng->UniformDouble();
+  if (!cdf_.empty()) {
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) {
+      return n_ - 1;
+    }
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < zeta2_) {
+    return 1;
+  }
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank < n_ ? rank : n_ - 1;
+}
+
+}  // namespace scfs

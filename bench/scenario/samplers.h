@@ -1,0 +1,55 @@
+// ZipfSampler: ranked Zipfian selection over [0, n) — rank 0 is the most
+// popular item. P(rank = k) is proportional to 1/(k+1)^theta; theta = 0
+// degenerates to uniform.
+//
+// Two implementations behind one interface:
+//   - n <= kExactLimit: an exact CDF table + binary search. Works for any
+//     theta >= 0 (including theta > 1, which the skew demo uses to
+//     concentrate load on one partition).
+//   - larger n: the Gray et al. ("Quickly generating billion-record
+//     synthetic databases", SIGMOD '94) closed-form inverse, O(1) per
+//     sample after an O(n) harmonic-sum precomputation. Valid only for
+//     theta in [0, 1); a larger theta is clamped to 0.99 (the YCSB
+//     convention) — fileset sizes that need heavier skew fit the exact
+//     path comfortably.
+//
+// The sampler holds no RNG: callers pass their own per-client/per-op Rng so
+// sampling stays deterministic per stream.
+
+#ifndef SCFS_BENCH_SCENARIO_SAMPLERS_H_
+#define SCFS_BENCH_SCENARIO_SAMPLERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace scfs {
+
+class ZipfSampler {
+ public:
+  static constexpr uint64_t kExactLimit = 16384;
+
+  ZipfSampler(uint64_t n, double theta);
+
+  // Rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  // The theta actually in effect (after any Gray-path clamp).
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // exact path only; cdf_[k] = P(rank <= k)
+  // Gray-path constants.
+  double zetan_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+  double zeta2_ = 0;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_BENCH_SCENARIO_SAMPLERS_H_

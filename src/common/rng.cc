@@ -17,6 +17,17 @@ uint64_t Rotl(uint64_t x, int k) {
 }
 }  // namespace
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  // Feed both words through the SplitMix64 finalizer, offsetting the stream
+  // by an odd constant so (s, 0) never collapses onto plain `s`.
+  uint64_t state = seed;
+  uint64_t a = SplitMix64(&state);
+  state = stream * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+  uint64_t b = SplitMix64(&state);
+  state = a ^ b;
+  return SplitMix64(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) {

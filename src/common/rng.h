@@ -12,9 +12,22 @@
 
 namespace scfs {
 
+// Derives a decorrelated child seed from a (seed, stream) pair. Both words
+// pass through a SplitMix64-style avalanche, so adjacent stream ids (0, 1,
+// 2, ...) yield statistically independent generators — the per-client RNG
+// streams of the scenario engine are Rng::ForStream(run_seed, client_id).
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5cf5cf5cf5ULL);
+
+  // Stream `stream` of the generator family rooted at `seed`: deterministic
+  // (the same pair always yields the same sequence) and independent across
+  // stream ids under a fixed seed.
+  static Rng ForStream(uint64_t seed, uint64_t stream) {
+    return Rng(MixSeed(seed, stream));
+  }
 
   uint64_t NextU64();
   // Uniform in [0, bound). bound must be > 0.

@@ -11,12 +11,25 @@ namespace {
 // FNV-1a 64-bit: stable across platforms and processes, so a key's
 // partition is a pure function of the key and the partition count —
 // clients, replayed intents and restarted deployments all agree on it.
+//
+// Raw FNV-1a needs the avalanche finalizer below: its low k bits are an
+// affine function (over GF(2)) of the input bits — the xor is linear and
+// the prime multiply is carry-free mod small 2^k — so for key families
+// sharing a suffix, like "m:<path>/" vs "lk:<path>" of the same path,
+// hash agreement mod a power-of-two partition count is *constant* across
+// all paths (always or never co-located) instead of 1/N. The SplitMix64
+// finalizer mixes high bits into low, restoring per-key independence.
 uint64_t Fnv1a64(const std::string& key) {
   uint64_t hash = 1469598103934665603ull;
   for (unsigned char c : key) {
     hash ^= c;
     hash *= 1099511628211ull;
   }
+  hash ^= hash >> 30;
+  hash *= 0xbf58476d1ce4e5b9ull;
+  hash ^= hash >> 27;
+  hash *= 0x94d049bb133111ebull;
+  hash ^= hash >> 31;
   return hash;
 }
 
@@ -131,6 +144,40 @@ SmrCounters PartitionedCoordination::counters() const {
   SmrCounters out;
   for (const auto& partition : partitions_) {
     out += partition->counters();
+  }
+  return out;
+}
+
+SmrCounters PartitionedCoordination::partition_counters(
+    unsigned partition) const {
+  return partitions_[partition]->counters();
+}
+
+PartitionLoadSnapshot PartitionedCoordination::LoadSnapshot() const {
+  PartitionLoadSnapshot out;
+  out.at = env_->Now();
+  out.per_partition.reserve(partitions_.size());
+  for (const auto& partition : partitions_) {
+    out.per_partition.push_back(partition->counters());
+  }
+  return out;
+}
+
+std::vector<double> PartitionOpsPerSecond(const PartitionLoadSnapshot& before,
+                                          const PartitionLoadSnapshot& after) {
+  if (before.per_partition.size() != after.per_partition.size() ||
+      after.at <= before.at) {
+    return {};
+  }
+  const double seconds = ToSeconds(after.at - before.at);
+  std::vector<double> out;
+  out.reserve(after.per_partition.size());
+  for (size_t p = 0; p < after.per_partition.size(); ++p) {
+    SmrCounters delta = after.per_partition[p];
+    delta -= before.per_partition[p];
+    out.push_back(
+        static_cast<double>(delta.ordered_commands + delta.fast_path_reads) /
+        seconds);
   }
   return out;
 }

@@ -56,6 +56,21 @@ struct PartitionedCoordinationConfig {
   SmrConfig smr;
 };
 
+// A timestamped per-partition counter snapshot: the introspection unit a
+// load-aware router (ROADMAP item 2) and the scenario engine's hot-partition
+// accounting consume. Two snapshots of the same deployment bracket a window;
+// PartitionOpsPerSecond turns the pair into per-partition service rates.
+struct PartitionLoadSnapshot {
+  VirtualTime at = 0;
+  std::vector<SmrCounters> per_partition;
+};
+
+// Per-partition completed operations per second (ordered commands plus
+// fast-path reads) between two snapshots of the same deployment. Empty if
+// the snapshots disagree on partition count or the window is empty.
+std::vector<double> PartitionOpsPerSecond(const PartitionLoadSnapshot& before,
+                                          const PartitionLoadSnapshot& after);
+
 class PartitionedCoordination : public CoordinationService {
  public:
   PartitionedCoordination(Environment* env,
@@ -75,6 +90,10 @@ class PartitionedCoordination : public CoordinationService {
   SmrCluster& cluster(unsigned partition) { return *partitions_[partition]; }
   // Aggregate protocol counters across all partitions.
   SmrCounters counters() const;
+  // One partition's counters (ops and per-op message accounting).
+  SmrCounters partition_counters(unsigned partition) const;
+  // Timestamped per-partition counter snapshot; see PartitionLoadSnapshot.
+  PartitionLoadSnapshot LoadSnapshot() const;
   uint64_t reply_bytes_out() const;
 
  private:

@@ -209,6 +209,10 @@ SmrCounters SmrCluster::counters() const {
       snapshots_installed_.load(std::memory_order_relaxed);
   out.snapshot_payload_rejects =
       snapshot_payload_rejects_.load(std::memory_order_relaxed);
+  out.client_request_msgs =
+      client_request_msgs_.load(std::memory_order_relaxed);
+  out.replica_msgs = replica_msgs_.load(std::memory_order_relaxed);
+  out.client_reply_msgs = client_reply_msgs_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -263,6 +267,9 @@ void SmrCluster::SendToReplica(unsigned from_replica, unsigned to,
     std::lock_guard<std::mutex> lock(replicas_[from_replica]->mu);
     delay = config_.replica_link.Sample(replicas_[from_replica]->rng,
                                         msg.ByteSize());
+    // Self-delivery stays a local enqueue; only cross-replica sends are
+    // network messages.
+    replica_msgs_.fetch_add(1, std::memory_order_relaxed);
   }
   replicas_[to]->inbox.Push(std::move(msg), env_->Now() + delay);
 }
@@ -291,6 +298,7 @@ void SmrCluster::SendReplyToClient(unsigned from_replica,
     delay = link.Sample(replicas_[from_replica]->rng, reply.payload.size());
   }
   reply_bytes_out_.fetch_add(reply.payload.size(), std::memory_order_relaxed);
+  client_reply_msgs_.fetch_add(1, std::memory_order_relaxed);
   queue->Push(reply, env_->Now() + delay);
 }
 
@@ -311,6 +319,8 @@ std::optional<Bytes> SmrCluster::TryFastRead(const Bytes& encoded_command) {
   request.from = -1;
   request.request_id = request_id;
   request.payload = encoded_command;
+  client_request_msgs_.fetch_add(replicas_.size(),
+                                 std::memory_order_relaxed);
   for (unsigned i = 0; i < replicas_.size(); ++i) {
     VirtualDuration delay;
     {
@@ -465,6 +475,8 @@ Result<CoordReply> SmrCluster::Execute(const CoordCommand& command) {
   request.payload = std::move(encoded);
 
   auto broadcast_request = [&] {
+    client_request_msgs_.fetch_add(replicas_.size(),
+                                   std::memory_order_relaxed);
     for (unsigned i = 0; i < replicas_.size(); ++i) {
       VirtualDuration delay;
       {

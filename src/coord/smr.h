@@ -236,6 +236,19 @@ struct SmrCounters {
   // State replies whose snapshot payload did not hash to the claimed
   // digest (a Byzantine peer's forged snapshot), dropped at receipt.
   uint64_t snapshot_payload_rejects = 0;
+  // Modelled network messages, for per-operation message accounting (the
+  // lease-caching target of ROADMAP item 4 is judged against these):
+  // client -> replica request sends (ordered broadcasts including retries,
+  // plus fast-read broadcasts), replica <-> replica protocol sends
+  // (PROPOSE/ACCEPT/view-change/state transfer; self-delivery is free), and
+  // replica -> client replies actually delivered to a live client.
+  uint64_t client_request_msgs = 0;
+  uint64_t replica_msgs = 0;
+  uint64_t client_reply_msgs = 0;
+
+  uint64_t total_messages() const {
+    return client_request_msgs + replica_msgs + client_reply_msgs;
+  }
 
   SmrCounters& operator+=(const SmrCounters& other) {
     ordered_commands += other.ordered_commands;
@@ -249,6 +262,30 @@ struct SmrCounters {
     state_requests += other.state_requests;
     snapshots_installed += other.snapshots_installed;
     snapshot_payload_rejects += other.snapshot_payload_rejects;
+    client_request_msgs += other.client_request_msgs;
+    replica_msgs += other.replica_msgs;
+    client_reply_msgs += other.client_reply_msgs;
+    return *this;
+  }
+
+  // Field-wise difference, for windowed rates (`after -= before` leaves the
+  // counts accumulated inside the window). Only meaningful when `other` is
+  // an earlier snapshot of the same counter set.
+  SmrCounters& operator-=(const SmrCounters& other) {
+    ordered_commands -= other.ordered_commands;
+    proposed_instances -= other.proposed_instances;
+    proposed_requests -= other.proposed_requests;
+    fast_path_reads -= other.fast_path_reads;
+    fast_path_fallbacks -= other.fast_path_fallbacks;
+    fast_path_cooldown_bypasses -= other.fast_path_cooldown_bypasses;
+    fast_path_stale_quorums -= other.fast_path_stale_quorums;
+    checkpoints_taken -= other.checkpoints_taken;
+    state_requests -= other.state_requests;
+    snapshots_installed -= other.snapshots_installed;
+    snapshot_payload_rejects -= other.snapshot_payload_rejects;
+    client_request_msgs -= other.client_request_msgs;
+    replica_msgs -= other.replica_msgs;
+    client_reply_msgs -= other.client_reply_msgs;
     return *this;
   }
 };
@@ -499,6 +536,9 @@ class SmrCluster {
   std::atomic<uint64_t> state_requests_{0};
   std::atomic<uint64_t> snapshots_installed_{0};
   std::atomic<uint64_t> snapshot_payload_rejects_{0};
+  std::atomic<uint64_t> client_request_msgs_{0};
+  std::atomic<uint64_t> replica_msgs_{0};
+  std::atomic<uint64_t> client_reply_msgs_{0};
 
   std::mutex rng_mu_;
   Rng client_rng_;

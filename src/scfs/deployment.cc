@@ -72,6 +72,20 @@ std::unique_ptr<Deployment> Deployment::Create(Environment* env,
     // path must not pay one fast_read_timeout per read while a fault
     // persists — one per window is the contract.
     config.fast_read_fallback_cooldown = 5 * kSecond;
+    if (options.coord_max_batch > 0) {
+      config.max_batch = options.coord_max_batch;
+    }
+    if (options.coord_max_inflight_instances > 0) {
+      config.max_inflight_instances = options.coord_max_inflight_instances;
+    }
+    if (options.coord_batch_accumulation_delay > 0) {
+      config.enable_batching = true;
+      config.batch_accumulation_delay = options.coord_batch_accumulation_delay;
+    }
+    if (options.coord_replica_link_one_way > 0) {
+      config.replica_link =
+          LatencyModel::Fixed(options.coord_replica_link_one_way);
+    }
     if (options.coord_partitions > 1) {
       PartitionedCoordinationConfig pconfig;
       pconfig.partitions = options.coord_partitions;

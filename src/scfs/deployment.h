@@ -39,6 +39,28 @@ struct DeploymentOptions {
   // the cross-partition intent-record protocol). Ignored for kAws and
   // zero-latency deployments, which run a single local server.
   unsigned coord_partitions = 1;
+  // Ordering-pipeline bounds for the (replicated/partitioned) coordination
+  // plane; 0 keeps the SmrConfig defaults. Real BFT deployments cap both
+  // the consensus window and the per-instance batch (crypto budget), and
+  // saturation experiments — the scenario engine's knee sweeps and the
+  // hot-partition skew demo — need a finite per-partition capacity to push
+  // against; the default deep pipeline never saturates at benchable client
+  // counts. Ignored for kAws and zero-latency deployments.
+  unsigned coord_max_batch = 0;
+  unsigned coord_max_inflight_instances = 0;
+  // Leader batch-accumulation delay (0 keeps the SmrConfig default of
+  // proposing immediately): partial batches are held up to this long so
+  // concurrent requests ride one consensus instance. Ignored for kAws and
+  // zero-latency deployments.
+  VirtualDuration coord_batch_accumulation_delay = 0;
+  // Fixed one-way replica<->replica link latency override (0 keeps the
+  // default ~10 ms wide-area model). With coord_max_inflight_instances=1
+  // this pins the ordering capacity of a partition to
+  // ~max_batch/(2*link) commands per second on the virtual clock —
+  // independent of host CPU — which is what the scenario engine's
+  // hot-partition skew demo pushes against. Ignored for kAws and
+  // zero-latency deployments.
+  VirtualDuration coord_replica_link_one_way = 0;
   uint64_t seed = 42;
 };
 

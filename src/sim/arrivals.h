@@ -1,0 +1,69 @@
+// Open-loop arrival scheduling on the virtual clock.
+//
+// A closed-loop driver issues the next operation when the previous one
+// completes, so a saturated system silently throttles its own load and the
+// measured latency distribution hides queueing (coordinated omission). An
+// open-loop driver instead fixes the *arrival* process: operation i is due
+// at a timestamp that does not depend on how the system is doing, and its
+// latency is measured from that scheduled arrival time. OpenLoopArrivals
+// generates those timestamps for the scenario engine (bench/scenario).
+//
+// Arrival times accumulate in floating-point seconds from the start time
+// before conversion to VirtualTime, so a million-arrival schedule carries no
+// integer rounding drift (a fixed per-gap truncation would inflate the
+// effective rate by up to 1 us per arrival).
+
+#ifndef SCFS_SIM_ARRIVALS_H_
+#define SCFS_SIM_ARRIVALS_H_
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/sim/time.h"
+
+namespace scfs {
+
+enum class ArrivalProcess {
+  kDeterministic,  // fixed inter-arrival gap 1/rate
+  kPoisson,        // exponential gaps (memoryless, the open-system default)
+};
+
+class OpenLoopArrivals {
+ public:
+  // `ops_per_second` is the aggregate offered rate in virtual time; must be
+  // > 0. `start` is the virtual time of the schedule origin (the first
+  // arrival lands one gap after it).
+  OpenLoopArrivals(ArrivalProcess process, double ops_per_second,
+                   VirtualTime start, uint64_t seed)
+      : process_(process),
+        rate_(ops_per_second),
+        start_(start),
+        rng_(Rng::ForStream(seed, 0x4a52525649ULL)) {}
+
+  // Returns the next scheduled arrival time. Monotone non-decreasing.
+  VirtualTime Next() {
+    double gap_s;
+    if (process_ == ArrivalProcess::kDeterministic) {
+      gap_s = 1.0 / rate_;
+    } else {
+      // Inverse-CDF exponential; UniformDouble() is in [0, 1) so the log
+      // argument 1-u is in (0, 1] and never 0.
+      gap_s = -std::log(1.0 - rng_.UniformDouble()) / rate_;
+    }
+    elapsed_s_ += gap_s;
+    return start_ + FromSecondsD(elapsed_s_);
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  ArrivalProcess process_;
+  double rate_;
+  VirtualTime start_;
+  double elapsed_s_ = 0;  // schedule offset in seconds (drift-free)
+  Rng rng_;
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_SIM_ARRIVALS_H_

@@ -1,0 +1,398 @@
+// Unit tests for the open-loop scenario engine (bench/scenario): the
+// Zipfian sampler against closed-form frequencies, per-client RNG stream
+// independence, the log-bucketed latency recorder against an exact sort,
+// open-loop arrival schedules against their nominal rate, personality
+// parsing, and a small end-to-end fleet run on an instant clock.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "bench/scenario/client_fleet.h"
+#include "bench/scenario/latency_recorder.h"
+#include "bench/scenario/personality.h"
+#include "bench/scenario/samplers.h"
+#include "src/baselines/local_fs.h"
+#include "src/common/rng.h"
+#include "src/sim/arrivals.h"
+#include "src/sim/environment.h"
+
+namespace scfs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ZipfSampler
+// ---------------------------------------------------------------------------
+
+// Closed-form Zipf pmf: p(k) = (1/(k+1)^theta) / zeta_n(theta), rank k in
+// [0, n).
+double ZipfPmf(uint64_t n, double theta, uint64_t rank) {
+  double zetan = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return (1.0 / std::pow(static_cast<double>(rank + 1), theta)) / zetan;
+}
+
+TEST(ZipfSamplerTest, ExactPathMatchesTheory) {
+  // n below the exact-CDF limit: frequencies must track the pmf closely.
+  const uint64_t n = 1000;
+  const double theta = 0.99;
+  const int draws = 200000;
+  ZipfSampler sampler(n, theta);
+  Rng rng(123);
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < draws; ++i) {
+    uint64_t v = sampler.Sample(&rng);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  // The top ranks have thousands of hits; 5% relative tolerance is ~10
+  // standard deviations.
+  for (uint64_t rank : {0ull, 1ull, 2ull, 9ull}) {
+    const double expected = ZipfPmf(n, theta, rank) * draws;
+    EXPECT_NEAR(counts[rank], expected, expected * 0.05)
+        << "rank " << rank;
+  }
+  // Monotone head: rank 0 strictly dominates rank 10.
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(ZipfSamplerTest, GrayApproximationMatchesTheoryLoosely) {
+  // n above the exact-CDF limit exercises the Gray et al. closed form; its
+  // rank-0/1 split is approximate, so the tolerance is looser.
+  const uint64_t n = 100000;
+  const double theta = 0.99;
+  const int draws = 200000;
+  ZipfSampler sampler(n, theta);
+  Rng rng(321);
+  uint64_t rank0 = 0, in_range = 0;
+  for (int i = 0; i < draws; ++i) {
+    uint64_t v = sampler.Sample(&rng);
+    ASSERT_LT(v, n);
+    ++in_range;
+    if (v == 0) {
+      ++rank0;
+    }
+  }
+  EXPECT_EQ(in_range, static_cast<uint64_t>(draws));
+  const double expected = ZipfPmf(n, theta, 0) * draws;
+  EXPECT_NEAR(static_cast<double>(rank0), expected, expected * 0.25);
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniform) {
+  const uint64_t n = 64;
+  ZipfSampler sampler(n, 0.0);
+  Rng rng(7);
+  std::vector<int> counts(n, 0);
+  const int draws = 64000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[sampler.Sample(&rng)];
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    // Mean 1000 per bucket; 4-sigma band.
+    EXPECT_NEAR(counts[i], 1000, 4 * std::sqrt(1000.0)) << "bucket " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-client RNG streams
+// ---------------------------------------------------------------------------
+
+TEST(RngStreamTest, SameStreamIsDeterministic) {
+  Rng a = Rng::ForStream(42, 1000);
+  Rng b = Rng::ForStream(42, 1000);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngStreamTest, StreamsAreIndependent) {
+  // The scenario engine derives one stream per (client, op-counter) pair:
+  // Rng(MixSeed(MixSeed(seed, client), counter)). Adjacent client ids and
+  // counters must give uncorrelated draws.
+  const uint64_t seed = 42;
+  // Distinct (client, counter) pairs yield distinct first draws.
+  std::set<uint64_t> first_draws;
+  for (uint64_t client = 0; client < 64; ++client) {
+    for (uint64_t counter = 0; counter < 4; ++counter) {
+      Rng rng(MixSeed(MixSeed(seed, client), counter));
+      first_draws.insert(rng.NextU64());
+    }
+  }
+  EXPECT_EQ(first_draws.size(), 64u * 4u);
+
+  // Bit-level balance between adjacent client streams: the fraction of
+  // equal bits across 64-bit draws should be ~1/2.
+  Rng c0 = Rng::ForStream(seed, 0);
+  Rng c1 = Rng::ForStream(seed, 1);
+  uint64_t equal_bits = 0;
+  const int words = 1000;
+  for (int i = 0; i < words; ++i) {
+    equal_bits += 64 - __builtin_popcountll(c0.NextU64() ^ c1.NextU64());
+  }
+  const double frac = static_cast<double>(equal_bits) / (64.0 * words);
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyRecorder
+// ---------------------------------------------------------------------------
+
+TEST(LatencyRecorderTest, BucketInvariants) {
+  // Every value maps to a bucket whose upper edge is >= the value, within
+  // 1/64 relative width above the exact range.
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 129ull, 1000ull, 4095ull,
+                     4096ull, 1000000ull, 123456789ull}) {
+    const size_t idx = LatencyRecorder::BucketIndex(v);
+    ASSERT_LT(idx, LatencyRecorder::kBucketCount);
+    const uint64_t edge = LatencyRecorder::BucketUpperEdge(idx);
+    EXPECT_GE(edge, v) << "value " << v;
+    // Relative overshoot of the bucket edge: <= ~1/64 above the exact
+    // region (edge/v - 1 <= 1/64 + rounding).
+    if (v >= 128) {
+      EXPECT_LE(static_cast<double>(edge) / static_cast<double>(v),
+                1.0 + 1.0 / 64 + 1e-9)
+          << "value " << v;
+    } else {
+      EXPECT_EQ(edge, v);  // exact 1-us buckets below 128
+    }
+    // Monotone: the next value's bucket is the same or later.
+    EXPECT_GE(LatencyRecorder::BucketIndex(v + 1), idx);
+  }
+}
+
+TEST(LatencyRecorderTest, PercentilesMatchExactSortOnMillionSamples) {
+  // 1e6 samples from a long-tailed distribution spanning ~6 decades; the
+  // log-bucketed percentiles must stay within the documented 1/64 relative
+  // error of the exact sorted values.
+  const size_t n = 1000000;
+  Rng rng(99);
+  LatencyRecorder recorder;
+  std::vector<uint64_t> exact;
+  exact.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Lognormal-ish: exp of a scaled sum of uniforms, plus a uniform floor.
+    double e = 0;
+    for (int k = 0; k < 4; ++k) {
+      e += rng.UniformDouble();
+    }
+    const uint64_t v =
+        static_cast<uint64_t>(std::exp(e * 3.0) * 50.0) + rng.UniformU64(100);
+    recorder.Record(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  ASSERT_EQ(recorder.count(), n);
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(p / 100.0 * n)));
+    const uint64_t exact_v = exact[rank - 1];
+    const uint64_t approx_v = recorder.PercentileUs(p);
+    EXPECT_GE(approx_v, exact_v) << "p" << p;  // bucket upper edge
+    EXPECT_LE(static_cast<double>(approx_v),
+              static_cast<double>(exact_v) * (1.0 + 1.0 / 64) + 1.0)
+        << "p" << p;
+  }
+  EXPECT_EQ(recorder.PercentileUs(100), exact.back());  // exact max
+}
+
+TEST(LatencyRecorderTest, MergeEqualsSingleRecorder) {
+  Rng rng(5);
+  LatencyRecorder merged, shards[4];
+  LatencyRecorder single;
+  for (int i = 0; i < 40000; ++i) {
+    const uint64_t v = rng.UniformU64(1 << 20);
+    single.Record(v);
+    shards[i % 4].Record(v);
+  }
+  for (auto& shard : shards) {
+    merged.Merge(shard);
+  }
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_EQ(merged.max_us(), single.max_us());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(merged.PercentileUs(p), single.PercentileUs(p)) << "p" << p;
+  }
+}
+
+TEST(LatencyRecorderTest, EmptyRecorderIsZero) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_EQ(recorder.PercentileUs(99), 0u);
+  EXPECT_EQ(recorder.MeanUs(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// OpenLoopArrivals
+// ---------------------------------------------------------------------------
+
+TEST(OpenLoopArrivalsTest, DeterministicCountMatchesRate) {
+  // rate * window arrivals land inside the window, exactly (+-1 for the
+  // boundary gap).
+  const double rate = 1000;
+  const VirtualTime start = 5 * kSecond;
+  const VirtualDuration window = 10 * kSecond;
+  OpenLoopArrivals arrivals(ArrivalProcess::kDeterministic, rate, start, 1);
+  uint64_t count = 0;
+  VirtualTime prev = start;
+  for (;;) {
+    VirtualTime t = arrivals.Next();
+    EXPECT_GE(t, prev);  // monotone
+    prev = t;
+    if (t >= start + window) {
+      break;
+    }
+    ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count), rate * 10.0, 1.0);
+}
+
+TEST(OpenLoopArrivalsTest, PoissonCountWithinTolerance) {
+  // Poisson(rate * window): mean 20000, sd ~141; a 5-sigma band is a
+  // one-in-thirty-million flake.
+  const double rate = 500;
+  const VirtualDuration window = 40 * kSecond;
+  OpenLoopArrivals arrivals(ArrivalProcess::kPoisson, rate, 0, 7);
+  uint64_t count = 0;
+  while (arrivals.Next() < window) {
+    ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count), 20000.0, 5 * std::sqrt(20000.0));
+}
+
+TEST(OpenLoopArrivalsTest, SameSeedSameSchedule) {
+  OpenLoopArrivals a(ArrivalProcess::kPoisson, 100, 0, 42);
+  OpenLoopArrivals b(ArrivalProcess::kPoisson, 100, 0, 42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Personality parsing
+// ---------------------------------------------------------------------------
+
+TEST(PersonalityTest, BuiltinsAreWellFormed) {
+  for (const char* name :
+       {"webserver", "varmail", "fileserver", "oltp", "videoserver"}) {
+    auto spec = BuiltinPersonality(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_GT(spec->mix_total(), 0.99) << name;
+    EXPECT_LT(spec->mix_total(), 1.01) << name;
+    EXPECT_GT(spec->fileset_files, 0u) << name;
+    EXPECT_GT(spec->file_size, 0u) << name;
+  }
+  EXPECT_FALSE(BuiltinPersonality("nosuch").ok());
+}
+
+TEST(PersonalityTest, OverridesAndSizeSuffixes) {
+  auto spec = BuiltinPersonality("webserver");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(ApplyPersonalityOverride(&*spec, "file.size=64K").ok());
+  EXPECT_EQ(spec->file_size, 64u * 1024);
+  ASSERT_TRUE(ApplyPersonalityOverride(&*spec, "io.size=1M").ok());
+  EXPECT_EQ(spec->io_size, 1024u * 1024);
+  ASSERT_TRUE(ApplyPersonalityOverride(&*spec, "files=250").ok());
+  EXPECT_EQ(spec->fileset_files, 250u);
+  ASSERT_TRUE(ApplyPersonalityOverride(&*spec, "mix.append=0.5").ok());
+  EXPECT_EQ(spec->mix_weight(ScenarioOp::kAppend), 0.5);
+  ASSERT_TRUE(ApplyPersonalityOverride(&*spec, "arrival=deterministic").ok());
+  EXPECT_EQ(spec->arrival, ArrivalProcess::kDeterministic);
+
+  EXPECT_FALSE(ApplyPersonalityOverride(&*spec, "no_equals_sign").ok());
+  EXPECT_FALSE(ApplyPersonalityOverride(&*spec, "unknown.key=1").ok());
+  EXPECT_FALSE(ApplyPersonalityOverride(&*spec, "mix.nosuchop=1").ok());
+  EXPECT_FALSE(ApplyPersonalityOverride(&*spec, "file.size=abc").ok());
+  EXPECT_FALSE(ApplyPersonalityOverride(&*spec, "skew.theta=xyz").ok());
+}
+
+TEST(PersonalityTest, TextFormSkipsCommentsAndBlanks) {
+  auto spec = BuiltinPersonality("oltp");
+  ASSERT_TRUE(spec.ok());
+  const std::string text =
+      "# oltp tuned down\n"
+      "\n"
+      "  files=32\r\n"
+      "skew.theta=0.5\n";
+  ASSERT_TRUE(ApplyPersonalityText(&*spec, text).ok());
+  EXPECT_EQ(spec->fileset_files, 32u);
+  EXPECT_EQ(spec->zipf_theta, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// ClientFleet end-to-end (instant clock, local in-memory file system)
+// ---------------------------------------------------------------------------
+
+TEST(ClientFleetTest, OpenLoopRunOnLocalFs) {
+  auto env = Environment::Instant();
+  LocalFs fs(env.get());
+  auto spec = BuiltinPersonality("webserver");
+  ASSERT_TRUE(spec.ok());
+  spec->fileset_files = 32;
+  spec->file_size = 4096;
+  spec->append_size = 512;
+
+  ClientFleet fleet(env.get(), *spec, {&fs}, /*deployment=*/nullptr);
+  ASSERT_TRUE(fleet.Setup().ok());
+
+  FleetConfig config;
+  config.clients = 5000;
+  config.offered_ops_per_s = 2000;
+  config.duration = 2 * kSecond;
+  config.drain_grace = 2 * kSecond;
+  config.workers = 8;
+  config.seed = 7;
+  FleetResult result = fleet.Run(config);
+
+  // Open-loop arrival count tracks rate * window (Poisson, 5-sigma).
+  EXPECT_NEAR(static_cast<double>(result.issued), 4000.0,
+              5 * std::sqrt(4000.0));
+  // The instant clock has no host-CPU backpressure: everything issued must
+  // execute, error-free, and be accounted exactly once.
+  EXPECT_EQ(result.executed, result.issued);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.latency.count(), result.executed);
+  uint64_t per_op_total = 0;
+  for (uint64_t c : result.per_op_issued) {
+    per_op_total += c;
+  }
+  EXPECT_EQ(per_op_total, result.issued);
+  EXPECT_GT(result.touched_clients, 0u);
+  EXPECT_LE(result.touched_clients, config.clients);
+  EXPECT_GT(result.achieved_ops_per_s, 0.0);
+  // No coordination plane behind LocalFs.
+  EXPECT_EQ(result.coord_msgs_per_op, 0.0);
+}
+
+TEST(ClientFleetTest, SameSeedReplaysIdenticalMix) {
+  auto env = Environment::Instant();
+  LocalFs fs(env.get());
+  auto spec = BuiltinPersonality("fileserver");
+  ASSERT_TRUE(spec.ok());
+  spec->fileset_files = 16;
+  spec->file_size = 1024;
+  spec->append_size = 256;
+
+  std::array<uint64_t, kScenarioOpCount> mixes[2];
+  for (int round = 0; round < 2; ++round) {
+    ClientFleet fleet(env.get(), *spec, {&fs}, nullptr);
+    ASSERT_TRUE(fleet.Setup().ok());
+    FleetConfig config;
+    config.clients = 1000;
+    config.offered_ops_per_s = 500;
+    config.duration = 2 * kSecond;
+    config.workers = 4;
+    config.seed = 1234;
+    mixes[round] = fleet.Run(config).per_op_issued;
+  }
+  EXPECT_EQ(mixes[0], mixes[1]);
+}
+
+}  // namespace
+}  // namespace scfs

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_scenarios.json (the open-loop scenario engine).
+
+Discovers which personalities the bench ran from the scenario_<name>_clients
+records, then requires every one of them to have produced a coherent sweep:
+a knee, a positive saturation throughput, ordered tail percentiles
+(p50 <= p99 <= p99.9) at the knee point, and coordination-work attribution.
+If the Zipfian skew demo ran, the skewed variant's p99 must exceed the
+uniform variant's by the demo's design margin — the hot partition exists to
+be measurably slower. Stdlib only, like tools/check_bench_coord.py.
+
+Usage: check_bench_scenarios.py [path-to-BENCH_scenarios.json]
+"""
+
+import json
+import math
+import sys
+
+# The skew demo saturates one partition of a capacity-bound coordination
+# pipeline; anything under 1.2x means the hot partition never became the
+# bottleneck (the demo regressed, not the percentiles).
+MIN_SKEW_INFLATION = 1.2
+
+
+def fail(msg: str) -> int:
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def finite(value) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_scenarios.json"
+    with open(path) as f:
+        records = json.load(f)
+    metrics = {}
+    for record in records:
+        if not finite(record.get("value")):
+            return fail(f"{record.get('name')} has non-finite value "
+                        f"{record.get('value')!r}")
+        metrics[record["name"]] = record["value"]
+
+    personalities = sorted(
+        name[len("scenario_"):-len("_clients")]
+        for name in metrics
+        if name.startswith("scenario_")
+        and name.endswith("_clients")
+        and not name.startswith("scenario_zipf_")
+    )
+    if not personalities:
+        return fail(f"{path} contains no scenario_<name>_clients records")
+
+    rc = 0
+    for p in personalities:
+        prefix = f"scenario_{p}_"
+        required = [
+            "clients", "knee_offered_ops_s", "saturation_ops_s",
+            "achieved_ops_s", "p50_ms", "p90_ms", "p99_ms", "p999_ms",
+            "errors", "dropped", "coord_msgs_per_op", "ordered_per_op",
+            "fast_reads_per_op",
+        ]
+        missing = [k for k in required if prefix + k not in metrics]
+        if missing:
+            rc |= fail(f"{p}: missing metrics {missing}")
+            continue
+        knee = metrics[prefix + "knee_offered_ops_s"]
+        saturation = metrics[prefix + "saturation_ops_s"]
+        p50 = metrics[prefix + "p50_ms"]
+        p99 = metrics[prefix + "p99_ms"]
+        p999 = metrics[prefix + "p999_ms"]
+        print(f"{p}: {metrics[prefix + 'clients']:.0f} clients, "
+              f"knee {knee:.0f} ops/s, saturation {saturation:.1f} ops/s, "
+              f"p50/p99/p99.9 {p50:.0f}/{p99:.0f}/{p999:.0f} ms, "
+              f"{metrics[prefix + 'coord_msgs_per_op']:.1f} coord msgs/op")
+        if knee <= 0:
+            rc |= fail(f"{p}: no knee found (arrival queue never stayed "
+                       "bounded at any offered rate)")
+        if saturation <= 0:
+            rc |= fail(f"{p}: saturation throughput is {saturation}")
+        if p50 <= 0:
+            rc |= fail(f"{p}: p50 is {p50} ms (nothing was measured)")
+        if not (p50 <= p99 <= p999):
+            rc |= fail(f"{p}: percentiles are not ordered: "
+                       f"p50 {p50} / p99 {p99} / p99.9 {p999}")
+
+    zipf_keys = [k for k in metrics if k.startswith("scenario_zipf_")]
+    if zipf_keys:
+        required = [
+            "scenario_zipf_uniform_p99_ms", "scenario_zipf_uniform_hot_share",
+            "scenario_zipf_skewed_p99_ms", "scenario_zipf_skewed_hot_share",
+            "scenario_zipf_p99_inflation",
+        ]
+        missing = [k for k in required if k not in metrics]
+        if missing:
+            rc |= fail(f"skew demo: missing metrics {missing}")
+        else:
+            inflation = metrics["scenario_zipf_p99_inflation"]
+            uniform_share = metrics["scenario_zipf_uniform_hot_share"]
+            skewed_share = metrics["scenario_zipf_skewed_hot_share"]
+            print(f"skew demo: hot share {uniform_share:.2f} -> "
+                  f"{skewed_share:.2f}, p99 inflation {inflation:.2f}x")
+            if inflation < MIN_SKEW_INFLATION:
+                rc |= fail(f"skew demo: p99 inflation {inflation:.2f}x < "
+                           f"{MIN_SKEW_INFLATION}x — the hot partition did "
+                           "not become the bottleneck")
+            if skewed_share <= uniform_share:
+                rc |= fail("skew demo: skewed hot share "
+                           f"{skewed_share:.2f} <= uniform "
+                           f"{uniform_share:.2f} — Zipf routing is broken")
+
+    if rc == 0:
+        print(f"OK: {len(personalities)} personalities"
+              + (", skew demo" if zipf_keys else ""))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
