@@ -307,6 +307,23 @@ void ClientFleet::WorkerLoop(unsigned worker, WorkerStats* stats) {
       ++stats->errors;
       ++stats->per_op_errors[idx];
     }
+    if (timeline_bucket_ > 0 && op.scheduled >= run_start_) {
+      const size_t bucket =
+          static_cast<size_t>((op.scheduled - run_start_) / timeline_bucket_);
+      std::lock_guard<std::mutex> lock(timeline_mu_);
+      while (timeline_.size() <= bucket) {
+        FleetTimelineBucket next;
+        next.start =
+            static_cast<VirtualDuration>(timeline_.size()) * timeline_bucket_;
+        timeline_.push_back(std::move(next));
+      }
+      FleetTimelineBucket& slot = timeline_[bucket];
+      ++slot.executed;
+      if (!status.ok()) {
+        ++slot.errors;
+      }
+      slot.latency.Record(latency_us);
+    }
   }
 }
 
@@ -319,6 +336,12 @@ FleetResult ClientFleet::Run(const FleetConfig& config) {
     queue_.clear();
     done_ = false;
     max_backlog_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(timeline_mu_);
+    timeline_.clear();
+    timeline_bucket_ = config.timeline_bucket;
+    run_start_ = env_->Now();
   }
 
   SmrCounters coord_before;
@@ -413,6 +436,13 @@ FleetResult ClientFleet::Run(const FleetConfig& config) {
   const uint64_t successes = out.executed - out.errors;
   out.achieved_ops_per_s =
       out.duration_s > 0 ? static_cast<double>(successes) / out.duration_s : 0;
+  {
+    std::lock_guard<std::mutex> lock(timeline_mu_);
+    out.run_start = run_start_;
+    out.timeline_bucket = timeline_bucket_;
+    out.timeline = std::move(timeline_);
+    timeline_.clear();
+  }
 
   if (deployment_ != nullptr) {
     SmrCounters coord_after;

@@ -58,7 +58,20 @@ struct FleetConfig {
   // After the arrival window, how long to keep draining the backlog before
   // counting the remainder as dropped.
   VirtualDuration drain_grace = 4 * kSecond;
+  // Non-zero: also aggregate executed/errors/latency into fixed-width
+  // timeline buckets keyed by *scheduled arrival* (virtual time since run
+  // start). The fault benches intersect these with chaos-campaign windows
+  // to report goodput inside faults and recovery time after them.
+  VirtualDuration timeline_bucket = 0;
   uint64_t seed = 42;
+};
+
+// One timeline bucket: everything scheduled within [start, start + width).
+struct FleetTimelineBucket {
+  VirtualDuration start = 0;  // offset from run start
+  uint64_t executed = 0;
+  uint64_t errors = 0;
+  LatencyRecorder latency;
 };
 
 struct FleetResult {
@@ -91,6 +104,13 @@ struct FleetResult {
   // run and the busiest partition's share of that total.
   std::vector<double> partition_ops_per_s;
   double hot_partition_share = 0;
+
+  // Virtual time the arrival window opened (for intersecting the timeline
+  // with absolute fault windows) and the buckets themselves; empty unless
+  // FleetConfig::timeline_bucket > 0.
+  VirtualTime run_start = 0;
+  VirtualDuration timeline_bucket = 0;
+  std::vector<FleetTimelineBucket> timeline;
 };
 
 class ClientFleet {
@@ -170,6 +190,14 @@ class ClientFleet {
   std::deque<PendingOp> queue_;
   bool done_ = false;
   size_t max_backlog_ = 0;
+
+  // Timeline aggregation (active when timeline_bucket_ > 0): workers fold
+  // completed ops into the bucket their *scheduled* time falls in. Shared
+  // and mutex-guarded — bucket appends are rare relative to op execution.
+  std::mutex timeline_mu_;
+  std::vector<FleetTimelineBucket> timeline_;
+  VirtualTime run_start_ = 0;
+  VirtualDuration timeline_bucket_ = 0;
 };
 
 // Sweeps offered load over `rates` (one Run per rate against the same

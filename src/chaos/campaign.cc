@@ -1,0 +1,184 @@
+#include "src/chaos/campaign.h"
+
+#include <algorithm>
+
+#include "src/scfs/deployment.h"
+
+namespace scfs {
+
+namespace {
+
+bool IsCloudKind(FaultKind kind) { return kind != FaultKind::kReplicaRestart; }
+
+std::string FormatMs(VirtualTime t) {
+  return std::to_string(t / kMillisecond) + "ms";
+}
+
+}  // namespace
+
+ChaosRunner::ChaosRunner(Environment* env, FaultSchedule schedule,
+                         ChaosTargets targets)
+    : env_(env), schedule_(std::move(schedule)), targets_(std::move(targets)) {}
+
+ChaosRunner::~ChaosRunner() {
+  Join();
+}
+
+Status ChaosRunner::Start() {
+  if (started_) {
+    return FailedPreconditionError("chaos campaign already started");
+  }
+  for (const auto& event : schedule_.events) {
+    if (IsCloudKind(event.kind)) {
+      if (event.target >= targets_.clouds.size()) {
+        return InvalidArgumentError(
+            "chaos campaign: cloud " + std::to_string(event.target) +
+            " out of range (deployment has " +
+            std::to_string(targets_.clouds.size()) + ")");
+      }
+    } else if (!targets_.replica_hook) {
+      return InvalidArgumentError(
+          "chaos campaign: schedule has replica events but the deployment "
+          "has no replicated coordination");
+    }
+  }
+
+  edges_.clear();
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    edges_.push_back(Edge{schedule_.events[i].at, i, true});
+    edges_.push_back(Edge{schedule_.events[i].end(), i, false});
+  }
+  // Stable tiebreak on (time, closes-before-opens, event index) so replays
+  // apply edges in one deterministic order.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.begin != b.begin) return !a.begin;  // close before open
+    return a.event < b.event;
+  });
+
+  origin_ = env_->Now();
+  started_ = true;
+  thread_ = std::thread([this] { RunLoop(); });
+  return OkStatus();
+}
+
+void ChaosRunner::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+std::vector<std::pair<VirtualTime, VirtualTime>> ChaosRunner::FaultWindows()
+    const {
+  std::vector<std::pair<VirtualTime, VirtualTime>> windows =
+      schedule_.MergedWindows();
+  for (auto& window : windows) {
+    window.first += origin_;
+    window.second += origin_;
+  }
+  return windows;
+}
+
+std::vector<std::string> ChaosRunner::log() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return log_;
+}
+
+void ChaosRunner::RunLoop() {
+  for (const Edge& edge : edges_) {
+    VirtualTime due = origin_ + edge.at;
+    VirtualTime now = env_->Now();
+    if (due > now) {
+      env_->Sleep(due - now);
+    }
+    ApplyEdge(edge);
+  }
+}
+
+void ChaosRunner::ApplyEdge(const Edge& edge) {
+  const FaultEvent& event = schedule_.events[edge.event];
+  if (edge.begin) {
+    active_.insert(edge.event);
+  } else {
+    active_.erase(edge.event);
+  }
+
+  if (IsCloudKind(event.kind)) {
+    ReapplyCloudState(event.target);
+  } else if (targets_.replica_hook) {
+    targets_.replica_hook(event.target, /*up=*/!edge.begin);
+  }
+
+  std::lock_guard<std::mutex> lock(log_mu_);
+  log_.push_back(std::string(edge.begin ? "apply " : "clear ") +
+                 FaultKindName(event.kind) + " target=" +
+                 std::to_string(event.target) + " t=" + FormatMs(edge.at));
+}
+
+void ChaosRunner::ReapplyCloudState(unsigned cloud) {
+  bool unavailable = false;
+  bool corrupt = false;
+  bool byzantine = false;
+  double transient_p = 0;
+  VirtualDuration extra_latency = 0;
+  for (size_t index : active_) {
+    const FaultEvent& event = schedule_.events[index];
+    if (!IsCloudKind(event.kind) || event.target != cloud) {
+      continue;
+    }
+    switch (event.kind) {
+      case FaultKind::kOutage:
+        unavailable = true;
+        break;
+      case FaultKind::kLatency:
+        extra_latency = std::max(extra_latency, event.extra_latency);
+        break;
+      case FaultKind::kTransient:
+        transient_p = std::max(transient_p, event.probability);
+        break;
+      case FaultKind::kCorrupt:
+        corrupt = true;
+        break;
+      case FaultKind::kByzantine:
+        byzantine = true;
+        break;
+      case FaultKind::kReplicaRestart:
+        break;
+    }
+  }
+  FaultInjector& faults = targets_.clouds[cloud]->faults();
+  faults.SetUnavailable(unavailable);
+  faults.SetCorruptAllReads(corrupt);
+  faults.SetByzantine(byzantine);
+  faults.SetTransientFailureProbability(transient_p);
+  faults.SetLatencyDegradation(extra_latency);
+}
+
+ChaosTargets TargetsFor(Deployment* deployment) {
+  ChaosTargets targets;
+  for (unsigned i = 0; i < deployment->cloud_count(); ++i) {
+    targets.clouds.push_back(deployment->cloud(i));
+  }
+  if (auto* replicated = deployment->replicated_coord()) {
+    targets.replica_hook = [replicated](unsigned replica, bool up) {
+      if (up) {
+        replicated->cluster().RestartReplica(replica);
+      } else {
+        replicated->cluster().CrashReplica(replica);
+      }
+    };
+  } else if (auto* partitioned = deployment->partitioned_coord()) {
+    targets.replica_hook = [partitioned](unsigned replica, bool up) {
+      for (unsigned p = 0; p < partitioned->partition_count(); ++p) {
+        if (up) {
+          partitioned->cluster(p).RestartReplica(replica);
+        } else {
+          partitioned->cluster(p).CrashReplica(replica);
+        }
+      }
+    };
+  }
+  return targets;
+}
+
+}  // namespace scfs

@@ -1,0 +1,101 @@
+// ChaosRunner: drives a declarative FaultSchedule against a live deployment.
+//
+// The runner turns a schedule's fault windows into a sorted edge list
+// (apply / clear) and walks it on one background thread using the shared
+// virtual clock, so fault timing composes with whatever workload is running
+// — the scenario engine's open-loop fleets, a test, an example. Cloud edges
+// flip the target SimulatedCloud's FaultInjector; replica edges call the
+// coordination plane's CrashReplica/RestartReplica through a hook.
+//
+// Overlapping windows of the same kind on the same cloud are handled by
+// recomputing the target's state from the set of currently-active events at
+// every edge (max of active transient probabilities, max of active extra
+// latencies, any-active for the boolean fault classes), so a window ending
+// never clears a fault another window still asserts.
+
+#ifndef SCFS_CHAOS_CAMPAIGN_H_
+#define SCFS_CHAOS_CAMPAIGN_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/cloud/simulated_cloud.h"
+#include "src/sim/environment.h"
+#include "src/sim/fault_schedule.h"
+
+namespace scfs {
+
+class Deployment;
+
+struct ChaosTargets {
+  std::vector<SimulatedCloud*> clouds;
+  // Called with (replica, up): up=false crashes the replica, up=true
+  // restarts it. May be null if the schedule has no replica events.
+  std::function<void(unsigned replica, bool up)> replica_hook;
+};
+
+class ChaosRunner {
+ public:
+  ChaosRunner(Environment* env, FaultSchedule schedule, ChaosTargets targets);
+  ~ChaosRunner();  // joins; any still-active fault is cleared
+
+  // Validates the schedule against the targets and starts the campaign
+  // thread; event times are relative to the virtual clock at this call.
+  Status Start();
+
+  // Blocks until every edge has been applied (i.e. all faults cleared).
+  void Join();
+
+  // Virtual time of Start(); 0 before Start.
+  VirtualTime origin() const { return origin_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  // Merged [start, end) spans of possible degradation in *absolute* virtual
+  // time (schedule windows shifted by origin). Valid after Start().
+  std::vector<std::pair<VirtualTime, VirtualTime>> FaultWindows() const;
+
+  // Human-readable log of applied edges, for tests and --verbose benches.
+  std::vector<std::string> log() const;
+
+ private:
+  struct Edge {
+    VirtualTime at = 0;   // relative to origin
+    size_t event = 0;     // index into schedule_.events
+    bool begin = false;   // true = window opens, false = window closes
+  };
+
+  void RunLoop();
+  void ApplyEdge(const Edge& edge);
+  // Re-derives the fault state of schedule_.events[changed].target (a cloud)
+  // from the currently-active event set.
+  void ReapplyCloudState(unsigned cloud);
+
+  Environment* env_;
+  FaultSchedule schedule_;
+  ChaosTargets targets_;
+  std::vector<Edge> edges_;
+  std::set<size_t> active_;  // indices of events whose window is open
+  VirtualTime origin_ = 0;
+  std::thread thread_;
+  bool started_ = false;
+  mutable std::mutex log_mu_;
+  std::vector<std::string> log_;
+};
+
+// Builds targets for a Deployment: all its clouds, plus a replica hook that
+// crashes/restarts replica r of the replicated coordination plane (for
+// partitioned deployments, replica r of *every* partition — replica index
+// maps to a computing cloud, and a computing-cloud outage takes down its
+// replica in each partition). Null replica hook for kAws / zero-latency
+// deployments, which have no replicated coordination.
+ChaosTargets TargetsFor(Deployment* deployment);
+
+}  // namespace scfs
+
+#endif  // SCFS_CHAOS_CAMPAIGN_H_

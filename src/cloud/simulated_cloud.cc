@@ -59,6 +59,12 @@ void SimulatedCloud::SleepFor(const LatencyModel& model, size_t bytes) {
 }
 
 Status SimulatedCloud::CheckAvailable() {
+  // A degraded provider answers slowly before it answers at all; the extra
+  // delay applies even to operations that then fail.
+  VirtualDuration extra = faults_.latency_degradation();
+  if (extra > 0) {
+    env_->Sleep(extra);
+  }
   if (faults_.ShouldFailOperation()) {
     return UnavailableError(profile_.name + " unavailable");
   }
@@ -157,9 +163,8 @@ Result<Bytes> SimulatedCloud::Get(const CloudCredentials& creds,
   transfer.bytes_per_second = profile_.read_latency.bytes_per_second;
   SleepFor(transfer, data.size());
 
-  if (faults_.ShouldCorruptRead() && !data.empty()) {
-    data[0] ^= 0xff;
-    data[data.size() / 2] ^= 0xff;
+  if (faults_.ShouldCorruptRead()) {
+    faults_.CorruptPayload(ByteSpan(data));
   }
   return data;
 }

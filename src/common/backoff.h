@@ -1,0 +1,52 @@
+// BackoffPolicy: capped exponential backoff with decorrelating jitter, on
+// the virtual clock. Shared by the StorageService consistency-anchor read
+// loop and the DepSky per-cloud retry path; deterministic given the caller's
+// RNG, so retry timing replays bit-identically under a seeded campaign.
+
+#ifndef SCFS_COMMON_BACKOFF_H_
+#define SCFS_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/sim/time.h"
+
+namespace scfs {
+
+struct BackoffPolicy {
+  VirtualDuration initial = FromMillis(25);
+  VirtualDuration max = FromMillis(2000);
+  double multiplier = 2.0;
+  // Fraction of the exponential delay randomized away: the actual delay is
+  // drawn uniformly from [d * (1 - jitter), d]. 0 = fully deterministic.
+  double jitter = 0.5;
+
+  static BackoffPolicy Fixed(VirtualDuration d) {
+    return BackoffPolicy{d, d, 1.0, 0.0};
+  }
+
+  // Delay before retry number `attempt` (0-based: the delay after the first
+  // failure is Delay(0, ...) ~ initial).
+  VirtualDuration Delay(int attempt, Rng& rng) const {
+    double d = static_cast<double>(initial);
+    for (int i = 0; i < attempt && d < static_cast<double>(max); ++i) {
+      d *= multiplier;
+    }
+    if (d > static_cast<double>(max)) {
+      d = static_cast<double>(max);
+    }
+    VirtualDuration full = static_cast<VirtualDuration>(d);
+    if (jitter <= 0 || full <= 0) {
+      return full;
+    }
+    uint64_t spread = static_cast<uint64_t>(static_cast<double>(full) * jitter);
+    if (spread == 0) {
+      return full;
+    }
+    return full - static_cast<VirtualDuration>(rng.UniformU64(spread + 1));
+  }
+};
+
+}  // namespace scfs
+
+#endif  // SCFS_COMMON_BACKOFF_H_

@@ -1,6 +1,7 @@
 #include "src/depsky/depsky.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "src/crypto/chacha20.h"
 #include "src/crypto/secret_sharing.h"
@@ -9,11 +10,181 @@
 
 namespace scfs {
 
+namespace {
+
+// Everything one robust cloud request needs from its DepSkyClient, borrowed
+// for the call's lifetime (the client's destructor awaits async_ops_, which
+// the call holds until it settles).
+struct RobustContext {
+  Environment* env = nullptr;
+  VirtualTimerQueue* timers = nullptr;
+  CloudHealthTracker* health = nullptr;
+  const DepSkyConfig* config = nullptr;
+  std::mutex* rng_mu = nullptr;
+  Rng* rng = nullptr;
+  InFlightTracker* tracker = nullptr;
+  std::atomic<uint64_t>* retries = nullptr;
+  std::atomic<uint64_t>* deadline_expiries = nullptr;
+};
+
+// One cloud request wrapped in the robustness envelope: a per-attempt
+// deadline (enforced by the shared timer queue, so no watchdog thread per
+// request), capped-backoff-with-jitter retries, and success/failure
+// accounting into the health tracker. The modelled request itself is never
+// aborted — a deadline expiry counts the attempt as failed and moves on
+// while the straggler finishes inside its store, exactly like an HTTP
+// client timing out a slow provider.
+template <typename T>
+class RobustCall : public std::enable_shared_from_this<RobustCall<T>> {
+ public:
+  RobustCall(RobustContext ctx, unsigned cloud,
+             std::function<Future<T>()> issue,
+             std::function<bool(const T&)> responsive,
+             std::function<T()> timeout_value)
+      : ctx_(ctx),
+        cloud_(cloud),
+        issue_(std::move(issue)),
+        responsive_(std::move(responsive)),
+        timeout_value_(std::move(timeout_value)) {}
+
+  Future<T> Start() {
+    first_start_ = ctx_.env->Now();
+    ctx_.tracker->Add();
+    Attempt(0);
+    return promise_.future();
+  }
+
+ private:
+  void Attempt(int attempt) {
+    auto self = this->shared_from_this();
+    VirtualTime start = ctx_.env->Now();
+    // The deadline timer and the completion callback race to claim the
+    // attempt; exactly one settles it.
+    auto claimed = std::make_shared<std::atomic<bool>>(false);
+    auto timer_id = std::make_shared<uint64_t>(0);
+    if (ctx_.config->request_deadline > 0) {
+      *timer_id = ctx_.timers->Schedule(
+          start + ctx_.config->request_deadline,
+          [self, attempt, start, claimed] {
+            if (!claimed->exchange(true)) {
+              self->ctx_.deadline_expiries->fetch_add(1);
+              self->Settle(attempt, self->timeout_value_(), false);
+            }
+          });
+    }
+    Future<T> inner = issue_();
+    inner.OnReady(
+        [self, attempt, start, claimed, timer_id](const T& value,
+                                                  VirtualDuration) {
+          if (claimed->exchange(true)) {
+            return;  // the deadline already declared this attempt dead
+          }
+          self->ctx_.timers->Cancel(*timer_id);
+          self->Settle(attempt, value, self->responsive_(value),
+                       self->ctx_.env->Now() - start);
+        });
+  }
+
+  void Settle(int attempt, T value, bool responsive,
+              VirtualDuration latency = 0) {
+    VirtualTime now = ctx_.env->Now();
+    if (responsive) {
+      ctx_.health->RecordSuccess(cloud_, now, latency);
+      Finish(std::move(value), now);
+      return;
+    }
+    ctx_.health->RecordFailure(cloud_, now);
+    int max_attempts = std::max(1, ctx_.config->max_attempts);
+    if (attempt + 1 < max_attempts) {
+      ctx_.retries->fetch_add(1);
+      VirtualDuration delay;
+      {
+        std::lock_guard<std::mutex> lock(*ctx_.rng_mu);
+        delay = ctx_.config->retry_backoff.Delay(attempt, *ctx_.rng);
+      }
+      auto self = this->shared_from_this();
+      if (delay > 0) {
+        uint64_t id = ctx_.timers->Schedule(
+            now + delay, [self, attempt] { self->Attempt(attempt + 1); });
+        if (id != 0) {
+          return;  // retry armed on the timer thread
+        }
+      }
+      Attempt(attempt + 1);  // instant environment: retry inline, no delay
+      return;
+    }
+    Finish(std::move(value), now);
+  }
+
+  void Finish(T value, VirtualTime now) {
+    promise_.Set(std::move(value), now - first_start_);
+    ctx_.tracker->Done();
+  }
+
+  RobustContext ctx_;
+  unsigned cloud_;
+  std::function<Future<T>()> issue_;
+  std::function<bool(const T&)> responsive_;
+  std::function<T()> timeout_value_;
+  VirtualTime first_start_ = 0;
+  Promise<T> promise_;
+};
+
+// A cloud that answers — even with NOT_FOUND or PERMISSION_DENIED — is
+// healthy; only unreachability (and deadline expiry) counts against it.
+bool ResponsiveStatus(const Status& s) {
+  return s.ok() || s.code() == ErrorCode::kNotFound ||
+         s.code() == ErrorCode::kPermissionDenied ||
+         s.code() == ErrorCode::kAlreadyExists;
+}
+
+}  // namespace
+
 DepSkyClient::DepSkyClient(Environment* env, std::vector<DepSkyCloud> clouds,
                            DepSkyConfig config, uint64_t seed)
-    : env_(env), clouds_(std::move(clouds)), config_(config), rng_(seed) {}
+    : env_(env),
+      clouds_(std::move(clouds)),
+      config_(config),
+      rng_(seed),
+      health_(static_cast<unsigned>(clouds_.size()), config.health),
+      timers_(env) {}
 
-DepSkyClient::~DepSkyClient() { async_ops_.AwaitIdle(); }
+DepSkyClient::~DepSkyClient() {
+  // Every RobustCall holds a tracker slot until it settles, and pending
+  // retries live on the timer queue — await them before the members (the
+  // timer queue among them) are torn down.
+  async_ops_.AwaitIdle();
+}
+
+Future<Status> DepSkyClient::RobustPut(unsigned cloud, const std::string& key,
+                                       Bytes data) {
+  RobustContext ctx{env_,     &timers_, &health_,  &config_,           &rng_mu_,
+                    &rng_,    &async_ops_, &retries_, &deadline_expiries_};
+  auto call = std::make_shared<RobustCall<Status>>(
+      ctx, cloud,
+      [this, cloud, key, data = std::move(data)]() {
+        return clouds_[cloud].store->PutAsync(clouds_[cloud].creds, key, data);
+      },
+      [](const Status& s) { return ResponsiveStatus(s); },
+      [key]() { return TimeoutError("deadline expired: PUT " + key); });
+  return call->Start();
+}
+
+Future<Result<Bytes>> DepSkyClient::RobustGet(unsigned cloud,
+                                              const std::string& key) {
+  RobustContext ctx{env_,     &timers_, &health_,  &config_,           &rng_mu_,
+                    &rng_,    &async_ops_, &retries_, &deadline_expiries_};
+  auto call = std::make_shared<RobustCall<Result<Bytes>>>(
+      ctx, cloud,
+      [this, cloud, key]() {
+        return clouds_[cloud].store->GetAsync(clouds_[cloud].creds, key);
+      },
+      [](const Result<Bytes>& r) { return ResponsiveStatus(r.status()) || r.ok(); },
+      [key]() -> Result<Bytes> {
+        return TimeoutError("deadline expired: GET " + key);
+      });
+  return call->Start();
+}
 
 void DepSkyClient::ApplyAclsWhenWritten(
     Future<Status> put, unsigned cloud,
@@ -51,7 +222,7 @@ Result<DepSkyMetadata> DepSkyClient::ReadMetadata(const std::string& unit) {
   std::vector<Future<Result<Bytes>>> futures;
   futures.reserve(clouds_.size());
   for (unsigned i = 0; i < clouds_.size(); ++i) {
-    futures.push_back(clouds_[i].store->GetAsync(clouds_[i].creds, key));
+    futures.push_back(RobustGet(i, key));
   }
   // The predicate authenticates each reply once and keeps the decoded copy
   // (it runs serialized under the combinator's lock and never after the
@@ -106,8 +277,7 @@ Status DepSkyClient::PushMetadata(const std::string& unit,
   std::vector<Future<Status>> futures;
   futures.reserve(clouds_.size());
   for (unsigned i = 0; i < clouds_.size(); ++i) {
-    futures.push_back(
-        clouds_[i].store->PutAsync(clouds_[i].creds, key, encoded));
+    futures.push_back(RobustPut(i, key, encoded));
   }
   // Return at the write quorum; stragglers finish inside their stores. ACLs
   // for the acknowledged copies are applied (in parallel) before returning;
@@ -233,30 +403,22 @@ Result<uint64_t> DepSkyClient::WriteVersion(
   auto shard_view = [&](unsigned i) -> ConstByteSpan {
     return arena ? arena->shard(i) : data;  // full replicas without the arena
   };
-  version.shard_hashes.resize(shard_count);
-  if (arena) {
-    for (unsigned i = 0; i < shard_count; ++i) {
-      version.shard_hashes[i] = Sha256::Hash(arena->shard(i));
-    }
-  } else {
-    // Replicas are identical; hash the payload once, not once per cloud.
-    Bytes replica_hash = Sha256::Hash(data);
-    for (unsigned i = 0; i < shard_count; ++i) {
-      version.shard_hashes[i] = replica_hash;
-    }
-  }
-
   // Step 4: store shard_i + share_i at cloud i. Preferred quorums: use the
-  // first n-f clouds, falling back to spares only on failure.
+  // first n-f *healthy* clouds — the cost-ordered list with breaker-demoted
+  // clouds moved to the back, so a flapping provider drops out of the
+  // preferred set and only re-enters once its breaker half-opens.
   const std::string value_key = ValueKey(unit, version.version);
   const unsigned quorum = config_.quorum();
+  std::vector<unsigned> cost_order(clouds_.size());
+  std::iota(cost_order.begin(), cost_order.end(), 0u);
+  std::vector<unsigned> ordered = health_.Reorder(cost_order, env_->Now());
   std::vector<unsigned> preferred;
   std::vector<unsigned> spares;
-  for (unsigned i = 0; i < clouds_.size(); ++i) {
+  for (unsigned cloud : ordered) {
     if (config_.preferred_quorums && preferred.size() >= quorum) {
-      spares.push_back(i);
+      spares.push_back(cloud);
     } else {
-      preferred.push_back(i);
+      preferred.push_back(cloud);
     }
   }
 
@@ -270,9 +432,23 @@ Result<uint64_t> DepSkyClient::WriteVersion(
     }
     return DepSkyValueObject::EncodeParts(shard_view(shard_index), 0, {});
   };
+
+  // The metadata authenticates the complete stored object — shard AND key
+  // share AND framing — not just the shard bytes. A faulty cloud must not be
+  // able to slip a poisoned key share past the hash check by leaving the
+  // shard untouched (a corrupted share silently wrecks key reconstruction,
+  // which only surfaces as a content-hash mismatch after decrypt). The
+  // object for shard i is deterministic — share i always rides with shard i,
+  // fallback writes included — so the per-shard-index hash is well-defined.
+  std::vector<Bytes> objects(shard_count);
+  version.shard_hashes.resize(shard_count);
+  for (unsigned i = 0; i < shard_count; ++i) {
+    objects[i] = encode_object(i);
+    version.shard_hashes[i] = Sha256::Hash(objects[i]);
+  }
+
   auto write_to_cloud = [&](unsigned cloud, unsigned shard_index) -> Status {
-    Status s = clouds_[cloud].store->Put(clouds_[cloud].creds, value_key,
-                                         encode_object(shard_index));
+    Status s = RobustPut(cloud, value_key, encode_object(shard_index)).Get();
     if (s.ok()) {
       ApplyAclsToObject(md, cloud, value_key);
     }
@@ -286,8 +462,7 @@ Result<uint64_t> DepSkyClient::WriteVersion(
   std::vector<Future<Status>> futures;
   futures.reserve(preferred.size());
   for (unsigned cloud : preferred) {
-    futures.push_back(clouds_[cloud].store->PutAsync(
-        clouds_[cloud].creds, value_key, encode_object(cloud)));
+    futures.push_back(RobustPut(cloud, value_key, std::move(objects[cloud])));
   }
   QuorumResult<Status> acks =
       WhenQuorum<Status>(futures, quorum,
@@ -339,10 +514,128 @@ Result<uint64_t> DepSkyClient::WriteVersion(
   return md.versions.back().version;
 }
 
+// Shared state of one in-flight shard fetch. Collectors (completion
+// callbacks of the per-holder robust GETs) and the hedge timer all
+// coordinate through `mu`; `done_promise` settles exactly once.
+struct DepSkyClient::ShardFetchState {
+  std::string unit;
+  std::string value_key;
+  unsigned k = 0;
+  std::vector<unsigned> holders;     // health-ordered launch sequence
+  std::vector<int32_t> cloud_shard;  // copy: outlives the caller's metadata
+  std::vector<Bytes> shard_hashes;
+  VirtualTime started = 0;
+
+  std::mutex mu;
+  size_t next = 0;           // next holders[] entry to launch
+  unsigned outstanding = 0;  // launched, not yet completed
+  unsigned valid = 0;
+  bool done = false;
+  std::vector<std::optional<Bytes>> shards;  // by shard index
+  std::vector<SecretShare> shares;
+  Promise<Status> done_promise;
+};
+
+void DepSkyClient::LaunchShardGet(
+    const std::shared_ptr<ShardFetchState>& state) {
+  unsigned cloud = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->done || state->next >= state->holders.size()) {
+      return;
+    }
+    cloud = state->holders[state->next++];
+    state->outstanding++;
+  }
+  RobustGet(cloud, state->value_key)
+      .OnReady([this, state, cloud](const Result<Bytes>& raw,
+                                    VirtualDuration) {
+        bool fetch_more = false;
+        std::optional<Status> completion;
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->outstanding--;
+          if (state->done) {
+            return;  // straggler past the trigger
+          }
+          bool valid_shard = false;
+          if (raw.ok()) {
+            auto object = DepSkyValueObject::Decode(*raw);
+            if (object.ok() && cloud < state->cloud_shard.size() &&
+                state->cloud_shard[cloud] >= 0) {
+              unsigned shard_index =
+                  static_cast<unsigned>(state->cloud_shard[cloud]);
+              if (shard_index < state->shard_hashes.size() &&
+                  Sha256::Hash(*raw) == state->shard_hashes[shard_index]) {
+                // Hash-valid over the full stored object: corrupted shards,
+                // poisoned key shares and byzantine swaps never get here.
+                if (!state->shards[shard_index].has_value()) {
+                  state->shards[shard_index] = std::move(object->shard);
+                  if (object->share_index != 0) {
+                    state->shares.push_back(SecretShare{
+                        object->share_index, object->share_data});
+                  }
+                  state->valid++;
+                }
+                valid_shard = true;
+              }
+            }
+          }
+          if (state->valid >= state->k) {
+            state->done = true;
+            completion = OkStatus();
+          } else if (state->outstanding == 0 &&
+                     state->next >= state->holders.size()) {
+            state->done = true;
+            completion = UnavailableError(
+                "could not fetch enough valid shards for " + state->unit);
+          } else if (!valid_shard || state->outstanding == 0) {
+            fetch_more = true;  // failure-triggered: try the next holder now
+          }
+        }
+        if (completion.has_value()) {
+          state->done_promise.Set(*completion,
+                                  env_->Now() - state->started);
+        } else if (fetch_more) {
+          LaunchShardGet(state);
+        }
+      });
+}
+
+void DepSkyClient::ArmHedgeTimer(
+    const std::shared_ptr<ShardFetchState>& state) {
+  if (!config_.hedged_reads) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->done || state->next >= state->holders.size()) {
+      return;
+    }
+  }
+  // Weak capture: the timer must not keep the fetch alive past completion,
+  // and a fire after completion degrades to a no-op.
+  std::weak_ptr<ShardFetchState> weak = state;
+  timers_.Schedule(env_->Now() + health_.HedgeDelay(), [this, weak] {
+    auto alive = weak.lock();
+    if (!alive) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(alive->mu);
+      if (alive->done || alive->next >= alive->holders.size()) {
+        return;
+      }
+    }
+    hedged_reads_.fetch_add(1);
+    LaunchShardGet(alive);
+    ArmHedgeTimer(alive);  // chain: hedge again if still short of k
+  });
+}
+
 Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
                                          const DepSkyMetadata& md,
                                          const DepSkyVersion& version) {
-  const std::string value_key = ValueKey(unit, version.version);
   const unsigned k = (md.mode == DepSkyMode::kSecretSharing) ? md.k : 1;
 
   // Clouds that hold a shard of this version, in preference order.
@@ -356,59 +649,43 @@ Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
     return UnavailableError("not enough shard holders recorded");
   }
 
-  std::vector<std::optional<Bytes>> shards(clouds_.size());
+  auto state = std::make_shared<ShardFetchState>();
+  state->unit = unit;
+  state->value_key = ValueKey(unit, version.version);
+  state->k = k;
+  // Breaker-demoted holders sort to the back: a broken cloud is only asked
+  // once the healthy ones cannot supply k valid shards.
+  state->holders = health_.Reorder(holders, env_->Now());
+  // Copies, not references: a straggler's collector may run after this
+  // frame (and the caller's metadata) are gone.
+  state->cloud_shard = version.cloud_shard;
+  state->shard_hashes = version.shard_hashes;
+  state->started = env_->Now();
+  state->shards.resize(clouds_.size());
+
+  // First wave: k health-ordered holders in parallel. Each unhelpful reply
+  // (unreachable, timed out, corrupted, byzantine) triggers the next
+  // unlaunched holder immediately; the hedge timer additionally launches
+  // the (f+2)-th holder after an adaptive delay, so one quietly slow cloud
+  // does not put its full straggler latency on the read path.
+  for (unsigned i = 0; i < k; ++i) {
+    LaunchShardGet(state);
+  }
+  ArmHedgeTimer(state);
+
+  Status fetched = state->done_promise.future().Get();
+  if (!fetched.ok()) {
+    return fetched;
+  }
+
+  std::vector<std::optional<Bytes>> shards;
   std::vector<SecretShare> shares;
-  unsigned valid = 0;
-
-  // Validates and collects one reply. Runs serialized: either under the
-  // quorum combinator's lock (first wave) or on this thread (fallback), and
-  // never after the combined future completes — the wave is quorum-sized, so
-  // the trigger implies every wave member already finished.
-  auto collect = [&](unsigned cloud, const Result<Bytes>& raw) -> bool {
-    if (!raw.ok()) {
-      return false;
-    }
-    auto object = DepSkyValueObject::Decode(*raw);
-    if (!object.ok()) {
-      return false;
-    }
-    unsigned shard_index = static_cast<unsigned>(version.cloud_shard[cloud]);
-    if (shard_index >= version.shard_hashes.size() ||
-        Sha256::Hash(object->shard) != version.shard_hashes[shard_index]) {
-      return false;  // corrupted or byzantine shard: skip
-    }
-    if (!shards[shard_index].has_value()) {
-      shards[shard_index] = std::move(object->shard);
-      if (object->share_index != 0) {
-        shares.push_back(SecretShare{object->share_index, object->share_data});
-      }
-      ++valid;
-    }
-    return true;
-  };
-
-  // Fetch the first k holders concurrently through the async API, then fall
-  // back one by one to the remaining holders.
-  std::vector<unsigned> first_wave(holders.begin(), holders.begin() + k);
-  std::vector<Future<Result<Bytes>>> futures;
-  futures.reserve(first_wave.size());
-  for (unsigned cloud : first_wave) {
-    futures.push_back(
-        clouds_[cloud].store->GetAsync(clouds_[cloud].creds, value_key));
-  }
-  (void)WhenQuorum<Result<Bytes>>(
-      std::move(futures), k,
-      [&](size_t i, const Result<Bytes>& raw) {
-        return collect(first_wave[i], raw);
-      })
-      .Join();
-  size_t next_holder = k;
-  while (valid < k && next_holder < holders.size()) {
-    unsigned cloud = holders[next_holder++];
-    collect(cloud, clouds_[cloud].store->Get(clouds_[cloud].creds, value_key));
-  }
-  if (valid < k) {
-    return UnavailableError("could not fetch enough valid shards for " + unit);
+  {
+    // Stragglers may still briefly hold the lock; they observe done and
+    // leave the collected state alone.
+    std::lock_guard<std::mutex> lock(state->mu);
+    shards = std::move(state->shards);
+    shares = std::move(state->shares);
   }
 
   Bytes plaintext;

@@ -20,16 +20,20 @@
 #ifndef SCFS_DEPSKY_DEPSKY_H_
 #define SCFS_DEPSKY_DEPSKY_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/cloud/health.h"
 #include "src/cloud/object_store.h"
 #include "src/codec/reed_solomon.h"
+#include "src/common/backoff.h"
 #include "src/common/executor.h"
 #include "src/common/future.h"
 #include "src/common/rng.h"
+#include "src/common/timer_queue.h"
 #include "src/depsky/metadata.h"
 #include "src/sim/environment.h"
 
@@ -45,6 +49,22 @@ struct DepSkyConfig {
   DepSkyMode mode = DepSkyMode::kSecretSharing;
   bool preferred_quorums = true;  // write shards to n-f clouds only
   Bytes auth_key;                 // metadata HMAC key (deployment secret)
+
+  // --- Degraded-mode behavior (see DESIGN.md "Failure model") ---
+  // Per-attempt deadline on every cloud request; a request that has not
+  // answered by then is counted as a failure (and possibly retried) while
+  // the straggler keeps running in its store. 0 disables. Deadlines and
+  // hedges are timer-driven and therefore inert in instant environments.
+  VirtualDuration request_deadline = FromSecondsD(5);
+  // Attempts per cloud request (1 = no retry). Retries back off with
+  // `retry_backoff` between attempts.
+  int max_attempts = 2;
+  BackoffPolicy retry_backoff{FromMillis(50), FromMillis(1000), 2.0, 0.5};
+  // Shard reads launch one extra holder after an adaptive delay (the
+  // (f+2)-th cloud) instead of waiting out a straggler.
+  bool hedged_reads = true;
+  // Circuit-breaker / EWMA configuration for the per-cloud health tracker.
+  HealthOptions health;
 
   unsigned n() const { return 3 * f + 1; }
   unsigned k() const { return f + 1; }
@@ -96,9 +116,20 @@ class DepSkyClient {
   unsigned cloud_count() const { return static_cast<unsigned>(clouds_.size()); }
   const DepSkyConfig& config() const { return config_; }
 
- private:
+  // Self-healing telemetry: the per-cloud breaker/EWMA state and the
+  // counters the fault benches report.
+  const CloudHealthTracker& health() const { return health_; }
+  uint64_t retries() const { return retries_.load(); }
+  uint64_t deadline_expiries() const { return deadline_expiries_.load(); }
+  uint64_t hedged_reads() const { return hedged_reads_.load(); }
+
+  // Deterministic cloud key naming for a unit's metadata and value objects
+  // (exposed so tests and inspection tooling can address stored objects).
   static std::string MetadataKey(const std::string& unit);
   static std::string ValueKey(const std::string& unit, uint64_t version);
+
+ private:
+  struct ShardFetchState;
 
   // Writes the given metadata to every cloud through the async ObjectStore
   // API, returning as soon as a write quorum (n-f) has acknowledged; the
@@ -130,11 +161,30 @@ class DepSkyClient {
 
   Bytes RandomBytesLocked(size_t size);
 
+  // Wraps one cloud request with the robustness envelope: a per-attempt
+  // deadline, capped-backoff retries, and health accounting. `issue` starts
+  // (or restarts) the underlying async request; `responsive` decides
+  // whether a completed value counts as the cloud answering (NOT_FOUND is a
+  // perfectly healthy answer); `timeout_value` synthesizes the value for a
+  // deadline expiry. Defined in depsky.cc.
+  Future<Status> RobustPut(unsigned cloud, const std::string& key, Bytes data);
+  Future<Result<Bytes>> RobustGet(unsigned cloud, const std::string& key);
+
+  // Launches the next unlaunched holder of a shard fetch (failure-triggered
+  // or hedged), and arms the hedge timer chain.
+  void LaunchShardGet(const std::shared_ptr<ShardFetchState>& state);
+  void ArmHedgeTimer(const std::shared_ptr<ShardFetchState>& state);
+
   Environment* env_;
   std::vector<DepSkyCloud> clouds_;
   DepSkyConfig config_;
   std::mutex rng_mu_;
   Rng rng_;
+  CloudHealthTracker health_;
+  VirtualTimerQueue timers_;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> deadline_expiries_{0};
+  std::atomic<uint64_t> hedged_reads_{0};
   InFlightTracker async_ops_;
 };
 

@@ -29,7 +29,10 @@ struct DepSkyVersion {
   std::string content_hash;          // hex SHA-1 of the plaintext (CA hash)
   uint64_t size = 0;                 // plaintext size
   Bytes nonce;                       // cipher nonce (CA mode)
-  std::vector<Bytes> shard_hashes;   // SHA-256 per shard, indexed by shard
+  // SHA-256 of the complete stored object (shard + key share + framing) per
+  // shard index — covers the share, so a faulty cloud cannot poison key
+  // reconstruction while leaving the shard bytes intact.
+  std::vector<Bytes> shard_hashes;
   std::vector<int32_t> cloud_shard;  // cloud i holds shard cloud_shard[i], -1 if none
 };
 

@@ -152,6 +152,7 @@ Result<std::unique_ptr<ScfsFileSystem>> Deployment::Mount(
     auto client = std::make_shared<DepSkyClient>(
         env_, std::move(set), config,
         options_.seed ^ std::hash<std::string>{}(user));
+    depsky_clients_.push_back(client);
     auto owned = std::make_unique<DepSkyBackend>(std::move(client));
     backend = owned.get();
     backends_.push_back(std::move(owned));

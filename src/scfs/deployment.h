@@ -18,6 +18,7 @@
 
 #include "src/cloud/providers.h"
 #include "src/coord/local_coordination.h"
+#include "src/depsky/depsky.h"
 #include "src/coord/partitioned_coordination.h"
 #include "src/coord/smr.h"
 #include "src/scfs/file_system.h"
@@ -80,6 +81,11 @@ class Deployment {
 
   SimulatedCloud* cloud(unsigned index) { return clouds_[index].get(); }
   unsigned cloud_count() const { return static_cast<unsigned>(clouds_.size()); }
+  // Per-mount DepSky clients (kCoc backends only, in mount order) — the
+  // fault benches aggregate their self-healing telemetry.
+  const std::vector<std::shared_ptr<DepSkyClient>>& depsky_clients() const {
+    return depsky_clients_;
+  }
   CoordinationService* coord() { return coord_.get(); }
   LocalCoordination* local_coord() { return local_coord_; }
   ReplicatedCoordination* replicated_coord() { return replicated_coord_; }
@@ -107,6 +113,7 @@ class Deployment {
   PartitionedCoordination* partitioned_coord_ = nullptr;  // kCoc, N > 1
   // Backends must outlive the agents that use them.
   std::vector<std::unique_ptr<BlobBackend>> backends_;
+  std::vector<std::shared_ptr<DepSkyClient>> depsky_clients_;
 };
 
 }  // namespace scfs

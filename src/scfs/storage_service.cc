@@ -160,7 +160,13 @@ Result<Bytes> StorageService::Fetch(const std::string& id,
     if (data.status().code() != ErrorCode::kNotFound) {
       return data.status();
     }
-    env_->Sleep(options_.read_retry_delay);
+    VirtualDuration delay;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++read_retries_;
+      delay = options_.read_backoff.Delay(attempt, retry_rng_);
+    }
+    env_->Sleep(delay);
   }
   return TimeoutError("version " + hash + " of " + id +
                       " never became visible");

@@ -18,9 +18,11 @@
 #include <mutex>
 #include <string>
 
+#include "src/common/backoff.h"
 #include "src/common/executor.h"
 #include "src/common/future.h"
 #include "src/common/lru_cache.h"
+#include "src/common/rng.h"
 #include "src/scfs/blob_backend.h"
 #include "src/sim/environment.h"
 
@@ -32,7 +34,11 @@ struct StorageServiceOptions {
   std::filesystem::path disk_cache_dir;  // empty => unique temp directory
   VirtualDuration disk_write_latency = FromMillis(5);  // 15K RPM SCSI-ish
   VirtualDuration disk_read_latency = FromMillis(2);
-  VirtualDuration read_retry_delay = FromMillis(100);
+  // Consistency-anchor read loop: capped exponential backoff with jitter
+  // between attempts (replaces the old fixed 100 ms delay). The cap keeps
+  // the wait bounded once the consistency window is clearly being ridden
+  // out; the jitter de-synchronizes agents re-reading the same anchor.
+  BackoffPolicy read_backoff{FromMillis(25), FromMillis(1000), 2.0, 0.5};
   int max_read_retries = 100;
 };
 
@@ -81,6 +87,8 @@ class StorageService {
   uint64_t memory_hits() const { return memory_hits_; }
   uint64_t disk_hits() const { return disk_hits_; }
   uint64_t cloud_reads() const { return cloud_reads_; }
+  // Backend reads that had to loop on NOT_FOUND (consistency-anchor waits).
+  uint64_t read_retries() const { return read_retries_; }
 
  private:
   std::string CacheKey(const std::string& id, const std::string& hash) const {
@@ -106,6 +114,8 @@ class StorageService {
   uint64_t memory_hits_ = 0;
   uint64_t disk_hits_ = 0;
   uint64_t cloud_reads_ = 0;
+  uint64_t read_retries_ = 0;
+  Rng retry_rng_{0x5cf5u};  // jitter only; fixed seed keeps runs replayable
 
   InFlightTracker async_ops_;
 };

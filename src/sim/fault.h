@@ -3,7 +3,8 @@
 // Supports the fault classes the paper's cloud-of-clouds backend is built to
 // survive (§3.2): provider unavailability (outages), data corruption and
 // Byzantine behaviour (arbitrary wrong answers), plus probabilistic transient
-// failures for retry-path testing.
+// failures for retry-path testing and latency degradation (a brown-out: the
+// provider answers, just much slower than its profile).
 
 #ifndef SCFS_SIM_FAULT_H_
 #define SCFS_SIM_FAULT_H_
@@ -11,7 +12,9 @@
 #include <atomic>
 #include <mutex>
 
+#include "src/common/bytes.h"
 #include "src/common/rng.h"
+#include "src/sim/time.h"
 
 namespace scfs {
 
@@ -28,6 +31,14 @@ class FaultInjector {
     std::lock_guard<std::mutex> lock(mu_);
     transient_p_ = p;
   }
+
+  // Latency degradation: every operation pays this much extra modelled time
+  // on top of the provider's latency profile (applied even when the
+  // operation then fails — the client still waited for the answer).
+  void SetLatencyDegradation(VirtualDuration extra) {
+    extra_latency_.store(extra);
+  }
+  VirtualDuration latency_degradation() const { return extra_latency_.load(); }
 
   // Corruption: reads return flipped bytes. Either the next `n` reads or all.
   void CorruptNextReads(int n) { corrupt_reads_.store(n); }
@@ -61,11 +72,32 @@ class FaultInjector {
     return false;
   }
 
+  // Corrupts `data` in place. Flip positions and values come from the
+  // injector's seeded RNG, so a given (seed, read sequence) produces the
+  // same corrupted bytes on every run — corrupted-read tests replay
+  // bit-identically. The first flip XORs a non-zero value, so the payload is
+  // guaranteed to differ from the original.
+  void CorruptPayload(ByteSpan data) {
+    if (data.empty()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t anchor = static_cast<size_t>(rng_.UniformU64(data.size()));
+    data[anchor] ^= static_cast<uint8_t>(1 + rng_.UniformU64(255));
+    for (int i = 0; i < 2; ++i) {  // extra flips to spread the damage
+      size_t pos = static_cast<size_t>(rng_.UniformU64(data.size()));
+      if (pos != anchor) {
+        data[pos] ^= static_cast<uint8_t>(1 + rng_.UniformU64(255));
+      }
+    }
+  }
+
  private:
   std::atomic<bool> unavailable_{false};
   std::atomic<bool> corrupt_all_{false};
   std::atomic<bool> byzantine_{false};
   std::atomic<int> corrupt_reads_{0};
+  std::atomic<VirtualDuration> extra_latency_{0};
   std::mutex mu_;
   double transient_p_ = 0.0;
   Rng rng_;

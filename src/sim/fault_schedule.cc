@@ -1,0 +1,273 @@
+#include "src/sim/fault_schedule.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace scfs {
+
+namespace {
+
+constexpr const char* kKindNames[kFaultKindCount] = {
+    "outage", "latency", "transient", "corrupt", "byzantine",
+    "replica_restart",
+};
+
+Result<FaultKind> ParseKind(const std::string& value) {
+  for (size_t i = 0; i < kFaultKindCount; ++i) {
+    if (value == kKindNames[i]) {
+      return static_cast<FaultKind>(i);
+    }
+  }
+  return InvalidArgumentError(
+      "fault schedule: unknown kind '" + value +
+      "' (expected outage|latency|transient|corrupt|byzantine|"
+      "replica_restart)");
+}
+
+Result<VirtualDuration> ParseDuration(const std::string& key,
+                                      const std::string& value) {
+  char* end = nullptr;
+  double parsed = std::strtod(value.c_str(), &end);
+  VirtualDuration unit = 0;
+  if (end != value.c_str()) {
+    if (std::string(end) == "us") {
+      unit = kMicrosecond;
+    } else if (std::string(end) == "ms") {
+      unit = kMillisecond;
+    } else if (std::string(end) == "s") {
+      unit = kSecond;
+    }
+  }
+  if (unit == 0 || parsed < 0) {
+    return InvalidArgumentError("fault schedule: bad duration for " + key +
+                                ": '" + value + "' (want e.g. 250ms, 4s)");
+  }
+  return static_cast<VirtualDuration>(parsed * static_cast<double>(unit));
+}
+
+Result<unsigned> ParseIndex(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || parsed > 1000) {
+    return InvalidArgumentError("fault schedule: bad index for " + key +
+                                ": '" + value + "'");
+  }
+  return static_cast<unsigned>(parsed);
+}
+
+Result<double> ParseProbability(const std::string& key,
+                                const std::string& value) {
+  char* end = nullptr;
+  double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || parsed < 0 || parsed > 1) {
+    return InvalidArgumentError("fault schedule: bad probability for " + key +
+                                ": '" + value + "'");
+  }
+  return parsed;
+}
+
+struct BuiltinDef {
+  const char* name;
+  const char* text;
+};
+
+// Window timing assumes a >= 14 s campaign run: faults start once the run is
+// warm (4 s), clear with enough tail left to watch recovery.
+constexpr BuiltinDef kBuiltins[] = {
+    {"outage",
+     "# Single-cloud hard outage: the f=1 masking claim under load.\n"
+     "kind=outage cloud=0 at=4s for=6s\n"},
+    {"latency",
+     "# Brown-out: one cloud answers 400 ms slower than its profile.\n"
+     "kind=latency cloud=1 at=4s for=6s add=400ms\n"},
+    {"flaky",
+     "# Flapping provider: staggered transient-error bursts on two clouds.\n"
+     "kind=transient cloud=2 at=3s for=4s p=0.5\n"
+     "kind=transient cloud=0 at=8s for=4s p=0.5\n"},
+    {"corruption",
+     "# One cloud silently corrupts every read payload.\n"
+     "kind=corrupt cloud=0 at=4s for=6s\n"},
+    {"byzantine",
+     "# One cloud serves arbitrarily stale versions.\n"
+     "kind=byzantine cloud=3 at=4s for=6s\n"},
+    {"replica",
+     "# Coordination replica 2 crashes and rejoins 3 s later.\n"
+     "kind=replica_restart replica=2 at=4s for=3s\n"},
+    {"mixed",
+     "# Overlapping multi-cloud trouble, still within f=1 at any instant\n"
+     "# for the outage; the brown-out and flaky windows add pressure.\n"
+     "kind=outage cloud=0 at=3s for=4s\n"
+     "kind=latency cloud=1 at=5s for=5s add=300ms\n"
+     "kind=transient cloud=2 at=8s for=4s p=0.3\n"},
+};
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  return kKindNames[static_cast<size_t>(kind)];
+}
+
+VirtualTime FaultSchedule::horizon() const {
+  VirtualTime latest = 0;
+  for (const auto& event : events) {
+    latest = std::max(latest, event.end());
+  }
+  return latest;
+}
+
+std::vector<std::pair<VirtualTime, VirtualTime>> FaultSchedule::MergedWindows()
+    const {
+  std::vector<std::pair<VirtualTime, VirtualTime>> spans;
+  spans.reserve(events.size());
+  for (const auto& event : events) {
+    spans.emplace_back(event.at, event.end());
+  }
+  std::sort(spans.begin(), spans.end());
+  std::vector<std::pair<VirtualTime, VirtualTime>> merged;
+  for (const auto& span : spans) {
+    if (!merged.empty() && span.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, span.second);
+    } else {
+      merged.push_back(span);
+    }
+  }
+  return merged;
+}
+
+Result<FaultEvent> ParseFaultEvent(const std::string& line) {
+  FaultEvent event;
+  bool have_kind = false;
+  bool have_target = false;
+  bool target_is_replica = false;
+  bool have_at = false;
+  bool have_for = false;
+  bool have_p = false;
+  bool have_add = false;
+
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("fault schedule: expected key=value, got '" +
+                                  token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "kind") {
+      ASSIGN_OR_RETURN(event.kind, ParseKind(value));
+      have_kind = true;
+    } else if (key == "cloud") {
+      ASSIGN_OR_RETURN(event.target, ParseIndex(key, value));
+      have_target = true;
+      target_is_replica = false;
+    } else if (key == "replica") {
+      ASSIGN_OR_RETURN(event.target, ParseIndex(key, value));
+      have_target = true;
+      target_is_replica = true;
+    } else if (key == "at") {
+      ASSIGN_OR_RETURN(event.at, ParseDuration(key, value));
+      have_at = true;
+    } else if (key == "for") {
+      ASSIGN_OR_RETURN(event.duration, ParseDuration(key, value));
+      have_for = true;
+    } else if (key == "p") {
+      ASSIGN_OR_RETURN(event.probability, ParseProbability(key, value));
+      have_p = true;
+    } else if (key == "add") {
+      ASSIGN_OR_RETURN(event.extra_latency, ParseDuration(key, value));
+      have_add = true;
+    } else {
+      return InvalidArgumentError("fault schedule: unknown key '" + key + "'");
+    }
+  }
+
+  if (!have_kind) {
+    return InvalidArgumentError("fault schedule: event needs kind=..: '" +
+                                line + "'");
+  }
+  const bool wants_replica = event.kind == FaultKind::kReplicaRestart;
+  if (!have_target) {
+    return InvalidArgumentError(
+        std::string("fault schedule: ") + FaultKindName(event.kind) +
+        " needs " + (wants_replica ? "replica" : "cloud") + "=..");
+  }
+  if (target_is_replica != wants_replica) {
+    return InvalidArgumentError(
+        std::string("fault schedule: ") + FaultKindName(event.kind) +
+        " targets a " + (wants_replica ? "replica" : "cloud") + ", not a " +
+        (wants_replica ? "cloud" : "replica"));
+  }
+  if (!have_at || !have_for || event.duration <= 0) {
+    return InvalidArgumentError("fault schedule: event needs at=.. and a "
+                                "positive for=..: '" + line + "'");
+  }
+  if (event.kind == FaultKind::kTransient) {
+    if (!have_p || event.probability <= 0) {
+      return InvalidArgumentError(
+          "fault schedule: transient needs p=.. in (0,1]: '" + line + "'");
+    }
+  } else if (have_p) {
+    return InvalidArgumentError(std::string("fault schedule: p= only applies "
+                                            "to transient, not ") +
+                                FaultKindName(event.kind));
+  }
+  if (event.kind == FaultKind::kLatency) {
+    if (!have_add || event.extra_latency <= 0) {
+      return InvalidArgumentError(
+          "fault schedule: latency needs a positive add=..: '" + line + "'");
+    }
+  } else if (have_add) {
+    return InvalidArgumentError(std::string("fault schedule: add= only "
+                                            "applies to latency, not ") +
+                                FaultKindName(event.kind));
+  }
+  return event;
+}
+
+Result<FaultSchedule> ParseFaultSchedule(const std::string& text) {
+  FaultSchedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) {
+      continue;
+    }
+    line = line.substr(start);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    ASSIGN_OR_RETURN(FaultEvent event, ParseFaultEvent(line));
+    schedule.events.push_back(event);
+  }
+  return schedule;
+}
+
+Result<std::string> BuiltinCampaignText(const std::string& name) {
+  for (const auto& builtin : kBuiltins) {
+    if (name == builtin.name) {
+      return std::string(builtin.text);
+    }
+  }
+  std::string known;
+  for (const auto& builtin : kBuiltins) {
+    known += known.empty() ? "" : "|";
+    known += builtin.name;
+  }
+  return InvalidArgumentError("unknown campaign '" + name + "' (expected " +
+                              known + ")");
+}
+
+Result<FaultSchedule> BuiltinCampaign(const std::string& name) {
+  ASSIGN_OR_RETURN(std::string text, BuiltinCampaignText(name));
+  ASSIGN_OR_RETURN(FaultSchedule schedule, ParseFaultSchedule(text));
+  schedule.name = name;
+  return schedule;
+}
+
+}  // namespace scfs

@@ -1,0 +1,91 @@
+// Declarative fault timelines for chaos campaigns.
+//
+// A FaultSchedule is a list of timed fault windows — cloud outages, latency
+// degradation (brown-outs), transient-error bursts, read corruption,
+// Byzantine stale answers, and SMR replica crash/restart — expressed in
+// virtual time relative to a campaign origin. Schedules parse from key=value
+// event lines in the same strict style as workload personalities
+// (bench/scenario/personality.h):
+//
+//   # cloud 0 hard outage from t=4s to t=10s
+//   kind=outage cloud=0 at=4s for=6s
+//   kind=latency cloud=1 at=2s for=5s add=400ms
+//   kind=transient cloud=2 at=0s for=8s p=0.3
+//   kind=corrupt cloud=0 at=4s for=6s
+//   kind=byzantine cloud=3 at=4s for=6s
+//   kind=replica_restart replica=2 at=5s for=3s   # crash at 5s, restart at 8s
+//
+// Everything downstream of a schedule is deterministic: the events carry no
+// randomness themselves, and the per-cloud FaultInjector RNGs that realise
+// transient failures and corruption byte flips are seeded — a campaign
+// replays bit-identically. The ChaosRunner (src/chaos/campaign.h) walks the
+// schedule against a live deployment.
+
+#ifndef SCFS_SIM_FAULT_SCHEDULE_H_
+#define SCFS_SIM_FAULT_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/time.h"
+
+namespace scfs {
+
+enum class FaultKind {
+  kOutage = 0,      // cloud fails every operation with UNAVAILABLE
+  kLatency,         // cloud answers, but `extra_latency` slower
+  kTransient,       // cloud fails each op independently with `probability`
+  kCorrupt,         // cloud flips bytes in every read payload
+  kByzantine,       // cloud serves arbitrarily stale versions
+  kReplicaRestart,  // coordination replica crashes, restarts at window end
+};
+constexpr size_t kFaultKindCount = 6;
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kOutage;
+  // Cloud index for cloud faults; replica index for kReplicaRestart.
+  unsigned target = 0;
+  VirtualTime at = 0;          // window start, relative to campaign origin
+  VirtualDuration duration = 0;  // window length; faults clear at at+duration
+  double probability = 0;      // kTransient only
+  VirtualDuration extra_latency = 0;  // kLatency only
+
+  VirtualTime end() const { return at + duration; }
+};
+
+struct FaultSchedule {
+  std::string name = "custom";
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  // Latest window end across all events (0 for an empty schedule).
+  VirtualTime horizon() const;
+  // Union of all event windows relative to the origin, merged and sorted —
+  // the spans where a client could observe degraded service.
+  std::vector<std::pair<VirtualTime, VirtualTime>> MergedWindows() const;
+};
+
+// Parses one event line of space-separated key=value tokens (see file
+// comment for the grammar). Keys: kind, cloud, replica, at, for, p, add.
+// Durations take us/ms/s suffixes. Unknown keys, missing required keys and
+// unparsable values are errors.
+Result<FaultEvent> ParseFaultEvent(const std::string& line);
+
+// Parses a whole schedule: one event per line; blank lines and lines
+// starting with '#' are skipped.
+Result<FaultSchedule> ParseFaultSchedule(const std::string& text);
+
+// Built-in campaigns, sized for a ~16 s run on the default 4-cloud (f=1)
+// deployment: outage, latency, flaky, corruption, byzantine, replica, mixed.
+Result<FaultSchedule> BuiltinCampaign(const std::string& name);
+
+// The spec text the named builtin campaign parses from (for --print and
+// docs). Unknown names return an error.
+Result<std::string> BuiltinCampaignText(const std::string& name);
+
+}  // namespace scfs
+
+#endif  // SCFS_SIM_FAULT_SCHEDULE_H_

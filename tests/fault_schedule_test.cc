@@ -1,0 +1,262 @@
+// Tests for declarative fault schedules and the chaos campaign runner:
+// strict key=value parsing, builtin campaigns, window merging, deterministic
+// corruption replay, latency-degradation injection and the runner's
+// apply/clear edge walk (including overlapping windows and replica hooks).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/chaos/campaign.h"
+#include "src/cloud/simulated_cloud.h"
+#include "src/sim/fault.h"
+#include "src/sim/fault_schedule.h"
+
+namespace scfs {
+namespace {
+
+TEST(FaultScheduleParseTest, ParsesEveryKind) {
+  struct Case {
+    const char* line;
+    FaultKind kind;
+  };
+  for (const Case& c : {
+           Case{"kind=outage cloud=0 at=4s for=6s", FaultKind::kOutage},
+           Case{"kind=latency cloud=1 at=2s for=5s add=400ms",
+                FaultKind::kLatency},
+           Case{"kind=transient cloud=2 at=0s for=8s p=0.3",
+                FaultKind::kTransient},
+           Case{"kind=corrupt cloud=0 at=4s for=6s", FaultKind::kCorrupt},
+           Case{"kind=byzantine cloud=3 at=4s for=6s", FaultKind::kByzantine},
+           Case{"kind=replica_restart replica=2 at=5s for=3s",
+                FaultKind::kReplicaRestart},
+       }) {
+    auto event = ParseFaultEvent(c.line);
+    ASSERT_TRUE(event.ok()) << c.line << ": " << event.status().ToString();
+    EXPECT_EQ(event->kind, c.kind) << c.line;
+  }
+}
+
+TEST(FaultScheduleParseTest, FieldValues) {
+  auto event = ParseFaultEvent("kind=latency cloud=1 at=2s for=500ms add=40ms");
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(event->target, 1u);
+  EXPECT_EQ(event->at, 2 * kSecond);
+  EXPECT_EQ(event->duration, 500 * kMillisecond);
+  EXPECT_EQ(event->extra_latency, 40 * kMillisecond);
+  EXPECT_EQ(event->end(), 2 * kSecond + 500 * kMillisecond);
+}
+
+TEST(FaultScheduleParseTest, RejectsMalformedLines) {
+  const char* bad[] = {
+      "cloud=0 at=4s for=6s",                       // no kind
+      "kind=meteor cloud=0 at=4s for=6s",           // unknown kind
+      "kind=outage at=4s for=6s",                   // no target
+      "kind=outage replica=0 at=4s for=6s",         // replica= on a cloud kind
+      "kind=replica_restart cloud=0 at=4s for=6s",  // cloud= on a replica kind
+      "kind=outage cloud=0 for=6s",                 // no at
+      "kind=outage cloud=0 at=4s",                  // no for
+      "kind=outage cloud=0 at=4s for=0s",           // empty window
+      "kind=outage cloud=0 at=4s for=6",            // missing unit suffix
+      "kind=outage cloud=0 at=-1s for=6s",          // negative time
+      "kind=outage cloud=0 at=4s for=6s p=0.5",     // p on a non-transient
+      "kind=transient cloud=0 at=4s for=6s",        // transient without p
+      "kind=transient cloud=0 at=4s for=6s p=1.5",  // p out of range
+      "kind=outage cloud=0 at=4s for=6s add=1s",    // add on a non-latency
+      "kind=latency cloud=0 at=4s for=6s",          // latency without add
+      "kind=outage cloud=0 at=4s for=6s color=red",  // unknown key
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseFaultEvent(line).ok()) << line;
+  }
+}
+
+TEST(FaultScheduleParseTest, ScheduleSkipsCommentsAndBlanks) {
+  auto schedule = ParseFaultSchedule(
+      "# campaign header\n"
+      "\n"
+      "kind=outage cloud=0 at=1s for=2s\n"
+      "  # indented comment\n"
+      "kind=latency cloud=1 at=2s for=2s add=10ms\n");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->events.size(), 2u);
+  EXPECT_EQ(schedule->horizon(), 4 * kSecond);
+}
+
+TEST(FaultScheduleParseTest, MergedWindowsMergesOverlaps) {
+  auto schedule = ParseFaultSchedule(
+      "kind=outage cloud=0 at=1s for=3s\n"
+      "kind=latency cloud=1 at=2s for=4s add=10ms\n"
+      "kind=corrupt cloud=2 at=8s for=1s\n");
+  ASSERT_TRUE(schedule.ok());
+  auto windows = schedule->MergedWindows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].first, 1 * kSecond);
+  EXPECT_EQ(windows[0].second, 6 * kSecond);
+  EXPECT_EQ(windows[1].first, 8 * kSecond);
+  EXPECT_EQ(windows[1].second, 9 * kSecond);
+}
+
+TEST(FaultScheduleParseTest, BuiltinCampaignsParse) {
+  for (const char* name : {"outage", "latency", "flaky", "corruption",
+                           "byzantine", "replica", "mixed"}) {
+    auto campaign = BuiltinCampaign(name);
+    ASSERT_TRUE(campaign.ok()) << name;
+    EXPECT_EQ(campaign->name, name);
+    EXPECT_FALSE(campaign->empty()) << name;
+    // The published text is the source of truth: it must parse to the same
+    // events.
+    auto text = BuiltinCampaignText(name);
+    ASSERT_TRUE(text.ok()) << name;
+    auto reparsed = ParseFaultSchedule(*text);
+    ASSERT_TRUE(reparsed.ok()) << name;
+    EXPECT_EQ(reparsed->events.size(), campaign->events.size()) << name;
+  }
+  EXPECT_FALSE(BuiltinCampaign("nosuch").ok());
+}
+
+TEST(FaultInjectorTest, CorruptionIsSeedDeterministic) {
+  Bytes original(512);
+  for (size_t i = 0; i < original.size(); ++i) {
+    original[i] = static_cast<uint8_t>(i);
+  }
+  Bytes a = original;
+  Bytes b = original;
+  FaultInjector first(77);
+  FaultInjector second(77);
+  first.CorruptPayload(ByteSpan(a));
+  second.CorruptPayload(ByteSpan(b));
+  EXPECT_EQ(a, b);           // same seed, same flips
+  EXPECT_NE(a, original);    // guaranteed to differ from the original
+}
+
+TEST(FaultInjectorTest, LatencyDegradationDelaysCloudOps) {
+  auto env = Environment::Instant();
+  CloudProfile profile;  // zero modelled latency
+  SimulatedCloud cloud(profile, env.get(), 3);
+  CloudCredentials creds{"acct"};
+  ASSERT_TRUE(cloud.Put(creds, "k", ToBytes("v")).ok());
+
+  cloud.faults().SetLatencyDegradation(250 * kMillisecond);
+  const VirtualTime before = env->Now();
+  ASSERT_TRUE(cloud.Get(creds, "k").ok());
+  EXPECT_GE(env->Now() - before, 250 * kMillisecond);
+
+  // Degradation also charges failing operations: the client waited for the
+  // (failed) answer.
+  cloud.faults().SetUnavailable(true);
+  const VirtualTime failing = env->Now();
+  EXPECT_FALSE(cloud.Get(creds, "k").ok());
+  EXPECT_GE(env->Now() - failing, 250 * kMillisecond);
+  cloud.faults().SetUnavailable(false);
+  cloud.faults().SetLatencyDegradation(0);
+}
+
+class ChaosRunnerTest : public ::testing::Test {
+ protected:
+  ChaosRunnerTest() : env_(Environment::Instant()) {
+    for (unsigned i = 0; i < 4; ++i) {
+      CloudProfile profile;
+      profile.name = "cloud" + std::to_string(i);
+      clouds_.push_back(
+          std::make_unique<SimulatedCloud>(profile, env_.get(), 20 + i));
+    }
+  }
+
+  ChaosTargets Targets() {
+    ChaosTargets targets;
+    for (auto& cloud : clouds_) {
+      targets.clouds.push_back(cloud.get());
+    }
+    return targets;
+  }
+
+  std::unique_ptr<Environment> env_;
+  std::vector<std::unique_ptr<SimulatedCloud>> clouds_;
+};
+
+TEST_F(ChaosRunnerTest, AppliesAndClearsEveryFaultClass) {
+  auto schedule = ParseFaultSchedule(
+      "kind=outage cloud=0 at=10ms for=20ms\n"
+      "kind=latency cloud=1 at=10ms for=20ms add=5ms\n"
+      "kind=transient cloud=2 at=10ms for=20ms p=0.5\n"
+      "kind=corrupt cloud=3 at=10ms for=20ms\n"
+      "kind=byzantine cloud=3 at=15ms for=10ms\n");
+  ASSERT_TRUE(schedule.ok());
+  ChaosRunner runner(env_.get(), *schedule, Targets());
+  ASSERT_TRUE(runner.Start().ok());
+  runner.Join();
+  // Every window has closed: all injectors are back to clean state.
+  for (auto& cloud : clouds_) {
+    EXPECT_FALSE(cloud->faults().unavailable());
+    EXPECT_FALSE(cloud->faults().byzantine());
+    EXPECT_EQ(cloud->faults().latency_degradation(), 0);
+    EXPECT_FALSE(cloud->faults().ShouldFailOperation());
+    EXPECT_FALSE(cloud->faults().ShouldCorruptRead());
+  }
+  // Two edges (apply + clear) per event.
+  EXPECT_EQ(runner.log().size(), 2 * schedule->events.size());
+  EXPECT_GE(env_->Now(), runner.origin() + schedule->horizon());
+}
+
+TEST_F(ChaosRunnerTest, OverlappingWindowsComposeInsteadOfClobbering) {
+  // Two latency windows on the same cloud overlap; when the short one ends,
+  // the long one must still assert its degradation (and the max of both must
+  // hold while overlapped — verified indirectly: the final state is clean,
+  // and the runner logged all four edges).
+  auto schedule = ParseFaultSchedule(
+      "kind=latency cloud=0 at=0ms for=40ms add=30ms\n"
+      "kind=latency cloud=0 at=10ms for=10ms add=80ms\n");
+  ASSERT_TRUE(schedule.ok());
+  ChaosRunner runner(env_.get(), *schedule, Targets());
+  ASSERT_TRUE(runner.Start().ok());
+  runner.Join();
+  EXPECT_EQ(clouds_[0]->faults().latency_degradation(), 0);
+  EXPECT_EQ(runner.log().size(), 4u);
+}
+
+TEST_F(ChaosRunnerTest, ReplicaHookSeesCrashThenRestart) {
+  auto schedule = ParseFaultSchedule("kind=replica_restart replica=2 at=5ms for=10ms\n");
+  ASSERT_TRUE(schedule.ok());
+  ChaosTargets targets = Targets();
+  std::vector<std::pair<unsigned, bool>> calls;
+  targets.replica_hook = [&calls](unsigned replica, bool up) {
+    calls.emplace_back(replica, up);
+  };
+  ChaosRunner runner(env_.get(), *schedule, std::move(targets));
+  ASSERT_TRUE(runner.Start().ok());
+  runner.Join();
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0], std::make_pair(2u, false));  // crash at window start
+  EXPECT_EQ(calls[1], std::make_pair(2u, true));   // restart at window end
+}
+
+TEST_F(ChaosRunnerTest, StartValidatesTargets) {
+  // Cloud index out of range.
+  auto schedule = ParseFaultSchedule("kind=outage cloud=9 at=1ms for=1ms\n");
+  ASSERT_TRUE(schedule.ok());
+  ChaosRunner bad_cloud(env_.get(), *schedule, Targets());
+  EXPECT_FALSE(bad_cloud.Start().ok());
+
+  // Replica event without a replica hook.
+  auto replica = ParseFaultSchedule("kind=replica_restart replica=0 at=1ms for=1ms\n");
+  ASSERT_TRUE(replica.ok());
+  ChaosRunner no_hook(env_.get(), *replica, Targets());
+  EXPECT_FALSE(no_hook.Start().ok());
+}
+
+TEST_F(ChaosRunnerTest, FaultWindowsAreAbsolute) {
+  auto schedule = ParseFaultSchedule("kind=outage cloud=0 at=5ms for=10ms\n");
+  ASSERT_TRUE(schedule.ok());
+  env_->Sleep(kSecond);  // the campaign starts late on the virtual clock
+  ChaosRunner runner(env_.get(), *schedule, Targets());
+  ASSERT_TRUE(runner.Start().ok());
+  auto windows = runner.FaultWindows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].first, runner.origin() + 5 * kMillisecond);
+  EXPECT_EQ(windows[0].second, runner.origin() + 15 * kMillisecond);
+  runner.Join();
+}
+
+}  // namespace
+}  // namespace scfs

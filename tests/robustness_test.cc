@@ -1,0 +1,361 @@
+// Data-plane robustness tests: DepSky read/write with exactly f faulty
+// clouds (outage, corruption, Byzantine) at (n=4, f=1) and (n=7, f=2),
+// hedged reads racing a straggler on a scaled clock, per-attempt deadlines,
+// fake-clock circuit-breaker unit tests, and BackoffPolicy bounds.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "src/cloud/health.h"
+#include "src/cloud/simulated_cloud.h"
+#include "src/common/backoff.h"
+#include "src/crypto/sha1.h"
+#include "src/depsky/depsky.h"
+
+namespace scfs {
+namespace {
+
+std::string ContentHash(const Bytes& data) {
+  return HexEncode(Sha1::Hash(data));
+}
+
+// ---------------------------------------------------------------------------
+// DepSky at exactly f faulty clouds, parameterized over (n, f).
+// ---------------------------------------------------------------------------
+
+class DepSkyFaultMarginTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  DepSkyFaultMarginTest() : env_(Environment::Instant()) {
+    const unsigned n = 3 * GetParam() + 1;
+    for (unsigned i = 0; i < n; ++i) {
+      CloudProfile profile;
+      profile.name = "cloud" + std::to_string(i);
+      clouds_.push_back(
+          std::make_unique<SimulatedCloud>(profile, env_.get(), 30 + i));
+    }
+  }
+
+  DepSkyClient MakeClient() {
+    DepSkyConfig config;
+    config.f = GetParam();
+    config.auth_key = ToBytes("deployment-auth-key");
+    std::vector<DepSkyCloud> set;
+    for (auto& cloud : clouds_) {
+      set.push_back(DepSkyCloud{cloud.get(),
+                                {cloud->provider_name() + ":alice"}});
+    }
+    return DepSkyClient(env_.get(), std::move(set), config, 4321);
+  }
+
+  unsigned f() const { return GetParam(); }
+
+  std::unique_ptr<Environment> env_;
+  std::vector<std::unique_ptr<SimulatedCloud>> clouds_;
+};
+
+TEST_P(DepSkyFaultMarginTest, ReadsSurviveExactlyFOutages) {
+  auto client = MakeClient();
+  Bytes data(9000, 5);
+  ASSERT_TRUE(client.WriteVersion("f", ContentHash(data), data).ok());
+  for (unsigned i = 0; i < f(); ++i) {
+    clouds_[i]->faults().SetUnavailable(true);
+  }
+  auto read = client.ReadByHash("f", ContentHash(data));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+TEST_P(DepSkyFaultMarginTest, WritesSurviveExactlyFOutages) {
+  auto client = MakeClient();
+  for (unsigned i = 0; i < f(); ++i) {
+    clouds_[i]->faults().SetUnavailable(true);
+  }
+  Bytes data(7000, 6);
+  ASSERT_TRUE(client.WriteVersion("f", ContentHash(data), data).ok());
+  // Readable while the same f clouds stay down, and after they return.
+  EXPECT_EQ(*client.ReadLatest("f"), data);
+  for (unsigned i = 0; i < f(); ++i) {
+    clouds_[i]->faults().SetUnavailable(false);
+  }
+  EXPECT_EQ(*client.ReadLatest("f"), data);
+}
+
+TEST_P(DepSkyFaultMarginTest, ReadsSurviveExactlyFCorruptClouds) {
+  auto client = MakeClient();
+  Bytes data(9000, 7);
+  ASSERT_TRUE(client.WriteVersion("f", ContentHash(data), data).ok());
+  for (unsigned i = 0; i < f(); ++i) {
+    clouds_[i]->faults().SetCorruptAllReads(true);
+  }
+  auto read = client.ReadByHash("f", ContentHash(data));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+// The stored value object carries the erasure shard AND a key share; the
+// metadata hash must cover both. A fault that flips only the share bytes
+// (leaving the shard intact) used to pass the shard-only hash check and
+// poison key reconstruction — the read then failed the final content hash
+// instead of routing around the bad object.
+TEST_P(DepSkyFaultMarginTest, ReadsSurvivePoisonedKeyShareAtFClouds) {
+  auto client = MakeClient();
+  Bytes data(9000, 8);
+  auto version = client.WriteVersion("f", ContentHash(data), data);
+  ASSERT_TRUE(version.ok());
+  const std::string value_key = DepSkyClient::ValueKey("f", *version);
+  for (unsigned i = 0; i < f(); ++i) {
+    CloudCredentials creds{clouds_[i]->provider_name() + ":alice"};
+    auto object = clouds_[i]->Get(creds, value_key);
+    ASSERT_TRUE(object.ok());
+    object->back() ^= 0x01;  // the share rides at the tail, after the shard
+    ASSERT_TRUE(clouds_[i]->Put(creds, value_key, *object).ok());
+  }
+  auto read = client.ReadByHash("f", ContentHash(data));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+TEST_P(DepSkyFaultMarginTest, ReadsSurviveExactlyFByzantineClouds) {
+  auto client = MakeClient();
+  Bytes v1 = ToBytes("version one");
+  Bytes v2 = ToBytes("version two!");
+  ASSERT_TRUE(client.WriteVersion("f", ContentHash(v1), v1).ok());
+  ASSERT_TRUE(client.WriteVersion("f", ContentHash(v2), v2).ok());
+  // f clouds serve arbitrarily stale (but authentic) state; the quorum's
+  // maximum authenticated version must win.
+  for (unsigned i = 0; i < f(); ++i) {
+    clouds_[i]->faults().SetByzantine(true);
+  }
+  EXPECT_EQ(*client.ReadLatest("f"), v2);
+}
+
+TEST_P(DepSkyFaultMarginTest, MixedFaultClassesAcrossFClouds) {
+  if (f() < 2) {
+    GTEST_SKIP() << "needs f >= 2 to mix fault classes";
+  }
+  auto client = MakeClient();
+  Bytes data(9000, 8);
+  ASSERT_TRUE(client.WriteVersion("f", ContentHash(data), data).ok());
+  clouds_[0]->faults().SetUnavailable(true);
+  clouds_[1]->faults().SetCorruptAllReads(true);
+  auto read = client.ReadByHash("f", ContentHash(data));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultMargins, DepSkyFaultMarginTest,
+                         ::testing::Values(1u, 2u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "f" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Hedged reads and deadlines need a scaled clock (timers are inert in
+// instant environments).
+// ---------------------------------------------------------------------------
+
+class DepSkyTimerTest : public ::testing::Test {
+ protected:
+  DepSkyTimerTest() : env_(Environment::Scaled(1e-3)) {
+    for (unsigned i = 0; i < 4; ++i) {
+      CloudProfile profile;
+      profile.name = "cloud" + std::to_string(i);
+      clouds_.push_back(
+          std::make_unique<SimulatedCloud>(profile, env_.get(), 40 + i));
+    }
+  }
+
+  DepSkyClient MakeClient(DepSkyConfig config) {
+    config.f = 1;
+    config.auth_key = ToBytes("deployment-auth-key");
+    std::vector<DepSkyCloud> set;
+    for (auto& cloud : clouds_) {
+      set.push_back(DepSkyCloud{cloud.get(),
+                                {cloud->provider_name() + ":alice"}});
+    }
+    return DepSkyClient(env_.get(), std::move(set), config, 777);
+  }
+
+  std::unique_ptr<Environment> env_;
+  std::vector<std::unique_ptr<SimulatedCloud>> clouds_;
+};
+
+TEST_F(DepSkyTimerTest, HedgedReadRoutesAroundStraggler) {
+  DepSkyConfig config;
+  config.request_deadline = 60 * kSecond;  // out of the way
+  config.max_attempts = 1;
+  Bytes data(9000, 9);
+  {
+    auto client = MakeClient(config);
+    ASSERT_TRUE(client.WriteVersion("f", ContentHash(data), data).ok());
+    // With preferred quorums the shards live on clouds 0..2; the read
+    // launches k=2 holders (clouds 0 and 1). Make cloud 0 a straggler
+    // (30 s brown-out): cloud 1 answers but k is not reached, and nothing
+    // has *failed*, so only the hedge timer can bring in cloud 2 and
+    // finish the read quickly.
+    clouds_[0]->faults().SetLatencyDegradation(30 * kSecond);
+    const VirtualTime before = env_->Now();
+    auto read = client.ReadByHash("f", ContentHash(data));
+    const VirtualDuration elapsed = env_->Now() - before;
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(*read, data);
+    EXPECT_GE(client.hedged_reads(), 1u);
+    // Far faster than waiting out the straggler; generous bound for CI
+    // noise.
+    EXPECT_LT(elapsed, 15 * kSecond);
+    clouds_[0]->faults().SetLatencyDegradation(0);
+    // Destruction waits for the straggler's in-flight op.
+  }
+}
+
+TEST_F(DepSkyTimerTest, DeadlineExpiryCountsAndRecovers) {
+  DepSkyConfig config;
+  config.request_deadline = 500 * kMillisecond;
+  config.max_attempts = 2;
+  {
+    auto client = MakeClient(config);
+    Bytes data = ToBytes("deadline test");
+    ASSERT_TRUE(client.WriteVersion("f", ContentHash(data), data).ok());
+    // One cloud stops answering within any deadline; quorum operations must
+    // still complete from the other three, and the expiry must be counted.
+    clouds_[3]->faults().SetLatencyDegradation(30 * kSecond);
+    auto md = client.ReadMetadata("f");
+    ASSERT_TRUE(md.ok()) << md.status().ToString();
+    // Let the straggler's deadline fire on the timer thread.
+    env_->Sleep(2 * kSecond);
+    EXPECT_GE(client.deadline_expiries(), 1u);
+    clouds_[3]->faults().SetLatencyDegradation(0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker, driven by a fake clock.
+// ---------------------------------------------------------------------------
+
+TEST(CloudHealthTrackerTest, TripsAfterThresholdAndDemotes) {
+  HealthOptions options;
+  options.failure_threshold = 3;
+  options.open_duration = FromMillis(1000);
+  CloudHealthTracker tracker(4, options);
+  VirtualTime now = 1000;
+
+  EXPECT_FALSE(tracker.Demoted(1, now));
+  tracker.RecordFailure(1, now);
+  tracker.RecordFailure(1, now);
+  EXPECT_FALSE(tracker.Demoted(1, now));  // below threshold
+  tracker.RecordFailure(1, now);
+  EXPECT_TRUE(tracker.Demoted(1, now));  // tripped
+  EXPECT_EQ(tracker.breaker_trips(), 1u);
+  EXPECT_EQ(tracker.snapshot(1, now).state, BreakerState::kOpen);
+
+  // Still demoted just before the cooldown elapses; half-open after.
+  now += FromMillis(999);
+  EXPECT_TRUE(tracker.Demoted(1, now));
+  now += FromMillis(2);
+  EXPECT_FALSE(tracker.Demoted(1, now));
+  EXPECT_EQ(tracker.snapshot(1, now).state, BreakerState::kHalfOpen);
+}
+
+TEST(CloudHealthTrackerTest, ProbeSuccessClosesProbeFailureReopens) {
+  HealthOptions options;
+  options.failure_threshold = 2;
+  options.open_duration = FromMillis(1000);
+  CloudHealthTracker tracker(2, options);
+  VirtualTime now = 0;
+
+  tracker.RecordFailure(0, now);
+  tracker.RecordFailure(0, now);
+  EXPECT_TRUE(tracker.Demoted(0, now));
+  now += FromMillis(1500);  // cooldown elapsed: next op is the probe
+
+  // Failed probe: re-opens for a fresh cooldown and counts a new trip.
+  tracker.RecordFailure(0, now);
+  EXPECT_TRUE(tracker.Demoted(0, now));
+  EXPECT_EQ(tracker.breaker_trips(), 2u);
+  now += FromMillis(1500);
+
+  // Successful probe: closes.
+  tracker.RecordSuccess(0, now, FromMillis(20));
+  EXPECT_FALSE(tracker.Demoted(0, now));
+  EXPECT_EQ(tracker.snapshot(0, now).state, BreakerState::kClosed);
+  EXPECT_EQ(tracker.snapshot(0, now).consecutive_failures, 0);
+}
+
+TEST(CloudHealthTrackerTest, ReorderMovesDemotedToBackKeepingCostOrder) {
+  HealthOptions options;
+  options.failure_threshold = 1;
+  options.open_duration = FromMillis(1000);
+  CloudHealthTracker tracker(4, options);
+  VirtualTime now = 0;
+  tracker.RecordFailure(1, now);  // trips immediately (threshold 1)
+
+  std::vector<unsigned> base(4);
+  std::iota(base.begin(), base.end(), 0u);
+  EXPECT_EQ(tracker.Reorder(base, now),
+            (std::vector<unsigned>{0, 2, 3, 1}));
+
+  // After the cooldown the cloud re-enters at its cost rank.
+  now += FromMillis(1500);
+  EXPECT_EQ(tracker.Reorder(base, now),
+            (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(CloudHealthTrackerTest, HedgeDelayTracksMedianHealthyLatency) {
+  HealthOptions options;
+  options.hedge_floor = FromMillis(50);
+  options.hedge_multiplier = 2.0;
+  options.ewma_alpha = 1.0;  // last sample wins: easy arithmetic
+  CloudHealthTracker tracker(3, options);
+
+  // No samples yet: the floor.
+  EXPECT_EQ(tracker.HedgeDelay(), FromMillis(50));
+
+  VirtualTime now = 0;
+  tracker.RecordSuccess(0, now, FromMillis(40));
+  tracker.RecordSuccess(1, now, FromMillis(100));
+  tracker.RecordSuccess(2, now, FromMillis(400));
+  // Median 100 ms * 2.0 = 200 ms.
+  EXPECT_EQ(tracker.HedgeDelay(), FromMillis(200));
+}
+
+// ---------------------------------------------------------------------------
+// BackoffPolicy.
+// ---------------------------------------------------------------------------
+
+TEST(BackoffPolicyTest, GrowsAndCapsWithJitterBounds) {
+  BackoffPolicy policy{FromMillis(100), FromMillis(800), 2.0, 0.5};
+  Rng rng(1);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    // Expected full (pre-jitter) delay: 100ms * 2^attempt, capped at 800ms.
+    double full = 100.0 * kMillisecond;
+    for (int i = 0; i < attempt && full < 800.0 * kMillisecond; ++i) {
+      full *= 2;
+    }
+    full = std::min(full, 800.0 * kMillisecond);
+    const VirtualDuration delay = policy.Delay(attempt, rng);
+    EXPECT_LE(delay, static_cast<VirtualDuration>(full)) << attempt;
+    EXPECT_GE(delay, static_cast<VirtualDuration>(full * 0.5) - 1) << attempt;
+  }
+}
+
+TEST(BackoffPolicyTest, FixedIsDeterministic) {
+  BackoffPolicy policy = BackoffPolicy::Fixed(FromMillis(30));
+  Rng rng(2);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(policy.Delay(attempt, rng), FromMillis(30));
+  }
+}
+
+TEST(BackoffPolicyTest, ZeroJitterIsExact) {
+  BackoffPolicy policy{FromMillis(10), FromMillis(40), 2.0, 0.0};
+  Rng rng(3);
+  EXPECT_EQ(policy.Delay(0, rng), FromMillis(10));
+  EXPECT_EQ(policy.Delay(1, rng), FromMillis(20));
+  EXPECT_EQ(policy.Delay(2, rng), FromMillis(40));
+  EXPECT_EQ(policy.Delay(3, rng), FromMillis(40));  // capped
+}
+
+}  // namespace
+}  // namespace scfs

@@ -25,7 +25,7 @@ class StorageServiceTest : public ::testing::Test {
     StorageServiceOptions options;
     options.memory_cache_bytes = memory_bytes;
     options.disk_cache_bytes = disk_bytes;
-    options.read_retry_delay = kMillisecond;
+    options.read_backoff = BackoffPolicy::Fixed(kMillisecond);
     options.max_read_retries = 20;
     return StorageService(env_.get(), &backend_, options);
   }
@@ -102,7 +102,7 @@ TEST_F(StorageServiceTest, ReadLoopWaitsOutConsistencyWindow) {
   SimulatedCloud cloud(windowed, env_.get(), 2);
   SingleCloudBackend backend(&cloud, CloudCredentials{"u"});
   StorageServiceOptions options;
-  options.read_retry_delay = kMillisecond;
+  options.read_backoff = BackoffPolicy::Fixed(kMillisecond);
   options.max_read_retries = 50;
   StorageService service(env_.get(), &backend, options);
 
@@ -115,6 +115,7 @@ TEST_F(StorageServiceTest, ReadLoopWaitsOutConsistencyWindow) {
   auto miss = service.Fetch("obj", hash);
   EXPECT_FALSE(miss.ok());  // never written: exhausts retries
   EXPECT_EQ(miss.status().code(), ErrorCode::kTimeout);
+  EXPECT_GE(service.read_retries(), 1u);
 
   ASSERT_TRUE(backend.WriteVersion("obj", hash, data, {}).ok());
   auto hit = service.Fetch("obj", hash);

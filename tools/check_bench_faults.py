@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_faults.json (chaos-scheduled fault campaigns).
+
+Discovers which (personality, campaign) pairs the bench ran from the
+faults_<personality>_<campaign>_error_rate records, requires every pair to
+carry the full metric set with finite values, and enforces the self-healing
+contract on the *outage* campaigns: with f=1 and one cloud down, the
+cloud-of-clouds data plane must mask the fault completely —
+
+  - no client-visible errors beyond the fault-free baseline (a quorum of
+    3/4 clouds always answers; baselines are 0 for read-heavy
+    personalities, so this degenerates to "error rate exactly 0" there —
+    write-heavy mixes carry a few workload-intrinsic lock races that are
+    not the outage's doing),
+  - whole-run p99 within MAX_OUTAGE_P99_INFLATION of the fault-free
+    baseline (the dead cloud fails fast; the breaker routes around it),
+  - a recovery time was measured (the tail returned to <= 1.5x baseline
+    after the window closed).
+
+Non-outage campaigns are reported but only sanity-checked (finite metrics,
+error rate within a loose margin of the baseline) — transient bursts at
+p=0.5 may lose an occasional op race without invalidating the run. Stdlib
+only, like tools/check_bench_scenarios.py.
+
+Usage: check_bench_faults.py [path-to-BENCH_faults.json]
+"""
+
+import json
+import math
+import sys
+
+MAX_OUTAGE_P99_INFLATION = 2.0
+# Loose margin over the fault-free baseline for the non-gated campaigns:
+# excess beyond this means the data plane stopped masking faults entirely,
+# not statistical noise.
+MAX_EXCESS_ERROR_RATE = 0.05
+
+REQUIRED = [
+    "error_rate", "errors", "dropped", "p99_ms", "baseline_p99_ms",
+    "p99_inflation_x", "fault_window_p99_ms", "fault_goodput_ops_s",
+    "goodput_ratio", "recovery_ms", "retries", "deadline_expiries",
+    "hedged_reads", "breaker_trips", "storage_read_retries",
+]
+
+
+def fail(msg: str) -> int:
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def finite(value) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_faults.json"
+    with open(path) as f:
+        records = json.load(f)
+    metrics = {}
+    for record in records:
+        if not finite(record.get("value")):
+            return fail(f"{record.get('name')} has non-finite value "
+                        f"{record.get('value')!r}")
+        metrics[record["name"]] = record["value"]
+
+    pairs = sorted(
+        name[len("faults_"):-len("_error_rate")]
+        for name in metrics
+        if name.startswith("faults_") and name.endswith("_error_rate")
+        and not name.endswith("_baseline_error_rate")
+    )
+    if not pairs:
+        return fail(f"{path} contains no faults_<pair>_error_rate records")
+
+    rc = 0
+    outage_pairs = 0
+    for pair in pairs:
+        prefix = f"faults_{pair}_"
+        missing = [k for k in REQUIRED if prefix + k not in metrics]
+        if missing:
+            rc |= fail(f"{pair}: missing metrics {missing}")
+            continue
+        error_rate = metrics[prefix + "error_rate"]
+        inflation = metrics[prefix + "p99_inflation_x"]
+        recovery = metrics[prefix + "recovery_ms"]
+        goodput = metrics[prefix + "fault_goodput_ops_s"]
+        # The campaign name is the last _-separated segment; everything
+        # before it is the personality, whose fault-free control run sets
+        # the error-rate baseline.
+        personality = pair.rsplit("_", 1)[0]
+        baseline_errors = metrics.get(
+            f"faults_{personality}_baseline_error_rate", 0.0)
+        print(f"{pair}: error rate {error_rate:.4f}, "
+              f"p99 inflation {inflation:.2f}x, "
+              f"fault goodput {goodput:.1f} ops/s, "
+              f"recovery {recovery:.0f} ms, "
+              f"{metrics[prefix + 'retries']:.0f} retries / "
+              f"{metrics[prefix + 'hedged_reads']:.0f} hedges / "
+              f"{metrics[prefix + 'breaker_trips']:.0f} trips")
+
+        is_outage = pair.endswith("_outage")
+        if is_outage:
+            outage_pairs += 1
+            if error_rate > baseline_errors:
+                rc |= fail(f"{pair}: error rate {error_rate:.4f} > fault-free "
+                           f"baseline {baseline_errors:.4f} — an f=1 "
+                           "single-cloud outage must be fully masked")
+            if inflation >= MAX_OUTAGE_P99_INFLATION:
+                rc |= fail(f"{pair}: p99 inflation {inflation:.2f}x >= "
+                           f"{MAX_OUTAGE_P99_INFLATION}x — the dead cloud is "
+                           "stalling the data plane instead of failing fast")
+            if recovery < 0:
+                rc |= fail(f"{pair}: no recovery time measured (tail never "
+                           "returned to 1.5x baseline after the window)")
+            if metrics[prefix + "dropped"] != 0:
+                rc |= fail(f"{pair}: {metrics[prefix + 'dropped']:.0f} ops "
+                           "dropped at drain")
+        else:
+            if error_rate > baseline_errors + MAX_EXCESS_ERROR_RATE:
+                rc |= fail(f"{pair}: error rate {error_rate:.4f} exceeds "
+                           f"baseline {baseline_errors:.4f} by more than "
+                           f"{MAX_EXCESS_ERROR_RATE} — faults are reaching "
+                           "clients")
+
+    if outage_pairs == 0:
+        rc |= fail("no outage campaign in the run — the gated scenario "
+                   "(single-cloud outage, f=1) is missing")
+
+    if rc == 0:
+        print(f"OK: {len(pairs)} campaign runs, {outage_pairs} outage "
+              "campaigns gated")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
