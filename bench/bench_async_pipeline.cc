@@ -40,8 +40,9 @@ class SyncOnlyStore : public ObjectStore {
  public:
   explicit SyncOnlyStore(ObjectStore* inner) : inner_(inner) {}
 
+  using ObjectStore::Put;
   Status Put(const CloudCredentials& creds, const std::string& key,
-             Bytes data) override {
+             std::shared_ptr<const Bytes> data) override {
     return inner_->Put(creds, key, std::move(data));
   }
   Result<Bytes> Get(const CloudCredentials& creds,

@@ -27,7 +27,7 @@ Result<FileHandle> S3fsLike::Open(const std::string& path, uint32_t flags) {
       return data.status();
     }
     // Create: S3FS eagerly creates the empty object.
-    RETURN_IF_ERROR(store_->Put(creds_, Key(normalized), {}));
+    RETURN_IF_ERROR(store_->Put(creds_, Key(normalized), Bytes{}));
   } else if ((flags & kOpenTruncate) == 0) {
     handle_state.data = std::move(*data);
   }
@@ -114,7 +114,7 @@ Status S3fsLike::Close(FileHandle handle) {
 }
 
 Status S3fsLike::Mkdir(const std::string& path) {
-  return store_->Put(creds_, Key(NormalizePath(path)) + "/.dir", {});
+  return store_->Put(creds_, Key(NormalizePath(path)) + "/.dir", Bytes{});
 }
 
 Status S3fsLike::Rmdir(const std::string& path) {

@@ -7,7 +7,8 @@ namespace scfs {
 // itself — a Get() on it must not charge twice.
 
 Future<Status> ObjectStore::PutAsync(const CloudCredentials& creds,
-                                     const std::string& key, Bytes data) {
+                                     const std::string& key,
+                                     std::shared_ptr<const Bytes> data) {
   return Future<Status>::Ready(Put(creds, key, std::move(data)));
 }
 

@@ -5,6 +5,7 @@
 #ifndef SCFS_CLOUD_OBJECT_STORE_H_
 #define SCFS_CLOUD_OBJECT_STORE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,8 +30,17 @@ class ObjectStore {
 
   // Creates or overwrites `key`. Overwrites of eventually-consistent stores
   // become visible to readers only after the provider's consistency window.
+  //
+  // The store shares ownership of the payload instead of taking a private
+  // copy, so one encoded buffer can back several attempts (robust-call
+  // retries, quorum fallback waves) and then become the stored version with
+  // zero further copies. Callers must never mutate the buffer after handoff.
   virtual Status Put(const CloudCredentials& creds, const std::string& key,
-                     Bytes data) = 0;
+                     std::shared_ptr<const Bytes> data) = 0;
+  Status Put(const CloudCredentials& creds, const std::string& key,
+             Bytes data) {
+    return Put(creds, key, std::make_shared<const Bytes>(std::move(data)));
+  }
 
   // Returns the latest *visible* version, which may lag the latest write.
   virtual Result<Bytes> Get(const CloudCredentials& creds,
@@ -63,7 +73,13 @@ class ObjectStore {
   // of DepSky's quorum fan-out and the non-blocking close pipeline.
 
   virtual Future<Status> PutAsync(const CloudCredentials& creds,
-                                  const std::string& key, Bytes data);
+                                  const std::string& key,
+                                  std::shared_ptr<const Bytes> data);
+  Future<Status> PutAsync(const CloudCredentials& creds, const std::string& key,
+                          Bytes data) {
+    return PutAsync(creds, key,
+                    std::make_shared<const Bytes>(std::move(data)));
+  }
   virtual Future<Result<Bytes>> GetAsync(const CloudCredentials& creds,
                                          const std::string& key);
   virtual Future<Status> DeleteAsync(const CloudCredentials& creds,

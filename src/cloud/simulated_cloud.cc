@@ -15,7 +15,8 @@ SimulatedCloud::SimulatedCloud(CloudProfile profile, Environment* env,
 SimulatedCloud::~SimulatedCloud() { async_ops_.AwaitIdle(); }
 
 Future<Status> SimulatedCloud::PutAsync(const CloudCredentials& creds,
-                                        const std::string& key, Bytes data) {
+                                        const std::string& key,
+                                        std::shared_ptr<const Bytes> data) {
   return SubmitTracked(&async_ops_,
                        [this, creds, key, data = std::move(data)]() mutable {
                          return Put(creds, key, std::move(data));
@@ -87,8 +88,9 @@ const SimulatedCloud::Version* SimulatedCloud::VisibleVersion(
 }
 
 Status SimulatedCloud::Put(const CloudCredentials& creds,
-                           const std::string& key, Bytes data) {
-  SleepFor(profile_.write_latency, data.size());
+                           const std::string& key,
+                           std::shared_ptr<const Bytes> data) {
+  SleepFor(profile_.write_latency, data->size());
   RETURN_IF_ERROR(CheckAvailable());
 
   VirtualDuration window = profile_.consistency_window_base;
@@ -108,9 +110,10 @@ Status SimulatedCloud::Put(const CloudCredentials& creds,
     object.acl.owner = creds.canonical_id;
     // New objects are immediately visible (matching S3's read-after-write
     // consistency for new keys); only overwrites are eventually consistent.
-    object.versions.push_back(Version{data, env_->Now()});
-    costs_.RecordPut(creds.canonical_id, data.size());
-    costs_.AddStoredBytes(creds.canonical_id, static_cast<int64_t>(data.size()));
+    costs_.RecordPut(creds.canonical_id, data->size());
+    costs_.AddStoredBytes(creds.canonical_id,
+                          static_cast<int64_t>(data->size()));
+    object.versions.push_back(Version{std::move(data), env_->Now()});
     objects_.emplace(key, std::move(object));
     return OkStatus();
   }
@@ -119,9 +122,9 @@ Status SimulatedCloud::Put(const CloudCredentials& creds,
   if (!object.acl.AllowsWrite(creds.canonical_id)) {
     return PermissionDeniedError("no write permission on " + key);
   }
-  costs_.RecordPut(creds.canonical_id, data.size());
-  int64_t delta = static_cast<int64_t>(data.size()) -
-                  static_cast<int64_t>(object.versions.back().data.size());
+  costs_.RecordPut(creds.canonical_id, data->size());
+  int64_t delta = static_cast<int64_t>(data->size()) -
+                  static_cast<int64_t>(object.versions.back().data->size());
   costs_.AddStoredBytes(object.acl.owner, delta);
   object.versions.push_back(Version{std::move(data), env_->Now() + window});
   // Prune versions that can never be served again: keep everything from the
@@ -141,7 +144,7 @@ Result<Bytes> SimulatedCloud::Get(const CloudCredentials& creds,
            0);
   RETURN_IF_ERROR(CheckAvailable());
 
-  Bytes data;
+  std::shared_ptr<const Bytes> stored;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = objects_.find(key);
@@ -155,9 +158,12 @@ Result<Bytes> SimulatedCloud::Get(const CloudCredentials& creds,
     if (version == nullptr) {
       return NotFoundError(key + " (not yet visible)");
     }
-    data = version->data;
-    costs_.RecordGet(creds.canonical_id, data.size());
+    stored = version->data;
+    costs_.RecordGet(creds.canonical_id, stored->size());
   }
+  // The response copy happens outside the lock: readers share the stored
+  // buffer, so a large GET no longer serializes every other request.
+  Bytes data = *stored;
   // Transfer time for the payload.
   LatencyModel transfer;
   transfer.bytes_per_second = profile_.read_latency.bytes_per_second;
@@ -185,7 +191,7 @@ Status SimulatedCloud::Delete(const CloudCredentials& creds,
   costs_.RecordDelete(creds.canonical_id);
   costs_.AddStoredBytes(
       it->second.acl.owner,
-      -static_cast<int64_t>(it->second.versions.back().data.size()));
+      -static_cast<int64_t>(it->second.versions.back().data->size()));
   objects_.erase(it);
   return OkStatus();
 }
@@ -207,7 +213,7 @@ Result<std::vector<ObjectInfo>> SimulatedCloud::List(
     }
     ObjectInfo info;
     info.key = it->first;
-    info.size = it->second.versions.back().data.size();
+    info.size = it->second.versions.back().data->size();
     info.owner = it->second.acl.owner;
     info.created = it->second.created;
     out.push_back(std::move(info));
@@ -260,7 +266,7 @@ Result<Bytes> SimulatedCloud::PeekLatest(const std::string& key) {
   if (it == objects_.end()) {
     return NotFoundError(key);
   }
-  return it->second.versions.back().data;
+  return *it->second.versions.back().data;
 }
 
 }  // namespace scfs

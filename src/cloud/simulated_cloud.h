@@ -40,8 +40,14 @@ class SimulatedCloud : public ObjectStore {
   // return to the caller while a straggler request is still modelled).
   ~SimulatedCloud() override;
 
+  // The Bytes convenience overloads live on the base; re-expose them beside
+  // the shared-buffer overrides (C++ name hiding would otherwise swallow
+  // them for callers holding a SimulatedCloud*).
+  using ObjectStore::Put;
+  using ObjectStore::PutAsync;
+
   Status Put(const CloudCredentials& creds, const std::string& key,
-             Bytes data) override;
+             std::shared_ptr<const Bytes> data) override;
   Result<Bytes> Get(const CloudCredentials& creds,
                     const std::string& key) override;
   Status Delete(const CloudCredentials& creds,
@@ -60,7 +66,7 @@ class SimulatedCloud : public ObjectStore {
   // returned future carries the request's modelled charge. All state is
   // internally locked, so any number of requests may be in flight at once.
   Future<Status> PutAsync(const CloudCredentials& creds, const std::string& key,
-                          Bytes data) override;
+                          std::shared_ptr<const Bytes> data) override;
   Future<Result<Bytes>> GetAsync(const CloudCredentials& creds,
                                  const std::string& key) override;
   Future<Status> DeleteAsync(const CloudCredentials& creds,
@@ -86,7 +92,9 @@ class SimulatedCloud : public ObjectStore {
 
  private:
   struct Version {
-    Bytes data;
+    // Shared with the writer that produced it (see ObjectStore::Put): the
+    // stored version IS the caller's encoded buffer, no ingest copy.
+    std::shared_ptr<const Bytes> data;
     VirtualTime visible_at = 0;
   };
   struct Object {

@@ -75,6 +75,42 @@ bool BuildShardViews(const std::vector<std::optional<Bytes>>& shards,
 
 }  // namespace
 
+ShardArena ArenaPool::Acquire(unsigned n, unsigned k, size_t shard_size,
+                              size_t payload_size) {
+  Bytes buffer;
+  bool reused = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      buffer = std::move(free_.back());
+      free_.pop_back();
+      reused = true;
+    }
+  }
+  if (reused) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ShardArena(std::move(buffer), n, k, shard_size, payload_size);
+}
+
+void ArenaPool::Release(ShardArena&& arena) {
+  Bytes buffer = arena.TakeBuffer();
+  if (buffer.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() < max_retained_) {
+    free_.push_back(std::move(buffer));
+  }
+}
+
+size_t ArenaPool::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
 ReedSolomon::ReedSolomon(unsigned n, unsigned k)
     : n_(n), k_(k), encode_matrix_(GfMatrix::SystematicVandermonde(n, k)) {
   assert(k >= 1 && k <= n && n <= 255);
@@ -225,15 +261,39 @@ size_t ErasureCodec::ShardSize(size_t data_size) const {
   return per_shard;
 }
 
-ShardArena ErasureCodec::PrepareArena(size_t payload_size) const {
-  ShardArena arena(rs_.n(), rs_.k(), ShardSize(payload_size), payload_size);
-  // Frame header: big-endian payload length, written through the whole data
-  // region (for tiny payloads a single shard can be shorter than the
-  // header). Padding is already zero.
-  ByteSpan frame = arena.mutable_data_region();
+namespace {
+// Frame header: big-endian payload length, written through the whole data
+// region (for tiny payloads a single shard can be shorter than the header).
+void WriteFrameHeader(ByteSpan frame, size_t payload_size) {
   uint64_t size = payload_size;
   for (int shift = 56, i = 0; shift >= 0; shift -= 8, ++i) {
     frame[static_cast<size_t>(i)] = static_cast<uint8_t>(size >> shift);
+  }
+}
+}  // namespace
+
+ShardArena ErasureCodec::PrepareArena(size_t payload_size) const {
+  ShardArena arena(rs_.n(), rs_.k(), ShardSize(payload_size), payload_size);
+  // Padding is already zero (fresh zero-filled buffer).
+  WriteFrameHeader(arena.mutable_data_region(), payload_size);
+  return arena;
+}
+
+ShardArena ErasureCodec::PrepareArena(size_t payload_size,
+                                      ArenaPool* pool) const {
+  if (pool == nullptr) {
+    return PrepareArena(payload_size);
+  }
+  ShardArena arena =
+      pool->Acquire(rs_.n(), rs_.k(), ShardSize(payload_size), payload_size);
+  ByteSpan frame = arena.mutable_data_region();
+  WriteFrameHeader(frame, payload_size);
+  // A recycled buffer holds stale bytes: re-zero the frame's padding tail
+  // (the only region the producer does not overwrite — payload is filled by
+  // the caller, parity by EncodeParity).
+  const size_t pad_begin = 8 + payload_size;
+  if (pad_begin < frame.size()) {
+    std::memset(frame.data() + pad_begin, 0, frame.size() - pad_begin);
   }
   return arena;
 }

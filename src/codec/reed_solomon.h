@@ -13,6 +13,8 @@
 #ifndef SCFS_CODEC_REED_SOLOMON_H_
 #define SCFS_CODEC_REED_SOLOMON_H_
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -35,6 +37,28 @@ class ShardArena {
         k_(k),
         shard_size_(shard_size),
         payload_size_(payload_size) {}
+
+  // Rebinds a recycled buffer (ArenaPool reuse) to a new geometry. The buffer
+  // grows if needed, but recycled bytes are NOT re-zeroed — the pool-aware
+  // ErasureCodec::PrepareArena re-zeroes only what the framing depends on.
+  ShardArena(Bytes buffer, unsigned n, unsigned k, size_t shard_size,
+             size_t payload_size)
+      : buffer_(std::move(buffer)),
+        n_(n),
+        k_(k),
+        shard_size_(shard_size),
+        payload_size_(payload_size) {
+    buffer_.resize(static_cast<size_t>(n) * shard_size);
+  }
+
+  // Surrenders the underlying buffer for recycling; leaves the arena empty.
+  Bytes TakeBuffer() {
+    n_ = 0;
+    k_ = 0;
+    shard_size_ = 0;
+    payload_size_ = 0;
+    return std::move(buffer_);
+  }
 
   unsigned n() const { return n_; }
   unsigned k() const { return k_; }
@@ -73,6 +97,34 @@ class ShardArena {
   unsigned k_ = 0;
   size_t shard_size_ = 0;
   size_t payload_size_ = 0;
+};
+
+// Thread-safe recycler of ShardArena buffers. A monolithic 256 MB PUT
+// allocates (and page-faults in) a fresh 512 MB zeroed arena every call; the
+// striped write path instead cycles `stripe_inflight` pooled arenas of one
+// unit each, so steady-state encode touches only cache-warm memory. Acquire
+// reshapes a retired buffer to the requested geometry; only the framing
+// padding is re-zeroed (by the pool-aware PrepareArena), since payload and
+// parity are fully overwritten by the producer and EncodeParity.
+class ArenaPool {
+ public:
+  explicit ArenaPool(size_t max_retained = 8) : max_retained_(max_retained) {}
+
+  ShardArena Acquire(unsigned n, unsigned k, size_t shard_size,
+                     size_t payload_size);
+  // Retires an arena's buffer for reuse; beyond max_retained it is freed.
+  void Release(ShardArena&& arena);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t retained() const;
+
+ private:
+  const size_t max_retained_;
+  mutable std::mutex mu_;
+  std::vector<Bytes> free_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 class ReedSolomon {
@@ -124,6 +176,10 @@ class ErasureCodec {
   //   fill arena.payload();                          // producer writes here
   //   codec.ComputeParity(&arena);                   // derive parity shards
   ShardArena PrepareArena(size_t payload_size) const;
+  // Pool-aware variant: draws the buffer from `pool` (fresh allocation on
+  // miss) and zeroes only the frame's padding tail instead of the whole
+  // region. Null pool falls back to the plain variant.
+  ShardArena PrepareArena(size_t payload_size, ArenaPool* pool) const;
   void ComputeParity(ShardArena* arena) const;
 
   // One-step arena encode for payloads that already exist contiguously

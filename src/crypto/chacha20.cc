@@ -3,6 +3,11 @@
 #include <cassert>
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#define SCFS_CHACHA_X86 1
+#include <immintrin.h>
+#endif
+
 namespace scfs {
 
 namespace {
@@ -78,29 +83,10 @@ constexpr bool kLittleEndianHost = true;
 constexpr bool kLittleEndianHost = false;
 #endif
 
-}  // namespace
-
-std::array<uint8_t, 64> ChaCha20::Block(ConstByteSpan key, ConstByteSpan nonce,
-                                        uint32_t counter) {
-  uint32_t state[16];
-  InitState(state, key, nonce, counter);
-  uint32_t words[16];
-  KeystreamWords(state, words);
-  std::array<uint8_t, 64> out;
-  SerializeKeystream(words, out.data());
-  return out;
-}
-
-void ChaCha20::CryptInto(ConstByteSpan key, ConstByteSpan nonce,
-                         uint32_t counter, ConstByteSpan input,
-                         ByteSpan output) {
-  assert(output.size() == input.size());
-  uint32_t state[16];
-  InitState(state, key, nonce, counter);
-
-  const uint8_t* in = input.data();
-  uint8_t* out = output.data();
-  size_t remaining = input.size();
+// Single-block scalar loop; handles any length and serves as the tail path
+// behind the multi-block kernels. Advances state[12] past the consumed blocks.
+void CryptScalar(uint32_t state[16], const uint8_t* in, uint8_t* out,
+                 size_t remaining) {
   uint32_t words[16];
   while (remaining > 0) {
     KeystreamWords(state, words);
@@ -129,6 +115,261 @@ void ChaCha20::CryptInto(ConstByteSpan key, ConstByteSpan nonce,
     out += n;
     remaining -= n;
   }
+}
+
+// Four independent blocks per iteration: the four working states share no
+// data, so the compiler can overlap their dependency chains even without
+// vector units. Consumes a multiple of 256 bytes.
+void Crypt4BlocksPortable(uint32_t state[16], const uint8_t* in, uint8_t* out,
+                          size_t groups) {
+  uint32_t w0[16];
+  uint32_t w1[16];
+  uint32_t w2[16];
+  uint32_t w3[16];
+  for (size_t g = 0; g < groups; ++g) {
+    std::memcpy(w0, state, sizeof(w0));
+    std::memcpy(w1, state, sizeof(w1));
+    std::memcpy(w2, state, sizeof(w2));
+    std::memcpy(w3, state, sizeof(w3));
+    w1[12] += 1;
+    w2[12] += 2;
+    w3[12] += 3;
+    const uint32_t c0 = w0[12];
+    const uint32_t c1 = w1[12];
+    const uint32_t c2 = w2[12];
+    const uint32_t c3 = w3[12];
+    for (int round = 0; round < 10; ++round) {
+      QuarterRound(w0, 0, 4, 8, 12);
+      QuarterRound(w1, 0, 4, 8, 12);
+      QuarterRound(w2, 0, 4, 8, 12);
+      QuarterRound(w3, 0, 4, 8, 12);
+      QuarterRound(w0, 1, 5, 9, 13);
+      QuarterRound(w1, 1, 5, 9, 13);
+      QuarterRound(w2, 1, 5, 9, 13);
+      QuarterRound(w3, 1, 5, 9, 13);
+      QuarterRound(w0, 2, 6, 10, 14);
+      QuarterRound(w1, 2, 6, 10, 14);
+      QuarterRound(w2, 2, 6, 10, 14);
+      QuarterRound(w3, 2, 6, 10, 14);
+      QuarterRound(w0, 3, 7, 11, 15);
+      QuarterRound(w1, 3, 7, 11, 15);
+      QuarterRound(w2, 3, 7, 11, 15);
+      QuarterRound(w3, 3, 7, 11, 15);
+      QuarterRound(w0, 0, 5, 10, 15);
+      QuarterRound(w1, 0, 5, 10, 15);
+      QuarterRound(w2, 0, 5, 10, 15);
+      QuarterRound(w3, 0, 5, 10, 15);
+      QuarterRound(w0, 1, 6, 11, 12);
+      QuarterRound(w1, 1, 6, 11, 12);
+      QuarterRound(w2, 1, 6, 11, 12);
+      QuarterRound(w3, 1, 6, 11, 12);
+      QuarterRound(w0, 2, 7, 8, 13);
+      QuarterRound(w1, 2, 7, 8, 13);
+      QuarterRound(w2, 2, 7, 8, 13);
+      QuarterRound(w3, 2, 7, 8, 13);
+      QuarterRound(w0, 3, 4, 9, 14);
+      QuarterRound(w1, 3, 4, 9, 14);
+      QuarterRound(w2, 3, 4, 9, 14);
+      QuarterRound(w3, 3, 4, 9, 14);
+    }
+    for (int i = 0; i < 16; ++i) {
+      w0[i] += state[i];
+      w1[i] += state[i];
+      w2[i] += state[i];
+      w3[i] += state[i];
+    }
+    w1[12] += c1 - c0;
+    w2[12] += c2 - c0;
+    w3[12] += c3 - c0;
+    state[12] += 4;
+    if (kLittleEndianHost) {
+      const uint32_t* ks[4] = {w0, w1, w2, w3};
+      for (int blk = 0; blk < 4; ++blk) {
+        const uint8_t* k8 = reinterpret_cast<const uint8_t*>(ks[blk]);
+        for (int w = 0; w < 8; ++w) {
+          uint64_t x;
+          uint64_t k;
+          std::memcpy(&x, in + blk * 64 + w * 8, 8);
+          std::memcpy(&k, k8 + w * 8, 8);
+          x ^= k;
+          std::memcpy(out + blk * 64 + w * 8, &x, 8);
+        }
+      }
+    } else {
+      const uint32_t* ks[4] = {w0, w1, w2, w3};
+      for (int blk = 0; blk < 4; ++blk) {
+        uint8_t bytes[64];
+        SerializeKeystream(ks[blk], bytes);
+        for (int i = 0; i < 64; ++i) {
+          out[blk * 64 + i] = in[blk * 64 + i] ^ bytes[i];
+        }
+      }
+    }
+    in += 256;
+    out += 256;
+  }
+}
+
+#ifdef SCFS_CHACHA_X86
+
+// Eight blocks per iteration, one block per 32-bit lane of a __m256i: the 16
+// state words become 16 vectors, the rounds run on all eight blocks at once,
+// and the counter word carries lane offsets 0..7. The 16/8-bit rotates use
+// vpshufb byte shuffles; the 12/7-bit rotates use shift+or. Consumes a
+// multiple of 512 bytes.
+__attribute__((target("avx2"))) void Crypt8BlocksAvx2(uint32_t state[16],
+                                                      const uint8_t* in,
+                                                      uint8_t* out,
+                                                      size_t groups) {
+  const __m256i rot16 = _mm256_set_epi8(
+      13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2, 13, 12, 15, 14, 9,
+      8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2);
+  const __m256i rot8 = _mm256_set_epi8(
+      14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3, 14, 13, 12, 15, 10,
+      9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3);
+  const __m256i lane_ids = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+
+  for (size_t g = 0; g < groups; ++g) {
+    __m256i v[16];
+    for (int i = 0; i < 16; ++i) {
+      v[i] = _mm256_set1_epi32(static_cast<int>(state[i]));
+    }
+    const __m256i counter0 = _mm256_add_epi32(v[12], lane_ids);
+    v[12] = counter0;
+
+#define SCFS_CHACHA_QR(a, b, c, d)                                      \
+  v[a] = _mm256_add_epi32(v[a], v[b]);                                  \
+  v[d] = _mm256_shuffle_epi8(_mm256_xor_si256(v[d], v[a]), rot16);      \
+  v[c] = _mm256_add_epi32(v[c], v[d]);                                  \
+  v[b] = _mm256_xor_si256(v[b], v[c]);                                  \
+  v[b] = _mm256_or_si256(_mm256_slli_epi32(v[b], 12),                   \
+                         _mm256_srli_epi32(v[b], 20));                  \
+  v[a] = _mm256_add_epi32(v[a], v[b]);                                  \
+  v[d] = _mm256_shuffle_epi8(_mm256_xor_si256(v[d], v[a]), rot8);       \
+  v[c] = _mm256_add_epi32(v[c], v[d]);                                  \
+  v[b] = _mm256_xor_si256(v[b], v[c]);                                  \
+  v[b] = _mm256_or_si256(_mm256_slli_epi32(v[b], 7),                    \
+                         _mm256_srli_epi32(v[b], 25))
+
+    for (int round = 0; round < 10; ++round) {
+      SCFS_CHACHA_QR(0, 4, 8, 12);
+      SCFS_CHACHA_QR(1, 5, 9, 13);
+      SCFS_CHACHA_QR(2, 6, 10, 14);
+      SCFS_CHACHA_QR(3, 7, 11, 15);
+      SCFS_CHACHA_QR(0, 5, 10, 15);
+      SCFS_CHACHA_QR(1, 6, 11, 12);
+      SCFS_CHACHA_QR(2, 7, 8, 13);
+      SCFS_CHACHA_QR(3, 4, 9, 14);
+    }
+#undef SCFS_CHACHA_QR
+
+    for (int i = 0; i < 16; ++i) {
+      if (i == 12) {
+        v[i] = _mm256_add_epi32(v[i], counter0);
+      } else {
+        v[i] = _mm256_add_epi32(
+            v[i], _mm256_set1_epi32(static_cast<int>(state[i])));
+      }
+    }
+    state[12] += 8;
+
+    // Transpose lanes back to contiguous 64-byte blocks: spill the 16 word
+    // vectors, then gather each lane's 16 words into two row vectors and XOR
+    // with the input.
+    alignas(32) uint32_t ws[16][8];
+    for (int i = 0; i < 16; ++i) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(ws[i]), v[i]);
+    }
+    for (int lane = 0; lane < 8; ++lane) {
+      const __m256i k0 = _mm256_setr_epi32(
+          static_cast<int>(ws[0][lane]), static_cast<int>(ws[1][lane]),
+          static_cast<int>(ws[2][lane]), static_cast<int>(ws[3][lane]),
+          static_cast<int>(ws[4][lane]), static_cast<int>(ws[5][lane]),
+          static_cast<int>(ws[6][lane]), static_cast<int>(ws[7][lane]));
+      const __m256i k1 = _mm256_setr_epi32(
+          static_cast<int>(ws[8][lane]), static_cast<int>(ws[9][lane]),
+          static_cast<int>(ws[10][lane]), static_cast<int>(ws[11][lane]),
+          static_cast<int>(ws[12][lane]), static_cast<int>(ws[13][lane]),
+          static_cast<int>(ws[14][lane]), static_cast<int>(ws[15][lane]));
+      const uint8_t* src = in + lane * 64;
+      uint8_t* dst = out + lane * 64;
+      const __m256i x0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+      const __m256i x1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 32));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                          _mm256_xor_si256(x0, k0));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 32),
+                          _mm256_xor_si256(x1, k1));
+    }
+    in += 512;
+    out += 512;
+  }
+}
+
+#endif  // SCFS_CHACHA_X86
+
+// Bulk kernel: consumes some prefix of whole 64-byte blocks (a multiple of
+// its group size), advances state[12] accordingly, and returns the byte count
+// consumed. CryptScalar finishes whatever remains.
+using BulkKernel = size_t (*)(uint32_t state[16], const uint8_t* in,
+                              uint8_t* out, size_t len);
+
+size_t BulkPortable(uint32_t state[16], const uint8_t* in, uint8_t* out,
+                    size_t len) {
+  const size_t groups = len / 256;
+  Crypt4BlocksPortable(state, in, out, groups);
+  return groups * 256;
+}
+
+#ifdef SCFS_CHACHA_X86
+size_t BulkAvx2(uint32_t state[16], const uint8_t* in, uint8_t* out,
+                size_t len) {
+  const size_t groups = len / 512;
+  Crypt8BlocksAvx2(state, in, out, groups);
+  return groups * 512;
+}
+#endif
+
+BulkKernel PickBulkKernel() {
+#ifdef SCFS_CHACHA_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return BulkAvx2;
+  }
+#endif
+  return BulkPortable;
+}
+
+BulkKernel CurrentBulkKernel() {
+  static const BulkKernel kernel = PickBulkKernel();
+  return kernel;
+}
+
+}  // namespace
+
+std::array<uint8_t, 64> ChaCha20::Block(ConstByteSpan key, ConstByteSpan nonce,
+                                        uint32_t counter) {
+  uint32_t state[16];
+  InitState(state, key, nonce, counter);
+  uint32_t words[16];
+  KeystreamWords(state, words);
+  std::array<uint8_t, 64> out;
+  SerializeKeystream(words, out.data());
+  return out;
+}
+
+void ChaCha20::CryptInto(ConstByteSpan key, ConstByteSpan nonce,
+                         uint32_t counter, ConstByteSpan input,
+                         ByteSpan output) {
+  assert(output.size() == input.size());
+  uint32_t state[16];
+  InitState(state, key, nonce, counter);
+
+  const uint8_t* in = input.data();
+  uint8_t* out = output.data();
+  size_t remaining = input.size();
+  const size_t consumed = CurrentBulkKernel()(state, in, out, remaining);
+  CryptScalar(state, in + consumed, out + consumed, remaining - consumed);
 }
 
 void ChaCha20::CryptInPlace(ConstByteSpan key, ConstByteSpan nonce,

@@ -5,9 +5,11 @@
 //
 // The span variants let the DepSky write path encrypt straight into the
 // erasure-coding arena (no ciphertext staging buffer) and the read path
-// decrypt the reassembled ciphertext in place. The keystream is XORed in
-// 8-byte words and the cipher state is initialized once per call rather than
-// once per 64-byte block.
+// decrypt the reassembled ciphertext in place. Bulk data runs through a
+// multi-block kernel — eight blocks per iteration in 32-bit AVX2 lanes when
+// the CPU has it (runtime-dispatched, like GF(256) row ops), four independent
+// interleaved blocks otherwise — with a scalar single-block loop for the
+// tail, all producing the identical RFC 8439 stream.
 
 #ifndef SCFS_CRYPTO_CHACHA20_H_
 #define SCFS_CRYPTO_CHACHA20_H_

@@ -39,8 +39,14 @@ Result<std::vector<SecretShare>> SecretSharing::Split(const Bytes& secret,
   return shares;
 }
 
-Result<Bytes> SecretSharing::Combine(const std::vector<SecretShare>& shares,
-                                     unsigned threshold) {
+namespace {
+
+// Lagrange interpolation of the split polynomial at x=`at` from `threshold`
+// distinct shares: value = sum_i y_i * prod_{j!=i} (at-x_j)/(x_i-x_j).
+// at=0 yields the secret (Combine); at=index re-evaluates a share
+// (RecoverShare).
+Result<Bytes> InterpolateAt(const std::vector<SecretShare>& shares,
+                            unsigned threshold, uint8_t at) {
   if (shares.size() < threshold || threshold == 0) {
     return InvalidArgumentError("not enough shares");
   }
@@ -67,7 +73,6 @@ Result<Bytes> SecretSharing::Combine(const std::vector<SecretShare>& shares,
     }
   }
 
-  // Lagrange interpolation at x=0: secret = sum_i y_i * prod_{j!=i} x_j/(x_j-x_i).
   std::vector<uint8_t> lagrange(threshold);
   for (unsigned i = 0; i < threshold; ++i) {
     uint8_t numerator = 1;
@@ -76,19 +81,40 @@ Result<Bytes> SecretSharing::Combine(const std::vector<SecretShare>& shares,
       if (j == i) {
         continue;
       }
-      numerator = Gf256::Mul(numerator, use[j]->index);
+      numerator = Gf256::Mul(numerator, Gf256::Sub(at, use[j]->index));
       denominator = Gf256::Mul(
           denominator, Gf256::Sub(use[j]->index, use[i]->index));
     }
     lagrange[i] = Gf256::Div(numerator, denominator);
   }
 
-  Bytes secret(secret_size, 0);
+  Bytes value(secret_size, 0);
   for (unsigned i = 0; i < threshold; ++i) {
-    Gf256::MulAddRow(secret.data(), use[i]->data.data(), lagrange[i],
+    Gf256::MulAddRow(value.data(), use[i]->data.data(), lagrange[i],
                      static_cast<unsigned>(secret_size));
   }
-  return secret;
+  return value;
+}
+
+}  // namespace
+
+Result<Bytes> SecretSharing::Combine(const std::vector<SecretShare>& shares,
+                                     unsigned threshold) {
+  return InterpolateAt(shares, threshold, 0);
+}
+
+Result<SecretShare> SecretSharing::RecoverShare(
+    const std::vector<SecretShare>& shares, unsigned threshold,
+    uint8_t index) {
+  if (index == 0) {
+    return InvalidArgumentError("share index 0 is invalid");
+  }
+  auto data = InterpolateAt(shares, threshold, index);
+  RETURN_IF_ERROR(data.status());
+  SecretShare share;
+  share.index = index;
+  share.data = *std::move(data);
+  return share;
 }
 
 }  // namespace scfs

@@ -30,6 +30,16 @@ class SecretSharing {
   // Recovers the secret from at least `threshold` distinct shares.
   static Result<Bytes> Combine(const std::vector<SecretShare>& shares,
                                unsigned threshold);
+
+  // Reconstructs the share at x-coordinate `index` from `threshold` distinct
+  // shares: the split polynomial has degree threshold-1, so threshold points
+  // determine it completely and any other point can be re-evaluated by
+  // Lagrange interpolation. This is how scrub repair regenerates a lost
+  // cloud's key share byte-identically — re-splitting would produce shares
+  // inconsistent with the survivors (and with the recorded object hashes).
+  static Result<SecretShare> RecoverShare(
+      const std::vector<SecretShare>& shares, unsigned threshold,
+      uint8_t index);
 };
 
 }  // namespace scfs

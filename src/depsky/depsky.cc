@@ -1,6 +1,7 @@
 #include "src/depsky/depsky.h"
 
 #include <algorithm>
+#include <deque>
 #include <numeric>
 
 #include "src/crypto/chacha20.h"
@@ -157,9 +158,11 @@ DepSkyClient::~DepSkyClient() {
 }
 
 Future<Status> DepSkyClient::RobustPut(unsigned cloud, const std::string& key,
-                                       Bytes data) {
+                                       std::shared_ptr<const Bytes> data) {
   RobustContext ctx{env_,     &timers_, &health_,  &config_,           &rng_mu_,
                     &rng_,    &async_ops_, &retries_, &deadline_expiries_};
+  // Every attempt shares the one encoded buffer — the store takes a
+  // reference, not a copy, so a retry costs a request, not a payload copy.
   auto call = std::make_shared<RobustCall<Status>>(
       ctx, cloud,
       [this, cloud, key, data = std::move(data)]() {
@@ -206,6 +209,13 @@ std::string DepSkyClient::MetadataKey(const std::string& unit) {
 
 std::string DepSkyClient::ValueKey(const std::string& unit, uint64_t version) {
   return "du/" + unit + "/v" + std::to_string(version);
+}
+
+std::string DepSkyClient::StripeValueKey(const std::string& unit,
+                                         uint64_t version,
+                                         uint64_t stripe_index) {
+  return "du/" + unit + "/v" + std::to_string(version) + "/u" +
+         std::to_string(stripe_index);
 }
 
 Bytes DepSkyClient::RandomBytesLocked(size_t size) {
@@ -273,7 +283,7 @@ Result<DepSkyMetadata> DepSkyClient::ReadMetadata(const std::string& unit) {
 Status DepSkyClient::PushMetadata(const std::string& unit,
                                   const DepSkyMetadata& md) {
   const std::string key = MetadataKey(unit);
-  Bytes encoded = md.Encode(config_.auth_key);
+  auto encoded = std::make_shared<const Bytes>(md.Encode(config_.auth_key));
   std::vector<Future<Status>> futures;
   futures.reserve(clouds_.size());
   for (unsigned i = 0; i < clouds_.size(); ++i) {
@@ -375,7 +385,14 @@ Result<uint64_t> DepSkyClient::WriteVersion(
   version.version = md.NextVersionNumber();
   version.content_hash = content_hash;
   version.size = data.size();
-  version.cloud_shard.assign(clouds_.size(), -1);
+
+  // Large secret-sharing writes take the striped data plane: independent
+  // per-unit pipelines instead of one file-sized arena and quorum round.
+  if (config_.mode == DepSkyMode::kSecretSharing &&
+      config_.stripe_threshold > 0 &&
+      data.size() > config_.stripe_threshold) {
+    return WriteStripedVersion(unit, std::move(md), std::move(version), data);
+  }
 
   // Steps 1-3 (Figure 6): key generation, encryption, erasure coding and
   // secret sharing. The whole stage is zero-copy: the plaintext is encrypted
@@ -390,7 +407,7 @@ Result<uint64_t> DepSkyClient::WriteVersion(
     Bytes key = RandomBytesLocked(ChaCha20::kKeySize);
     version.nonce = RandomBytesLocked(ChaCha20::kNonceSize);
     ErasureCodec codec(config_.n(), config_.k());
-    arena = codec.PrepareArena(data.size());
+    arena = codec.PrepareArena(data.size(), &arena_pool_);
     ChaCha20::CryptInto(key, version.nonce, 0, data, arena->payload());
     codec.ComputeParity(&*arena);
     Result<std::vector<SecretShare>> split = [&]() {
@@ -403,24 +420,6 @@ Result<uint64_t> DepSkyClient::WriteVersion(
   auto shard_view = [&](unsigned i) -> ConstByteSpan {
     return arena ? arena->shard(i) : data;  // full replicas without the arena
   };
-  // Step 4: store shard_i + share_i at cloud i. Preferred quorums: use the
-  // first n-f *healthy* clouds — the cost-ordered list with breaker-demoted
-  // clouds moved to the back, so a flapping provider drops out of the
-  // preferred set and only re-enters once its breaker half-opens.
-  const std::string value_key = ValueKey(unit, version.version);
-  const unsigned quorum = config_.quorum();
-  std::vector<unsigned> cost_order(clouds_.size());
-  std::iota(cost_order.begin(), cost_order.end(), 0u);
-  std::vector<unsigned> ordered = health_.Reorder(cost_order, env_->Now());
-  std::vector<unsigned> preferred;
-  std::vector<unsigned> spares;
-  for (unsigned cloud : ordered) {
-    if (config_.preferred_quorums && preferred.size() >= quorum) {
-      spares.push_back(cloud);
-    } else {
-      preferred.push_back(cloud);
-    }
-  }
 
   auto encode_object = [&](unsigned shard_index) -> Bytes {
     // The shard bytes move from the arena (or the caller's plaintext) to the
@@ -447,13 +446,46 @@ Result<uint64_t> DepSkyClient::WriteVersion(
     version.shard_hashes[i] = Sha256::Hash(objects[i]);
   }
 
-  auto write_to_cloud = [&](unsigned cloud, unsigned shard_index) -> Status {
-    Status s = RobustPut(cloud, value_key, encode_object(shard_index)).Get();
-    if (s.ok()) {
-      ApplyAclsToObject(md, cloud, value_key);
+  // Step 4: store shard_i + share_i at cloud i (preferred wave + fallback).
+  auto placed = PlaceObjects(md, ValueKey(unit, version.version),
+                             std::move(objects), encode_object);
+  if (arena) {
+    arena_pool_.Release(std::move(*arena));
+  }
+  if (!placed.ok()) {
+    return UnavailableError("depsky write quorum not reached for " + unit);
+  }
+  version.cloud_shard = *std::move(placed);
+
+  // Step 5: publish the version in the metadata object.
+  md.versions.push_back(std::move(version));
+  RETURN_IF_ERROR(PushMetadata(unit, md));
+  return md.versions.back().version;
+}
+
+Result<std::vector<int32_t>> DepSkyClient::PlaceObjects(
+    const DepSkyMetadata& md, const std::string& value_key,
+    std::vector<Bytes> objects,
+    const std::function<Bytes(unsigned)>& encode_object) {
+  // Preferred quorums: use the first n-f *healthy* clouds — the cost-ordered
+  // list with breaker-demoted clouds moved to the back, so a flapping
+  // provider drops out of the preferred set and only re-enters once its
+  // breaker half-opens.
+  const unsigned quorum = config_.quorum();
+  std::vector<unsigned> cost_order(clouds_.size());
+  std::iota(cost_order.begin(), cost_order.end(), 0u);
+  std::vector<unsigned> ordered = health_.Reorder(cost_order, env_->Now());
+  std::vector<unsigned> preferred;
+  std::vector<unsigned> spares;
+  for (unsigned cloud : ordered) {
+    if (config_.preferred_quorums && preferred.size() >= quorum) {
+      spares.push_back(cloud);
+    } else {
+      preferred.push_back(cloud);
     }
-    return s;
-  };
+  }
+
+  std::vector<int32_t> cloud_shard(clouds_.size(), -1);
 
   // First wave: shard i -> preferred cloud i, fanned out through the async
   // ObjectStore API and awaited at the write quorum. (With preferred quorums
@@ -462,7 +494,9 @@ Result<uint64_t> DepSkyClient::WriteVersion(
   std::vector<Future<Status>> futures;
   futures.reserve(preferred.size());
   for (unsigned cloud : preferred) {
-    futures.push_back(RobustPut(cloud, value_key, std::move(objects[cloud])));
+    futures.push_back(RobustPut(
+        cloud, value_key,
+        std::make_shared<const Bytes>(std::move(objects[cloud]))));
   }
   QuorumResult<Status> acks =
       WhenQuorum<Status>(futures, quorum,
@@ -484,7 +518,7 @@ Result<uint64_t> DepSkyClient::WriteVersion(
       continue;
     }
     if (acks.results[i]->ok()) {
-      version.cloud_shard[cloud] = static_cast<int32_t>(cloud);
+      cloud_shard[cloud] = static_cast<int32_t>(cloud);
       CollectAclFutures(md, cloud, value_key, &acl_futures);
       ++successes;
     } else {
@@ -498,17 +532,125 @@ Result<uint64_t> DepSkyClient::WriteVersion(
       break;
     }
     unsigned shard = failed_shards.back();
-    if (write_to_cloud(spare, shard).ok()) {
-      version.cloud_shard[spare] = static_cast<int32_t>(shard);
+    Status s = RobustPut(spare, value_key,
+                         std::make_shared<const Bytes>(encode_object(shard)))
+                   .Get();
+    if (s.ok()) {
+      ApplyAclsToObject(md, spare, value_key);
+      cloud_shard[spare] = static_cast<int32_t>(shard);
       failed_shards.pop_back();
       ++successes;
     }
   }
   if (successes < quorum) {
-    return UnavailableError("depsky write quorum not reached for " + unit);
+    return UnavailableError("write quorum not reached for " + value_key);
   }
+  return cloud_shard;
+}
 
-  // Step 5: publish the version in the metadata object.
+Result<DepSkyStripeUnit> DepSkyClient::WriteStripeUnit(
+    const DepSkyMetadata& md, const std::string& value_key,
+    ConstByteSpan plaintext, const Bytes& key, const Bytes& nonce,
+    const std::vector<SecretShare>& shares, uint32_t counter) {
+  // Same zero-copy pipeline as a monolithic write, at unit granularity: the
+  // pooled arena keeps a stripe window's buffers cache-warm instead of
+  // faulting in a fresh file-sized allocation.
+  ErasureCodec codec(config_.n(), config_.k());
+  ShardArena arena = codec.PrepareArena(plaintext.size(), &arena_pool_);
+  ChaCha20::CryptInto(key, nonce, counter, plaintext, arena.payload());
+  codec.ComputeParity(&arena);
+
+  DepSkyStripeUnit stripe;
+  stripe.content_hash = Sha256::Hash(plaintext);
+  const unsigned shard_count = static_cast<unsigned>(clouds_.size());
+  auto encode_object = [&](unsigned shard_index) -> Bytes {
+    return DepSkyValueObject::EncodeParts(arena.shard(shard_index),
+                                          shares[shard_index].index,
+                                          shares[shard_index].data);
+  };
+  std::vector<Bytes> objects(shard_count);
+  stripe.shard_hashes.resize(shard_count);
+  for (unsigned i = 0; i < shard_count; ++i) {
+    objects[i] = encode_object(i);
+    stripe.shard_hashes[i] = Sha256::Hash(objects[i]);
+  }
+  auto placed = PlaceObjects(md, value_key, std::move(objects), encode_object);
+  arena_pool_.Release(std::move(arena));
+  RETURN_IF_ERROR(placed.status());
+  stripe.cloud_shard = *std::move(placed);
+  return stripe;
+}
+
+Result<uint64_t> DepSkyClient::WriteStripedVersion(const std::string& unit,
+                                                   DepSkyMetadata md,
+                                                   DepSkyVersion version,
+                                                   ConstByteSpan data) {
+  const size_t unit_size = config_.stripe_unit();
+  const size_t unit_count = (data.size() + unit_size - 1) / unit_size;
+  version.stripe_unit_size = unit_size;
+  version.stripe_units.resize(unit_count);
+
+  // One key, nonce and secret-sharing split for the whole file: share i rides
+  // every unit's shard i, and each unit encrypts at its byte offset in the
+  // file-wide keystream — the ciphertext equals a monolithic encryption.
+  Bytes key = RandomBytesLocked(ChaCha20::kKeySize);
+  version.nonce = RandomBytesLocked(ChaCha20::kNonceSize);
+  Result<std::vector<SecretShare>> split = [&]() {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    return SecretSharing::Split(key, config_.n(), config_.k(), rng_);
+  }();
+  RETURN_IF_ERROR(split.status());
+  const std::vector<SecretShare> shares = std::move(*split);
+
+  // Bounded fan-out: a FIFO window of stripe_window() unit pipelines on the
+  // executor (a window of one runs inline — a serial pipeline gains nothing
+  // from an executor hop). Every launched task is drained before returning
+  // (error paths included), so the by-reference captures below stay valid.
+  const unsigned depth = config_.stripe_window();
+  Status first_error = OkStatus();
+  std::deque<std::pair<size_t, Future<Result<DepSkyStripeUnit>>>> window;
+  auto drain_front = [&]() {
+    auto [index, future] = std::move(window.front());
+    window.pop_front();
+    Result<DepSkyStripeUnit> placed = future.Get();
+    if (placed.ok()) {
+      version.stripe_units[index] = *std::move(placed);
+    } else if (first_error.ok()) {
+      first_error = placed.status();
+    }
+  };
+  for (size_t u = 0; u < unit_count && first_error.ok(); ++u) {
+    while (window.size() >= depth) {
+      drain_front();
+    }
+    const size_t begin = u * unit_size;
+    const size_t length = std::min(unit_size, data.size() - begin);
+    const ConstByteSpan slice(data.data() + begin, length);
+    const uint32_t counter = static_cast<uint32_t>(begin / 64);
+    std::string value_key = StripeValueKey(unit, version.version, u);
+    if (depth <= 1) {
+      Result<DepSkyStripeUnit> placed = WriteStripeUnit(
+          md, value_key, slice, key, version.nonce, shares, counter);
+      if (placed.ok()) {
+        version.stripe_units[u] = *std::move(placed);
+      } else {
+        first_error = placed.status();
+      }
+      continue;
+    }
+    window.emplace_back(
+        u, SubmitTracked(&async_ops_, [this, &md, &key, &version, &shares,
+                                       slice, counter,
+                                       value_key = std::move(value_key)]() {
+          return WriteStripeUnit(md, value_key, slice, key, version.nonce,
+                                 shares, counter);
+        }));
+  }
+  while (!window.empty()) {
+    drain_front();
+  }
+  RETURN_IF_ERROR(first_error);
+
   md.versions.push_back(std::move(version));
   RETURN_IF_ERROR(PushMetadata(unit, md));
   return md.versions.back().version;
@@ -633,15 +775,14 @@ void DepSkyClient::ArmHedgeTimer(
   });
 }
 
-Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
-                                         const DepSkyMetadata& md,
-                                         const DepSkyVersion& version) {
-  const unsigned k = (md.mode == DepSkyMode::kSecretSharing) ? md.k : 1;
-
-  // Clouds that hold a shard of this version, in preference order.
+Result<DepSkyClient::FetchedShards> DepSkyClient::FetchShards(
+    const std::string& unit, const std::string& value_key, unsigned k,
+    const std::vector<int32_t>& cloud_shard,
+    const std::vector<Bytes>& shard_hashes) {
+  // Clouds that hold a shard of this object, in preference order.
   std::vector<unsigned> holders;
   for (unsigned i = 0; i < clouds_.size(); ++i) {
-    if (i < version.cloud_shard.size() && version.cloud_shard[i] >= 0) {
+    if (i < cloud_shard.size() && cloud_shard[i] >= 0) {
       holders.push_back(i);
     }
   }
@@ -651,15 +792,15 @@ Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
 
   auto state = std::make_shared<ShardFetchState>();
   state->unit = unit;
-  state->value_key = ValueKey(unit, version.version);
+  state->value_key = value_key;
   state->k = k;
   // Breaker-demoted holders sort to the back: a broken cloud is only asked
   // once the healthy ones cannot supply k valid shards.
   state->holders = health_.Reorder(holders, env_->Now());
   // Copies, not references: a straggler's collector may run after this
   // frame (and the caller's metadata) are gone.
-  state->cloud_shard = version.cloud_shard;
-  state->shard_hashes = version.shard_hashes;
+  state->cloud_shard = cloud_shard;
+  state->shard_hashes = shard_hashes;
   state->started = env_->Now();
   state->shards.resize(clouds_.size());
 
@@ -674,30 +815,40 @@ Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
   ArmHedgeTimer(state);
 
   Status fetched = state->done_promise.future().Get();
-  if (!fetched.ok()) {
-    return fetched;
-  }
+  RETURN_IF_ERROR(fetched);
 
-  std::vector<std::optional<Bytes>> shards;
-  std::vector<SecretShare> shares;
+  FetchedShards out;
   {
     // Stragglers may still briefly hold the lock; they observe done and
     // leave the collected state alone.
     std::lock_guard<std::mutex> lock(state->mu);
-    shards = std::move(state->shards);
-    shares = std::move(state->shares);
+    out.shards = std::move(state->shards);
+    out.shares = std::move(state->shares);
   }
+  return out;
+}
+
+Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
+                                         const DepSkyMetadata& md,
+                                         const DepSkyVersion& version) {
+  if (version.striped() && md.mode == DepSkyMode::kSecretSharing) {
+    return FetchStripedVersion(unit, md, version);
+  }
+  const unsigned k = (md.mode == DepSkyMode::kSecretSharing) ? md.k : 1;
+  ASSIGN_OR_RETURN(FetchedShards fetched,
+                   FetchShards(unit, ValueKey(unit, version.version), k,
+                               version.cloud_shard, version.shard_hashes));
 
   Bytes plaintext;
   if (md.mode == DepSkyMode::kSecretSharing) {
     // Reassemble into one buffer, then decrypt it in place: the ciphertext
     // buffer becomes the plaintext without a second allocation or pass.
     ErasureCodec codec(md.n, md.k);
-    ASSIGN_OR_RETURN(plaintext, codec.Decode(shards));
-    ASSIGN_OR_RETURN(Bytes key, SecretSharing::Combine(shares, md.k));
+    ASSIGN_OR_RETURN(plaintext, codec.Decode(fetched.shards));
+    ASSIGN_OR_RETURN(Bytes key, SecretSharing::Combine(fetched.shares, md.k));
     ChaCha20::CryptInPlace(key, version.nonce, 0, ByteSpan(plaintext));
   } else {
-    for (auto& shard : shards) {
+    for (auto& shard : fetched.shards) {
       if (shard.has_value()) {
         plaintext = std::move(*shard);
         break;
@@ -710,6 +861,194 @@ Result<Bytes> DepSkyClient::FetchVersion(const std::string& unit,
     return CorruptionError("content hash mismatch for " + unit);
   }
   return plaintext;
+}
+
+Status DepSkyClient::FetchStripeUnit(const std::string& unit,
+                                     const DepSkyMetadata& md,
+                                     const DepSkyVersion& version,
+                                     size_t stripe_index, ByteSpan out,
+                                     bool verify_unit_hash) {
+  const DepSkyStripeUnit& stripe = version.stripe_units[stripe_index];
+  auto fetched_or = FetchShards(
+      unit, StripeValueKey(unit, version.version, stripe_index), md.k,
+      stripe.cloud_shard, stripe.shard_hashes);
+  RETURN_IF_ERROR(fetched_or.status());
+  FetchedShards& fetched = *fetched_or;
+
+  // Decode into a pooled arena frame, then decrypt straight into the
+  // caller's slice — the decrypt pass is also the move out of the arena.
+  ErasureCodec codec(md.n, md.k);
+  const size_t shard_size = codec.ShardSize(out.size());
+  std::vector<std::optional<ConstByteSpan>> views(fetched.shards.size());
+  for (size_t i = 0; i < fetched.shards.size(); ++i) {
+    if (fetched.shards[i].has_value()) {
+      views[i] = ConstByteSpan(*fetched.shards[i]);
+    }
+  }
+  ShardArena arena = arena_pool_.Acquire(md.n, md.k, shard_size, out.size());
+  ReedSolomon rs(md.n, md.k);
+  Status decoded = rs.DecodeInto(views, shard_size,
+                                 arena.mutable_data_region());
+  if (!decoded.ok()) {
+    arena_pool_.Release(std::move(arena));
+    return decoded;
+  }
+  // The frame header must restate the unit length (hash-valid shards
+  // guarantee it; a mismatch means the manifest and objects disagree).
+  ByteReader header(arena.data_region());
+  uint64_t framed_size = 0;
+  if (!header.ReadU64(&framed_size) || framed_size != out.size()) {
+    arena_pool_.Release(std::move(arena));
+    return CorruptionError("stripe unit frame mismatch for " + unit);
+  }
+
+  auto key = SecretSharing::Combine(fetched.shares, md.k);
+  if (!key.ok()) {
+    arena_pool_.Release(std::move(arena));
+    return key.status();
+  }
+  const uint32_t counter = static_cast<uint32_t>(
+      stripe_index * version.stripe_unit_size / 64);
+  ChaCha20::CryptInto(*key, version.nonce, counter,
+                      ConstByteSpan(arena.payload()), out);
+  arena_pool_.Release(std::move(arena));
+
+  if (verify_unit_hash && Sha256::Hash(out) != stripe.content_hash) {
+    return CorruptionError("stripe unit hash mismatch for " + unit);
+  }
+  return OkStatus();
+}
+
+Result<Bytes> DepSkyClient::FetchStripedVersion(const std::string& unit,
+                                                const DepSkyMetadata& md,
+                                                const DepSkyVersion& version) {
+  const size_t unit_size = version.stripe_unit_size;
+  const size_t unit_count = version.stripe_units.size();
+  if (unit_count * unit_size < version.size) {
+    return CorruptionError("stripe manifest shorter than version size");
+  }
+  Bytes plaintext(version.size);
+
+  // Pipelined unit fetch+decode+decrypt: each unit writes its disjoint slice
+  // of the output, at most stripe_window() units in flight (a window of one
+  // runs inline). All launched tasks are drained before returning, so the
+  // reference captures are safe.
+  const unsigned depth = config_.stripe_window();
+  Status first_error = OkStatus();
+  std::deque<Future<Status>> window;
+  auto drain_front = [&]() {
+    Status s = window.front().Get();
+    window.pop_front();
+    if (!s.ok() && first_error.ok()) {
+      first_error = s;
+    }
+  };
+  for (size_t u = 0; u < unit_count && first_error.ok(); ++u) {
+    while (window.size() >= depth) {
+      drain_front();
+    }
+    const size_t begin = u * unit_size;
+    const size_t length = std::min(unit_size, plaintext.size() - begin);
+    const ByteSpan slice(plaintext.data() + begin, length);
+    // The whole-file consistency-anchor hash is checked below; per-unit
+    // hashes are for range reads that never see the whole file.
+    if (depth <= 1) {
+      Status s = FetchStripeUnit(unit, md, version, u, slice,
+                                 /*verify_unit_hash=*/false);
+      if (!s.ok()) {
+        first_error = s;
+      }
+      continue;
+    }
+    window.push_back(
+        SubmitTracked(&async_ops_, [this, &unit, &md, &version, u, slice]() {
+          return FetchStripeUnit(unit, md, version, u, slice,
+                                 /*verify_unit_hash=*/false);
+        }));
+  }
+  while (!window.empty()) {
+    drain_front();
+  }
+  RETURN_IF_ERROR(first_error);
+
+  if (HexEncode(Sha1::Hash(plaintext)) != version.content_hash) {
+    return CorruptionError("content hash mismatch for " + unit);
+  }
+  return plaintext;
+}
+
+Result<Bytes> DepSkyClient::ReadAt(const std::string& unit,
+                                   const std::string& content_hash,
+                                   uint64_t offset, size_t length) {
+  ASSIGN_OR_RETURN(DepSkyMetadata md, ReadMetadata(unit));
+  const DepSkyVersion* version = md.FindByHash(content_hash);
+  if (version == nullptr) {
+    return NotFoundError("version " + content_hash + " not visible yet");
+  }
+  if (offset >= version->size || length == 0) {
+    return Bytes{};
+  }
+  length = std::min<uint64_t>(length, version->size - offset);
+
+  if (!version->striped() || md.mode != DepSkyMode::kSecretSharing) {
+    ASSIGN_OR_RETURN(Bytes all, FetchVersion(unit, md, *version));
+    return Bytes(all.begin() + offset, all.begin() + offset + length);
+  }
+
+  // Fetch only the stripe units overlapping [offset, offset+length). Each
+  // unit is decoded and decrypted in full (its recorded plaintext hash
+  // covers the whole unit), then the overlap is copied out.
+  const size_t unit_size = version->stripe_unit_size;
+  const size_t first_unit = offset / unit_size;
+  const size_t last_unit = (offset + length - 1) / unit_size;
+  Bytes out(length);
+
+  const unsigned depth = config_.stripe_window();
+  Status first_error = OkStatus();
+  std::deque<Future<Status>> window;
+  auto drain_front = [&]() {
+    Status s = window.front().Get();
+    window.pop_front();
+    if (!s.ok() && first_error.ok()) {
+      first_error = s;
+    }
+  };
+  auto fetch_unit = [this, &unit, &md, version, unit_size, offset, length,
+                     &out](size_t u) -> Status {
+    const size_t begin = u * unit_size;
+    const size_t unit_length =
+        std::min<size_t>(unit_size, version->size - begin);
+    Bytes buffer(unit_length);
+    RETURN_IF_ERROR(FetchStripeUnit(unit, md, *version, u, ByteSpan(buffer),
+                                    /*verify_unit_hash=*/true));
+    // Copy the overlap into the caller's range (disjoint per unit).
+    const size_t copy_begin = std::max<size_t>(offset, begin);
+    const size_t copy_end =
+        std::min<size_t>(offset + length, begin + unit_length);
+    std::copy(buffer.begin() + (copy_begin - begin),
+              buffer.begin() + (copy_end - begin),
+              out.begin() + (copy_begin - offset));
+    return OkStatus();
+  };
+  for (size_t u = first_unit; u <= last_unit && first_error.ok(); ++u) {
+    while (window.size() >= depth) {
+      drain_front();
+    }
+    if (depth <= 1) {
+      Status s = fetch_unit(u);
+      if (!s.ok()) {
+        first_error = s;
+      }
+      continue;
+    }
+    window.push_back(
+        SubmitTracked(&async_ops_, [fetch_unit, u]() { return fetch_unit(u); }));
+  }
+  while (!window.empty()) {
+    drain_front();
+  }
+  RETURN_IF_ERROR(first_error);
+  return out;
 }
 
 Result<Bytes> DepSkyClient::ReadByHash(const std::string& unit,
@@ -731,6 +1070,172 @@ Result<Bytes> DepSkyClient::ReadLatest(const std::string& unit) {
   return FetchVersion(unit, md, *version);
 }
 
+void DepSkyClient::ScrubObjectSet(const DepSkyMetadata& md,
+                                  const std::string& value_key,
+                                  const std::vector<Bytes>& shard_hashes,
+                                  std::vector<int32_t>* cloud_shard,
+                                  DepSkyScrubReport* report,
+                                  bool* metadata_dirty) {
+  // Probe every recorded holder in parallel through the robust GET path.
+  std::vector<unsigned> holders;
+  for (unsigned i = 0; i < clouds_.size(); ++i) {
+    if (i < cloud_shard->size() && (*cloud_shard)[i] >= 0) {
+      holders.push_back(i);
+    }
+  }
+  std::vector<Future<Result<Bytes>>> probes;
+  probes.reserve(holders.size());
+  for (unsigned cloud : holders) {
+    probes.push_back(RobustGet(cloud, value_key));
+  }
+
+  // Hash-check each reply exactly like the read path: the recorded hash
+  // covers the complete stored object, so a poisoned key share or framing
+  // swap reads as corrupt even when the shard bytes survive.
+  std::vector<std::optional<DepSkyValueObject>> objects(clouds_.size());
+  std::vector<unsigned> bad_holders;
+  size_t shard_size = 0;
+  for (size_t h = 0; h < holders.size(); ++h) {
+    const unsigned cloud = holders[h];
+    const unsigned shard = static_cast<unsigned>((*cloud_shard)[cloud]);
+    report->objects_checked++;
+    Result<Bytes> raw = probes[h].Get();
+    bool valid = false;
+    if (raw.ok() && shard < shard_hashes.size() &&
+        Sha256::Hash(*raw) == shard_hashes[shard]) {
+      auto object = DepSkyValueObject::Decode(*raw);
+      if (object.ok()) {
+        shard_size = object->shard.size();
+        objects[cloud] = std::move(*object);
+        valid = true;
+      }
+    }
+    if (!valid) {
+      report->objects_missing++;
+      bad_holders.push_back(cloud);
+    }
+  }
+  if (bad_holders.empty()) {
+    return;
+  }
+
+  // Rebuild from the survivors. Any k hash-valid shards reproduce the whole
+  // arena (data region + re-derived parity), and k key shares re-evaluate
+  // the split polynomial at any lost share's x-coordinate — so the rebuilt
+  // stored object is byte-identical to the original and must re-hash to the
+  // recorded value before anything is uploaded.
+  std::vector<std::optional<ConstByteSpan>> views(md.n);
+  std::vector<SecretShare> shares;
+  unsigned valid_count = 0;
+  for (unsigned cloud = 0; cloud < clouds_.size(); ++cloud) {
+    if (!objects[cloud].has_value()) {
+      continue;
+    }
+    const unsigned shard = static_cast<unsigned>((*cloud_shard)[cloud]);
+    if (shard < views.size()) {
+      views[shard] = ConstByteSpan(objects[cloud]->shard);
+    }
+    if (objects[cloud]->share_index != 0) {
+      shares.push_back(SecretShare{objects[cloud]->share_index,
+                                   objects[cloud]->share_data});
+    }
+    ++valid_count;
+  }
+  if (valid_count < md.k || md.mode != DepSkyMode::kSecretSharing) {
+    report->repair_failures += bad_holders.size();
+    report->fully_redundant = false;
+    return;
+  }
+
+  ShardArena arena = arena_pool_.Acquire(md.n, md.k, shard_size, 0);
+  ReedSolomon rs(md.n, md.k);
+  Status decoded =
+      rs.DecodeInto(views, shard_size, arena.mutable_data_region());
+  if (decoded.ok()) {
+    rs.EncodeParity(arena.data_region(), shard_size, arena.parity_region());
+  }
+
+  for (unsigned cloud : bad_holders) {
+    const unsigned shard = static_cast<unsigned>((*cloud_shard)[cloud]);
+    if (!decoded.ok() || shard >= md.n || shard >= shard_hashes.size()) {
+      report->repair_failures++;
+      report->fully_redundant = false;
+      continue;
+    }
+    // Share for shard s has x-coordinate s+1 (Split's convention).
+    auto share =
+        SecretSharing::RecoverShare(shares, md.k, static_cast<uint8_t>(shard + 1));
+    if (!share.ok()) {
+      report->repair_failures++;
+      report->fully_redundant = false;
+      continue;
+    }
+    auto object_bytes =
+        std::make_shared<const Bytes>(DepSkyValueObject::EncodeParts(
+            arena.shard(shard), share->index, share->data));
+    if (Sha256::Hash(*object_bytes) != shard_hashes[shard]) {
+      report->repair_failures++;
+      report->fully_redundant = false;
+      continue;
+    }
+    // In-place first: same holder, same key, no metadata change needed.
+    Status put = RobustPut(cloud, value_key, object_bytes).Get();
+    if (put.ok()) {
+      ApplyAclsToObject(md, cloud, value_key);
+      report->objects_repaired++;
+      continue;
+    }
+    // Holder still down: relocate the shard to a cloud that holds nothing of
+    // this object, and flip the map so the caller pushes it once.
+    bool relocated = false;
+    for (unsigned target = 0; target < clouds_.size(); ++target) {
+      if (target < cloud_shard->size() && (*cloud_shard)[target] >= 0) {
+        continue;
+      }
+      Status moved = RobustPut(target, value_key, object_bytes).Get();
+      if (moved.ok()) {
+        ApplyAclsToObject(md, target, value_key);
+        (*cloud_shard)[cloud] = -1;
+        (*cloud_shard)[target] = static_cast<int32_t>(shard);
+        *metadata_dirty = true;
+        report->objects_relocated++;
+        relocated = true;
+        break;
+      }
+    }
+    if (!relocated) {
+      report->repair_failures++;
+      report->fully_redundant = false;
+    }
+  }
+  arena_pool_.Release(std::move(arena));
+}
+
+Result<DepSkyScrubReport> DepSkyClient::ScrubUnit(const std::string& unit) {
+  ASSIGN_OR_RETURN(DepSkyMetadata md, ReadMetadata(unit));
+  DepSkyScrubReport report;
+  bool metadata_dirty = false;
+  for (auto& version : md.versions) {
+    report.versions_checked++;
+    if (version.striped()) {
+      for (size_t u = 0; u < version.stripe_units.size(); ++u) {
+        ScrubObjectSet(md, StripeValueKey(unit, version.version, u),
+                       version.stripe_units[u].shard_hashes,
+                       &version.stripe_units[u].cloud_shard, &report,
+                       &metadata_dirty);
+      }
+    } else {
+      ScrubObjectSet(md, ValueKey(unit, version.version),
+                     version.shard_hashes, &version.cloud_shard, &report,
+                     &metadata_dirty);
+    }
+  }
+  if (metadata_dirty) {
+    RETURN_IF_ERROR(PushMetadata(unit, md));
+  }
+  return report;
+}
+
 Status DepSkyClient::DeleteVersion(const std::string& unit, uint64_t version) {
   ASSIGN_OR_RETURN(DepSkyMetadata md, ReadMetadata(unit));
   auto it = std::find_if(md.versions.begin(), md.versions.end(),
@@ -740,15 +1245,26 @@ Status DepSkyClient::DeleteVersion(const std::string& unit, uint64_t version) {
   if (it == md.versions.end()) {
     return NotFoundError("version not in metadata");
   }
+  // Collect the value keys before erasing: a striped version owns one object
+  // per stripe unit instead of a single monolithic object.
+  std::vector<std::string> value_keys;
+  if (it->striped()) {
+    for (size_t u = 0; u < it->stripe_units.size(); ++u) {
+      value_keys.push_back(StripeValueKey(unit, version, u));
+    }
+  } else {
+    value_keys.push_back(ValueKey(unit, version));
+  }
   md.versions.erase(it);
   RETURN_IF_ERROR(PushMetadata(unit, md));
 
-  const std::string value_key = ValueKey(unit, version);
   std::vector<Future<Status>> futures;
-  futures.reserve(clouds_.size());
-  for (unsigned i = 0; i < clouds_.size(); ++i) {
-    futures.push_back(
-        clouds_[i].store->DeleteAsync(clouds_[i].creds, value_key));
+  futures.reserve(clouds_.size() * value_keys.size());
+  for (const auto& value_key : value_keys) {
+    for (unsigned i = 0; i < clouds_.size(); ++i) {
+      futures.push_back(
+          clouds_[i].store->DeleteAsync(clouds_[i].creds, value_key));
+    }
   }
   WhenAll<Status>(std::move(futures)).Join();
   return OkStatus();  // best effort: missing replicas are fine
@@ -757,13 +1273,19 @@ Status DepSkyClient::DeleteVersion(const std::string& unit, uint64_t version) {
 Status DepSkyClient::DeleteUnit(const std::string& unit) {
   auto md = ReadMetadata(unit);
   if (md.ok()) {
-    // Delete value objects for every version first.
-    std::vector<uint64_t> versions;
+    // Delete value objects for every version first (one per stripe unit for
+    // striped versions, one monolithic object otherwise).
+    std::vector<std::string> value_keys;
     for (const auto& v : md->versions) {
-      versions.push_back(v.version);
+      if (v.striped()) {
+        for (size_t u = 0; u < v.stripe_units.size(); ++u) {
+          value_keys.push_back(StripeValueKey(unit, v.version, u));
+        }
+      } else {
+        value_keys.push_back(ValueKey(unit, v.version));
+      }
     }
-    for (uint64_t v : versions) {
-      const std::string value_key = ValueKey(unit, v);
+    for (const auto& value_key : value_keys) {
       for (unsigned i = 0; i < clouds_.size(); ++i) {
         (void)clouds_[i].store->Delete(clouds_[i].creds, value_key);
       }
@@ -800,11 +1322,20 @@ Status DepSkyClient::SetGrant(const std::string& unit,
   perms.read = grant.read;
   perms.write = grant.write;
   for (const auto& version : md.versions) {
-    const std::string value_key = ValueKey(unit, version.version);
-    for (unsigned i = 0; i < clouds_.size(); ++i) {
-      if (i < grant.cloud_ids.size() && !grant.cloud_ids[i].empty()) {
-        (void)clouds_[i].store->SetAcl(clouds_[i].creds, value_key,
-                                       grant.cloud_ids[i], perms);
+    std::vector<std::string> value_keys;
+    if (version.striped()) {
+      for (size_t u = 0; u < version.stripe_units.size(); ++u) {
+        value_keys.push_back(StripeValueKey(unit, version.version, u));
+      }
+    } else {
+      value_keys.push_back(ValueKey(unit, version.version));
+    }
+    for (const auto& value_key : value_keys) {
+      for (unsigned i = 0; i < clouds_.size(); ++i) {
+        if (i < grant.cloud_ids.size() && !grant.cloud_ids[i].empty()) {
+          (void)clouds_[i].store->SetAcl(clouds_[i].creds, value_key,
+                                         grant.cloud_ids[i], perms);
+        }
       }
     }
   }

@@ -21,9 +21,12 @@
 #define SCFS_DEPSKY_DEPSKY_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/cloud/health.h"
@@ -34,6 +37,7 @@
 #include "src/common/future.h"
 #include "src/common/rng.h"
 #include "src/common/timer_queue.h"
+#include "src/crypto/secret_sharing.h"
 #include "src/depsky/metadata.h"
 #include "src/sim/environment.h"
 
@@ -66,9 +70,54 @@ struct DepSkyConfig {
   // Circuit-breaker / EWMA configuration for the per-cloud health tracker.
   HealthOptions health;
 
+  // --- Striped large-file data plane (DESIGN.md "Striped data plane") ---
+  // Secret-sharing writes strictly larger than stripe_threshold bytes are cut
+  // into stripe_unit() sized units, each its own independent
+  // encrypt→erasure-encode→quorum-PUT, fanned out with bounded depth. One
+  // version number, one metadata record and one key/nonce cover all units.
+  // 0 disables striping (everything takes the monolithic path).
+  size_t stripe_threshold = 4 * 1024 * 1024;
+  size_t stripe_unit_size = 4 * 1024 * 1024;
+  // Units in flight per write/read: peak client memory for a striped
+  // transfer is O(stripe_window() × stripe_unit()), not O(file). 0 = auto:
+  // match the host's core count (capped at 8) — depth beyond the cores only
+  // buys context switches when the pipeline is CPU-bound, while a
+  // single-core host degrades to the optimal serial loop.
+  unsigned stripe_inflight = 0;
+
   unsigned n() const { return 3 * f + 1; }
   unsigned k() const { return f + 1; }
   unsigned quorum() const { return n() - f; }
+  // Unit size rounded up to the cipher block (64 bytes) so each unit's
+  // keystream counter offset (unit byte offset / 64) addresses the same
+  // file-wide stream a monolithic encryption would produce.
+  size_t stripe_unit() const {
+    const size_t base =
+        stripe_unit_size == 0 ? 4 * 1024 * 1024 : stripe_unit_size;
+    return (base + 63) / 64 * 64;
+  }
+  // Effective in-flight window (resolves the auto default).
+  unsigned stripe_window() const {
+    if (stripe_inflight > 0) {
+      return stripe_inflight;
+    }
+    unsigned cores = std::thread::hardware_concurrency();
+    return cores == 0 ? 2 : std::min(cores, 8u);
+  }
+};
+
+// Outcome of one scrub pass over a data unit (see ScrubUnit): how many stored
+// objects were probed, found missing/corrupt, rebuilt in place, moved to a
+// substitute cloud, or left unrepaired.
+struct DepSkyScrubReport {
+  uint64_t versions_checked = 0;
+  uint64_t objects_checked = 0;
+  uint64_t objects_missing = 0;
+  uint64_t objects_repaired = 0;
+  uint64_t objects_relocated = 0;
+  uint64_t repair_failures = 0;
+  // True when every recorded holder ended the pass with a hash-valid object.
+  bool fully_redundant = true;
 };
 
 class DepSkyClient {
@@ -100,6 +149,24 @@ class DepSkyClient {
   // Reads the highest authenticated version.
   Result<Bytes> ReadLatest(const std::string& unit);
 
+  // Range read of the version with the given content hash: for a striped
+  // version only the stripe units overlapping [offset, offset+length) are
+  // fetched (each verified against its recorded plaintext hash); monolithic
+  // versions fall back to a full fetch and slice. Reads past EOF are clamped.
+  Result<Bytes> ReadAt(const std::string& unit, const std::string& content_hash,
+                       uint64_t offset, size_t length);
+
+  // Scrub & repair: probes every recorded holder of every version (stripe
+  // units included), and rebuilds missing or corrupt stored objects from k
+  // surviving shards — re-deriving parity with the erasure code and the lost
+  // key share by Lagrange interpolation, so the repaired object is
+  // byte-identical to the original (same recorded hash, no metadata change).
+  // If a holder stays unreachable, the shard is relocated to a cloud that
+  // holds none of this object's shards and the metadata map is updated.
+  // Client reads keep working throughout — repair touches only clouds,
+  // never the read path.
+  Result<DepSkyScrubReport> ScrubUnit(const std::string& unit);
+
   // Quorum-read of the data unit's metadata.
   Result<DepSkyMetadata> ReadMetadata(const std::string& unit);
 
@@ -122,14 +189,25 @@ class DepSkyClient {
   uint64_t retries() const { return retries_.load(); }
   uint64_t deadline_expiries() const { return deadline_expiries_.load(); }
   uint64_t hedged_reads() const { return hedged_reads_.load(); }
+  // Arena recycling across stripe units and sequential writes.
+  uint64_t arena_pool_hits() const { return arena_pool_.hits(); }
+  uint64_t arena_pool_misses() const { return arena_pool_.misses(); }
 
   // Deterministic cloud key naming for a unit's metadata and value objects
   // (exposed so tests and inspection tooling can address stored objects).
   static std::string MetadataKey(const std::string& unit);
   static std::string ValueKey(const std::string& unit, uint64_t version);
+  static std::string StripeValueKey(const std::string& unit, uint64_t version,
+                                    uint64_t stripe_index);
 
  private:
   struct ShardFetchState;
+
+  // Shards + key shares collected by one quorum shard fetch.
+  struct FetchedShards {
+    std::vector<std::optional<Bytes>> shards;  // by shard index
+    std::vector<SecretShare> shares;
+  };
 
   // Writes the given metadata to every cloud through the async ObjectStore
   // API, returning as soon as a write quorum (n-f) has acknowledged; the
@@ -140,6 +218,62 @@ class DepSkyClient {
   Result<Bytes> FetchVersion(const std::string& unit,
                              const DepSkyMetadata& md,
                              const DepSkyVersion& version);
+
+  // Places one object set (shard i + share i per cloud) under `value_key`:
+  // health-ordered preferred wave fanned out to the write quorum, ACLs on the
+  // acknowledged copies, then a fallback wave routing failed shards to spare
+  // clouds (re-encoding via `encode_object`). Returns the cloud→shard map,
+  // or UNAVAILABLE if no write quorum was reached.
+  Result<std::vector<int32_t>> PlaceObjects(
+      const DepSkyMetadata& md, const std::string& value_key,
+      std::vector<Bytes> objects,
+      const std::function<Bytes(unsigned)>& encode_object);
+
+  // Quorum-fetches k hash-valid stored objects of one value key (monolithic
+  // version or single stripe unit) through the hedged/breaker read path.
+  Result<FetchedShards> FetchShards(const std::string& unit,
+                                    const std::string& value_key, unsigned k,
+                                    const std::vector<int32_t>& cloud_shard,
+                                    const std::vector<Bytes>& shard_hashes);
+
+  // Striped write: cuts `data` into stripe units and pipelines their
+  // independent encode+PUT through the executor with at most
+  // config_.stripe_inflight units in flight. `version` arrives with
+  // version/content_hash/size filled in; publishes the stripe manifest.
+  Result<uint64_t> WriteStripedVersion(const std::string& unit,
+                                       DepSkyMetadata md,
+                                       DepSkyVersion version,
+                                       ConstByteSpan data);
+  // One unit of a striped write: pooled arena, encrypt at the unit's
+  // keystream offset, parity, hash, place.
+  Result<DepSkyStripeUnit> WriteStripeUnit(const DepSkyMetadata& md,
+                                           const std::string& value_key,
+                                           ConstByteSpan plaintext,
+                                           const Bytes& key,
+                                           const Bytes& nonce,
+                                           const std::vector<SecretShare>& shares,
+                                           uint32_t counter);
+
+  // Striped read: pipelines unit fetch+decode+decrypt into one buffer.
+  Result<Bytes> FetchStripedVersion(const std::string& unit,
+                                    const DepSkyMetadata& md,
+                                    const DepSkyVersion& version);
+  // Fetches one stripe unit's plaintext into `out` (sized to the unit).
+  // When `verify_unit_hash` is set the decrypted unit is checked against the
+  // manifest's per-unit SHA-256 (range reads can't rely on the whole-file
+  // consistency-anchor hash).
+  Status FetchStripeUnit(const std::string& unit, const DepSkyMetadata& md,
+                         const DepSkyVersion& version, size_t stripe_index,
+                         ByteSpan out, bool verify_unit_hash);
+
+  // Scrub of one object set: probes recorded holders, rebuilds lost or
+  // corrupt objects byte-identically (erasure re-encode + Lagrange share
+  // recovery), re-uploads in place or relocates to an unused cloud (flips
+  // *metadata_dirty so the caller pushes the updated map once).
+  void ScrubObjectSet(const DepSkyMetadata& md, const std::string& value_key,
+                      const std::vector<Bytes>& shard_hashes,
+                      std::vector<int32_t>* cloud_shard,
+                      DepSkyScrubReport* report, bool* metadata_dirty);
 
   // Applies all grants (+ owner) to one object at one cloud, waiting for
   // the ACL round trips.
@@ -167,7 +301,8 @@ class DepSkyClient {
   // whether a completed value counts as the cloud answering (NOT_FOUND is a
   // perfectly healthy answer); `timeout_value` synthesizes the value for a
   // deadline expiry. Defined in depsky.cc.
-  Future<Status> RobustPut(unsigned cloud, const std::string& key, Bytes data);
+  Future<Status> RobustPut(unsigned cloud, const std::string& key,
+                           std::shared_ptr<const Bytes> data);
   Future<Result<Bytes>> RobustGet(unsigned cloud, const std::string& key);
 
   // Launches the next unlaunched holder of a shard fetch (failure-triggered
@@ -185,6 +320,9 @@ class DepSkyClient {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> deadline_expiries_{0};
   std::atomic<uint64_t> hedged_reads_{0};
+  // Recycled across stripe units and sequential writes; sized to keep a full
+  // stripe window's arenas warm.
+  ArenaPool arena_pool_;
   InFlightTracker async_ops_;
 };
 

@@ -5,6 +5,12 @@
 namespace scfs {
 
 namespace {
+
+// Tag of the trailing stripe-manifest section. The section is appended only
+// when some version is striped, so metadata without striped versions encodes
+// (and authenticates) byte-identically to the pre-stripe format.
+constexpr uint32_t kStripeSectionMagic = 0x53545250;  // "STRP"
+
 Bytes EncodeBody(const DepSkyMetadata& md) {
   Bytes out;
   AppendU32(&out, md.n);
@@ -36,6 +42,36 @@ Bytes EncodeBody(const DepSkyMetadata& md) {
       AppendString(&out, id);
     }
     out.push_back(static_cast<uint8_t>((g.read ? 1 : 0) | (g.write ? 2 : 0)));
+  }
+  uint32_t striped_count = 0;
+  for (const auto& v : md.versions) {
+    if (v.striped()) {
+      ++striped_count;
+    }
+  }
+  if (striped_count > 0) {
+    AppendU32(&out, kStripeSectionMagic);
+    AppendU32(&out, striped_count);
+    for (size_t i = 0; i < md.versions.size(); ++i) {
+      const auto& v = md.versions[i];
+      if (!v.striped()) {
+        continue;
+      }
+      AppendU32(&out, static_cast<uint32_t>(i));
+      AppendU64(&out, v.stripe_unit_size);
+      AppendU32(&out, static_cast<uint32_t>(v.stripe_units.size()));
+      for (const auto& u : v.stripe_units) {
+        AppendBytes(&out, u.content_hash);
+        AppendU32(&out, static_cast<uint32_t>(u.shard_hashes.size()));
+        for (const auto& h : u.shard_hashes) {
+          AppendBytes(&out, h);
+        }
+        AppendU32(&out, static_cast<uint32_t>(u.cloud_shard.size()));
+        for (int32_t s : u.cloud_shard) {
+          AppendU32(&out, static_cast<uint32_t>(s));
+        }
+      }
+    }
   }
   return out;
 }
@@ -130,6 +166,55 @@ Result<DepSkyMetadata> DepSkyMetadata::Decode(const Bytes& data,
     }
     g.read = (perms & 1) != 0;
     g.write = (perms & 2) != 0;
+  }
+  // Trailing stripe-manifest section; absent in pre-stripe encodings and for
+  // metadata whose versions are all monolithic.
+  if (!reader.AtEnd()) {
+    uint32_t magic = 0;
+    uint32_t striped_count = 0;
+    if (!reader.ReadU32(&magic) || magic != kStripeSectionMagic ||
+        !reader.ReadU32(&striped_count)) {
+      return CorruptionError("bad depsky stripe section");
+    }
+    for (uint32_t s = 0; s < striped_count; ++s) {
+      uint32_t version_index = 0;
+      if (!reader.ReadU32(&version_index) ||
+          version_index >= md.versions.size()) {
+        return CorruptionError("bad depsky stripe version index");
+      }
+      auto& v = md.versions[version_index];
+      uint32_t unit_count = 0;
+      if (!reader.ReadU64(&v.stripe_unit_size) || v.stripe_unit_size == 0 ||
+          !reader.ReadU32(&unit_count)) {
+        return CorruptionError("bad depsky stripe manifest");
+      }
+      v.stripe_units.resize(unit_count);
+      for (auto& u : v.stripe_units) {
+        uint32_t shard_count = 0;
+        uint32_t cloud_count = 0;
+        if (!reader.ReadBytes(&u.content_hash) ||
+            !reader.ReadU32(&shard_count)) {
+          return CorruptionError("bad depsky stripe unit");
+        }
+        u.shard_hashes.resize(shard_count);
+        for (auto& h : u.shard_hashes) {
+          if (!reader.ReadBytes(&h)) {
+            return CorruptionError("bad depsky stripe shard hash");
+          }
+        }
+        if (!reader.ReadU32(&cloud_count)) {
+          return CorruptionError("bad depsky stripe cloud map");
+        }
+        u.cloud_shard.resize(cloud_count);
+        for (auto& c : u.cloud_shard) {
+          uint32_t raw = 0;
+          if (!reader.ReadU32(&raw)) {
+            return CorruptionError("bad depsky stripe cloud entry");
+          }
+          c = static_cast<int32_t>(raw);
+        }
+      }
+    }
   }
   return md;
 }

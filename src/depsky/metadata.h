@@ -24,6 +24,18 @@ enum class DepSkyMode : uint8_t {
   kSecretSharing = 1,  // DepSky-CA: encrypt + erasure-code + secret-share key
 };
 
+// One unit of a striped version (see DESIGN.md "Striped data plane"): the
+// file is cut into fixed-size units, each independently erasure-coded and
+// quorum-written, all sharing the version's key, nonce and key shares. The
+// unit records what a monolithic version records per object — per-shard
+// object hashes and the cloud→shard map — plus the SHA-256 of the unit's
+// plaintext so range reads verify without the whole file.
+struct DepSkyStripeUnit {
+  Bytes content_hash;                // SHA-256 of the unit's plaintext
+  std::vector<Bytes> shard_hashes;   // per shard index, same coverage as below
+  std::vector<int32_t> cloud_shard;  // cloud i holds shard cloud_shard[i]
+};
+
 struct DepSkyVersion {
   uint64_t version = 0;
   std::string content_hash;          // hex SHA-1 of the plaintext (CA hash)
@@ -34,6 +46,16 @@ struct DepSkyVersion {
   // reconstruction while leaving the shard bytes intact.
   std::vector<Bytes> shard_hashes;
   std::vector<int32_t> cloud_shard;  // cloud i holds shard cloud_shard[i], -1 if none
+
+  // Stripe manifest: 0 / empty for a monolithic version (shard_hashes +
+  // cloud_shard above describe the single object). For a striped version the
+  // per-object records live in stripe_units and the two vectors above stay
+  // empty. One version number and one metadata record cover all units, so
+  // locking and consistency-anchor semantics are unchanged.
+  uint64_t stripe_unit_size = 0;
+  std::vector<DepSkyStripeUnit> stripe_units;
+
+  bool striped() const { return stripe_unit_size != 0; }
 };
 
 struct DepSkyGrant {

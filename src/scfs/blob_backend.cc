@@ -24,6 +24,17 @@ Future<Result<Bytes>> BlobBackend::ReadByHashAsync(
   });
 }
 
+Result<Bytes> BlobBackend::ReadAt(const std::string& id,
+                                  const std::string& content_hash,
+                                  uint64_t offset, size_t length) {
+  ASSIGN_OR_RETURN(Bytes all, ReadByHash(id, content_hash));
+  if (offset >= all.size() || length == 0) {
+    return Bytes{};
+  }
+  length = std::min<uint64_t>(length, all.size() - offset);
+  return Bytes(all.begin() + offset, all.begin() + offset + length);
+}
+
 // ---------------------------------------------------------------------------
 // SingleCloudBackend (SCFS-AWS)
 // ---------------------------------------------------------------------------
@@ -178,6 +189,18 @@ Status DepSkyBackend::DeleteUnit(const std::string& id) {
 Status DepSkyBackend::SetGrant(const std::string& id,
                                const BackendGrant& grant) {
   return client_->SetGrant(id, ToDepSkyGrant(grant));
+}
+
+Result<Bytes> DepSkyBackend::ReadAt(const std::string& id,
+                                    const std::string& content_hash,
+                                    uint64_t offset, size_t length) {
+  // Striped versions fetch only the overlapping stripe units; monolithic
+  // versions fall back to fetch-and-slice inside the client.
+  return client_->ReadAt(id, content_hash, offset, length);
+}
+
+Result<DepSkyScrubReport> DepSkyBackend::ScrubUnit(const std::string& id) {
+  return client_->ScrubUnit(id);
 }
 
 }  // namespace scfs

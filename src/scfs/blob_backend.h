@@ -60,6 +60,21 @@ class BlobBackend {
   // the non-sharing mode, which have no consistency anchor).
   virtual Result<Bytes> ReadLatest(const std::string& id) = 0;
 
+  // Range read of a version. The default fetches the whole version and
+  // slices; backends with a striped data plane (DepSkyBackend) fetch only the
+  // stripe units overlapping the range. Reads past EOF are clamped.
+  virtual Result<Bytes> ReadAt(const std::string& id,
+                               const std::string& content_hash,
+                               uint64_t offset, size_t length);
+
+  // Probes and repairs the stored redundancy of one unit (see
+  // DepSkyClient::ScrubUnit). Backends without background repair return a
+  // default (all-healthy) report.
+  virtual Result<DepSkyScrubReport> ScrubUnit(const std::string& id) {
+    (void)id;
+    return DepSkyScrubReport{};
+  }
+
   // Versions oldest-to-newest (for the garbage collector's keep-last-V).
   virtual Result<std::vector<BlobVersionInfo>> ListVersions(
       const std::string& id) = 0;
@@ -158,6 +173,9 @@ class DepSkyBackend : public BlobBackend {
                              const std::string& content_hash) override;
   Status DeleteUnit(const std::string& id) override;
   Status SetGrant(const std::string& id, const BackendGrant& grant) override;
+  Result<Bytes> ReadAt(const std::string& id, const std::string& content_hash,
+                       uint64_t offset, size_t length) override;
+  Result<DepSkyScrubReport> ScrubUnit(const std::string& id) override;
   int durability_level() const override { return 3; }
   unsigned cloud_count() const override { return client_->cloud_count(); }
 

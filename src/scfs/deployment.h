@@ -62,6 +62,13 @@ struct DeploymentOptions {
   // hot-partition skew demo pushes against. Ignored for kAws and
   // zero-latency deployments.
   VirtualDuration coord_replica_link_one_way = 0;
+  // Striped large-file data plane (kCoc only, see OPERATIONS.md): writes
+  // larger than stripe_threshold are cut into stripe_unit_size units with at
+  // most stripe_inflight units in flight. 0 keeps the DepSkyConfig defaults;
+  // stripe_threshold = SIZE_MAX effectively disables striping.
+  size_t stripe_threshold = 0;
+  size_t stripe_unit_size = 0;
+  unsigned stripe_inflight = 0;
   uint64_t seed = 42;
 };
 

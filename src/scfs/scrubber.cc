@@ -1,0 +1,86 @@
+#include "src/scfs/scrubber.h"
+
+#include <vector>
+
+namespace scfs {
+
+void BackgroundScrubber::Track(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  units_.insert(id);
+}
+
+void BackgroundScrubber::Untrack(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  units_.erase(id);
+}
+
+size_t BackgroundScrubber::tracked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return units_.size();
+}
+
+DepSkyScrubReport BackgroundScrubber::ScrubTracked(Status* first_error) {
+  // Snapshot the unit set: Track/Untrack during a pass affect the next one.
+  std::vector<std::string> units;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    units.assign(units_.begin(), units_.end());
+  }
+
+  DepSkyScrubReport pass;
+  uint64_t scrubbed = 0;
+  for (const auto& id : units) {
+    Result<DepSkyScrubReport> report = backend_->ScrubUnit(id);
+    if (!report.ok()) {
+      // A unit deleted between snapshot and scrub is not an error; anything
+      // else is recorded once but does not stop the pass — the remaining
+      // units still deserve repair.
+      if (report.status().code() != ErrorCode::kNotFound &&
+          first_error->ok()) {
+        *first_error = report.status();
+      }
+      continue;
+    }
+    ++scrubbed;
+    pass.versions_checked += report->versions_checked;
+    pass.objects_checked += report->objects_checked;
+    pass.objects_missing += report->objects_missing;
+    pass.objects_repaired += report->objects_repaired;
+    pass.objects_relocated += report->objects_relocated;
+    pass.repair_failures += report->repair_failures;
+    pass.fully_redundant = pass.fully_redundant && report->fully_redundant;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.passes++;
+  stats_.units_scrubbed += scrubbed;
+  stats_.versions_checked += pass.versions_checked;
+  stats_.objects_checked += pass.objects_checked;
+  stats_.objects_missing += pass.objects_missing;
+  stats_.objects_repaired += pass.objects_repaired;
+  stats_.objects_relocated += pass.objects_relocated;
+  stats_.repair_failures += pass.repair_failures;
+  return pass;
+}
+
+Future<Status> BackgroundScrubber::SchedulePass() {
+  return uploader_->Enqueue([this]() {
+    Status first_error = OkStatus();
+    (void)ScrubTracked(&first_error);
+    return first_error;
+  });
+}
+
+Result<DepSkyScrubReport> BackgroundScrubber::RunPassNow() {
+  Status first_error = OkStatus();
+  DepSkyScrubReport pass = ScrubTracked(&first_error);
+  RETURN_IF_ERROR(first_error);
+  return pass;
+}
+
+BackgroundScrubber::Stats BackgroundScrubber::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace scfs

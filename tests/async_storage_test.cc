@@ -68,7 +68,8 @@ TEST(ObjectStoreAsyncTest, DefaultAdaptersRunInlineWithZeroFutureCharge) {
   ObjectStore& base = cloud;
 
   Environment::ResetThreadCharged();
-  Future<Status> put = base.ObjectStore::PutAsync(User(), "k", ToBytes("v"));
+  Future<Status> put = base.ObjectStore::PutAsync(
+      User(), "k", std::make_shared<const Bytes>(ToBytes("v")));
   ASSERT_TRUE(put.ready());
   EXPECT_EQ(Environment::ThreadCharged(), 20 * kMillisecond);
   EXPECT_EQ(put.charge(), 0);

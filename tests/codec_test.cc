@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "src/codec/reed_solomon.h"
 #include "src/common/rng.h"
 #include "src/math/gf256.h"
@@ -259,6 +261,66 @@ TEST(ErasureCodecTest, DecodeDetectsBadHeader) {
   shards[0] = Bytes(16, 0xff);  // length header says 2^64-ish
   shards[1] = Bytes(16, 0xff);
   EXPECT_FALSE(codec.Decode(shards).ok());
+}
+
+TEST(ArenaPoolTest, ReusesBuffersAndCountsHits) {
+  ErasureCodec codec(4, 2);
+  ArenaPool pool;
+  EXPECT_EQ(pool.hits(), 0u);
+
+  ShardArena first = codec.PrepareArena(1000, &pool);
+  EXPECT_EQ(pool.misses(), 1u);
+  pool.Release(std::move(first));
+  EXPECT_EQ(pool.retained(), 1u);
+
+  ShardArena second = codec.PrepareArena(1000, &pool);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.retained(), 0u);
+  pool.Release(std::move(second));
+}
+
+TEST(ArenaPoolTest, PooledEncodeMatchesFreshEncode) {
+  Rng rng(11);
+  ErasureCodec codec(4, 2);
+  ArenaPool pool;
+  // Cycle one buffer through different payload sizes (including shrinking,
+  // so stale bytes from the larger encode sit in the recycled buffer) and
+  // check every pooled encode is byte-identical to a fresh-arena encode.
+  for (size_t size : {4096u, 100000u, 777u, 100000u, 0u, 63u}) {
+    Bytes data = rng.RandomBytes(size);
+    ShardArena pooled = codec.PrepareArena(size, &pool);
+    ShardArena fresh = codec.PrepareArena(size);
+    if (!data.empty()) {
+      std::memcpy(pooled.payload().data(), data.data(), data.size());
+      std::memcpy(fresh.payload().data(), data.data(), data.size());
+    }
+    codec.ComputeParity(&pooled);
+    codec.ComputeParity(&fresh);
+
+    for (unsigned i = 0; i < 4; ++i) {
+      ASSERT_EQ(CopyToBytes(pooled.shard(i)), CopyToBytes(fresh.shard(i)))
+          << "size=" << size << " shard=" << i;
+    }
+    pool.Release(std::move(pooled));
+  }
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 5u);
+}
+
+TEST(ArenaPoolTest, RetainsAtMostMaxArenas) {
+  ErasureCodec codec(4, 2);
+  ArenaPool pool(2);
+  ShardArena a = codec.PrepareArena(64, &pool);
+  ShardArena b = codec.PrepareArena(64, &pool);
+  ShardArena c = codec.PrepareArena(64, &pool);
+  pool.Release(std::move(a));
+  pool.Release(std::move(b));
+  pool.Release(std::move(c));
+  EXPECT_EQ(pool.retained(), 2u);
+  // Releasing a moved-from/empty arena is a no-op.
+  ShardArena empty;
+  pool.Release(std::move(empty));
+  EXPECT_EQ(pool.retained(), 2u);
 }
 
 TEST(ErasureCodecTest, StorageOverheadMatchesPaper) {

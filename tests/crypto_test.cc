@@ -173,6 +173,51 @@ TEST(ChaCha20Test, DifferentKeysDifferentStreams) {
   EXPECT_NE(c1, c2);
 }
 
+// The multi-block bulk kernels (4-block portable, 8-block AVX2) must produce
+// the identical stream to the single-block Block() reference at every size
+// around their group boundaries, and at non-zero initial counters.
+TEST(ChaCha20Test, MultiBlockMatchesBlockReference) {
+  Rng rng(5);
+  Bytes key = rng.RandomBytes(32);
+  Bytes nonce = rng.RandomBytes(12);
+  for (uint32_t counter : {0u, 1u, 12345u}) {
+    for (size_t size : {255u, 256u, 257u, 511u, 512u, 513u, 520u, 1023u,
+                        2048u, 4096u + 37u}) {
+      Bytes plaintext = rng.RandomBytes(size);
+      Bytes got = ChaCha20::Crypt(key, nonce, counter, plaintext);
+      Bytes want = plaintext;
+      for (size_t off = 0; off < size; off += 64) {
+        auto block = ChaCha20::Block(
+            key, nonce, counter + static_cast<uint32_t>(off / 64));
+        const size_t n = std::min<size_t>(64, size - off);
+        for (size_t i = 0; i < n; ++i) {
+          want[off + i] ^= block[i];
+        }
+      }
+      ASSERT_EQ(got, want) << "size=" << size << " counter=" << counter;
+    }
+  }
+}
+
+// Encrypting in chunks with counter offsets (how striped units address the
+// file-wide keystream) equals encrypting the whole buffer in one call.
+TEST(ChaCha20Test, ChunkedCounterOffsetsMatchWholeStream) {
+  Rng rng(6);
+  Bytes key = rng.RandomBytes(32);
+  Bytes nonce = rng.RandomBytes(12);
+  const size_t kChunk = 1024;  // 16 blocks; a multiple of 64
+  Bytes plaintext = rng.RandomBytes(kChunk * 3 + 100);
+  Bytes whole = ChaCha20::Crypt(key, nonce, 7, plaintext);
+  Bytes chunked = plaintext;
+  for (size_t off = 0; off < chunked.size(); off += kChunk) {
+    const size_t n = std::min(kChunk, chunked.size() - off);
+    ChaCha20::CryptInPlace(key, nonce,
+                           7 + static_cast<uint32_t>(off / 64),
+                           ByteSpan(chunked.data() + off, n));
+  }
+  EXPECT_EQ(chunked, whole);
+}
+
 struct ShamirParam {
   unsigned shares;
   unsigned threshold;
@@ -194,6 +239,46 @@ TEST_P(SecretSharingParamTest, SplitCombineRoundTrip) {
   auto recovered = SecretSharing::Combine(subset, param.threshold);
   ASSERT_TRUE(recovered.ok());
   EXPECT_EQ(*recovered, secret);
+}
+
+TEST_P(SecretSharingParamTest, RecoverShareIsByteIdentical) {
+  Rng rng(42);
+  const auto param = GetParam();
+  Bytes secret = rng.RandomBytes(32);
+  auto shares = SecretSharing::Split(secret, param.shares, param.threshold,
+                                     rng);
+  ASSERT_TRUE(shares.ok());
+  // Any `threshold` shares re-derive every original share exactly — this is
+  // what lets scrub repair rebuild a lost cloud's object byte-identically.
+  std::vector<SecretShare> subset(shares->begin(),
+                                  shares->begin() + param.threshold);
+  for (unsigned target = 0; target < param.shares; ++target) {
+    auto recovered = SecretSharing::RecoverShare(subset, param.threshold,
+                                                 (*shares)[target].index);
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(recovered->index, (*shares)[target].index);
+    EXPECT_EQ(recovered->data, (*shares)[target].data);
+  }
+  // A recovered share composes with survivors to rebuild the secret.
+  std::vector<SecretShare> mixed(shares->begin() + 1,
+                                 shares->begin() + param.threshold);
+  auto share0 = SecretSharing::RecoverShare(subset, param.threshold,
+                                            (*shares)[0].index);
+  ASSERT_TRUE(share0.ok());
+  mixed.push_back(*share0);
+  auto combined = SecretSharing::Combine(mixed, param.threshold);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(*combined, secret);
+}
+
+TEST(SecretSharingTest, RecoverShareRejectsBadInput) {
+  Rng rng(1);
+  auto shares = SecretSharing::Split(rng.RandomBytes(16), 4, 2, rng);
+  ASSERT_TRUE(shares.ok());
+  std::vector<SecretShare> subset(shares->begin(), shares->begin() + 2);
+  EXPECT_FALSE(SecretSharing::RecoverShare(subset, 2, 0).ok());
+  std::vector<SecretShare> too_few(shares->begin(), shares->begin() + 1);
+  EXPECT_FALSE(SecretSharing::RecoverShare(too_few, 2, 3).ok());
 }
 
 TEST_P(SecretSharingParamTest, BelowThresholdFails) {

@@ -10,6 +10,7 @@
 #include "src/cloud/simulated_cloud.h"
 #include "src/common/rng.h"
 #include "src/crypto/sha1.h"
+#include "src/crypto/sha256.h"
 #include "src/depsky/depsky.h"
 
 namespace scfs {
@@ -41,6 +42,26 @@ class DepSkyTest : public ::testing::Test {
     config.mode = mode;
     config.preferred_quorums = preferred;
     config.auth_key = ToBytes("deployment-auth-key");
+    std::vector<DepSkyCloud> set;
+    for (auto& cloud : clouds_) {
+      set.push_back(DepSkyCloud{cloud.get(),
+                                {cloud->provider_name() + ":" + user}});
+    }
+    return DepSkyClient(env_.get(), std::move(set), config, 1234);
+  }
+
+  // Client with a small stripe geometry so striping tests stay fast; a
+  // threshold of 0 disables striping entirely.
+  DepSkyClient MakeStripedClient(const std::string& user,
+                                 size_t threshold = 1024,
+                                 size_t unit_size = 1024,
+                                 unsigned inflight = 4) {
+    DepSkyConfig config;
+    config.f = 1;
+    config.auth_key = ToBytes("deployment-auth-key");
+    config.stripe_threshold = threshold;
+    config.stripe_unit_size = unit_size;
+    config.stripe_inflight = inflight;
     std::vector<DepSkyCloud> set;
     for (auto& cloud : clouds_) {
       set.push_back(DepSkyCloud{cloud.get(),
@@ -83,6 +104,79 @@ TEST_F(DepSkyTest, MetadataEncodeDecodeRoundTrip) {
   ASSERT_EQ(decoded->grants.size(), 1u);
   EXPECT_TRUE(decoded->grants[0].read);
   EXPECT_FALSE(decoded->grants[0].write);
+}
+
+TEST_F(DepSkyTest, MetadataStripeManifestRoundTrip) {
+  DepSkyMetadata md;
+  md.n = 4;
+  md.k = 2;
+  // Version 1 monolithic, version 2 striped: the stripe section must carry
+  // only the striped version and leave the monolithic one untouched.
+  DepSkyVersion mono;
+  mono.version = 1;
+  mono.content_hash = "aaaa";
+  mono.size = 10;
+  mono.shard_hashes = {Bytes(32, 1), Bytes(32, 2), Bytes(32, 3), Bytes(32, 4)};
+  mono.cloud_shard = {0, 1, 2, 3};
+  md.versions.push_back(mono);
+  DepSkyVersion striped;
+  striped.version = 2;
+  striped.content_hash = "bbbb";
+  striped.size = 10 * 1024 * 1024;
+  striped.nonce = Bytes(12, 7);
+  striped.stripe_unit_size = 4 * 1024 * 1024;
+  for (int u = 0; u < 3; ++u) {
+    DepSkyStripeUnit unit;
+    unit.content_hash = Bytes(32, static_cast<uint8_t>(0x10 + u));
+    unit.shard_hashes = {Bytes(32, 5), Bytes(32, 6), Bytes(32, 7),
+                         Bytes(32, 8)};
+    unit.cloud_shard = {3, 2, 1, -1};
+    striped.stripe_units.push_back(unit);
+  }
+  md.versions.push_back(striped);
+
+  Bytes key = ToBytes("k");
+  auto decoded = DepSkyMetadata::Decode(md.Encode(key), key);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->versions.size(), 2u);
+  EXPECT_FALSE(decoded->versions[0].striped());
+  EXPECT_TRUE(decoded->versions[0].stripe_units.empty());
+  const auto& v = decoded->versions[1];
+  ASSERT_TRUE(v.striped());
+  EXPECT_EQ(v.stripe_unit_size, 4u * 1024 * 1024);
+  ASSERT_EQ(v.stripe_units.size(), 3u);
+  EXPECT_EQ(v.stripe_units[1].content_hash, Bytes(32, 0x11));
+  ASSERT_EQ(v.stripe_units[2].shard_hashes.size(), 4u);
+  EXPECT_EQ(v.stripe_units[2].shard_hashes[3], Bytes(32, 8));
+  EXPECT_EQ(v.stripe_units[0].cloud_shard,
+            (std::vector<int32_t>{3, 2, 1, -1}));
+}
+
+TEST_F(DepSkyTest, MetadataWithoutStripesEncodesWithoutStripeSection) {
+  // Monolithic-only metadata must serialize byte-identically to the
+  // pre-stripe format: the trailing section is appended only when some
+  // version is striped, so the encoding of a non-striped record ends right
+  // after the grants.
+  DepSkyMetadata md;
+  md.n = 4;
+  md.k = 2;
+  DepSkyVersion v;
+  v.version = 1;
+  v.content_hash = "aaaa";
+  v.shard_hashes = {Bytes(32, 1)};
+  v.cloud_shard = {0};
+  md.versions.push_back(v);
+  Bytes key = ToBytes("k");
+  Bytes plain = md.Encode(key);
+
+  md.versions[0].stripe_unit_size = 1024;
+  md.versions[0].stripe_units.resize(2);
+  Bytes with_stripes = md.Encode(key);
+  EXPECT_GT(with_stripes.size(), plain.size());
+
+  md.versions[0].stripe_unit_size = 0;
+  md.versions[0].stripe_units.clear();
+  EXPECT_EQ(md.Encode(key), plain);
 }
 
 TEST_F(DepSkyTest, MetadataAuthenticatorRejectsTampering) {
@@ -404,6 +498,248 @@ TEST_F(DepSkyTest, EventualConsistencyNotFoundUntilVisible) {
             ErrorCode::kNotFound);
   env_->Sleep(6 * kSecond);
   EXPECT_EQ(*client.ReadByHash("f", ContentHash(v2)), v2);
+}
+
+// ---------------------------------------------------------------------------
+// Striped large-file data plane
+// ---------------------------------------------------------------------------
+
+TEST_F(DepSkyTest, StripedWriteReadRoundTrip) {
+  auto client = MakeStripedClient("alice");
+  Bytes data = Rng(77).RandomBytes(10 * 1024 + 37);  // 11 units, last partial
+  ASSERT_TRUE(client.WriteVersion("f", ContentHash(data), data).ok());
+
+  auto md = client.ReadMetadata("f");
+  ASSERT_TRUE(md.ok());
+  ASSERT_EQ(md->versions.size(), 1u);
+  const DepSkyVersion& v = md->versions.back();
+  EXPECT_TRUE(v.striped());
+  EXPECT_EQ(v.stripe_unit_size, 1024u);
+  ASSERT_EQ(v.stripe_units.size(), 11u);
+  // Per-object records live in the stripe units, not the version.
+  EXPECT_TRUE(v.shard_hashes.empty());
+  EXPECT_TRUE(v.cloud_shard.empty());
+  for (const auto& su : v.stripe_units) {
+    EXPECT_EQ(su.shard_hashes.size(), kClouds);
+    EXPECT_EQ(su.cloud_shard.size(), kClouds);
+    EXPECT_EQ(su.content_hash.size(), 32u);
+  }
+  EXPECT_EQ(*client.ReadByHash("f", ContentHash(data)), data);
+  EXPECT_EQ(*client.ReadLatest("f"), data);
+}
+
+TEST_F(DepSkyTest, BelowThresholdWritesAreByteIdenticalToUnstripedClient) {
+  // Same seed, same data, one client with striping enabled and one with it
+  // disabled: a below-threshold write must produce byte-identical stored
+  // objects — the feature must not perturb the existing single-object path.
+  auto striped = MakeStripedClient("alice", /*threshold=*/1024);
+  auto plain = MakeStripedClient("alice", /*threshold=*/0);
+  Bytes data = Rng(5).RandomBytes(1000);  // exactly at/below the threshold
+  ASSERT_TRUE(striped.WriteVersion("a", ContentHash(data), data).ok());
+  ASSERT_TRUE(plain.WriteVersion("b", ContentHash(data), data).ok());
+
+  auto md = striped.ReadMetadata("a");
+  ASSERT_TRUE(md.ok());
+  EXPECT_FALSE(md->versions.back().striped());
+
+  for (unsigned i = 0; i < kClouds; ++i) {
+    auto from_striped =
+        clouds_[i]->PeekLatest(DepSkyClient::ValueKey("a", 1));
+    auto from_plain = clouds_[i]->PeekLatest(DepSkyClient::ValueKey("b", 1));
+    ASSERT_EQ(from_striped.ok(), from_plain.ok()) << "cloud " << i;
+    if (from_striped.ok()) {
+      EXPECT_EQ(*from_striped, *from_plain) << "cloud " << i;
+    }
+  }
+}
+
+TEST_F(DepSkyTest, StripedReadAtBoundaries) {
+  auto client = MakeStripedClient("alice");
+  const size_t kUnit = 1024;
+  Bytes data = Rng(9).RandomBytes(10 * kUnit + 37);
+  const std::string hash = ContentHash(data);
+  ASSERT_TRUE(client.WriteVersion("f", hash, data).ok());
+
+  auto slice = [&](uint64_t offset, size_t length) {
+    length = std::min<uint64_t>(length, data.size() - offset);
+    return Bytes(data.begin() + offset, data.begin() + offset + length);
+  };
+
+  // Exactly one full unit.
+  EXPECT_EQ(*client.ReadAt("f", hash, kUnit, kUnit), slice(kUnit, kUnit));
+  // Start mid-unit.
+  EXPECT_EQ(*client.ReadAt("f", hash, 1500, 100), slice(1500, 100));
+  // End mid-unit.
+  EXPECT_EQ(*client.ReadAt("f", hash, kUnit, 1500), slice(kUnit, 1500));
+  // Span several units with ragged edges on both sides.
+  EXPECT_EQ(*client.ReadAt("f", hash, 500, 5 * kUnit - 7),
+            slice(500, 5 * kUnit - 7));
+  // Tail read into the partial last unit, clamped at EOF.
+  EXPECT_EQ(*client.ReadAt("f", hash, data.size() - 10, 100),
+            slice(data.size() - 10, 100));
+  // Whole file.
+  EXPECT_EQ(*client.ReadAt("f", hash, 0, data.size()), data);
+  // Past EOF / empty.
+  EXPECT_TRUE(client.ReadAt("f", hash, data.size() + 5, 10)->empty());
+  EXPECT_TRUE(client.ReadAt("f", hash, 0, 0)->empty());
+}
+
+TEST_F(DepSkyTest, ReadAtOnMonolithicVersionSlices) {
+  auto client = MakeClient("alice");
+  Bytes data = Rng(11).RandomBytes(5000);
+  const std::string hash = ContentHash(data);
+  ASSERT_TRUE(client.WriteVersion("f", hash, data).ok());
+  EXPECT_EQ(*client.ReadAt("f", hash, 1234, 600),
+            Bytes(data.begin() + 1234, data.begin() + 1234 + 600));
+  EXPECT_TRUE(client.ReadAt("f", hash, 9999, 10)->empty());
+}
+
+TEST_F(DepSkyTest, StripedUnitsSurviveIndependentShardLoss) {
+  // Each stripe unit is an independent erasure group: every unit may lose up
+  // to f shards — at a *different* cloud per unit — and the file must still
+  // reassemble.
+  auto client = MakeStripedClient("alice");
+  Bytes data = Rng(13).RandomBytes(8 * 1024);
+  const std::string hash = ContentHash(data);
+  ASSERT_TRUE(client.WriteVersion("f", hash, data).ok());
+
+  auto md = client.ReadMetadata("f");
+  ASSERT_TRUE(md.ok());
+  const DepSkyVersion& v = md->versions.back();
+  ASSERT_TRUE(v.striped());
+  for (size_t u = 0; u < v.stripe_units.size(); ++u) {
+    // Rotate which holder loses its object from unit to unit.
+    std::vector<unsigned> holders;
+    for (unsigned c = 0; c < kClouds; ++c) {
+      if (v.stripe_units[u].cloud_shard[c] >= 0) {
+        holders.push_back(c);
+      }
+    }
+    ASSERT_GE(holders.size(), 3u);
+    const unsigned victim = holders[u % holders.size()];
+    ASSERT_TRUE(clouds_[victim]
+                    ->Delete({clouds_[victim]->provider_name() + ":alice"},
+                             DepSkyClient::StripeValueKey("f", v.version, u))
+                    .ok());
+  }
+  EXPECT_EQ(*client.ReadByHash("f", hash), data);
+}
+
+// ---------------------------------------------------------------------------
+// Scrub & repair
+// ---------------------------------------------------------------------------
+
+TEST_F(DepSkyTest, ScrubOnHealthyUnitReportsFullRedundancy) {
+  auto client = MakeStripedClient("alice");
+  Bytes data = Rng(17).RandomBytes(4 * 1024);
+  ASSERT_TRUE(client.WriteVersion("f", ContentHash(data), data).ok());
+  auto report = client.ScrubUnit("f");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->versions_checked, 1u);
+  EXPECT_GT(report->objects_checked, 0u);
+  EXPECT_EQ(report->objects_missing, 0u);
+  EXPECT_EQ(report->objects_repaired, 0u);
+  EXPECT_TRUE(report->fully_redundant);
+}
+
+TEST_F(DepSkyTest, ScrubRebuildsLostStripeShardsByteIdentically) {
+  auto client = MakeStripedClient("alice");
+  Bytes data = Rng(19).RandomBytes(6 * 1024);
+  const std::string hash = ContentHash(data);
+  ASSERT_TRUE(client.WriteVersion("f", hash, data).ok());
+
+  auto md = client.ReadMetadata("f");
+  ASSERT_TRUE(md.ok());
+  const DepSkyVersion v = md->versions.back();
+  ASSERT_TRUE(v.striped());
+
+  // Lose one stored object per unit (rotating holders), then scrub.
+  std::vector<std::pair<unsigned, std::string>> lost;  // (cloud, key)
+  for (size_t u = 0; u < v.stripe_units.size(); ++u) {
+    std::vector<unsigned> holders;
+    for (unsigned c = 0; c < kClouds; ++c) {
+      if (v.stripe_units[u].cloud_shard[c] >= 0) {
+        holders.push_back(c);
+      }
+    }
+    const unsigned victim = holders[u % holders.size()];
+    const std::string key = DepSkyClient::StripeValueKey("f", v.version, u);
+    ASSERT_TRUE(clouds_[victim]
+                    ->Delete({clouds_[victim]->provider_name() + ":alice"}, key)
+                    .ok());
+    lost.emplace_back(victim, key);
+  }
+
+  auto report = client.ScrubUnit("f");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->objects_missing, v.stripe_units.size());
+  EXPECT_EQ(report->objects_repaired, v.stripe_units.size());
+  EXPECT_EQ(report->objects_relocated, 0u);
+  EXPECT_EQ(report->repair_failures, 0u);
+
+  // The rebuilt objects hash-match the manifest (byte-identical repair), so
+  // the metadata needed no update and a second pass finds nothing missing.
+  for (size_t u = 0; u < lost.size(); ++u) {
+    auto restored = clouds_[lost[u].first]->PeekLatest(lost[u].second);
+    ASSERT_TRUE(restored.ok()) << "unit " << u;
+    const unsigned shard = static_cast<unsigned>(
+        v.stripe_units[u].cloud_shard[lost[u].first]);
+    EXPECT_EQ(Sha256::Hash(*restored), v.stripe_units[u].shard_hashes[shard]);
+  }
+  auto second = client.ScrubUnit("f");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->objects_missing, 0u);
+  EXPECT_TRUE(second->fully_redundant);
+  EXPECT_EQ(*client.ReadByHash("f", hash), data);
+}
+
+TEST_F(DepSkyTest, ScrubRelocatesShardWhenHolderStaysDown) {
+  auto client = MakeClient("alice");
+  Bytes data = Rng(23).RandomBytes(5000);
+  const std::string hash = ContentHash(data);
+  ASSERT_TRUE(client.WriteVersion("f", hash, data).ok());
+
+  auto md = client.ReadMetadata("f");
+  ASSERT_TRUE(md.ok());
+  const DepSkyVersion v = md->versions.back();
+  // Preferred quorums leave one cloud without a shard — the relocation target.
+  int spare = -1;
+  unsigned holder = 0;
+  for (unsigned c = 0; c < kClouds; ++c) {
+    if (v.cloud_shard[c] < 0) {
+      spare = static_cast<int>(c);
+    } else {
+      holder = c;
+    }
+  }
+  ASSERT_GE(spare, 0);
+
+  // The holder loses the object *and* stays unreachable: in-place repair is
+  // impossible, so the scrubber must move the shard to the spare cloud and
+  // update the metadata map.
+  ASSERT_TRUE(clouds_[holder]
+                  ->Delete({clouds_[holder]->provider_name() + ":alice"},
+                           DepSkyClient::ValueKey("f", v.version))
+                  .ok());
+  clouds_[holder]->faults().SetUnavailable(true);
+
+  auto report = client.ScrubUnit("f");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->objects_missing, 1u);
+  EXPECT_EQ(report->objects_repaired, 0u);
+  EXPECT_EQ(report->objects_relocated, 1u);
+  EXPECT_EQ(report->repair_failures, 0u);
+
+  auto after = client.ReadMetadata("f");
+  ASSERT_TRUE(after.ok());
+  const DepSkyVersion& moved = after->versions.back();
+  EXPECT_EQ(moved.cloud_shard[holder], -1);
+  EXPECT_EQ(moved.cloud_shard[static_cast<unsigned>(spare)],
+            v.cloud_shard[holder]);
+
+  // Readable with the dead cloud still dead.
+  EXPECT_EQ(*client.ReadByHash("f", hash), data);
+  clouds_[holder]->faults().SetUnavailable(false);
 }
 
 }  // namespace

@@ -8,11 +8,16 @@
 #include <memory>
 #include <numeric>
 
+#include "src/chaos/campaign.h"
 #include "src/cloud/health.h"
 #include "src/cloud/simulated_cloud.h"
 #include "src/common/backoff.h"
 #include "src/crypto/sha1.h"
 #include "src/depsky/depsky.h"
+#include "src/scfs/background.h"
+#include "src/scfs/blob_backend.h"
+#include "src/scfs/scrubber.h"
+#include "src/sim/fault_schedule.h"
 
 namespace scfs {
 namespace {
@@ -355,6 +360,115 @@ TEST(BackoffPolicyTest, ZeroJitterIsExact) {
   EXPECT_EQ(policy.Delay(1, rng), FromMillis(20));
   EXPECT_EQ(policy.Delay(2, rng), FromMillis(40));
   EXPECT_EQ(policy.Delay(3, rng), FromMillis(40));  // capped
+}
+
+// ---------------------------------------------------------------------------
+// Chaos campaign + background scrubber: outage with data loss, repair after.
+// ---------------------------------------------------------------------------
+
+TEST(StripedRepairChaosTest, OutageWithDataLossScrubRestoresRedundancy) {
+  auto env = Environment::Instant();
+  std::vector<std::unique_ptr<SimulatedCloud>> clouds;
+  for (unsigned i = 0; i < 4; ++i) {
+    CloudProfile profile;
+    profile.name = "cloud" + std::to_string(i);
+    clouds.push_back(
+        std::make_unique<SimulatedCloud>(profile, env.get(), 60 + i));
+  }
+  DepSkyConfig config;
+  config.f = 1;
+  config.auth_key = ToBytes("deployment-auth-key");
+  config.stripe_threshold = 1024;
+  config.stripe_unit_size = 1024;
+  config.stripe_inflight = 4;
+  std::vector<DepSkyCloud> set;
+  for (auto& cloud : clouds) {
+    set.push_back(DepSkyCloud{cloud.get(),
+                              {cloud->provider_name() + ":alice"}});
+  }
+  auto client =
+      std::make_shared<DepSkyClient>(env.get(), std::move(set), config, 777);
+  DepSkyBackend backend(client);
+  // The scrubber rides a serialized background lane, like every other
+  // non-blocking stage.
+  BackgroundUploaderOptions lane_options;
+  lane_options.serialize = true;
+  BackgroundUploader lane(lane_options);
+  BackgroundScrubber scrubber(&backend, &lane);
+  scrubber.Track("f");
+
+  Bytes data = Rng(31).RandomBytes(8 * 1024);
+  const std::string hash = HexEncode(Sha1::Hash(data));
+  ASSERT_TRUE(backend.WriteVersion("f", hash, data, {}).ok());
+
+  auto md = client->ReadMetadata("f");
+  ASSERT_TRUE(md.ok());
+  const DepSkyVersion version = md->versions.back();
+  ASSERT_TRUE(version.striped());
+
+  // Pick a cloud that holds a shard of every unit, fail it with a chaos
+  // campaign, and model permanent data loss: its stored objects for this
+  // file are gone when the provider comes back.
+  unsigned victim = 0;
+  for (unsigned c = 0; c < clouds.size(); ++c) {
+    bool holds_all = true;
+    for (const auto& su : version.stripe_units) {
+      holds_all = holds_all && su.cloud_shard[c] >= 0;
+    }
+    if (holds_all) {
+      victim = c;
+      break;
+    }
+  }
+  for (size_t u = 0; u < version.stripe_units.size(); ++u) {
+    ASSERT_TRUE(
+        clouds[victim]
+            ->Delete({clouds[victim]->provider_name() + ":alice"},
+                     DepSkyClient::StripeValueKey("f", version.version, u))
+            .ok());
+  }
+  auto schedule = ParseFaultSchedule(
+      "kind=outage cloud=" + std::to_string(victim) + " at=0ms for=200ms\n");
+  ASSERT_TRUE(schedule.ok());
+  ChaosTargets targets;
+  for (auto& cloud : clouds) {
+    targets.clouds.push_back(cloud.get());
+  }
+  ChaosRunner runner(env.get(), *schedule, std::move(targets));
+  ASSERT_TRUE(runner.Start().ok());
+
+  // Clients read throughout the outage: the quorum protocol masks the lost
+  // cloud, so not a single client operation may fail.
+  int client_errors = 0;
+  while (env->Now() < runner.origin() + schedule->horizon()) {
+    auto read = backend.ReadByHash("f", hash);
+    if (!read.ok() || *read != data) {
+      ++client_errors;
+    }
+    env->Sleep(20 * kMillisecond);
+  }
+  runner.Join();
+  EXPECT_EQ(client_errors, 0);
+
+  // The outage is over but redundancy is still degraded (objects lost). One
+  // background scrub pass restores it — in place where the provider accepts
+  // the re-upload, relocated to the spare cloud where it does not.
+  ASSERT_TRUE(scrubber.SchedulePass().Get().ok());
+  lane.Drain();
+  BackgroundScrubber::Stats stats = scrubber.stats();
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_EQ(stats.units_scrubbed, 1u);
+  EXPECT_EQ(stats.objects_missing, version.stripe_units.size());
+  EXPECT_EQ(stats.objects_repaired + stats.objects_relocated,
+            version.stripe_units.size());
+  EXPECT_EQ(stats.repair_failures, 0u);
+
+  // A verification pass finds every recorded holder hash-valid again.
+  auto verify = scrubber.RunPassNow();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_EQ(verify->objects_missing, 0u);
+  EXPECT_TRUE(verify->fully_redundant);
+  EXPECT_EQ(*backend.ReadByHash("f", hash), data);
 }
 
 }  // namespace

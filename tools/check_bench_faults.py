@@ -22,6 +22,12 @@ error rate within a loose margin of the baseline) — transient bursts at
 p=0.5 may lose an occasional op race without invalidating the run. Stdlib
 only, like tools/check_bench_scenarios.py.
 
+Also gates the stripe-repair drill (stripe_repair_* records): a striped
+large file must ride out a single-cloud outage with zero client-visible
+errors, and after the outage wipes that cloud's stored objects, one
+scrubber pass must rebuild every lost object (no repair failures), leave
+the manifest fully redundant, and the file must read back byte-identical.
+
 Usage: check_bench_faults.py [path-to-BENCH_faults.json]
 """
 
@@ -126,9 +132,60 @@ def main() -> int:
         rc |= fail("no outage campaign in the run — the gated scenario "
                    "(single-cloud outage, f=1) is missing")
 
+    rc |= check_stripe_repair(metrics)
+
     if rc == 0:
         print(f"OK: {len(pairs)} campaign runs, {outage_pairs} outage "
-              "campaigns gated")
+              "campaigns gated, stripe-repair drill gated")
+    return rc
+
+
+STRIPE_REPAIR_REQUIRED = [
+    "units", "reads_during_outage", "client_errors", "objects_wiped",
+    "objects_missing", "objects_repaired", "objects_relocated", "failures",
+    "pass_ms", "mb_s", "fully_redundant", "verify_ok",
+]
+
+
+def check_stripe_repair(metrics) -> int:
+    missing = [k for k in STRIPE_REPAIR_REQUIRED
+               if "stripe_repair_" + k not in metrics]
+    if missing:
+        return fail(f"stripe repair drill: missing metrics {missing}")
+    m = {k: metrics["stripe_repair_" + k] for k in STRIPE_REPAIR_REQUIRED}
+    print(f"stripe_repair: {m['units']:.0f} units, "
+          f"{m['reads_during_outage']:.0f} reads during outage "
+          f"({m['client_errors']:.0f} errors), "
+          f"{m['objects_wiped']:.0f} wiped -> "
+          f"{m['objects_repaired']:.0f} repaired "
+          f"at {m['mb_s']:.0f} MB/s")
+
+    rc = 0
+    if m["objects_wiped"] <= 0:
+        rc |= fail("stripe repair drill wiped no objects — the outage "
+                   "injected no data loss, so the pass gated nothing")
+    if m["client_errors"] != 0:
+        rc |= fail(f"stripe repair drill: {m['client_errors']:.0f} client "
+                   "errors during the outage — an f=1 single-cloud outage "
+                   "must be fully masked for striped reads too")
+    if m["objects_missing"] < m["objects_wiped"]:
+        rc |= fail(f"stripe repair drill: scrub found only "
+                   f"{m['objects_missing']:.0f} of {m['objects_wiped']:.0f} "
+                   "wiped objects missing — the probe is not covering every "
+                   "recorded holder")
+    if m["objects_repaired"] < m["objects_missing"]:
+        rc |= fail(f"stripe repair drill: {m['objects_repaired']:.0f} of "
+                   f"{m['objects_missing']:.0f} missing objects repaired — "
+                   "in-place rebuild failed with the holder back up")
+    if m["failures"] != 0:
+        rc |= fail(f"stripe repair drill: {m['failures']:.0f} repair "
+                   "failures")
+    if m["fully_redundant"] != 1:
+        rc |= fail("stripe repair drill: manifest not fully redundant after "
+                   "the repair pass")
+    if m["verify_ok"] != 1:
+        rc |= fail("stripe repair drill: file did not read back "
+                   "byte-identical after repair")
     return rc
 
 
