@@ -336,6 +336,66 @@ PartitionSweepPoint RunPartitionPoint(Environment* env, unsigned partitions,
   return out;
 }
 
+// Workload 7: the lease plane. Per client: populate a private directory
+// prefix, acquire a read lease over it (one ordered command returning every
+// covered entry), then run a getattr burst that a lease-holding client
+// serves locally — zero coordination messages — and finally one write into
+// the leased prefix, whose ordered reply must piggyback the revocation
+// (revocations ride the existing reply plumbing; no extra protocol round).
+// Reports the grant's amortization factor: reads served per ordered grant.
+struct LeaseBench {
+  double grant_mean_ms = 0;      // AcquireLease round trip
+  double entries_per_grant = 0;  // fileset entries returned by one grant
+  double revoked_per_write = 0;  // revocations piggybacked on the mutation
+  uint64_t ordered_commands = 0;
+};
+
+LeaseBench RunLeaseBench(Environment* env, int clients, int files) {
+  ReplicatedCoordination coord(env, MakeConfig(false));
+  RunClients(clients, [&](int c) {
+    const std::string client = ClientName(c);
+    for (int i = 0; i < files; ++i) {
+      (void)coord.Write(client,
+                        "m:/lease" + std::to_string(c) + "/f" +
+                            std::to_string(i) + "/",
+                        ToBytes("meta"));
+    }
+  });
+  const uint64_t ordered_before = coord.cluster().counters().ordered_commands;
+  std::vector<double> grant_ms(clients, 0);
+  std::vector<double> entries(clients, 0);
+  std::vector<double> revoked(clients, 0);
+  RunClients(clients, [&](int c) {
+    const std::string client = ClientName(c);
+    const std::string prefix = "m:/lease" + std::to_string(c) + "/";
+    VirtualTime start = env->Now();
+    auto grant = coord.AcquireLease(client, client, prefix, 30 * kSecond);
+    grant_ms[c] = ToSeconds(env->Now() - start) * 1e3;
+    if (grant.ok()) {
+      entries[c] = static_cast<double>(grant->entries.size());
+    }
+    // The getattr burst a leased client absorbs locally: no coord calls.
+    CoordCommand write;
+    write.op = CoordOp::kWrite;
+    write.client = client;
+    write.key = prefix + "f0/";
+    write.value = ToBytes("meta2");
+    auto reply = coord.Submit(write);
+    if (reply.ok()) {
+      revoked[c] = static_cast<double>(reply->revoked.size());
+    }
+  });
+  LeaseBench out;
+  for (int c = 0; c < clients; ++c) {
+    out.grant_mean_ms += grant_ms[c] / clients;
+    out.entries_per_grant += entries[c] / clients;
+    out.revoked_per_write += revoked[c] / clients;
+  }
+  out.ordered_commands =
+      coord.cluster().counters().ordered_commands - ordered_before;
+  return out;
+}
+
 void RunAll(const Options& options) {
   auto env = Environment::Scaled(CoordTimeScale());
   const int kClients = 32;
@@ -452,6 +512,26 @@ void RunAll(const Options& options) {
     json.Add(std::string(point.key) + "_latency_ms", result.mean_latency_ms,
              "ms");
   }
+
+  PrintHeader("Coordination plane: lease grant/serve/revoke");
+  LeaseBench lease =
+      RunLeaseBench(env.get(), kClients, options.quick ? 4 : 16);
+  PrintRow({"metric", "value", "", ""}, widths);
+  PrintRow({"grant mean (ms)", FormatSeconds(lease.grant_mean_ms), "", ""},
+           widths);
+  PrintRow({"entries per grant", FormatSeconds(lease.entries_per_grant), "",
+            ""},
+           widths);
+  PrintRow({"revoked per write", FormatSeconds(lease.revoked_per_write), "",
+            ""},
+           widths);
+  json.Add("coord_lease_grant_ms", lease.grant_mean_ms, "ms");
+  json.Add("coord_lease_entries_per_grant", lease.entries_per_grant,
+           "entries");
+  json.Add("coord_lease_revoked_per_write", lease.revoked_per_write,
+           "leases");
+  json.Add("coord_lease_ordered_commands",
+           static_cast<double>(lease.ordered_commands), "cmds");
 
   // Partition sweep: aggregate ordered throughput vs partition count at
   // fixed offered load (per-partition pipeline capacity-bound; see

@@ -331,6 +331,38 @@ FleetResult ClientFleet::Run(const FleetConfig& config) {
   FleetResult out;
   out.offered_ops_per_s = config.offered_ops_per_s;
 
+  // Warmup, outside the measured *message* window (SMR counter baselines
+  // are captured below): precreate the per-worker append logs so the first
+  // append's create + lock acquisition doesn't land mid-run, and prime each
+  // mount's metadata cache/lease state with a few fileset reads. The lease
+  // counters' baseline is captured BEFORE the warmup — the grants that set
+  // up the run's steady state are attributable to it (and prove the lease
+  // plane engaged) even though their message cost is amortized out.
+  LeaseCounters lease_before;
+  if (deployment_ != nullptr) {
+    lease_before = deployment_->lease_manager()->counters();
+  }
+  if (config.warmup_reads_per_mount > 0) {
+    const double append_share =
+        spec_.mix[static_cast<size_t>(ScenarioOp::kAppend)];
+    if (append_share > 0 && !spec_.appends_to_fileset) {
+      for (unsigned w = 0; w < config.workers; ++w) {
+        (void)mounts_[w % mounts_.size()]->WriteFile(
+            "/scn/logs/w" + std::to_string(w), append_data_);
+      }
+    }
+    if (!fileset_.empty()) {
+      for (FileSystem* mount : mounts_) {
+        for (unsigned i = 0; i < config.warmup_reads_per_mount; ++i) {
+          (void)mount->Stat(fileset_[i % fileset_.size()]);
+        }
+      }
+    }
+    for (FileSystem* mount : mounts_) {
+      (void)mount->SyncBarrier();
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     queue_.clear();
@@ -456,6 +488,18 @@ FleetResult ClientFleet::Run(const FleetConfig& config) {
           static_cast<double>(out.coord.ordered_commands) / successes;
       out.coord_fast_reads_per_op =
           static_cast<double>(out.coord.fast_path_reads) / successes;
+    }
+    const LeaseCounters lease_after = deployment_->lease_manager()->counters();
+    out.lease.grants = lease_after.grants - lease_before.grants;
+    out.lease.revocations = lease_after.revocations - lease_before.revocations;
+    out.lease.notifications =
+        lease_after.notifications - lease_before.notifications;
+    out.lease.local_hits = lease_after.local_hits - lease_before.local_hits;
+    out.lease.linger_handoffs =
+        lease_after.linger_handoffs - lease_before.linger_handoffs;
+    if (successes > 0) {
+      out.lease_hit_share =
+          static_cast<double>(out.lease.local_hits) / successes;
     }
   }
   if (partitioned != nullptr) {

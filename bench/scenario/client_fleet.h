@@ -35,6 +35,7 @@
 #include "bench/scenario/personality.h"
 #include "bench/scenario/samplers.h"
 #include "src/common/status.h"
+#include "src/coord/lease.h"
 #include "src/coord/smr.h"
 #include "src/fsapi/file_system.h"
 #include "src/sim/arrivals.h"
@@ -63,6 +64,12 @@ struct FleetConfig {
   // start). The fault benches intersect these with chaos-campaign windows
   // to report goodput inside faults and recovery time after them.
   VirtualDuration timeline_bucket = 0;
+  // Non-zero: before the counter baselines are captured, each mount issues
+  // this many metadata reads against the fileset (priming caches/leases)
+  // and the per-worker append logs are precreated, so steady-state runs
+  // measure steady-state cost rather than first-touch cold misses. Filebench
+  // personalities similarly separate fileset prealloc from measurement.
+  unsigned warmup_reads_per_mount = 0;
   uint64_t seed = 42;
 };
 
@@ -99,6 +106,12 @@ struct FleetResult {
   double coord_msgs_per_op = 0;        // total SMR messages / successful op
   double coord_ordered_per_op = 0;     // ordered commands / successful op
   double coord_fast_reads_per_op = 0;  // fast-path reads / successful op
+
+  // Lease-plane work attributable to this run (counter deltas; all zero for
+  // deployments with leases disabled). local_hits counts metadata reads the
+  // clients answered from a live lease with zero coordination messages.
+  LeaseCounters lease;
+  double lease_hit_share = 0;  // local_hits / successful op
 
   // Partitioned deployments only: per-partition coordination ops/s over the
   // run and the busiest partition's share of that total.

@@ -8,7 +8,10 @@ namespace scfs {
 
 namespace {
 
-bool IsCloudKind(FaultKind kind) { return kind != FaultKind::kReplicaRestart; }
+bool IsCloudKind(FaultKind kind) {
+  return kind != FaultKind::kReplicaRestart &&
+         kind != FaultKind::kLeaseExpiry;
+}
 
 std::string FormatMs(VirtualTime t) {
   return std::to_string(t / kMillisecond) + "ms";
@@ -36,10 +39,16 @@ Status ChaosRunner::Start() {
             " out of range (deployment has " +
             std::to_string(targets_.clouds.size()) + ")");
       }
-    } else if (!targets_.replica_hook) {
+    } else if (event.kind == FaultKind::kReplicaRestart &&
+               !targets_.replica_hook) {
       return InvalidArgumentError(
           "chaos campaign: schedule has replica events but the deployment "
           "has no replicated coordination");
+    } else if (event.kind == FaultKind::kLeaseExpiry &&
+               !targets_.lease_hook) {
+      return InvalidArgumentError(
+          "chaos campaign: schedule has lease events but the targets carry "
+          "no lease hook");
     }
   }
 
@@ -105,6 +114,16 @@ void ChaosRunner::ApplyEdge(const Edge& edge) {
 
   if (IsCloudKind(event.kind)) {
     ReapplyCloudState(event.target);
+  } else if (event.kind == FaultKind::kLeaseExpiry) {
+    // Suspended while ANY lease window is open: a window closing must not
+    // re-enable grants another still-open window suspends.
+    bool any_active = false;
+    for (size_t index : active_) {
+      any_active |= schedule_.events[index].kind == FaultKind::kLeaseExpiry;
+    }
+    if (targets_.lease_hook) {
+      targets_.lease_hook(any_active);
+    }
   } else if (targets_.replica_hook) {
     targets_.replica_hook(event.target, /*up=*/!edge.begin);
   }
@@ -143,6 +162,7 @@ void ChaosRunner::ReapplyCloudState(unsigned cloud) {
         byzantine = true;
         break;
       case FaultKind::kReplicaRestart:
+      case FaultKind::kLeaseExpiry:
         break;
     }
   }
@@ -159,6 +179,10 @@ ChaosTargets TargetsFor(Deployment* deployment) {
   for (unsigned i = 0; i < deployment->cloud_count(); ++i) {
     targets.clouds.push_back(deployment->cloud(i));
   }
+  LeaseManager* leases = deployment->lease_manager();
+  targets.lease_hook = [leases](bool suspended) {
+    leases->SetGrantsSuspended(suspended);
+  };
   if (auto* replicated = deployment->replicated_coord()) {
     targets.replica_hook = [replicated](unsigned replica, bool up) {
       if (up) {

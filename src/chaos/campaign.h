@@ -38,6 +38,11 @@ struct ChaosTargets {
   // Called with (replica, up): up=false crashes the replica, up=true
   // restarts it. May be null if the schedule has no replica events.
   std::function<void(unsigned replica, bool up)> replica_hook;
+  // Called with suspended=true when a lease_expiry window opens (the lease
+  // plane invalidates all delegated rights and declines new grants) and
+  // false when the last such window closes. May be null if the schedule has
+  // no lease events; a no-op on deployments with leases disabled.
+  std::function<void(bool suspended)> lease_hook;
 };
 
 class ChaosRunner {

@@ -41,6 +41,11 @@ Bytes CoordReply::Encode() const {
     AppendBytes(&out, entry.value);
     AppendU64(&out, entry.version);
   }
+  AppendU32(&out, static_cast<uint32_t>(revoked.size()));
+  for (const auto& revocation : revoked) {
+    AppendString(&out, revocation.prefix);
+    AppendU64(&out, revocation.epoch);
+  }
   return out;
 }
 
@@ -63,6 +68,17 @@ Result<CoordReply> CoordReply::Decode(const Bytes& data) {
         !reader.ReadBytes(&reply.entries[i].value) ||
         !reader.ReadU64(&reply.entries[i].version)) {
       return CorruptionError("truncated reply entries");
+    }
+  }
+  uint32_t revoked_count = 0;
+  if (!reader.ReadU32(&revoked_count)) {
+    return CorruptionError("truncated reply revocations");
+  }
+  reply.revoked.resize(revoked_count);
+  for (uint32_t i = 0; i < revoked_count; ++i) {
+    if (!reader.ReadString(&reply.revoked[i].prefix) ||
+        !reader.ReadU64(&reply.revoked[i].epoch)) {
+      return CorruptionError("truncated reply revocations");
     }
   }
   return reply;

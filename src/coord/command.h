@@ -36,6 +36,20 @@ enum class CoordOp : uint8_t {
   // linearization point of a multi-key move, and an import mutates.
   kExportPrefix,         // entries under key prefix, full ACL+version payload
   kImportEntry,          // key=new key, value=an exported entry payload
+  // Lease-delegated metadata caching (see src/coord/lease.h and DESIGN.md
+  // "Lease-delegated caching"). Both are always totally ordered: a grant is
+  // the linearization point after which the holder may serve the returned
+  // prefix snapshot locally, so it must serialize with every mutation.
+  kLeaseAcquire,         // key=prefix, aux=holder session, a=TTL (virtual us)
+  kLeaseRelease,         // key=prefix, aux=holder session
+};
+
+// A lease revoked as a side effect of executing a mutation, reported in the
+// mutation's own reply so the submitter can invalidate local holders BEFORE
+// the mutation is acknowledged (the no-stale-read-after-ack rule).
+struct LeaseRevocation {
+  std::string prefix;
+  uint64_t epoch = 0;
 };
 
 struct CoordCommand {
@@ -68,8 +82,12 @@ struct CoordEntryView {
 struct CoordReply {
   ErrorCode code = ErrorCode::kOk;
   Bytes value;
-  uint64_t a = 0;  // version / lock token
+  uint64_t a = 0;  // version / lock token / lease expiry (virtual us)
   std::vector<CoordEntryView> entries;
+  // Leases this command revoked while executing (mutations only; empty for
+  // reads and for the fast path, which cannot mutate). Deterministic across
+  // replicas, so bytewise reply voting still converges.
+  std::vector<LeaseRevocation> revoked;
 
   bool ok() const { return code == ErrorCode::kOk; }
   Status ToStatus(const std::string& context) const {

@@ -143,6 +143,38 @@ Status CoordinationService::ImportEntry(const std::string& client,
   return reply.ToStatus("coord import " + key);
 }
 
+Result<LeaseGrant> CoordinationService::AcquireLease(const std::string& client,
+                                                     const std::string& session,
+                                                     const std::string& prefix,
+                                                     VirtualDuration ttl) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kLeaseAcquire;
+  cmd.client = client;
+  cmd.key = prefix;
+  cmd.aux = session;
+  cmd.a = static_cast<uint64_t>(ttl);
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  RETURN_IF_ERROR(reply.ToStatus("coord lease acquire " + prefix));
+  LeaseGrant grant;
+  grant.expires_at = static_cast<VirtualTime>(reply.a);
+  grant.entries = std::move(reply.entries);
+  ByteReader reader(reply.value);
+  reader.ReadU64(&grant.epoch);  // empty for scattered multi-partition grants
+  return grant;
+}
+
+Status CoordinationService::ReleaseLease(const std::string& client,
+                                         const std::string& session,
+                                         const std::string& prefix) {
+  CoordCommand cmd;
+  cmd.op = CoordOp::kLeaseRelease;
+  cmd.client = client;
+  cmd.key = prefix;
+  cmd.aux = session;
+  ASSIGN_OR_RETURN(CoordReply reply, Submit(cmd));
+  return reply.ToStatus("coord lease release " + prefix);
+}
+
 Status CoordinationService::GrantEntryAccess(const std::string& owner,
                                              const std::string& key,
                                              const std::string& grantee,

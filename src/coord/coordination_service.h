@@ -25,6 +25,17 @@ struct CoordLock {
   uint64_t token = 0;
 };
 
+// The result of an ordered lease grant (see DESIGN.md "Lease-delegated
+// caching"): the holder may serve `entries` — a snapshot of everything under
+// the leased prefix it is allowed to read — locally until `expires_at`
+// (virtual time, compared against the same clock the state machine expires
+// with) or until a revocation notice arrives, whichever is first.
+struct LeaseGrant {
+  uint64_t epoch = 0;
+  VirtualTime expires_at = 0;
+  std::vector<CoordEntryView> entries;
+};
+
 class CoordinationService {
  public:
   virtual ~CoordinationService() = default;
@@ -97,6 +108,15 @@ class CoordinationService {
                                                    const std::string& prefix);
   Status ImportEntry(const std::string& client, const std::string& key,
                      const Bytes& payload);
+  // Lease-delegated caching: acquire (or renew — extend-only) a read lease
+  // on a key prefix for `session`, returning the grant snapshot. Both ride
+  // the ordered path so grants serialize with mutations.
+  Result<LeaseGrant> AcquireLease(const std::string& client,
+                                  const std::string& session,
+                                  const std::string& prefix,
+                                  VirtualDuration ttl);
+  Status ReleaseLease(const std::string& client, const std::string& session,
+                      const std::string& prefix);
 
   // -- Asynchronous typed wrappers -----------------------------------------
   // Futures over SubmitAsync; the charge semantics follow the future

@@ -1,0 +1,123 @@
+#include "src/coord/lease.h"
+
+namespace scfs {
+
+uint64_t LeaseManager::RegisterHolder(RevokeFn on_revoke) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_holder_id_++;
+  holders_.emplace(id, std::move(on_revoke));
+  return id;
+}
+
+void LeaseManager::UnregisterHolder(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  holders_.erase(id);
+}
+
+void LeaseManager::NotifyRevocations(
+    const std::vector<LeaseRevocation>& revoked) {
+  if (revoked.empty()) {
+    return;
+  }
+  revocations_.fetch_add(revoked.size());
+  // Snapshot the holder list, then invoke callbacks outside the lock: a
+  // holder's invalidation path may re-enter the manager (e.g. to record a
+  // counter) or take its own locks.
+  std::vector<RevokeFn> sinks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks.reserve(holders_.size());
+    for (const auto& [id, fn] : holders_) {
+      sinks.push_back(fn);
+    }
+  }
+  for (const auto& revocation : revoked) {
+    for (const auto& sink : sinks) {
+      notifications_.fetch_add(1);
+      sink(revocation.prefix);
+    }
+  }
+}
+
+void LeaseManager::InvalidateAll() {
+  // The empty prefix covers every key, so holders drop everything.
+  NotifyRevocations({LeaseRevocation{std::string(), 0}});
+}
+
+void LeaseManager::RegisterLingering(const std::string& lock_key,
+                                     ReleaseFn release) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lingering_[lock_key] = std::move(release);
+}
+
+void LeaseManager::UnregisterLingering(const std::string& lock_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lingering_.erase(lock_key);
+}
+
+bool LeaseManager::RequestLockRelease(const std::string& lock_key) {
+  ReleaseFn release;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = lingering_.find(lock_key);
+    if (it == lingering_.end()) {
+      return false;
+    }
+    release = it->second;
+    lingering_.erase(it);
+  }
+  // Outside the registry lock: the holder's release path takes its own
+  // mutex and submits an ordered unlock.
+  if (!release()) {
+    return false;
+  }
+  linger_handoffs_.fetch_add(1);
+  return true;
+}
+
+void LeaseManager::SetGrantsSuspended(bool suspended) {
+  grants_suspended_.store(suspended);
+  if (suspended) {
+    // The fault window forces everyone back onto the anchored path: drop
+    // every delegated right so no read is served from a cache the window is
+    // meant to bypass.
+    InvalidateAll();
+  }
+}
+
+LeaseCounters LeaseManager::counters() const {
+  LeaseCounters out;
+  out.grants = grants_.load();
+  out.revocations = revocations_.load();
+  out.notifications = notifications_.load();
+  out.local_hits = local_hits_.load();
+  out.linger_handoffs = linger_handoffs_.load();
+  return out;
+}
+
+Result<CoordReply> LeasedCoordination::Submit(const CoordCommand& command) {
+  Result<CoordReply> result = inner_->Submit(command);
+  if (result.ok() && !result->revoked.empty()) {
+    // Synchronous, before the reply reaches the submitter: once a mutation
+    // acks, no lease holder may serve the pre-mutation snapshot.
+    manager_->NotifyRevocations(result->revoked);
+  }
+  return result;
+}
+
+Future<Result<CoordReply>> LeasedCoordination::SubmitAsync(
+    const CoordCommand& command) {
+  Promise<Result<CoordReply>> promise;
+  LeaseManager* manager = manager_;
+  inner_->SubmitAsync(command).OnReady(
+      [promise, manager](const Result<CoordReply>& reply,
+                         VirtualDuration charge) {
+        if (reply.ok() && !reply->revoked.empty()) {
+          manager->NotifyRevocations(reply->revoked);
+        }
+        promise.Set(reply, charge);
+      });
+  return promise.future();
+}
+
+}  // namespace scfs

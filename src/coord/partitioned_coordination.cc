@@ -58,6 +58,13 @@ Result<CoordReply> PartitionedCoordination::Submit(
   switch (command.op) {
     case CoordOp::kReadPrefix:
     case CoordOp::kExportPrefix:
+    // A prefix lease must cover the prefix's keys on every partition (they
+    // hash across all of them), so the grant scatters like a prefix read;
+    // the merged expiry is the most conservative (minimum) per-partition
+    // expiry, and a mutation on any partition revokes its slice and
+    // notifies — invalidation is by prefix, so one notice suffices.
+    case CoordOp::kLeaseAcquire:
+    case CoordOp::kLeaseRelease:
       return ScatterGather(command);
     case CoordOp::kRenamePrefix:
       if (partitions_.size() > 1) {
@@ -92,15 +99,23 @@ Result<CoordReply> PartitionedCoordination::ScatterGather(
   std::vector<Result<CoordReply>> results = WhenAll(std::move(rounds)).Get();
 
   CoordReply merged;
+  uint64_t min_expiry = UINT64_MAX;
   for (auto& result : results) {
     if (!result.ok()) {
       return result.status();  // transport-level failure of one partition
     }
     if (!result->ok()) {
+      if (command.op == CoordOp::kLeaseRelease &&
+          result->code == ErrorCode::kNotFound) {
+        // A partition whose lease slice already expired has nothing to
+        // release; the holder's intent is satisfied either way.
+        continue;
+      }
       // A state-machine error (e.g. kPermissionDenied from an export)
       // poisons the whole scatter: the caller must not see a partial view.
       return *result;
     }
+    min_expiry = std::min(min_expiry, result->a);
     merged.entries.insert(merged.entries.end(),
                           std::make_move_iterator(result->entries.begin()),
                           std::make_move_iterator(result->entries.end()));
@@ -112,7 +127,12 @@ Result<CoordReply> PartitionedCoordination::ScatterGather(
             [](const CoordEntryView& a, const CoordEntryView& b) {
               return a.key < b.key;
             });
-  merged.a = merged.entries.size();
+  if (command.op == CoordOp::kLeaseAcquire) {
+    // The holder may serve only as long as EVERY partition's slice is live.
+    merged.a = min_expiry == UINT64_MAX ? 0 : min_expiry;
+  } else {
+    merged.a = merged.entries.size();
+  }
   return merged;
 }
 

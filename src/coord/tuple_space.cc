@@ -1,5 +1,6 @@
 #include "src/coord/tuple_space.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -57,6 +58,14 @@ Bytes TupleSpace::Snapshot() const {
     AppendU64(&out, lock.token);
     AppendU64(&out, static_cast<uint64_t>(lock.expires_at));
   }
+  AppendU64(&out, next_lease_epoch_);
+  AppendU32(&out, static_cast<uint32_t>(leases_.size()));
+  for (const auto& [prefix, lease] : leases_) {
+    AppendString(&out, prefix);
+    AppendU64(&out, lease.epoch);
+    AppendU64(&out, static_cast<uint64_t>(lease.expires_at));
+    AppendStringSet(&out, lease.holders);
+  }
   return out;
 }
 
@@ -98,12 +107,32 @@ bool TupleSpace::Restore(ConstByteSpan snapshot) {
     lock.expires_at = static_cast<VirtualTime>(expires_at);
     locks.emplace(std::move(key), lock);
   }
+  uint64_t next_lease_epoch = 0;
+  uint32_t lease_count = 0;
+  if (!reader.ReadU64(&next_lease_epoch) || !reader.ReadU32(&lease_count)) {
+    return false;
+  }
+  std::map<std::string, Lease> leases;
+  for (uint32_t i = 0; i < lease_count; ++i) {
+    std::string prefix;
+    Lease lease;
+    uint64_t expires_at = 0;
+    if (!reader.ReadString(&prefix) || !reader.ReadU64(&lease.epoch) ||
+        !reader.ReadU64(&expires_at) ||
+        !ReadStringSet(&reader, &lease.holders)) {
+      return false;
+    }
+    lease.expires_at = static_cast<VirtualTime>(expires_at);
+    leases.emplace(std::move(prefix), std::move(lease));
+  }
   if (!reader.AtEnd()) {
     return false;
   }
   entries_ = std::move(entries);
   locks_ = std::move(locks);
+  leases_ = std::move(leases);
   next_token_ = next_token;
+  next_lease_epoch_ = next_lease_epoch;
   stored_bytes_ = stored_bytes;
   return true;
 }
@@ -112,33 +141,71 @@ Bytes TupleSpace::StateDigest() const { return Sha256::Hash(Snapshot()); }
 
 CoordReply TupleSpace::Apply(VirtualTime now, const CoordCommand& command) {
   ExpireLocks(now);
+  ExpireLeases(now);
+  // Entry mutations revoke the leases covering their key in their own
+  // ordered slot, after the mutation succeeded: a failed mutation leaves the
+  // state (and thus every lease snapshot) untouched. Lock operations touch a
+  // disjoint table and revoke nothing.
   switch (command.op) {
-    case CoordOp::kWrite:
-      return Write(command);
-    case CoordOp::kConditionalCreate:
-      return ConditionalCreate(command);
-    case CoordOp::kCompareAndSwap:
-      return CompareAndSwap(command);
+    case CoordOp::kWrite: {
+      CoordReply reply = Write(command);
+      if (reply.ok()) RevokeCoveringLeases(command.key, &reply);
+      return reply;
+    }
+    case CoordOp::kConditionalCreate: {
+      CoordReply reply = ConditionalCreate(command);
+      if (reply.ok()) RevokeCoveringLeases(command.key, &reply);
+      return reply;
+    }
+    case CoordOp::kCompareAndSwap: {
+      CoordReply reply = CompareAndSwap(command);
+      if (reply.ok()) RevokeCoveringLeases(command.key, &reply);
+      return reply;
+    }
     case CoordOp::kRead:
       return Read(command);
     case CoordOp::kReadPrefix:
       return ReadPrefix(command);
-    case CoordOp::kRemove:
-      return Remove(command);
+    case CoordOp::kRemove: {
+      CoordReply reply = Remove(command);
+      if (reply.ok()) RevokeCoveringLeases(command.key, &reply);
+      return reply;
+    }
     case CoordOp::kTryLock:
       return TryLock(now, command);
     case CoordOp::kRenewLock:
       return RenewLock(now, command);
     case CoordOp::kUnlock:
       return Unlock(command);
-    case CoordOp::kRenamePrefix:
-      return RenamePrefix(command);
-    case CoordOp::kSetEntryAcl:
-      return SetEntryAcl(command);
+    case CoordOp::kRenamePrefix: {
+      CoordReply reply = RenamePrefix(command);
+      if (reply.ok()) {
+        // A rename moves a whole subtree: leases anywhere under the source
+        // or destination prefix — including leases on broader prefixes that
+        // merely cover them — hold snapshots the move invalidates.
+        RevokeOverlappingLeases(command.key, &reply);
+        RevokeOverlappingLeases(command.aux, &reply);
+      }
+      return reply;
+    }
+    case CoordOp::kSetEntryAcl: {
+      // An ACL change alters who may read an entry, which a lease snapshot
+      // has already baked in — revoke so holders re-read under the new ACL.
+      CoordReply reply = SetEntryAcl(command);
+      if (reply.ok()) RevokeCoveringLeases(command.key, &reply);
+      return reply;
+    }
     case CoordOp::kExportPrefix:
       return ExportPrefix(command);
-    case CoordOp::kImportEntry:
-      return ImportEntry(command);
+    case CoordOp::kImportEntry: {
+      CoordReply reply = ImportEntry(command);
+      if (reply.ok()) RevokeCoveringLeases(command.key, &reply);
+      return reply;
+    }
+    case CoordOp::kLeaseAcquire:
+      return LeaseAcquire(now, command);
+    case CoordOp::kLeaseRelease:
+      return LeaseRelease(command);
     case CoordOp::kNoop:
       return CoordReply{};
   }
@@ -164,6 +231,92 @@ void TupleSpace::ExpireLocks(VirtualTime now) {
       ++it;
     }
   }
+}
+
+void TupleSpace::ExpireLeases(VirtualTime now) {
+  // Like locks, leases expire at ordered command-execution time, never at a
+  // replica-local clock — expiry is part of the deterministic state machine.
+  // A client stops serving from an expired lease on its own (it compares
+  // against the same virtual clock), so no revocation notice is needed here.
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.expires_at <= now) {
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TupleSpace::RevokeCoveringLeases(const std::string& key,
+                                      CoordReply* reply) {
+  // A lease on prefix P covers key K iff P is a prefix of K. Leases are few
+  // (bounded per client by lease_max_prefixes), so a linear scan is fine.
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    const std::string& prefix = it->first;
+    if (key.compare(0, prefix.size(), prefix) == 0) {
+      reply->revoked.push_back(LeaseRevocation{prefix, it->second.epoch});
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TupleSpace::RevokeOverlappingLeases(const std::string& prefix,
+                                         CoordReply* reply) {
+  // Overlap in either direction: a lease on "m:/a/" overlaps a rename of
+  // "m:/a/b/" (the lease covers moved keys) and a lease on "m:/a/b/c/"
+  // overlaps it too (every leased key is inside the moved subtree).
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    const std::string& leased = it->first;
+    const size_t n = std::min(leased.size(), prefix.size());
+    if (leased.compare(0, n, prefix, 0, n) == 0) {
+      reply->revoked.push_back(LeaseRevocation{leased, it->second.epoch});
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+CoordReply TupleSpace::LeaseAcquire(VirtualTime now, const CoordCommand& cmd) {
+  if (cmd.key.empty() || cmd.a == 0) {
+    return ErrorReply(ErrorCode::kInvalidArgument);
+  }
+  auto it = leases_.find(cmd.key);
+  if (it == leases_.end()) {
+    Lease lease;
+    lease.epoch = next_lease_epoch_++;
+    it = leases_.emplace(cmd.key, std::move(lease)).first;
+  }
+  Lease& lease = it->second;
+  lease.holders.insert(cmd.aux.empty() ? cmd.client : cmd.aux);
+  // Extend-only: a renewal by one holder must not shorten what another
+  // holder was already promised.
+  const VirtualTime proposed = now + static_cast<VirtualDuration>(cmd.a);
+  if (proposed > lease.expires_at) {
+    lease.expires_at = proposed;
+  }
+  // The grant doubles as the snapshot read: the holder installs these
+  // entries and serves them locally until expiry or revocation. ACL
+  // filtering matches ReadPrefix, so delegation never widens visibility.
+  CoordReply reply = ReadPrefix(cmd);
+  reply.a = static_cast<uint64_t>(lease.expires_at);
+  reply.value.clear();
+  AppendU64(&reply.value, lease.epoch);
+  return reply;
+}
+
+CoordReply TupleSpace::LeaseRelease(const CoordCommand& cmd) {
+  auto it = leases_.find(cmd.key);
+  if (it == leases_.end()) {
+    return ErrorReply(ErrorCode::kNotFound);
+  }
+  it->second.holders.erase(cmd.aux.empty() ? cmd.client : cmd.aux);
+  if (it->second.holders.empty()) {
+    leases_.erase(it);
+  }
+  return CoordReply{};
 }
 
 CoordReply TupleSpace::Write(const CoordCommand& cmd) {

@@ -14,6 +14,15 @@
 // identical SHA-256 state digests — the property the SMR snapshot state
 // transfer's f+1 digest-vouching rule rests on (see DESIGN.md, "State
 // transfer & checkpoints").
+//
+// Read leases (DESIGN.md "Lease-delegated caching"): kLeaseAcquire records a
+// time-bounded lease on a key prefix and returns a snapshot of the entries
+// under it; every entry mutation revokes the leases covering its key IN ITS
+// OWN ORDERED SLOT and reports them in its reply (CoordReply::revoked), so
+// the submitting stub can invalidate local holders before the mutation is
+// acknowledged. Leases expire at command-execution time like locks, are part
+// of Snapshot()/Restore(), and therefore ride checkpoints, state transfer
+// and view changes unchanged.
 
 #ifndef SCFS_COORD_TUPLE_SPACE_H_
 #define SCFS_COORD_TUPLE_SPACE_H_
@@ -54,6 +63,7 @@ class TupleSpace {
   // Introspection for tests and capacity accounting (Figure 11a).
   size_t entry_count() const { return entries_.size(); }
   size_t lock_count() const { return locks_.size(); }
+  size_t lease_count() const { return leases_.size(); }
   uint64_t stored_bytes() const { return stored_bytes_; }
 
  private:
@@ -83,7 +93,24 @@ class TupleSpace {
     VirtualTime expires_at = 0;
   };
 
+  // A read lease on a key prefix. Multiple holders share one lease record
+  // (read leases never conflict with each other — only with mutations); the
+  // epoch rises monotonically across grants so a holder can tell a re-grant
+  // from the lease it was revoked out of.
+  struct Lease {
+    uint64_t epoch = 0;
+    VirtualTime expires_at = 0;
+    std::set<std::string> holders;
+  };
+
   void ExpireLocks(VirtualTime now);
+  void ExpireLeases(VirtualTime now);
+
+  // Erases every active lease whose prefix covers `key` and records it in
+  // reply->revoked. Called by every entry mutation before it acks.
+  void RevokeCoveringLeases(const std::string& key, CoordReply* reply);
+  // RenamePrefix variant: revokes leases overlapping either subtree.
+  void RevokeOverlappingLeases(const std::string& prefix, CoordReply* reply);
 
   CoordReply Write(const CoordCommand& cmd);
   CoordReply ConditionalCreate(const CoordCommand& cmd);
@@ -98,6 +125,8 @@ class TupleSpace {
   CoordReply SetEntryAcl(const CoordCommand& cmd);
   CoordReply ExportPrefix(const CoordCommand& cmd) const;
   CoordReply ImportEntry(const CoordCommand& cmd);
+  CoordReply LeaseAcquire(VirtualTime now, const CoordCommand& cmd);
+  CoordReply LeaseRelease(const CoordCommand& cmd);
 
   // Entry payload carried between ExportPrefix and ImportEntry: the value,
   // tuple version and full ACL, so a cross-partition move preserves grants
@@ -107,7 +136,9 @@ class TupleSpace {
 
   std::map<std::string, Entry> entries_;
   std::map<std::string, Lock> locks_;
+  std::map<std::string, Lease> leases_;
   uint64_t next_token_ = 1;
+  uint64_t next_lease_epoch_ = 1;
   uint64_t stored_bytes_ = 0;
 };
 

@@ -101,6 +101,14 @@ std::unique_ptr<Deployment> Deployment::Create(Environment* env,
       deployment->coord_ = std::move(coord);
     }
   }
+  if (options.lease_ttl > 0) {
+    // Wrap the coordination stub so every mutation reply's revocation
+    // notices reach the lease holders before the mutation acks. The raw
+    // introspection pointers (local_coord_, replicated_coord_,
+    // partitioned_coord_) keep pointing at the inner implementation.
+    deployment->coord_ = std::make_unique<LeasedCoordination>(
+        std::move(deployment->coord_), &deployment->lease_manager_);
+  }
   return deployment;
 }
 
@@ -131,6 +139,11 @@ Result<std::unique_ptr<ScfsFileSystem>> Deployment::Mount(
     const std::string& user, ScfsOptions options) {
   options.user = user;
   options.user_cloud_ids = CloudIdsFor(user);
+  if (options_.lease_ttl > 0) {
+    options.leases = &lease_manager_;
+    options.lease_ttl = options_.lease_ttl;
+    options.lease_max_prefixes = options_.lease_max_prefixes;
+  }
 
   BlobBackend* backend = nullptr;
   if (options_.backend == ScfsBackendKind::kAws) {

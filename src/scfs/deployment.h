@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/cloud/providers.h"
+#include "src/coord/lease.h"
 #include "src/coord/local_coordination.h"
 #include "src/depsky/depsky.h"
 #include "src/coord/partitioned_coordination.h"
@@ -69,6 +70,13 @@ struct DeploymentOptions {
   size_t stripe_threshold = 0;
   size_t stripe_unit_size = 0;
   unsigned stripe_inflight = 0;
+  // Lease-delegated metadata caching (DESIGN.md "Lease-delegated caching",
+  // OPERATIONS.md knobs). lease_ttl > 0 wraps the coordination service in
+  // LeasedCoordination and hands every mounted agent read leases on
+  // directory prefixes plus lingering write locks; 0 disables the layer
+  // entirely (byte-identical behavior to a pre-lease deployment).
+  VirtualDuration lease_ttl = 0;
+  size_t lease_max_prefixes = 16;
   uint64_t seed = 42;
 };
 
@@ -97,6 +105,9 @@ class Deployment {
   LocalCoordination* local_coord() { return local_coord_; }
   ReplicatedCoordination* replicated_coord() { return replicated_coord_; }
   PartitionedCoordination* partitioned_coord() { return partitioned_coord_; }
+  // Always present; only consulted by agents when lease_ttl > 0. The chaos
+  // plane's lease-expiry fault windows suspend grants through it.
+  LeaseManager* lease_manager() { return &lease_manager_; }
 
   // Bytes shipped from the coordination service to clients so far (drives
   // the coordination share of Figure 11(b) costs).
@@ -114,6 +125,7 @@ class Deployment {
   Environment* env_ = nullptr;
   DeploymentOptions options_;
   std::vector<std::unique_ptr<SimulatedCloud>> clouds_;
+  LeaseManager lease_manager_;
   std::unique_ptr<CoordinationService> coord_;
   LocalCoordination* local_coord_ = nullptr;  // set for kAws / zero-latency
   ReplicatedCoordination* replicated_coord_ = nullptr;  // kCoc, 1 partition

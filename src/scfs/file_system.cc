@@ -52,9 +52,24 @@ ScfsFileSystem::ScfsFileSystem(Environment* env, CoordinationService* coord,
   md_options.use_pns = options_.use_pns;
   md_options.non_sharing = options_.mode == ScfsMode::kNonSharing;
   md_options.session = session;
+  if (options_.leases != nullptr && options_.lease_ttl > 0) {
+    md_options.leases = options_.leases;
+    md_options.lease_ttl = options_.lease_ttl;
+    md_options.lease_max_prefixes = options_.lease_max_prefixes;
+  }
   metadata_ = std::make_unique<MetadataService>(env_, coord_, storage_.get(),
                                                 options_.user, md_options);
-  locks_ = std::make_unique<LockService>(coord_, session, options_.locks);
+  LockServiceOptions lock_options = options_.locks;
+  if (options_.leases != nullptr && options_.lease_ttl > 0) {
+    lock_options.leases = options_.leases;
+    lock_options.linger = true;
+  }
+  // Write-credit pins are only valid while the lock is held; tear them down
+  // the moment the hold ends for real (before a contender can acquire).
+  lock_options.on_release = [this](const std::string& path) {
+    metadata_->UnpinOwned(path);
+  };
+  locks_ = std::make_unique<LockService>(env_, coord_, session, lock_options);
   uploader_ = std::make_unique<BackgroundUploader>();
   // GC passes must not overlap each other: single-lane FIFO.
   BackgroundUploaderOptions gc_options;
@@ -439,6 +454,10 @@ Future<Status> ScfsFileSystem::SynchronizeOnCloseAsync(OpenFile&& file) {
       if (!s.ok()) {
         return fail(s);
       }
+      // Write credit: while this agent holds the lock (the release below may
+      // linger it), nobody else can publish, so our own publish stays the
+      // newest — serve reads of it locally until the lock lease bound.
+      metadata_->PinOwned(md, locks_->HeldUntil(path));
       lease.Join();
       s = locks_->Release(path);
       MaybeTriggerGc(written);
@@ -498,6 +517,11 @@ Future<Status> ScfsFileSystem::SynchronizeOnCloseAsync(OpenFile&& file) {
             if (!s.ok()) {
               SCFS_LOG(Warning) << "background metadata update failed: "
                                 << s.ToString();
+            } else {
+              // Write credit (see blocking mode): the lock — still held
+              // until the release below, lingering after — excludes other
+              // publishers, so our publish stays authoritative.
+              metadata_->PinOwned(md, locks_->HeldUntil(path));
             }
           }
           lease.Join();
@@ -628,8 +652,23 @@ Status ScfsFileSystem::Unlink(const std::string& path) {
   if (!md.AllowsWrite(options_.user)) {
     return PermissionDeniedError(normalized);
   }
-  RETURN_IF_ERROR(metadata_->Remove(normalized));
+  // Take the file's write lock: removal is a write, and it must exclude a
+  // concurrent writer on another mount — that writer's in-flight publish
+  // (and its write-credit pin, valid while it holds the lock) would
+  // otherwise resurrect the file after the unlink acks.
+  const bool shared_entry = !metadata_->IsPrivateEntry(md);
+  if (shared_entry) {
+    RETURN_IF_ERROR(locks_->Acquire(normalized));
+  }
+  Status removed = metadata_->Remove(normalized);
   metadata_->InvalidateCache(normalized);
+  if (shared_entry) {
+    Status released = locks_->Release(normalized);
+    if (removed.ok() && !released.ok()) {
+      removed = released;
+    }
+  }
+  RETURN_IF_ERROR(removed);
   if (!md.object_id.empty() && !md.content_hash.empty()) {
     // Versions stay in the cloud until the garbage collector reclaims them
     // (multi-versioning: removed files can be recovered until then).

@@ -53,6 +53,12 @@ struct ScfsOptions {
   StorageServiceOptions storage;
   LockServiceOptions locks;
   GcOptions gc;
+  // Lease-delegated caching (DESIGN.md): set by Deployment::Mount when the
+  // deployment enables leases. A null manager or zero TTL disables both the
+  // metadata read leases and the lock linger.
+  LeaseManager* leases = nullptr;
+  VirtualDuration lease_ttl = 0;
+  size_t lease_max_prefixes = 16;
 };
 
 class ScfsFileSystem : public FileSystem {

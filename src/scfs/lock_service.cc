@@ -6,14 +6,98 @@ Status LockService::Acquire(const std::string& path) {
   if (coord_ == nullptr) {
     return OkStatus();
   }
-  // The coordination-service lock is re-entrant per client, so re-acquiring
-  // refreshes the lease and returns the same token.
-  ASSIGN_OR_RETURN(CoordLock lock,
-                   coord_->TryLock(user_, LockKey(path), options_.lease));
+  const std::string key = LockKey(path);
+  uint64_t token = 0;
+  bool reclaimed = false;
+  bool was_lingering = false;
+  bool need_renew = false;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = held_.find(path);
+    if (it != held_.end()) {
+      was_lingering = it->second.lingering;
+      it->second.lingering = false;
+      it->second.refcount++;
+      token = it->second.token;
+      reclaimed = true;
+      // Renew-on-demand: only when less than half the lease remains. The
+      // steady-state reclaim costs zero coordination messages.
+      need_renew = it->second.expires_at <
+                   env_->Now() + options_.lease / 2;
+      if (!need_renew) {
+        ++reclaim_hits_;
+      }
+    }
+  }
+  if (reclaimed) {
+    if (was_lingering && LingerEnabled()) {
+      // Stop offering the lock to contenders; a racing RequestLockRelease
+      // that already popped the broker entry sees refcount > 0 and declines.
+      options_.leases->UnregisterLingering(key);
+    }
+    if (!need_renew) {
+      return OkStatus();
+    }
+    Status renewed = coord_->RenewLock(user_, key, token, options_.lease);
+    if (renewed.ok()) {
+      std::lock_guard<std::mutex> guard(mu_);
+      auto it = held_.find(path);
+      if (it != held_.end()) {
+        it->second.expires_at = env_->Now() + options_.lease;
+      }
+      return OkStatus();
+    }
+    // kNotFound: the server lease expired while the lock lingered (the
+    // crash backstop); fall through to a fresh TryLock, keeping the
+    // refcount this Acquire already took.
+    if (renewed.code() != ErrorCode::kNotFound) {
+      bool dropped = false;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        auto it = held_.find(path);
+        if (it != held_.end() && --it->second.refcount <= 0) {
+          held_.erase(it);
+          dropped = true;
+        }
+      }
+      if (dropped && options_.on_release) {
+        options_.on_release(path);
+      }
+      return renewed;
+    }
+  }
+  auto lock = coord_->TryLock(user_, key, options_.lease);
+  if (!lock.ok() && lock.status().code() == ErrorCode::kBusy &&
+      LingerEnabled()) {
+    // The holder may be another mount in this deployment lingering on the
+    // lock; ask it to release for real and retry once.
+    if (options_.leases->RequestLockRelease(key)) {
+      lock = coord_->TryLock(user_, key, options_.lease);
+    }
+  }
+  if (!lock.ok()) {
+    bool dropped = false;
+    if (reclaimed) {
+      std::lock_guard<std::mutex> guard(mu_);
+      auto it = held_.find(path);
+      if (it != held_.end() && --it->second.refcount <= 0) {
+        held_.erase(it);
+        dropped = true;
+      }
+    }
+    if (dropped && options_.on_release) {
+      options_.on_release(path);
+    }
+    return lock.status();
+  }
   std::lock_guard<std::mutex> guard(mu_);
   Held& held = held_[path];
-  held.token = lock.token;
-  held.refcount++;
+  held.token = lock->token;
+  if (!reclaimed) {
+    held.refcount++;
+  }
+  held.lingering = false;
+  held.expires_at = env_->Now() + options_.lease;
   return OkStatus();
 }
 
@@ -31,10 +115,25 @@ Status LockService::Release(const std::string& path) {
     if (--it->second.refcount > 0) {
       return OkStatus();  // still referenced by an in-flight upload/open
     }
-    token = it->second.token;
-    held_.erase(it);
+    if (LingerEnabled()) {
+      // Keep the coordination lock: the next Acquire reclaims it for free.
+      // The server-side lease is the backstop if this agent disappears.
+      it->second.lingering = true;
+      token = 0;
+    } else {
+      token = it->second.token;
+      held_.erase(it);
+    }
+  }
+  if (LingerEnabled()) {
+    options_.leases->RegisterLingering(
+        LockKey(path), [this, path] { return TryReleaseLingering(path); });
+    return OkStatus();
   }
   Status status = coord_->Unlock(user_, LockKey(path), token);
+  if (options_.on_release) {
+    options_.on_release(path);
+  }
   if (status.code() == ErrorCode::kNotFound) {
     // The ephemeral lease already expired (exactly what leases are for when
     // a client disappears); releasing an expired lock is benign.
@@ -43,20 +142,32 @@ Status LockService::Release(const std::string& path) {
   return status;
 }
 
-Status LockService::Renew(const std::string& path) {
-  if (coord_ == nullptr) {
-    return OkStatus();
-  }
+bool LockService::TryReleaseLingering(const std::string& path) {
   uint64_t token = 0;
   {
     std::lock_guard<std::mutex> guard(mu_);
     auto it = held_.find(path);
     if (it == held_.end()) {
-      return NotFoundError("lock not held: " + path);
+      return true;  // already gone (server lease expired and entry dropped)
+    }
+    if (!it->second.lingering || it->second.refcount > 0) {
+      return false;  // reclaimed by a local Acquire since the offer
     }
     token = it->second.token;
+    held_.erase(it);
   }
-  return coord_->RenewLock(user_, LockKey(path), token, options_.lease);
+  // Tear down lock-backed local state BEFORE the contender can acquire: once
+  // the unlock commits, the next writer may publish immediately, and a pin
+  // still serving our last publish would violate read-after-ack.
+  if (options_.on_release) {
+    options_.on_release(path);
+  }
+  Status status = coord_->Unlock(user_, LockKey(path), token);
+  return status.ok() || status.code() == ErrorCode::kNotFound;
+}
+
+Status LockService::Renew(const std::string& path) {
+  return RenewAsync(path).Get();
 }
 
 Future<Status> LockService::RenewAsync(const std::string& path) {
@@ -71,13 +182,41 @@ Future<Status> LockService::RenewAsync(const std::string& path) {
       return Future<Status>::Ready(NotFoundError("lock not held: " + path));
     }
     token = it->second.token;
+    if (LingerEnabled() &&
+        it->second.expires_at >= env_->Now() + options_.lease / 2) {
+      // Renew-on-demand: more than half the lease remains, skip the round.
+      return Future<Status>::Ready(OkStatus());
+    }
   }
-  return coord_->RenewLockAsync(user_, LockKey(path), token, options_.lease);
+  Promise<Status> promise;
+  coord_->RenewLockAsync(user_, LockKey(path), token, options_.lease)
+      .OnReady([this, promise, path](const Status& status,
+                                     VirtualDuration charge) {
+        if (status.ok()) {
+          std::lock_guard<std::mutex> guard(mu_);
+          auto it = held_.find(path);
+          if (it != held_.end()) {
+            it->second.expires_at = env_->Now() + options_.lease;
+          }
+        }
+        promise.Set(status, charge);
+      });
+  return promise.future();
 }
 
 bool LockService::Holds(const std::string& path) {
   std::lock_guard<std::mutex> guard(mu_);
-  return held_.count(path) > 0;
+  auto it = held_.find(path);
+  return it != held_.end() && !it->second.lingering;
+}
+
+VirtualTime LockService::HeldUntil(const std::string& path) {
+  if (coord_ == nullptr) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = held_.find(path);
+  return it != held_.end() ? it->second.expires_at : 0;
 }
 
 }  // namespace scfs

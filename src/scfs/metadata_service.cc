@@ -1,5 +1,7 @@
 #include "src/scfs/metadata_service.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/common/path.h"
 #include "src/crypto/sha1.h"
@@ -17,7 +19,199 @@ MetadataService::MetadataService(Environment* env, CoordinationService* coord,
       coord_(coord),
       storage_(storage),
       user_(std::move(user)),
-      options_(options) {}
+      options_(options) {
+  if (LeasesEnabled()) {
+    lease_holder_id_ = options_.leases->RegisterHolder(
+        [this](const std::string& prefix) { OnLeaseRevoked(prefix); });
+  }
+}
+
+MetadataService::~MetadataService() {
+  if (lease_holder_id_ != 0) {
+    options_.leases->UnregisterHolder(lease_holder_id_);
+  }
+}
+
+std::string MetadataService::LeasePrefixFor(const std::string& path) {
+  const std::string dir = ParentPath(path);
+  return dir == "/" ? "m:/" : "m:" + dir + "/";
+}
+
+MetadataService::LeasedPrefix* MetadataService::FindCoveringLease(
+    const std::string& mkey) {
+  const VirtualTime now = env_->Now();
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.expires_at <= now) {
+      // Same expiry rule as the state machine: at `expires_at` the replicas
+      // consider the lease dead and mutations stop notifying, so the client
+      // must already have stopped serving from it.
+      it = leases_.erase(it);
+      continue;
+    }
+    if (mkey.compare(0, it->first.size(), it->first) == 0) {
+      it->second.last_used = now;
+      return &it->second;
+    }
+    ++it;
+  }
+  return nullptr;
+}
+
+void MetadataService::OnLeaseRevoked(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lease_revocation_gen_;
+  lease_revocation_log_.emplace_back(lease_revocation_gen_, prefix);
+  if (lease_revocation_log_.size() > 64) {
+    lease_revocation_log_.pop_front();
+  }
+  bool lost = false;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    // Overlap in either direction (the empty prefix — InvalidateAll —
+    // covers every lease).
+    const size_t n = std::min(prefix.size(), it->first.size());
+    if (prefix.compare(0, n, it->first, 0, n) == 0) {
+      it = leases_.erase(it);
+      lost = true;
+    } else {
+      ++it;
+    }
+  }
+  // A grant in flight for an overlapping prefix is about to be discarded by
+  // the race check — that wasted round counts as a loss too.
+  for (const auto& in_flight : lease_grants_in_flight_) {
+    const size_t n = std::min(prefix.size(), in_flight.size());
+    if (prefix.compare(0, n, in_flight, 0, n) == 0) {
+      lost = true;
+      break;
+    }
+  }
+  // Drop covered TTL-cache entries too: the revocation proves a mutation is
+  // about to ack, so a fresh read should not resurrect the old value for up
+  // to cache_ttl.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (prefix.empty() ||
+        MetadataKey(it->first).compare(0, prefix.size(), prefix) == 0) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Penalize the prefix only when this client actually lost something — a
+  // live lease or an in-flight grant. Revocation notices also reach clients
+  // that hold nothing under the prefix (the manager fans every notice to all
+  // registered holders); escalating on those would let one writer's burst
+  // blacklist the prefix for every bystander long after the writes stop.
+  if (!prefix.empty()) {
+    const VirtualTime now = env_->Now();
+    if (lost) {
+      LeaseHoldoff& holdoff = lease_holdoff_[prefix];
+      if (holdoff.until != 0 && now > holdoff.until + options_.lease_ttl) {
+        holdoff.penalty = 1;  // the prefix has been quiet; forget the history
+      }
+      holdoff.until = now + options_.lease_holdoff * holdoff.penalty;
+      // Cap the escalation at 4x the base holdoff: a persistently write-hot
+      // prefix keeps losing its lease and so keeps refreshing the holdoff
+      // anyway (at most one wasted grant round per cap period), while a
+      // prefix whose write burst just ended (e.g. fileset setup) recovers
+      // within a few seconds instead of staying banned for a multiple of
+      // the TTL.
+      if (holdoff.penalty < 4) {
+        holdoff.penalty *= 2;
+      }
+    } else {
+      // Bystander refresh: someone else's lease on this prefix just died
+      // to a mutation. If we are already backing off the prefix, extend the
+      // window without escalating — their loss is the probe we would have
+      // wasted a grant round on. A prefix whose holdoff already expired is
+      // NOT re-penalized: it has earned its next probe.
+      auto it = lease_holdoff_.find(prefix);
+      if (it != lease_holdoff_.end() && now < it->second.until) {
+        it->second.until =
+            std::max(it->second.until,
+                     now + options_.lease_holdoff * it->second.penalty);
+      }
+    }
+  }
+}
+
+Status MetadataService::AcquireLeaseFor(const std::string& prefix) {
+  if (!options_.leases->AllowsGrants()) {
+    return UnavailableError("lease grants suspended");
+  }
+  uint64_t gen_before = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto holdoff = lease_holdoff_.find(prefix);
+    if (holdoff != lease_holdoff_.end() &&
+        env_->Now() < holdoff->second.until) {
+      return BusyError("lease holdoff " + prefix);
+    }
+    if (!lease_grants_in_flight_.insert(prefix).second) {
+      return BusyError("lease grant already in flight " + prefix);
+    }
+    gen_before = lease_revocation_gen_;
+  }
+  Result<LeaseGrant> granted =
+      coord_->AcquireLease(user_, options_.session, prefix,
+                           options_.lease_ttl);
+  std::lock_guard<std::mutex> lock(mu_);
+  lease_grants_in_flight_.erase(prefix);
+  if (!granted.ok()) {
+    return granted.status();
+  }
+  LeaseGrant& grant = *granted;
+  if (lease_revocation_gen_ != gen_before) {
+    // Revocation notices landed while the grant was in flight; if any of
+    // them overlaps this prefix the grant may have been ordered before the
+    // revoking mutation. Discard it then — the server-side lease record it
+    // created just expires. Non-overlapping revocations (a busy unrelated
+    // directory) don't invalidate this grant.
+    bool overlapping =
+        !lease_revocation_log_.empty() &&
+        lease_revocation_log_.front().first > gen_before + 1;  // log pruned
+    for (const auto& entry : lease_revocation_log_) {
+      if (entry.first <= gen_before || overlapping) {
+        continue;
+      }
+      const std::string& revoked = entry.second;
+      const size_t n = std::min(revoked.size(), prefix.size());
+      overlapping = revoked.compare(0, n, prefix, 0, n) == 0;
+    }
+    if (overlapping) {
+      return BusyError("lease grant raced a revocation " + prefix);
+    }
+  }
+  if (leases_.size() >= options_.lease_max_prefixes &&
+      leases_.count(prefix) == 0) {
+    auto lru = leases_.begin();
+    for (auto it = leases_.begin(); it != leases_.end(); ++it) {
+      if (it->second.last_used < lru->second.last_used) {
+        lru = it;
+      }
+    }
+    leases_.erase(lru);
+  }
+  LeasedPrefix lease;
+  lease.epoch = grant.epoch;
+  lease.expires_at = grant.expires_at;
+  lease.last_used = env_->Now();
+  for (const auto& entry : grant.entries) {
+    auto md = FileMetadata::Decode(entry.value);
+    if (!md.ok()) {
+      continue;  // non-metadata tuple under the prefix (none today)
+    }
+    std::string entry_path = entry.key.substr(2);  // strip "m:"
+    if (!entry_path.empty() && entry_path.back() == '/') {
+      entry_path.pop_back();
+    }
+    md->path = entry_path;
+    lease.entries.emplace(std::move(entry_path), std::move(*md));
+  }
+  leases_[prefix] = std::move(lease);
+  ++lease_grants_;
+  options_.leases->RecordGrant();
+  return OkStatus();
+}
 
 Status MetadataService::Mount() {
   if (options_.session.empty()) {
@@ -137,6 +331,7 @@ Result<FileMetadata> MetadataService::GetFromCoord(const std::string& path) {
 }
 
 Result<FileMetadata> MetadataService::Get(const std::string& path) {
+  const std::string mkey = MetadataKey(path);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // 1. This agent's in-flight close updates: authoritative until their
@@ -147,7 +342,39 @@ Result<FileMetadata> MetadataService::Get(const std::string& path) {
     if (override_it != local_overrides_.end()) {
       return override_it->second;
     }
-    // 2. Short-term cache.
+    // 1b. Write-credit pin: we hold the path's write lock, so our own last
+    // publish is the newest committed version — serve it with zero
+    // coordination messages until the lock's lease bound.
+    auto pinned_it = pinned_.find(path);
+    if (pinned_it != pinned_.end()) {
+      if (env_->Now() < pinned_it->second.valid_until) {
+        ++pinned_hits_;
+        if (options_.leases != nullptr) {
+          options_.leases->RecordLocalHit();
+        }
+        return pinned_it->second.metadata;
+      }
+      pinned_.erase(pinned_it);
+    }
+    // 2. A live lease covering the path: the grant snapshot is the
+    // coordination service's state as of the grant, kept honest by
+    // revocation notices, so it outranks the TTL cache — and a covered path
+    // absent from it is authoritatively absent from the coordination
+    // service (negative caching; it may still be private in the PNS).
+    if (LeasedPrefix* lease = FindCoveringLease(mkey)) {
+      ++lease_hits_;
+      options_.leases->RecordLocalHit();
+      auto entry_it = lease->entries.find(path);
+      if (entry_it != lease->entries.end()) {
+        return entry_it->second;
+      }
+      auto pns_it = pns_.entries.find(path);
+      if (pns_it != pns_.entries.end()) {
+        return pns_it->second;
+      }
+      return NotFoundError(path);
+    }
+    // 3. Short-term cache.
     auto it = cache_.find(path);
     if (it != cache_.end()) {
       if (env_->Now() - it->second.fetched_at <= options_.cache_ttl) {
@@ -156,13 +383,35 @@ Result<FileMetadata> MetadataService::Get(const std::string& path) {
       }
       cache_.erase(it);
     }
-    // 3. PNS (always authoritative for private files — we hold its lock).
+    // 4. PNS (always authoritative for private files — we hold its lock).
     auto pns_it = pns_.entries.find(path);
     if (pns_it != pns_.entries.end()) {
       return pns_it->second;
     }
   }
-  // 4. Coordination service.
+  // 5. Acquire a lease on the parent directory: one ordered command whose
+  // grant snapshot answers this read and every following read under the
+  // directory until a mutation revokes it.
+  if (LeasesEnabled()) {
+    const std::string prefix = LeasePrefixFor(path);
+    if (AcquireLeaseFor(prefix).ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (LeasedPrefix* lease = FindCoveringLease(mkey)) {
+        auto entry_it = lease->entries.find(path);
+        if (entry_it != lease->entries.end()) {
+          return entry_it->second;
+        }
+        auto pns_it = pns_.entries.find(path);
+        if (pns_it != pns_.entries.end()) {
+          return pns_it->second;
+        }
+        return NotFoundError(path);
+      }
+      // Revoked between install and this lookup: fall through to the
+      // anchored read.
+    }
+  }
+  // 6. Coordination service (the anchored path).
   ASSIGN_OR_RETURN(FileMetadata md, GetFromCoord(path));
   std::lock_guard<std::mutex> lock(mu_);
   cache_[path] = CachedEntry{md, env_->Now()};
@@ -234,6 +483,7 @@ Status MetadataService::Remove(const std::string& path) {
     std::lock_guard<std::mutex> lock(mu_);
     cache_.erase(path);
     local_overrides_.erase(path);
+    pinned_.erase(path);
     auto it = pns_.entries.find(path);
     if (it != pns_.entries.end()) {
       pns_.entries.erase(it);
@@ -259,6 +509,36 @@ Result<std::vector<FileMetadata>> MetadataService::ListDir(
   }
   if (coord_ != nullptr && !options_.non_sharing) {
     const std::string prefix = (path == "/") ? "m:/" : "m:" + path + "/";
+    // A live lease on exactly this directory's prefix answers the listing
+    // from the grant snapshot — the common readdir costs no messages.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto lease_it = leases_.find(prefix);
+      if (lease_it != leases_.end() &&
+          env_->Now() < lease_it->second.expires_at) {
+        lease_it->second.last_used = env_->Now();
+        ++lease_hits_;
+        options_.leases->RecordLocalHit();
+        for (const auto& [entry_path, md] : lease_it->second.entries) {
+          if (ParentPath(entry_path) == path && entry_path != path) {
+            out.push_back(md);
+          }
+        }
+        return out;
+      }
+    }
+    if (LeasesEnabled() && AcquireLeaseFor(prefix).ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto lease_it = leases_.find(prefix);
+      if (lease_it != leases_.end()) {
+        for (const auto& [entry_path, md] : lease_it->second.entries) {
+          if (ParentPath(entry_path) == path && entry_path != path) {
+            out.push_back(md);
+          }
+        }
+        return out;
+      }
+    }
     ASSIGN_OR_RETURN(std::vector<CoordEntryView> entries,
                      coord_->ReadPrefix(user_, prefix));
     for (const auto& entry : entries) {
@@ -303,6 +583,15 @@ Status MetadataService::RenameSubtree(const std::string& from,
       pns_.entries[new_path] = std::move(md);
     }
     cache_.clear();
+    // A rename moves whole subtrees under other keys; pinned copies of the
+    // old paths must not survive it.
+    for (auto it = pinned_.begin(); it != pinned_.end();) {
+      if (PathIsWithin(it->first, from) || PathIsWithin(it->first, to)) {
+        it = pinned_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
   if (coord_ != nullptr && !options_.non_sharing) {
     Status s;
@@ -559,6 +848,21 @@ Status MetadataService::GrantEntry(const std::string& path,
 void MetadataService::InvalidateCache(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.erase(path);
+  pinned_.erase(path);
+}
+
+void MetadataService::PinOwned(const FileMetadata& metadata,
+                               VirtualTime valid_until) {
+  if (valid_until == 0) {
+    return;  // lock not actually held (e.g. non-sharing mode)
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_[metadata.path] = PinnedEntry{metadata, valid_until};
+}
+
+void MetadataService::UnpinOwned(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_.erase(path);
 }
 
 bool MetadataService::IsPrivateEntry(const FileMetadata& metadata) {

@@ -14,14 +14,17 @@
 #ifndef SCFS_SCFS_METADATA_SERVICE_H_
 #define SCFS_SCFS_METADATA_SERVICE_H_
 
+#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/common/future.h"
 #include "src/coord/coordination_service.h"
+#include "src/coord/lease.h"
 #include "src/scfs/metadata.h"
 #include "src/scfs/storage_service.h"
 #include "src/sim/environment.h"
@@ -36,6 +39,19 @@ struct MetadataServiceOptions {
   // two machines logged in as the same user still conflict (the PNS lock
   // exists precisely for that case). Defaults to the user name if empty.
   std::string session;
+  // Lease-delegated caching (DESIGN.md "Lease-delegated caching"): with a
+  // non-null manager and a nonzero TTL, metadata reads acquire ordered read
+  // leases on parent-directory prefixes and serve stat/open/readdir from the
+  // grant snapshot with zero coordination messages until the lease expires
+  // or a mutation revokes it.
+  LeaseManager* leases = nullptr;
+  VirtualDuration lease_ttl = 0;
+  // At most this many leased prefixes per agent; beyond it the least
+  // recently used lease is dropped locally (the server copy just expires).
+  size_t lease_max_prefixes = 16;
+  // After a revocation, leave the prefix on the anchored path this long —
+  // write-hot directories would otherwise thrash grant/revoke.
+  VirtualDuration lease_holdoff = FromMillis(1000);
 };
 
 class MetadataService {
@@ -45,6 +61,7 @@ class MetadataService {
   MetadataService(Environment* env, CoordinationService* coord,
                   StorageService* storage, std::string user,
                   MetadataServiceOptions options);
+  ~MetadataService();
 
   // Loads the PNS at mount time (locks it against a second session of the
   // same user when a coordination service is available).
@@ -97,12 +114,26 @@ class MetadataService {
   // coordination update completes).
   void CacheLocally(const FileMetadata& metadata);
 
+  // Write-credit serving (DESIGN.md "Lease-delegated caching"): while this
+  // agent holds the path's write lock — including a lingering hold — no
+  // other client can commit a write, so the agent's own last published
+  // metadata is the newest and reads of it need no coordination round.
+  // `valid_until` is the lock's conservative lease bound (LockService::
+  // HeldUntil, same virtual clock the server expires with); past it the pin
+  // stops serving. The lock service's on_release hook must call UnpinOwned
+  // the moment the hold ends for real.
+  void PinOwned(const FileMetadata& metadata, VirtualTime valid_until);
+  void UnpinOwned(const std::string& path);
+
   bool using_pns() const { return options_.use_pns || options_.non_sharing; }
   const std::string& user() const { return user_; }
 
   // Experiment counters.
   uint64_t coord_reads() const { return coord_reads_; }
   uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t lease_hits() const { return lease_hits_; }
+  uint64_t lease_grants() const { return lease_grants_; }
+  uint64_t pinned_hits() const { return pinned_hits_; }
 
  private:
   struct CachedEntry {
@@ -110,9 +141,38 @@ class MetadataService {
     VirtualTime fetched_at = 0;
   };
 
+  // A granted read lease: the snapshot of every coordination entry under
+  // `entries`'s prefix, served locally until expiry or revocation. A path
+  // covered by a live lease but absent from the snapshot is authoritatively
+  // absent from the coordination service (negative caching) — the grant
+  // returned the whole prefix.
+  struct LeasedPrefix {
+    uint64_t epoch = 0;
+    VirtualTime expires_at = 0;
+    VirtualTime last_used = 0;
+    std::map<std::string, FileMetadata> entries;  // keyed by path
+  };
+
   bool InPns(const std::string& path);
   Result<FileMetadata> GetFromCoord(const std::string& path);
   std::string PnsObjectId() const { return "pns-" + user_; }
+
+  bool LeasesEnabled() const {
+    return options_.leases != nullptr && options_.lease_ttl > 0 &&
+           coord_ != nullptr && !options_.non_sharing;
+  }
+  // The prefix a lease for `path`'s parent directory covers ("m:<dir>/").
+  static std::string LeasePrefixFor(const std::string& path);
+  // Requires mu_. Returns the live lease covering metadata key `mkey`
+  // (touching its LRU stamp), or nullptr.
+  LeasedPrefix* FindCoveringLease(const std::string& mkey);
+  // Acquires (or renews) the lease for `prefix` through the ordered path and
+  // installs the grant snapshot. Fails without side effects if a revocation
+  // raced the grant, if grants are suspended (chaos window) or if the prefix
+  // is in post-revocation holdoff.
+  Status AcquireLeaseFor(const std::string& prefix);
+  // LeaseManager revocation sink (runs before the revoking mutation acks).
+  void OnLeaseRevoked(const std::string& prefix);
 
   // Cross-partition rename (partitioned coordination plane). A subtree's
   // metadata tuples hash across partitions, so the atomic single-partition
@@ -158,12 +218,54 @@ class MetadataService {
   // The agent's own in-flight close updates (non-blocking mode): authoritative
   // until the background coordination update completes, unlike the TTL cache.
   std::map<std::string, FileMetadata> local_overrides_;
+  // Write-credit pins (PinOwned): published-while-locked entries, served
+  // locally until the lock's conservative lease bound or UnpinOwned.
+  struct PinnedEntry {
+    FileMetadata metadata;
+    VirtualTime valid_until = 0;
+  };
+  std::map<std::string, PinnedEntry> pinned_;
   PrivateNameSpace pns_;
   bool pns_loaded_ = false;
   uint64_t pns_lock_token_ = 0;
 
+  // Post-revocation backoff for one prefix. A write-hot directory (e.g. a
+  // log directory under steady appends) revokes every lease granted on it
+  // almost immediately; re-granting at a fixed cadence turns the lease plane
+  // into pure overhead (each grant is an ordered round, scattered across
+  // every partition). The penalty doubles on each revocation that cost this
+  // client a live lease or an in-flight grant — 1x, 2x, 4x the base holdoff,
+  // capped at 4x — so a mutation-heavy prefix quickly stops being leased
+  // (its continuing losses keep the holdoff refreshed), yet recovers within
+  // a few base periods of the writes stopping. The penalty resets once the
+  // prefix has been quiet for a lease TTL past the last holdoff.
+  struct LeaseHoldoff {
+    VirtualTime until = 0;
+    uint32_t penalty = 1;
+  };
+
+  // Lease-delegated caching state (all under mu_ except the counters).
+  std::map<std::string, LeasedPrefix> leases_;          // by key prefix
+  std::map<std::string, LeaseHoldoff> lease_holdoff_;   // prefix -> backoff
+  // Prefixes with a grant round in flight: concurrent misses on the same
+  // prefix fall through to the anchored read instead of stacking duplicate
+  // ordered grant commands.
+  std::set<std::string> lease_grants_in_flight_;
+  // Bumped by every revocation notice. A grant in flight across a bump is
+  // discarded (it may predate the revoking mutation) — but only if one of
+  // the logged revocations overlaps the granted prefix; a busy unrelated
+  // prefix must not starve grants elsewhere. The log is bounded: when it no
+  // longer reaches back to the grant's start, the check is conservative
+  // (discard).
+  uint64_t lease_revocation_gen_ = 0;
+  std::deque<std::pair<uint64_t, std::string>> lease_revocation_log_;
+  uint64_t lease_holder_id_ = 0;
+
   uint64_t coord_reads_ = 0;
   uint64_t cache_hits_ = 0;
+  uint64_t lease_hits_ = 0;
+  uint64_t lease_grants_ = 0;
+  uint64_t pinned_hits_ = 0;
 };
 
 }  // namespace scfs

@@ -10,7 +10,7 @@ namespace {
 
 constexpr const char* kKindNames[kFaultKindCount] = {
     "outage", "latency", "transient", "corrupt", "byzantine",
-    "replica_restart",
+    "replica_restart", "lease_expiry",
 };
 
 Result<FaultKind> ParseKind(const std::string& value) {
@@ -22,7 +22,7 @@ Result<FaultKind> ParseKind(const std::string& value) {
   return InvalidArgumentError(
       "fault schedule: unknown kind '" + value +
       "' (expected outage|latency|transient|corrupt|byzantine|"
-      "replica_restart)");
+      "replica_restart|lease_expiry)");
 }
 
 Result<VirtualDuration> ParseDuration(const std::string& key,
@@ -92,8 +92,13 @@ constexpr BuiltinDef kBuiltins[] = {
      "# One cloud serves arbitrarily stale versions.\n"
      "kind=byzantine cloud=3 at=4s for=6s\n"},
     {"replica",
-     "# Coordination replica 2 crashes and rejoins 3 s later.\n"
-     "kind=replica_restart replica=2 at=4s for=3s\n"},
+     "# Coordination replica 2 crashes and rejoins 3 s later, while a cloud\n"
+     "# outage and a lease-expiry window overlap the same span: clients with\n"
+     "# active metadata leases lose them mid-epoch and must fall back to the\n"
+     "# anchored path with a degraded coordination plane underneath.\n"
+     "kind=replica_restart replica=2 at=4s for=3s\n"
+     "kind=outage cloud=0 at=5s for=3s\n"
+     "kind=lease_expiry at=5s for=3s\n"},
     {"mixed",
      "# Overlapping multi-cloud trouble, still within f=1 at any instant\n"
      "# for the outage; the brown-out and flaky windows add pressure.\n"
@@ -187,17 +192,25 @@ Result<FaultEvent> ParseFaultEvent(const std::string& line) {
     return InvalidArgumentError("fault schedule: event needs kind=..: '" +
                                 line + "'");
   }
-  const bool wants_replica = event.kind == FaultKind::kReplicaRestart;
-  if (!have_target) {
-    return InvalidArgumentError(
-        std::string("fault schedule: ") + FaultKindName(event.kind) +
-        " needs " + (wants_replica ? "replica" : "cloud") + "=..");
-  }
-  if (target_is_replica != wants_replica) {
-    return InvalidArgumentError(
-        std::string("fault schedule: ") + FaultKindName(event.kind) +
-        " targets a " + (wants_replica ? "replica" : "cloud") + ", not a " +
-        (wants_replica ? "cloud" : "replica"));
+  if (event.kind == FaultKind::kLeaseExpiry) {
+    // Hits the whole deployment's lease plane: no per-target index.
+    if (have_target) {
+      return InvalidArgumentError(
+          "fault schedule: lease_expiry takes no cloud= or replica=");
+    }
+  } else {
+    const bool wants_replica = event.kind == FaultKind::kReplicaRestart;
+    if (!have_target) {
+      return InvalidArgumentError(
+          std::string("fault schedule: ") + FaultKindName(event.kind) +
+          " needs " + (wants_replica ? "replica" : "cloud") + "=..");
+    }
+    if (target_is_replica != wants_replica) {
+      return InvalidArgumentError(
+          std::string("fault schedule: ") + FaultKindName(event.kind) +
+          " targets a " + (wants_replica ? "replica" : "cloud") + ", not a " +
+          (wants_replica ? "cloud" : "replica"));
+    }
   }
   if (!have_at || !have_for || event.duration <= 0) {
     return InvalidArgumentError("fault schedule: event needs at=.. and a "

@@ -14,6 +14,7 @@
 //   kind=corrupt cloud=0 at=4s for=6s
 //   kind=byzantine cloud=3 at=4s for=6s
 //   kind=replica_restart replica=2 at=5s for=3s   # crash at 5s, restart at 8s
+//   kind=lease_expiry at=5s for=3s                # leases suspended 5s-8s
 //
 // Everything downstream of a schedule is deterministic: the events carry no
 // randomness themselves, and the per-cloud FaultInjector RNGs that realise
@@ -39,14 +40,16 @@ enum class FaultKind {
   kCorrupt,         // cloud flips bytes in every read payload
   kByzantine,       // cloud serves arbitrarily stale versions
   kReplicaRestart,  // coordination replica crashes, restarts at window end
+  kLeaseExpiry,     // metadata leases invalidated; grants suspended in window
 };
-constexpr size_t kFaultKindCount = 6;
+constexpr size_t kFaultKindCount = 7;
 
 const char* FaultKindName(FaultKind kind);
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kOutage;
   // Cloud index for cloud faults; replica index for kReplicaRestart.
+  // Unused for kLeaseExpiry (it hits the whole deployment's lease plane).
   unsigned target = 0;
   VirtualTime at = 0;          // window start, relative to campaign origin
   VirtualDuration duration = 0;  // window length; faults clear at at+duration

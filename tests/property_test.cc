@@ -12,6 +12,8 @@
 
 #include "src/common/path.h"
 #include "src/common/rng.h"
+#include "src/coord/command.h"
+#include "src/coord/tuple_space.h"
 #include "src/scfs/deployment.h"
 
 namespace scfs {
@@ -143,6 +145,10 @@ struct PropertyParam {
   ScfsMode mode;
   bool use_pns;
   uint64_t seed;
+  // Lease-delegated metadata caching on: the differential run exercises the
+  // grant/serve/revoke paths (and the write-credit pin) against the same
+  // reference model — delegation must be behaviourally invisible.
+  bool leases = false;
 };
 
 class ScfsPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
@@ -153,6 +159,9 @@ TEST_P(ScfsPropertyTest, RandomOpsMatchReferenceModel) {
   DeploymentOptions options;
   options.backend = param.backend;
   options.zero_latency = true;
+  if (param.leases) {
+    options.lease_ttl = 5 * kSecond;
+  }
   auto deployment = Deployment::Create(env.get(), options);
   ScfsOptions fs_options;
   fs_options.mode = param.mode;
@@ -273,6 +282,206 @@ TEST_P(ScfsPropertyTest, RandomOpsMatchReferenceModel) {
   (void)fs->Unmount();
 }
 
+// ---------------------------------------------------------------------------
+// Lease protocol property test (ISSUE 9 satellite): randomized grant / renew
+// / expire / revoke / release interleavings against the TupleSpace state
+// machine on a fake clock (`now` is an explicit argument to Apply, so time
+// advances exactly when the test says it does). Client-side holder views
+// mirror the metadata service's serving discipline; after every step three
+// invariants hold:
+//
+//   1. No conflicting holders: a view still serving (valid, unexpired on the
+//      same clock) agrees exactly with the authoritative prefix contents —
+//      no mutation has committed that the holder didn't hear about.
+//   2. Bounded expiry: the server-side record's horizon equals the max of
+//      the outstanding grants' (grant time + TTL) — extend-only, and never
+//      beyond what some grant actually promised.
+//   3. Revoke-commit precedes the mutation's ack: the mutation's own reply
+//      names every live lease covering the key, and fanning those notices
+//      out before treating the mutation as acked restores invariant 1.
+// ---------------------------------------------------------------------------
+
+TEST(LeasePropertyTest, RandomInterleavingsKeepLeaseInvariants) {
+  const std::vector<std::string> prefixes = {"m:/a/", "m:/b/"};
+  const std::vector<std::string> sessions = {"s0", "s1", "s2", "s3"};
+  std::vector<std::string> keys;
+  for (const auto& prefix : prefixes) {
+    for (int i = 0; i < 3; ++i) {
+      keys.push_back(prefix + "k" + std::to_string(i));
+    }
+  }
+
+  auto cmd = [](CoordOp op, const std::string& key, const Bytes& value = {},
+                uint64_t a = 0, const std::string& aux = "") {
+    CoordCommand out;
+    out.op = op;
+    out.client = "alice";
+    out.key = key;
+    out.value = value;
+    out.a = a;
+    out.aux = aux;
+    return out;
+  };
+
+  for (uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
+    TupleSpace space;
+    Rng rng(seed);
+    VirtualTime now = 1;
+
+    // A holder's installed grant (the client side of the protocol).
+    struct View {
+      bool valid = false;
+      uint64_t epoch = 0;
+      VirtualTime expires_at = 0;
+      std::map<std::string, Bytes> snapshot;
+    };
+    // views[session][prefix]
+    std::map<std::string, std::map<std::string, View>> views;
+    // Mirror of the server-side lease records: expiry horizon and holder
+    // set, maintained from this test's own grant/release/revoke/expiry
+    // bookkeeping — what the record MUST be if the state machine is right.
+    struct Record {
+      VirtualTime expires_at = 0;
+      std::set<std::string> holders;
+    };
+    std::map<std::string, Record> records;
+
+    auto purge_expired = [&] {
+      for (auto it = records.begin(); it != records.end();) {
+        if (it->second.expires_at <= now) {
+          it = records.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+
+    // Invariant 1: every still-serving view agrees exactly with the
+    // authoritative prefix contents (including negative lookups: the grant
+    // snapshot is the WHOLE prefix).
+    auto check_serving_views = [&] {
+      for (const auto& [session, by_prefix] : views) {
+        for (const auto& [prefix, view] : by_prefix) {
+          if (!view.valid || now >= view.expires_at) {
+            continue;
+          }
+          CoordReply truth =
+              space.Apply(now, cmd(CoordOp::kReadPrefix, prefix));
+          ASSERT_TRUE(truth.ok());
+          std::map<std::string, Bytes> authoritative;
+          for (const auto& entry : truth.entries) {
+            authoritative[entry.key] = entry.value;
+          }
+          ASSERT_EQ(view.snapshot, authoritative)
+              << "seed " << seed << ": holder " << session
+              << " serves stale state for " << prefix << " at " << now;
+        }
+      }
+    };
+
+    for (int step = 0; step < 1500; ++step) {
+      switch (rng.UniformU64(6)) {
+        case 0: {  // the fake clock advances; holders expire themselves
+          now += 1 + rng.UniformU64(60);
+          break;
+        }
+        case 1:
+        case 2: {  // grant or renew
+          const std::string& session =
+              sessions[rng.UniformU64(sessions.size())];
+          const std::string& prefix =
+              prefixes[rng.UniformU64(prefixes.size())];
+          const uint64_t ttl = 20 + rng.UniformU64(100);
+          purge_expired();
+          CoordReply grant = space.Apply(
+              now, cmd(CoordOp::kLeaseAcquire, prefix, {}, ttl, session));
+          ASSERT_TRUE(grant.ok());
+          // Invariant 2: extend-only, and exactly the max outstanding
+          // promise — never beyond any grant's (time + TTL).
+          Record& record = records[prefix];
+          record.expires_at = std::max(
+              record.expires_at, now + static_cast<VirtualDuration>(ttl));
+          record.holders.insert(session);
+          ASSERT_EQ(grant.a, static_cast<uint64_t>(record.expires_at))
+              << "seed " << seed << " step " << step;
+          View& view = views[session][prefix];
+          view.valid = true;
+          view.expires_at = static_cast<VirtualTime>(grant.a);
+          ByteReader reader(grant.value);
+          ASSERT_TRUE(reader.ReadU64(&view.epoch));
+          view.snapshot.clear();
+          for (const auto& entry : grant.entries) {
+            view.snapshot[entry.key] = entry.value;
+          }
+          break;
+        }
+        case 3: {  // voluntary release
+          const std::string& session =
+              sessions[rng.UniformU64(sessions.size())];
+          const std::string& prefix =
+              prefixes[rng.UniformU64(prefixes.size())];
+          purge_expired();
+          space.Apply(now, cmd(CoordOp::kLeaseRelease, prefix, {}, 0,
+                               session));
+          views[session][prefix].valid = false;
+          auto it = records.find(prefix);
+          if (it != records.end()) {
+            it->second.holders.erase(session);
+            if (it->second.holders.empty()) {
+              records.erase(it);
+            }
+          }
+          break;
+        }
+        case 4:
+        case 5: {  // mutation: write or remove a key
+          const std::string& key = keys[rng.UniformU64(keys.size())];
+          purge_expired();
+          // Invariant 3 (completeness): every live lease covering the key
+          // must be named in the mutation's own reply.
+          std::set<std::string> must_revoke;
+          for (const auto& [prefix, record] : records) {
+            if (key.compare(0, prefix.size(), prefix) == 0) {
+              must_revoke.insert(prefix);
+            }
+          }
+          CoordReply reply =
+              rng.Chance(0.7)
+                  ? space.Apply(now, cmd(CoordOp::kWrite, key,
+                                         rng.RandomBytes(8)))
+                  : space.Apply(now, cmd(CoordOp::kRemove, key));
+          std::set<std::string> revoked;
+          for (const auto& revocation : reply.revoked) {
+            revoked.insert(revocation.prefix);
+          }
+          if (!reply.ok()) {
+            // A failed mutation (e.g. removing a missing key) leaves the
+            // state untouched and must revoke nothing.
+            ASSERT_TRUE(revoked.empty())
+                << "seed " << seed << " step " << step;
+            must_revoke.clear();
+          }
+          ASSERT_EQ(revoked, must_revoke)
+              << "seed " << seed << " step " << step << " mutating " << key;
+          // The notices fan out to every holder BEFORE the ack...
+          for (const auto& prefix : revoked) {
+            records.erase(prefix);
+            for (auto& [session, by_prefix] : views) {
+              auto it = by_prefix.find(prefix);
+              if (it != by_prefix.end()) {
+                it->second.valid = false;
+              }
+            }
+          }
+          break;
+        }
+      }
+      // ...so at every ack boundary, nobody serves stale state.
+      check_serving_views();
+    }
+  }
+}
+
 std::vector<PropertyParam> MakeParams() {
   std::vector<PropertyParam> params;
   uint64_t seed = 1000;
@@ -287,6 +496,13 @@ std::vector<PropertyParam> MakeParams() {
         seed += 77;
       }
     }
+  }
+  // Lease-enabled variants (CoC only; leases need a coordination service):
+  // the same differential battery with delegation live end to end.
+  for (auto mode : {ScfsMode::kBlocking, ScfsMode::kNonBlocking}) {
+    params.push_back(PropertyParam{ScfsBackendKind::kCoc, mode, false, seed,
+                                   /*leases=*/true});
+    seed += 77;
   }
   return params;
 }
@@ -309,6 +525,9 @@ INSTANTIATE_TEST_SUITE_P(
       }
       if (info.param.use_pns) {
         name += "Pns";
+      }
+      if (info.param.leases) {
+        name += "Leases";
       }
       return name;
     });

@@ -21,6 +21,13 @@ import sys
 # bottleneck (the demo regressed, not the percentiles).
 MIN_SKEW_INFLATION = 1.2
 
+# The lease demo runs the webserver personality with metadata leases off and
+# on at the same offered rate; leases must cut coordination messages per
+# successful op by at least this factor (the ISSUE's >= 5x target — the
+# design estimate is ~8-9x: read leases on the never-mutated fileset, plus
+# lingering write locks collapsing the append's lock/unlock rounds).
+MIN_LEASE_MSGS_RATIO = 5.0
+
 
 def fail(msg: str) -> int:
     print(f"FAIL: {msg}")
@@ -110,9 +117,40 @@ def main() -> int:
                            f"{skewed_share:.2f} <= uniform "
                            f"{uniform_share:.2f} — Zipf routing is broken")
 
+    lease_keys = [k for k in metrics if k.startswith("scenario_webserver_lease_")]
+    if lease_keys:
+        required = [
+            "scenario_webserver_lease_off_msgs_per_op",
+            "scenario_webserver_lease_on_msgs_per_op",
+            "scenario_webserver_lease_msgs_ratio",
+            "scenario_webserver_lease_on_grants",
+            "scenario_webserver_lease_on_local_hits",
+            "scenario_webserver_lease_on_hit_share",
+        ]
+        missing = [k for k in required if k not in metrics]
+        if missing:
+            rc |= fail(f"lease demo: missing metrics {missing}")
+        else:
+            off = metrics["scenario_webserver_lease_off_msgs_per_op"]
+            on = metrics["scenario_webserver_lease_on_msgs_per_op"]
+            ratio = metrics["scenario_webserver_lease_msgs_ratio"]
+            grants = metrics["scenario_webserver_lease_on_grants"]
+            hits = metrics["scenario_webserver_lease_on_local_hits"]
+            print(f"lease demo: coord msgs/op {off:.2f} -> {on:.2f} "
+                  f"({ratio:.1f}x), {grants:.0f} grants, "
+                  f"{hits:.0f} local hits")
+            if ratio < MIN_LEASE_MSGS_RATIO:
+                rc |= fail(f"lease demo: msgs/op reduction {ratio:.2f}x < "
+                           f"{MIN_LEASE_MSGS_RATIO}x — lease-delegated "
+                           "caching is not absorbing the metadata plane")
+            if grants <= 0 or hits <= 0:
+                rc |= fail("lease demo: lease-on run recorded no grants or "
+                           "no local hits — leases never engaged")
+
     if rc == 0:
         print(f"OK: {len(personalities)} personalities"
-              + (", skew demo" if zipf_keys else ""))
+              + (", skew demo" if zipf_keys else "")
+              + (", lease demo" if lease_keys else ""))
     return rc
 
 
