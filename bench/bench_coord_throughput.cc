@@ -23,6 +23,15 @@
 //                 clients x 8 concurrent streams, swept over 1/2/4/8 SMR
 //                 partitions with a capacity-bound per-partition pipeline;
 //                 reports per-partition and aggregate ordered throughput
+//   7. lease      grant/serve/revoke amortization of the lease plane
+//   8. split      the elastic coordination plane: a skewed closed-loop
+//                 workload concentrates 2/3 of traffic on partition 0 of a
+//                 2-active + 1-spare deployment with the load-aware split
+//                 controller on; the bench measures aggregate ops/s before
+//                 and after the automatic split and compares the post-split
+//                 plane against a statically balanced 3-partition deployment
+//                 (recovery ratio, gated >= 0.8 in CI), then audits the key
+//                 population for lost or duplicated entries
 //
 // Elapsed time is virtual (the environment clock), so results measure the
 // modelled protocol and queueing delays, not host speed. Emits
@@ -34,6 +43,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -396,6 +406,262 @@ LeaseBench RunLeaseBench(Environment* env, int clients, int files) {
   return out;
 }
 
+// Workload 8: the elastic split demo. Three equal-traffic key buckets are
+// pre-filtered by routing-hash quarter: buckets A ([0, 2^62)) and B
+// ([2^62, 2^63)) both land on partition 0 of the initial 2-active uniform
+// map, bucket C ([2^63, 2^64)) on partition 1 — a skewed (hot-partition)
+// workload with 2/3 of the offered load on one capacity-bound pipeline,
+// the coordination-plane shape of the scenario engine's Zipfian skew demo.
+// The split controller watches windowed EWMAs and moves [2^62, 2^63) (all
+// of bucket B) onto the spare, after which the three buckets map to three
+// partitions 1:1:1. Measured: aggregate ops/s before the split, after it,
+// and on a statically balanced 3-partition deployment running the same
+// offered pattern (keys pre-bucketed per static partition) — post-split
+// must recover >= 80% of static-3. After quiescing, a scatter-gather scan
+// audits the key population: every written key present exactly once.
+struct SplitDemo {
+  bool fired = false;
+  double pre_agg = 0;     // aggregate ops/s while partition 0 is hot
+  double post_agg = 0;    // aggregate ops/s after the automatic split
+  double static_agg = 0;  // statically balanced 3-partition baseline
+  double recovery_ratio = 0;  // post_agg / static_agg
+  double split_duration_ms = 0;
+  uint64_t route_epoch_retries = 0;
+  uint64_t migration_stalls = 0;
+  uint64_t keys_migrated = 0;
+  uint64_t lost_keys = 0;
+  uint64_t dup_keys = 0;
+  uint64_t write_errors = 0;
+  // One row per 1-virtual-second tick: per-partition ops/s and the route
+  // epoch at the end of the tick (the per-partition timeline).
+  struct TimelineRow {
+    double t_s = 0;
+    uint64_t epoch = 0;
+    std::vector<double> per_partition;
+  };
+  std::vector<TimelineRow> timeline;
+};
+
+// `count` keys under `prefix` whose routing hash falls in hash-space
+// quarter `quarter` (top two hash bits). Deterministic: rejection-samples
+// the natural numbers.
+std::vector<std::string> KeysInHashQuarter(const std::string& prefix,
+                                           unsigned quarter, size_t count) {
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; keys.size() < count; ++i) {
+    std::string key = prefix + std::to_string(i);
+    if ((PartitionRoutingHash(key) >> 62) == quarter) {
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+// Tuple ACLs are owner-only by default; the demo's keys are shared by the
+// whole fleet, so one seeder creates each key and world-opens it (the
+// migration carries ACLs with the entry, so grants survive the split).
+void SeedSplitKeys(PartitionedCoordination* coord,
+                   const std::vector<std::vector<std::string>>& pools) {
+  const std::string seeder = ClientName(0);
+  for (const auto& pool : pools) {
+    for (const auto& key : pool) {
+      (void)coord->Write(seeder, key, ToBytes("v"));
+      (void)coord->GrantEntryAccess(seeder, key, "*", true, true);
+    }
+  }
+}
+
+// Closed-loop writers cycling the key pools round-robin (pool = op mod
+// pools, so each pool receives exactly 1/3 of the offered load) with an
+// occasional fast read, until *stop. Write failures are counted, never
+// retried (the router's transparent retry is below this).
+std::vector<std::thread> StartSplitClients(
+    PartitionedCoordination* coord,
+    const std::vector<std::vector<std::string>>* pools, int clients,
+    std::atomic<bool>* stop, std::atomic<uint64_t>* write_errors) {
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([=] {
+      const std::string client = ClientName(c);
+      uint64_t n = c;  // staggered start: the fleet covers every key
+      while (!stop->load(std::memory_order_relaxed)) {
+        const auto& pool = (*pools)[n % pools->size()];
+        const std::string& key = pool[(n / pools->size()) % pool.size()];
+        if (!coord->Write(client, key, ToBytes("v")).ok()) {
+          write_errors->fetch_add(1, std::memory_order_relaxed);
+        }
+        if (n % 4 == 3) {
+          (void)coord->Read(client, key);  // fast path, not ordered
+        }
+        ++n;
+      }
+    });
+  }
+  return threads;
+}
+
+double AggregateRate(const PartitionLoadSnapshot& before,
+                     const PartitionLoadSnapshot& after) {
+  double total = 0;
+  for (double rate : PartitionOpsPerSecond(before, after)) {
+    total += rate;
+  }
+  return total;
+}
+
+SplitDemo RunSplitDemo(Environment* env, bool quick) {
+  const int kDemoClients = 24;
+  const size_t kKeysPerPool = 12;
+  const int warmup_ticks = 1;
+  const int measure_ticks = quick ? 2 : 3;
+  const int max_wait_ticks = quick ? 16 : 24;
+  SplitDemo out;
+
+  // --- Elastic run: 2 active partitions + 1 spare, controller on. The
+  // min-total gate sits well above the single-threaded seeding rate
+  // (~15 ops/s) and well below the fleet's (~200+), so the controller
+  // ignores the seeding phase and fires a few EWMA windows into the
+  // fleet's skewed load.
+  PartitionedCoordinationConfig pconfig;
+  pconfig.partitions = 2;
+  pconfig.spare_partitions = 1;
+  pconfig.smr = MakeConfig(false);
+  pconfig.smr.max_inflight_instances = 1;
+  pconfig.smr.max_batch = 2;
+  pconfig.auto_split = true;
+  pconfig.split_window = 3 * kSecond;
+  pconfig.split_hot_share = 0.55;  // offered hot share is 2/3
+  pconfig.split_min_total_ops_s = 80.0;
+  PartitionedCoordination coord(env, pconfig);
+
+  const std::vector<std::vector<std::string>> pools = {
+      KeysInHashQuarter("bkt:a", 0, kKeysPerPool),
+      KeysInHashQuarter("bkt:b", 1, kKeysPerPool),
+      KeysInHashQuarter("bkt:c", 2, kKeysPerPool),
+  };
+
+  SeedSplitKeys(&coord, pools);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> write_errors{0};
+  std::vector<std::thread> threads =
+      StartSplitClients(&coord, &pools, kDemoClients, &stop, &write_errors);
+
+  std::vector<PartitionLoadSnapshot> ticks;
+  ticks.push_back(coord.LoadSnapshot());
+  const VirtualTime t0 = env->Now();
+  auto tick = [&] {
+    env->Sleep(kSecond);
+    ticks.push_back(coord.LoadSnapshot());
+    SplitDemo::TimelineRow row;
+    row.t_s = ToSeconds(env->Now() - t0);
+    row.epoch = coord.route_epoch();
+    row.per_partition =
+        PartitionOpsPerSecond(ticks[ticks.size() - 2], ticks.back());
+    out.timeline.push_back(row);
+  };
+
+  // Tick until the controller's split lands (EWMA windows + the migration
+  // itself), recording the timeline as it goes.
+  const uint64_t initial_epoch = coord.route_epoch();
+  int waited = 0;
+  while (coord.elastic_counters().splits == 0 && waited < max_wait_ticks) {
+    tick();
+    ++waited;
+  }
+  out.fired = coord.elastic_counters().splits >= 1;
+  tick();  // settle: drain the stalled writes released at commit
+  tick();
+
+  // Pre-split window, in hindsight: the full ticks that ended at the
+  // initial epoch. The last of them typically straddles the migration's
+  // write freeze, so it is excluded (timeline row i covers snapshots
+  // [i, i+1]; row.epoch is read at the row's end).
+  size_t last_initial_row = 0;
+  for (size_t i = 0; i < out.timeline.size(); ++i) {
+    if (out.timeline[i].epoch == initial_epoch) {
+      last_initial_row = i;
+    }
+  }
+  const size_t pre_end = std::max<size_t>(1, last_initial_row);
+  out.pre_agg = AggregateRate(ticks[0], ticks[pre_end]);
+
+  const size_t post_start = ticks.size() - 1;
+  for (int i = 0; i < measure_ticks; ++i) {
+    tick();
+  }
+  out.post_agg = AggregateRate(ticks[post_start], ticks.back());
+
+  stop.store(true);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  env->Sleep(kSecond);  // quiesce before the audit
+
+  const ElasticCounters elastic = coord.elastic_counters();
+  out.split_duration_ms = elastic.last_migration_us / 1e3;
+  out.route_epoch_retries = elastic.route_epoch_retries;
+  out.migration_stalls = elastic.migration_stalls;
+  out.keys_migrated = elastic.keys_migrated;
+  out.write_errors = write_errors.load();
+
+  // Audit: a scatter-gather scan over the whole key population must return
+  // every key exactly once (owner-wins dedupe), no matter where the split
+  // left the entries.
+  auto scanned = coord.ReadPrefix(ClientName(0), "bkt:");
+  std::map<std::string, int> seen;
+  if (scanned.ok()) {
+    for (const auto& entry : *scanned) {
+      ++seen[entry.key];
+    }
+  }
+  for (const auto& pool : pools) {
+    for (const auto& key : pool) {
+      auto it = seen.find(key);
+      if (it == seen.end()) {
+        ++out.lost_keys;
+      } else if (it->second > 1) {
+        out.dup_keys += it->second - 1;
+      }
+    }
+  }
+
+  // --- Static baseline: 3 active partitions, same client fleet and pool
+  // shape, keys pre-bucketed so each pool lands wholly on its own
+  // partition — the statically balanced deployment the elastic plane is
+  // measured against.
+  PartitionedCoordinationConfig sconfig;
+  sconfig.partitions = 3;
+  sconfig.smr = pconfig.smr;
+  PartitionedCoordination static_coord(env, sconfig);
+  std::vector<std::vector<std::string>> static_pools(3);
+  for (unsigned p = 0; p < 3; ++p) {
+    for (uint64_t i = 0; static_pools[p].size() < kKeysPerPool; ++i) {
+      std::string key = "sbkt:" + std::to_string(p) + ":" + std::to_string(i);
+      if (static_coord.PartitionOf(key) == p) {
+        static_pools[p].push_back(key);
+      }
+    }
+  }
+  SeedSplitKeys(&static_coord, static_pools);
+  std::atomic<bool> static_stop{false};
+  std::atomic<uint64_t> static_errors{0};
+  std::vector<std::thread> static_threads = StartSplitClients(
+      &static_coord, &static_pools, kDemoClients, &static_stop,
+      &static_errors);
+  env->Sleep(warmup_ticks * kSecond);
+  PartitionLoadSnapshot sbefore = static_coord.LoadSnapshot();
+  env->Sleep(measure_ticks * kSecond);
+  PartitionLoadSnapshot safter = static_coord.LoadSnapshot();
+  static_stop.store(true);
+  for (auto& thread : static_threads) {
+    thread.join();
+  }
+  out.static_agg = AggregateRate(sbefore, safter);
+  out.recovery_ratio = out.static_agg > 0 ? out.post_agg / out.static_agg : 0;
+  return out;
+}
+
 void RunAll(const Options& options) {
   auto env = Environment::Scaled(CoordTimeScale());
   const int kClients = 32;
@@ -576,6 +842,66 @@ void RunAll(const Options& options) {
               "the 1-partition baseline (target >=3x)\n",
               part4_agg, part_speedup);
 
+  // Elastic split demo (workload 8): runs on the same throttled clock as
+  // the partition sweep — the controller's windowed rates need low noise.
+  PrintHeader("Coordination plane: elastic split under skew (24 clients)");
+  SplitDemo split = RunSplitDemo(sweep_env.get(), options.quick);
+  PrintRow({"metric", "value", "", ""}, widths);
+  PrintRow({"split fired", split.fired ? "yes" : "NO", "", ""}, widths);
+  PrintRow({"pre-split agg (ops/s)",
+            std::to_string(static_cast<int>(split.pre_agg)), "", ""},
+           widths);
+  PrintRow({"post-split agg (ops/s)",
+            std::to_string(static_cast<int>(split.post_agg)), "", ""},
+           widths);
+  PrintRow({"static 3-part agg (ops/s)",
+            std::to_string(static_cast<int>(split.static_agg)), "", ""},
+           widths);
+  PrintRow({"recovery ratio", FormatSeconds(split.recovery_ratio) + "x",
+            "(target >=0.8)", ""},
+           widths);
+  PrintRow({"split duration (ms)", FormatSeconds(split.split_duration_ms),
+            "", ""},
+           widths);
+  PrintRow({"route epoch retries",
+            std::to_string(split.route_epoch_retries), "", ""},
+           widths);
+  PrintRow({"keys migrated", std::to_string(split.keys_migrated), "", ""},
+           widths);
+  PrintRow({"lost / dup keys",
+            std::to_string(split.lost_keys) + " / " +
+                std::to_string(split.dup_keys),
+            "", ""},
+           widths);
+  std::printf("\nper-partition ops/s timeline (epoch bumps at the split):\n");
+  std::printf("  %8s %7s  %s\n", "t (s)", "epoch", "partitions 0..N");
+  for (const auto& row : split.timeline) {
+    std::printf("  %8.1f %7llu ", row.t_s,
+                static_cast<unsigned long long>(row.epoch));
+    for (double rate : row.per_partition) {
+      std::printf(" %7.0f", rate);
+    }
+    std::printf("\n");
+  }
+  json.Add("coord_split_fired", split.fired ? 1 : 0, "bool");
+  json.Add("coord_split_pre_agg", split.pre_agg, "ops/s");
+  json.Add("coord_split_post_agg", split.post_agg, "ops/s");
+  json.Add("coord_split_static_agg", split.static_agg, "ops/s");
+  json.Add("coord_split_recovery_ratio", split.recovery_ratio, "x");
+  json.Add("coord_split_duration_ms", split.split_duration_ms, "ms");
+  json.Add("coord_split_route_epoch_retries",
+           static_cast<double>(split.route_epoch_retries), "count");
+  json.Add("coord_split_migration_stalls",
+           static_cast<double>(split.migration_stalls), "count");
+  json.Add("coord_split_keys_migrated",
+           static_cast<double>(split.keys_migrated), "count");
+  json.Add("coord_split_lost_keys", static_cast<double>(split.lost_keys),
+           "count");
+  json.Add("coord_split_dup_keys", static_cast<double>(split.dup_keys),
+           "count");
+  json.Add("coord_split_write_errors",
+           static_cast<double>(split.write_errors), "count");
+
   std::printf(
       "\nShape check: batching+pipelining must give >=5x ordered throughput\n"
       "at 32 clients, the read fast path >=3x lower read latency; the mixed\n"
@@ -586,7 +912,10 @@ void RunAll(const Options& options) {
       "batch factor against mean write latency; the verdict is recorded in\n"
       "ROADMAP.md. The partition sweep must show aggregate ordered\n"
       "throughput scaling with the partition count at fixed offered load\n"
-      "(>=3x at 4 partitions; CI fails if 4 partitions regress below 1).\n",
+      "(>=3x at 4 partitions; CI fails if 4 partitions regress below 1).\n"
+      "The elastic demo must fire exactly the automatic split, recover\n"
+      ">=0.8x of the statically balanced 3-partition plane and lose or\n"
+      "duplicate zero keys (all gated by tools/check_bench_coord.py).\n",
       batch_avg,
       static_cast<unsigned long long>(read_fast.counters.fast_path_reads),
       static_cast<unsigned long long>(

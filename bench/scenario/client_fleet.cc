@@ -383,8 +383,10 @@ FleetResult ClientFleet::Run(const FleetConfig& config) {
   if (deployment_ != nullptr) {
     AccumulateCoordCounters(deployment_, &coord_before);
   }
+  ElasticCounters elastic_before;
   if (partitioned != nullptr) {
     snap_before = partitioned->LoadSnapshot();
+    elastic_before = partitioned->elastic_counters();
   }
 
   std::vector<WorkerStats> stats(config.workers);
@@ -503,15 +505,16 @@ FleetResult ClientFleet::Run(const FleetConfig& config) {
     }
   }
   if (partitioned != nullptr) {
-    out.partition_ops_per_s =
-        PartitionOpsPerSecond(snap_before, partitioned->LoadSnapshot());
-    double total = 0;
-    double top = 0;
-    for (double ops : out.partition_ops_per_s) {
-      total += ops;
-      top = std::max(top, ops);
-    }
-    out.hot_partition_share = total > 0 ? top / total : 0;
+    // Windowed deltas bracketing exactly this run (snap_before is taken
+    // after warmup): the shared helper keeps the hot-share definition here
+    // and in the split controller identical, and never lets cumulative
+    // since-mount counters masquerade as current load.
+    const PartitionLoadSnapshot snap_after = partitioned->LoadSnapshot();
+    out.partition_ops_per_s = PartitionOpsPerSecond(snap_before, snap_after);
+    out.hot_partition_share = PartitionHotShare(snap_before, snap_after);
+    out.route_epoch_retries =
+        partitioned->elastic_counters().route_epoch_retries -
+        elastic_before.route_epoch_retries;
   }
   return out;
 }

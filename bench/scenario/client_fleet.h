@@ -114,9 +114,14 @@ struct FleetResult {
   double lease_hit_share = 0;  // local_hits / successful op
 
   // Partitioned deployments only: per-partition coordination ops/s over the
-  // run and the busiest partition's share of that total.
+  // run and the busiest partition's share of that total (both from windowed
+  // counter deltas bracketing the run, the same definition the elastic
+  // split controller applies). route_epoch_retries counts commands this run
+  // that were rejected for routing with a stale map and transparently
+  // retried — the lazy route-map distribution's visible cost.
   std::vector<double> partition_ops_per_s;
   double hot_partition_share = 0;
+  uint64_t route_epoch_retries = 0;
 
   // Virtual time the arrival window opened (for intersecting the timeline
   // with absolute fault windows) and the buckets themselves; empty unless

@@ -11,6 +11,7 @@ Bytes CoordCommand::Encode() const {
   AppendString(&out, aux);
   AppendU64(&out, a);
   AppendU64(&out, b);
+  AppendU64(&out, route_epoch);
   return out;
 }
 
@@ -24,7 +25,8 @@ Result<CoordCommand> CoordCommand::Decode(const Bytes& data) {
   ByteReader reader(rest);
   if (!reader.ReadString(&cmd.client) || !reader.ReadString(&cmd.key) ||
       !reader.ReadBytes(&cmd.value) || !reader.ReadString(&cmd.aux) ||
-      !reader.ReadU64(&cmd.a) || !reader.ReadU64(&cmd.b)) {
+      !reader.ReadU64(&cmd.a) || !reader.ReadU64(&cmd.b) ||
+      !reader.ReadU64(&cmd.route_epoch)) {
     return CorruptionError("truncated command");
   }
   return cmd;

@@ -60,6 +60,13 @@ struct CoordCommand {
   std::string aux;
   uint64_t a = 0;
   uint64_t b = 0;
+  // The epoch of the RouteMap the submitting client routed this command
+  // with (see src/coord/partitioned_coordination.h "Elastic routing"). A
+  // partitioned plane's servers enforce the map strictly: a command routed
+  // with a stale map to a partition that no longer owns its key is rejected
+  // together with the current map, and the client retries transparently.
+  // 0 on unpartitioned deployments (no router in the path).
+  uint64_t route_epoch = 0;
 
   // True for commands that never mutate coordination state (kRead,
   // kReadPrefix). The replication layer serves these from a replica's
@@ -104,6 +111,14 @@ struct CoordReply {
 // Permission bits for kSetEntryAcl.
 constexpr uint64_t kCoordPermRead = 1;
 constexpr uint64_t kCoordPermWrite = 2;
+
+// The coordination plane's administrative principal: the identity the
+// elastic repartitioning controller (a deployment-internal actor, not a
+// user) migrates ranges with. The TupleSpace grants it read and write on
+// every entry — a range migration must export, import and retire entries
+// owned by arbitrary users, exactly like DepSpace's administrative
+// credential can. User-facing paths never run under this principal.
+inline constexpr const char kCoordAdminPrincipal[] = "__coord-admin";
 
 }  // namespace scfs
 

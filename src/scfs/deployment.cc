@@ -90,6 +90,21 @@ std::unique_ptr<Deployment> Deployment::Create(Environment* env,
       PartitionedCoordinationConfig pconfig;
       pconfig.partitions = options.coord_partitions;
       pconfig.smr = config;
+      pconfig.spare_partitions = options.coord_spare_partitions;
+      pconfig.auto_split = options.coord_auto_split;
+      pconfig.split_hot_share = options.coord_split_hot_share;
+      pconfig.split_window = options.coord_split_window;
+      pconfig.split_min_total_ops_s = options.coord_split_min_total_ops_s;
+      pconfig.merge_cold_share = options.coord_merge_cold_share;
+      // A committed migration revokes delegated caches on the moved keys
+      // through the deployment's lease manager: the controller executes
+      // below the LeasedCoordination decorator, so the piggybacked
+      // revocation path never sees the migration's mutations.
+      LeaseManager* leases = &deployment->lease_manager_;
+      pconfig.on_migration_commit =
+          [leases](const std::vector<LeaseRevocation>& revoked) {
+            leases->NotifyRevocations(revoked);
+          };
       auto coord = std::make_unique<PartitionedCoordination>(env, pconfig,
                                                              options.seed);
       deployment->partitioned_coord_ = coord.get();
@@ -110,6 +125,22 @@ std::unique_ptr<Deployment> Deployment::Create(Environment* env,
         std::move(deployment->coord_), &deployment->lease_manager_);
   }
   return deployment;
+}
+
+Status Deployment::SplitPartition(unsigned src) {
+  if (partitioned_coord_ == nullptr) {
+    return NotSupportedError(
+        "elastic repartitioning needs a partitioned coordination plane");
+  }
+  return partitioned_coord_->SplitPartition(src);
+}
+
+Status Deployment::MergePartitions(unsigned src, unsigned dst) {
+  if (partitioned_coord_ == nullptr) {
+    return NotSupportedError(
+        "elastic repartitioning needs a partitioned coordination plane");
+  }
+  return partitioned_coord_->MergePartitions(src, dst);
 }
 
 uint64_t Deployment::CoordReplyBytes() const {

@@ -63,6 +63,23 @@ struct DeploymentOptions {
   // hot-partition skew demo pushes against. Ignored for kAws and
   // zero-latency deployments.
   VirtualDuration coord_replica_link_one_way = 0;
+  // Elastic coordination plane (kCoc with coord_partitions > 1 only; see
+  // DESIGN.md "Elastic partitioning" and OPERATIONS.md). Spare partitions
+  // are extra SMR clusters owning no hash range — the split controller's
+  // migration targets. coord_auto_split starts the load-aware controller:
+  // every coord_split_window it folds windowed per-partition ops/s deltas
+  // into EWMAs and splits the hot partition's range onto a spare once its
+  // share exceeds coord_split_hot_share (manual Deployment::SplitPartition
+  // and MergePartitions work either way). coord_merge_cold_share > 0
+  // additionally merges a cooled partition back once the plane grew past
+  // its initial size. Lease revocation on migrated keys is wired to the
+  // deployment's LeaseManager automatically.
+  unsigned coord_spare_partitions = 0;
+  bool coord_auto_split = false;
+  double coord_split_hot_share = 0.5;
+  VirtualDuration coord_split_window = 2 * kSecond;
+  double coord_split_min_total_ops_s = 1.0;
+  double coord_merge_cold_share = 0.0;
   // Striped large-file data plane (kCoc only, see OPERATIONS.md): writes
   // larger than stripe_threshold are cut into stripe_unit_size units with at
   // most stripe_inflight units in flight. 0 keeps the DepSkyConfig defaults;
@@ -108,6 +125,13 @@ class Deployment {
   // Always present; only consulted by agents when lease_ttl > 0. The chaos
   // plane's lease-expiry fault windows suspend grants through it.
   LeaseManager* lease_manager() { return &lease_manager_; }
+
+  // Manual elastic repartitioning (coord_partitions > 1 only;
+  // kNotSupported otherwise). Operators split a hot partition's range onto
+  // a spare cluster or fold a cooled partition back without remounting;
+  // the automatic controller uses exactly the same entry points.
+  Status SplitPartition(unsigned src);
+  Status MergePartitions(unsigned src, unsigned dst);
 
   // Bytes shipped from the coordination service to clients so far (drives
   // the coordination share of Figure 11(b) costs).

@@ -32,6 +32,7 @@ TEST(CommandTest, EncodeDecodeRoundTrip) {
   cmd.aux = "extra";
   cmd.a = 42;
   cmd.b = 7;
+  cmd.route_epoch = 9;
   auto decoded = CoordCommand::Decode(cmd.Encode());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->op, CoordOp::kCompareAndSwap);
@@ -41,6 +42,7 @@ TEST(CommandTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded->aux, "extra");
   EXPECT_EQ(decoded->a, 42u);
   EXPECT_EQ(decoded->b, 7u);
+  EXPECT_EQ(decoded->route_epoch, 9u);
 }
 
 TEST(CommandTest, ReplyRoundTripWithEntries) {
@@ -518,8 +520,15 @@ SmrConfig FastSmrConfig(bool byzantine) {
   config.byzantine = byzantine;
   config.client_link = LatencyModel::Fixed(2 * kMillisecond);
   config.replica_link = LatencyModel::Fixed(kMillisecond);
-  config.client_timeout = 2000 * kMillisecond;
-  config.order_timeout = 600 * kMillisecond;
+  // Generous against *real* scheduling noise: most suites run at
+  // Environment::Scaled(1e-3), where a virtual second is one real
+  // millisecond — a TSan/ASan-instrumented consensus round can eat
+  // hundreds of real microseconds, and sub-second virtual timeouts then
+  // fire spurious view changes. Failure-detection latency is virtual and
+  // costs nothing real, so err high; tests that need tight timeouts
+  // (e.g. the retransmission storm) override these explicitly.
+  config.client_timeout = 30 * kSecond;
+  config.order_timeout = 5 * kSecond;
   return config;
 }
 
@@ -1112,8 +1121,12 @@ class LeaseHistoryClient {
       gen_at_start = revocation_gen_;
     }
     *local = false;
+    // The TTL is generous on purpose: invalidation in this history comes
+    // from revocations, not expiry, and a sanitized (ASan/TSan) build can
+    // burn whole virtual seconds of work between two polls — an expiring
+    // lease would then never serve a read locally.
     auto grant = coord_->AcquireLease("alice", session_, kPrefix_,
-                                      500 * kMillisecond);
+                                      30 * kSecond);
     if (!grant.ok()) {
       return -1;
     }
@@ -1399,6 +1412,335 @@ TEST(SmrClusterTest, AccumulationDelayAmortizesAndStaysExactlyOnce) {
       EXPECT_EQ(entry->version, 1u) << key;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic repartitioning: versioned route map, lazy client updates, live
+// range migration with crash-recovery replay, scatter-gather dedupe, and
+// the load-aware split controller.
+// ---------------------------------------------------------------------------
+
+PartitionedCoordinationConfig ElasticConfig(unsigned active, unsigned spares) {
+  PartitionedCoordinationConfig config;
+  config.partitions = active;
+  config.spare_partitions = spares;
+  config.smr = FastSmrConfig(true);
+  return config;
+}
+
+// With two active partitions the uniform map is [0, 2^63) -> 0 and
+// [2^63, 2^64) -> 1, and SplitPartition(0) moves [2^62, 2^63) to the spare.
+bool InFirstSplitRange(const std::string& key) {
+  return PartitionRoutingHash(key) >= (1ull << 62) &&
+         PartitionRoutingHash(key) < (1ull << 63);
+}
+
+std::vector<std::string> SeedElasticKeys(PartitionedCoordination* coord,
+                                         int count) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < count; ++i) {
+    keys.push_back("ek:" + std::to_string(i));
+    EXPECT_TRUE(
+        coord->Write("alice", keys.back(), ToBytes("v" + std::to_string(i)))
+            .ok());
+  }
+  return keys;
+}
+
+// No durable migration record may survive a completed (or replayed)
+// migration. Read as the admin principal: the records are invisible to
+// ordinary clients by ACL.
+void ExpectNoMigrationRecords(PartitionedCoordination* coord) {
+  CoordCommand scan;
+  scan.op = CoordOp::kReadPrefix;
+  scan.client = kCoordAdminPrincipal;
+  scan.key = "__elastic:";
+  auto records = coord->Submit(scan);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->entries.empty());
+}
+
+TEST(ElasticPartitionTest, ManualSplitMovesRangeExactlyOnce) {
+  auto env = Environment::Scaled(1e-3);
+  PartitionedCoordination coord(env.get(), ElasticConfig(2, 1));
+  EXPECT_EQ(coord.partition_count(), 3u);
+  EXPECT_EQ(coord.active_partition_count(), 2u);
+  EXPECT_EQ(coord.route_epoch(), 1u);
+  const std::vector<std::string> keys = SeedElasticKeys(&coord, 32);
+
+  ASSERT_TRUE(coord.SplitPartition(0).ok());
+  EXPECT_EQ(coord.route_epoch(), 2u);
+  EXPECT_EQ(coord.active_partition_count(), 3u);
+  ElasticCounters counters = coord.elastic_counters();
+  EXPECT_EQ(counters.splits, 1u);
+  EXPECT_GT(counters.keys_migrated, 0u);
+  EXPECT_GT(counters.last_migration_us, 0u);
+
+  // Every key still readable with its value; migrated entries carry exactly
+  // one extra version bump (the import), never two.
+  size_t moved = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto entry = coord.Read("alice", keys[i]);
+    ASSERT_TRUE(entry.ok()) << keys[i];
+    EXPECT_EQ(ToString(entry->value), "v" + std::to_string(i));
+    if (coord.PartitionOf(keys[i]) == 2u) {
+      ++moved;
+      EXPECT_EQ(entry->version, 2u) << keys[i];
+    } else {
+      EXPECT_EQ(entry->version, 1u) << keys[i];
+    }
+  }
+  EXPECT_EQ(moved, counters.keys_migrated);
+  EXPECT_GT(moved, 0u);
+
+  // The merged prefix view is complete, sorted and duplicate-free.
+  auto listed = coord.ReadPrefix("alice", "ek:");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), keys.size());
+  for (size_t i = 1; i < listed->size(); ++i) {
+    EXPECT_LT((*listed)[i - 1].key, (*listed)[i].key);
+  }
+  ExpectNoMigrationRecords(&coord);
+}
+
+TEST(ElasticPartitionTest, MisroutedCommandRetriesWithFreshMap) {
+  auto env = Environment::Scaled(1e-3);
+  PartitionedCoordination coord(env.get(), ElasticConfig(2, 1));
+  const std::vector<std::string> keys = SeedElasticKeys(&coord, 24);
+  // "alice" now caches the epoch-1 map. Split, then write to a migrated
+  // key: the stale-routed command is rejected with the current map and
+  // retried transparently — the caller never sees the detour.
+  ASSERT_TRUE(coord.SplitPartition(0).ok());
+  std::string migrated;
+  for (const std::string& key : keys) {
+    if (coord.PartitionOf(key) == 2u) {
+      migrated = key;
+      break;
+    }
+  }
+  ASSERT_FALSE(migrated.empty());
+  EXPECT_EQ(coord.elastic_counters().route_epoch_retries, 0u);
+  ASSERT_TRUE(coord.Write("alice", migrated, ToBytes("w")).ok());
+  EXPECT_GE(coord.elastic_counters().route_epoch_retries, 1u);
+  auto entry = coord.Read("alice", migrated);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(ToString(entry->value), "w");
+  EXPECT_EQ(entry->version, 3u);  // import bump + the post-split write
+  // The map is learned once; the next command routes right the first time.
+  const uint64_t retries = coord.elastic_counters().route_epoch_retries;
+  ASSERT_TRUE(coord.Write("alice", migrated, ToBytes("w2")).ok());
+  EXPECT_EQ(coord.elastic_counters().route_epoch_retries, retries);
+}
+
+TEST(ElasticPartitionTest, ScatterGatherDedupesMidSplitDuplicates) {
+  auto env = Environment::Scaled(1e-3);
+  PartitionedCoordination coord(env.get(), ElasticConfig(2, 1));
+  const std::vector<std::string> keys = SeedElasticKeys(&coord, 12);
+  // Fabricate the mid-split state: one key present on both its owner and
+  // another partition (source copy not yet retired / destination copy just
+  // imported), with the non-owner copy stale.
+  const std::string& dup = keys[0];
+  const unsigned owner = coord.PartitionOf(dup);
+  const unsigned other = owner == 0 ? 1 : 0;
+  auto exported = coord.ExportPrefix("alice", dup);
+  ASSERT_TRUE(exported.ok());
+  ASSERT_EQ(exported->size(), 1u);
+  ASSERT_TRUE(coord.Write("alice", dup, ToBytes("fresh")).ok());  // owner copy
+  CoordCommand import;
+  import.op = CoordOp::kImportEntry;
+  import.client = kCoordAdminPrincipal;
+  import.key = dup;
+  import.value = exported->front().value;  // pre-write (stale) payload
+  auto imported = coord.cluster(other).Execute(import);
+  ASSERT_TRUE(imported.ok());
+  ASSERT_TRUE(imported->ok());
+
+  // The regression: a scatter-gather prefix read across the duplicate must
+  // return the key once, and the owner's copy must win.
+  auto listed = coord.ReadPrefix("alice", "ek:");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), keys.size());
+  size_t seen = 0;
+  for (const auto& entry : *listed) {
+    if (entry.key == dup) {
+      ++seen;
+      EXPECT_EQ(ToString(entry.value), "fresh");
+    }
+  }
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(ElasticPartitionTest, MergeReturnsRangesToDst) {
+  auto env = Environment::Scaled(1e-3);
+  PartitionedCoordination coord(env.get(), ElasticConfig(2, 1));
+  const std::vector<std::string> keys = SeedElasticKeys(&coord, 24);
+  ASSERT_TRUE(coord.SplitPartition(0).ok());
+  ASSERT_EQ(coord.active_partition_count(), 3u);
+  // Cool-down path: fold the split-off partition back into 0.
+  ASSERT_TRUE(coord.MergePartitions(2, 0).ok());
+  EXPECT_EQ(coord.active_partition_count(), 2u);
+  EXPECT_EQ(coord.route_epoch(), 3u);
+  EXPECT_EQ(coord.elastic_counters().merges, 1u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto entry = coord.Read("alice", keys[i]);
+    ASSERT_TRUE(entry.ok()) << keys[i];
+    EXPECT_EQ(ToString(entry->value), "v" + std::to_string(i));
+    EXPECT_NE(coord.PartitionOf(keys[i]), 2u);
+  }
+  auto listed = coord.ReadPrefix("alice", "ek:");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), keys.size());
+  ExpectNoMigrationRecords(&coord);
+}
+
+TEST(ElasticPartitionTest, LeaseHookFiresAtSplitCommit) {
+  auto env = Environment::Scaled(1e-3);
+  PartitionedCoordinationConfig config = ElasticConfig(2, 1);
+  std::vector<std::string> revoked;
+  config.on_migration_commit =
+      [&revoked](const std::vector<LeaseRevocation>& batch) {
+        for (const auto& r : batch) {
+          revoked.push_back(r.prefix);
+        }
+      };
+  PartitionedCoordination coord(env.get(), config);
+  const std::vector<std::string> keys = SeedElasticKeys(&coord, 24);
+  ASSERT_TRUE(coord.SplitPartition(0).ok());
+  // Exactly the migrated keys were revoked (holders of leases on those
+  // prefixes must drop before any post-split mutation can ack).
+  std::set<std::string> expected;
+  for (const std::string& key : keys) {
+    if (coord.PartitionOf(key) == 2u) {
+      expected.insert(key);
+    }
+  }
+  EXPECT_EQ(std::set<std::string>(revoked.begin(), revoked.end()), expected);
+  EXPECT_FALSE(revoked.empty());
+}
+
+class ElasticCrashTest : public ::testing::Test {
+ protected:
+  ElasticCrashTest() : env_(Environment::Scaled(1e-3)) {
+    PartitionedCoordinationConfig config = ElasticConfig(2, 1);
+    // Crash tests probe the frozen state; a short stall budget keeps the
+    // "mutation stalls behind a wedged migration" probe fast.
+    config.migration_stall_timeout = 300 * kMillisecond;
+    coord_ = std::make_unique<PartitionedCoordination>(env_.get(), config);
+    keys_ = SeedElasticKeys(coord_.get(), 24);
+    for (const std::string& key : keys_) {
+      (InFirstSplitRange(key) ? &moved_ : &stayed_)->push_back(key);
+    }
+  }
+
+  // Crash the controller at `point` during a split of partition 0, then
+  // replay — the coordination plane's Mount analog — and verify the plane
+  // converged to the post-split state with exactly-once entry migration.
+  void CrashThenReplay(PartitionedCoordination::MigrationCrashPoint point) {
+    ASSERT_FALSE(moved_.empty());
+    ASSERT_FALSE(stayed_.empty());
+    coord_->set_migration_crash_point(point);
+    EXPECT_FALSE(coord_->SplitPartition(0).ok());
+
+    // The migrating range is write-frozen while the migration is wedged:
+    // a mutation into it stalls and times out; one outside sails through.
+    EXPECT_EQ(coord_->Write("alice", moved_.front(), ToBytes("x"))
+                  .code(),
+              ErrorCode::kUnavailable);
+    EXPECT_GE(coord_->elastic_counters().migration_stalls, 1u);
+    ASSERT_TRUE(coord_->Write("alice", stayed_.front(), ToBytes("y")).ok());
+
+    ASSERT_TRUE(coord_->ReplayMigrations().ok());
+    EXPECT_EQ(coord_->route_epoch(), 2u);
+    EXPECT_EQ(coord_->active_partition_count(), 3u);
+    EXPECT_EQ(coord_->elastic_counters().splits, 1u);
+    for (const std::string& key : moved_) {
+      EXPECT_EQ(coord_->PartitionOf(key), 2u);
+      auto entry = coord_->Read("alice", key);
+      ASSERT_TRUE(entry.ok()) << key;
+      // Exactly-once: one import bump (1 -> 2) no matter how many times
+      // the replay re-imported the entry.
+      EXPECT_EQ(entry->version, 2u) << key;
+    }
+    for (const std::string& key : stayed_) {
+      ASSERT_TRUE(coord_->Read("alice", key).ok()) << key;
+    }
+    // The plane is fully live again: mutations into the moved range work.
+    ASSERT_TRUE(coord_->Write("alice", moved_.front(), ToBytes("z")).ok());
+    ExpectNoMigrationRecords(coord_.get());
+  }
+
+  std::unique_ptr<Environment> env_;
+  std::unique_ptr<PartitionedCoordination> coord_;
+  std::vector<std::string> keys_;
+  std::vector<std::string> moved_;
+  std::vector<std::string> stayed_;
+};
+
+TEST_F(ElasticCrashTest, ReplayAfterIntentCrash) {
+  CrashThenReplay(PartitionedCoordination::MigrationCrashPoint::kAfterIntent);
+}
+
+TEST_F(ElasticCrashTest, ReplayAfterPartialImportCrash) {
+  CrashThenReplay(PartitionedCoordination::MigrationCrashPoint::kMidImport);
+}
+
+TEST_F(ElasticCrashTest, ReplayAfterCommitCrash) {
+  CrashThenReplay(PartitionedCoordination::MigrationCrashPoint::kAfterCommit);
+}
+
+TEST(ElasticPartitionTest, HotShareIsWindowedNotCumulative) {
+  // 1000 historical ops on partition 0, then a window in which only
+  // partition 1 works: current load is all partition 1. A cumulative
+  // computation would still call partition 0 hot — the bug this guards.
+  PartitionLoadSnapshot before;
+  before.at = 0;
+  before.per_partition.resize(2);
+  before.per_partition[0].ordered_commands = 1000;
+  PartitionLoadSnapshot after = before;
+  after.at = kSecond;
+  after.per_partition[1].ordered_commands = 100;
+  const std::vector<double> rates = PartitionOpsPerSecond(before, after);
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_EQ(rates[0], 0.0);
+  EXPECT_EQ(rates[1], 100.0);
+  EXPECT_EQ(PartitionHotShare(before, after), 1.0);
+}
+
+TEST(ElasticPartitionTest, AutoSplitFiresUnderSkew) {
+  // Scale chosen for sanitized builds: at 1e-3 a TSan-instrumented write
+  // burns ~1 ms real = a full virtual second, and the windowed rate never
+  // clears split_min_total_ops_s. 2e-2 keeps the per-virtual-second rate
+  // two orders above the gate even at a 10x slowdown.
+  auto env = Environment::Scaled(2e-2);
+  PartitionedCoordinationConfig config = ElasticConfig(2, 1);
+  config.auto_split = true;
+  config.split_window = 400 * kMillisecond;
+  config.split_hot_share = 0.6;
+  config.split_min_total_ops_s = 1.0;
+  PartitionedCoordination coord(env.get(), config);
+  // Pin every write onto keys owned by partition 0: its windowed share
+  // goes to ~1 and the controller must split it onto the spare.
+  std::vector<std::string> hot_keys;
+  for (int i = 0; hot_keys.size() < 8; ++i) {
+    std::string key = "hot:" + std::to_string(i);
+    if (coord.PartitionOf(key) == 0u) {
+      hot_keys.push_back(key);
+    }
+  }
+  const VirtualTime deadline = env->Now() + 60 * kSecond;
+  uint64_t i = 0;
+  while (coord.elastic_counters().splits == 0 && env->Now() < deadline) {
+    ASSERT_TRUE(
+        coord.Write("alice", hot_keys[i % hot_keys.size()], ToBytes("v"))
+            .ok());
+    ++i;
+  }
+  EXPECT_GE(coord.elastic_counters().splits, 1u);
+  EXPECT_GE(coord.route_epoch(), 2u);
+  EXPECT_EQ(coord.active_partition_count(), 3u);
+  // Partition 0's range really was carved up (the EWMA view itself resets
+  // at the commit, so the map is the durable evidence).
+  EXPECT_GE(coord.route_map().ranges.size(), 3u);
 }
 
 }  // namespace

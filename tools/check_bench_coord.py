@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""CI gate over BENCH_coord.json's partition sweep.
+"""CI gate over BENCH_coord.json's partition sweep and elastic split demo.
 
 The sharded coordination plane exists to multiply ordered throughput; if the
 4-partition aggregate ever drops below the 1-partition baseline, the router
-is costing more than the partitions buy and the job must fail. Stdlib only,
-like tools/check_markdown_links.py.
+is costing more than the partitions buy and the job must fail. The elastic
+split demo must show the load-aware controller actually firing under skew,
+the post-split plane recovering at least 80% of a statically balanced
+3-partition deployment, and the migration moving every key exactly once
+(zero lost, zero duplicated). Stdlib only, like tools/check_markdown_links.py.
 
 Usage: check_bench_coord.py [path-to-BENCH_coord.json]
 """
@@ -18,14 +21,20 @@ def main() -> int:
     with open(path) as f:
         metrics = {record["name"]: record["value"] for record in json.load(f)}
 
-    missing = [
-        name
-        for name in ("coord_part1_ordered_agg", "coord_part4_ordered_agg")
-        if name not in metrics
-    ]
+    required = (
+        "coord_part1_ordered_agg",
+        "coord_part4_ordered_agg",
+        "coord_split_fired",
+        "coord_split_recovery_ratio",
+        "coord_split_lost_keys",
+        "coord_split_dup_keys",
+    )
+    missing = [name for name in required if name not in metrics]
     if missing:
-        print(f"FAIL: {path} lacks partition-sweep metrics: {missing}")
+        print(f"FAIL: {path} lacks required metrics: {missing}")
         return 1
+
+    failed = False
 
     part1 = metrics["coord_part1_ordered_agg"]
     part4 = metrics["coord_part4_ordered_agg"]
@@ -39,12 +48,42 @@ def main() -> int:
         # cluster or broken elapsed-time accounting) — that must not read
         # as "no regression".
         print("FAIL: 1-partition baseline throughput is zero")
-        return 1
-    if part4 < part1:
+        failed = True
+    elif part4 < part1:
         print(
             "FAIL: 4-partition aggregate ordered throughput regressed below "
             "the 1-partition baseline"
         )
+        failed = True
+
+    fired = metrics["coord_split_fired"]
+    recovery = metrics["coord_split_recovery_ratio"]
+    lost = metrics["coord_split_lost_keys"]
+    dup = metrics["coord_split_dup_keys"]
+    print(
+        f"elastic split: fired={int(fired)} recovery={recovery:.2f}x "
+        f"lost={int(lost)} dup={int(dup)}"
+    )
+    if fired != 1:
+        print(
+            "FAIL: the load-aware controller never split the hot partition "
+            "under the skewed workload"
+        )
+        failed = True
+    if recovery < 0.8:
+        print(
+            "FAIL: post-split aggregate throughput recovered less than 0.8x "
+            "of the statically balanced 3-partition deployment"
+        )
+        failed = True
+    if lost != 0 or dup != 0:
+        print(
+            "FAIL: the range migration lost or duplicated keys "
+            f"(lost={int(lost)}, dup={int(dup)}); exactly-once is violated"
+        )
+        failed = True
+
+    if failed:
         return 1
     print("OK")
     return 0
